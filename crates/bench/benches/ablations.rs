@@ -1,0 +1,99 @@
+//! Ablation benchmarks: how the pipeline's cost scales with the design
+//! parameters DESIGN.md calls out (training-set size, hidden width,
+//! co-location width, phase count). Accuracy ablations live in
+//! `repro ablations`.
+
+use coloc_bench::synth::synthetic_samples;
+use coloc_machine::{presets, Machine, RunOptions, RunnerGroup};
+use coloc_ml::{Mlp, MlpConfig};
+use coloc_model::{samples_to_dataset, FeatureSet};
+use coloc_workloads::{by_name, WorkloadBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Tight measurement budget: single-CPU CI boxes should finish the whole
+/// suite in minutes, and second-scale NN fits need no long sampling.
+fn tighten(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+}
+
+fn nn_cost_vs_hidden_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn_width");
+    tighten(&mut g);
+    let ds = samples_to_dataset(&synthetic_samples(400), FeatureSet::F).unwrap();
+    for hidden in [10usize, 15, 20] {
+        g.bench_function(format!("{hidden}_nodes"), |b| {
+            b.iter(|| {
+                let cfg = MlpConfig { hidden, seed: 1, ..Default::default() };
+                black_box(Mlp::fit(&ds, &cfg).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn nn_cost_vs_training_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn_train_size");
+    tighten(&mut g);
+    for n in [165usize, 330, 660] {
+        let ds = samples_to_dataset(&synthetic_samples(n), FeatureSet::F).unwrap();
+        g.bench_function(format!("{n}_samples"), |b| {
+            b.iter(|| {
+                let cfg = MlpConfig { hidden: 20, seed: 1, ..Default::default() };
+                black_box(Mlp::fit(&ds, &cfg).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn engine_cost_vs_co_runner_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_width");
+    tighten(&mut g);
+    let m = Machine::new(presets::xeon_e5_2697v2());
+    let canneal = by_name("canneal").unwrap().app;
+    let cg = by_name("cg").unwrap().app;
+    for n in [1usize, 5, 11] {
+        let wl = vec![
+            RunnerGroup::solo(canneal.clone()),
+            RunnerGroup { app: cg.clone(), count: n },
+        ];
+        g.bench_function(format!("{n}_co_runners"), |b| {
+            b.iter(|| m.run(black_box(&wl), &RunOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn engine_cost_vs_phases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_phases");
+    tighten(&mut g);
+    let m = Machine::new(presets::xeon_e5649());
+    for phases in [1usize, 4, 16] {
+        let mut b = WorkloadBuilder::new(format!("phased{phases}"), 100e9)
+            .working_set_bytes(64 << 20)
+            .accesses_per_kilo_instr(20.0);
+        for k in 1..phases {
+            b = b
+                .then_phase(1.0 / phases as f64)
+                .working_set_bytes(((k % 4) as u64 + 1) << 22);
+        }
+        let app = b.build();
+        g.bench_function(format!("{phases}_phases"), |bch| {
+            bch.iter(|| m.run_solo(black_box(&app), &RunOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    nn_cost_vs_hidden_width,
+    nn_cost_vs_training_size,
+    engine_cost_vs_co_runner_count,
+    engine_cost_vs_phases
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benchmarks of the prediction path — the operations a resource manager
+//! would run online, so their latency matters most.
+
+use coloc_bench::synth::{synthetic_samples, warm_lab};
+use coloc_model::{FeatureSet, ModelKind, Predictor, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Tight budget for single-CPU boxes.
+fn tighten(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+}
+
+fn featurize(c: &mut Criterion) {
+    let lab = warm_lab();
+    let sc = Scenario::homogeneous("canneal", "cg", 4, 2);
+    let hetero = Scenario {
+        target: "ft".into(),
+        co_located: vec![("cg".into(), 2), ("sp".into(), 1), ("ep".into(), 2)],
+        pstate: 3,
+    };
+    c.bench_function("featurize_homogeneous", |b| {
+        b.iter(|| lab.featurize(black_box(&sc)).unwrap())
+    });
+    c.bench_function("featurize_heterogeneous", |b| {
+        b.iter(|| lab.featurize(black_box(&hetero)).unwrap())
+    });
+}
+
+fn predict_latency(c: &mut Criterion) {
+    let samples = synthetic_samples(400);
+    let lin = Predictor::train(ModelKind::Linear, FeatureSet::F, &samples, 1).unwrap();
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 1).unwrap();
+    let f = samples[37].features;
+
+    c.bench_function("predict_linear_setF", |b| b.iter(|| lin.predict(black_box(&f))));
+    c.bench_function("predict_nn_setF", |b| b.iter(|| nn.predict(black_box(&f))));
+}
+
+fn scheduler_decision(c: &mut Criterion) {
+    use coloc_model::scheduler::{Policy, Scheduler};
+    let lab = warm_lab();
+    let samples = coloc_bench::synth::tiny_real_samples();
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::E, samples, 1).unwrap();
+    let sched = Scheduler::new(&lab, &nn, 0);
+    let jobs: Vec<String> = ["cg", "cg", "canneal", "sp", "ep", "ep", "ft", "ua"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut g = c.benchmark_group("scheduler");
+    tighten(&mut g);
+    g.bench_function("place_8_jobs_2_sockets", |b| {
+        b.iter(|| sched.place(black_box(&jobs), 2, Policy::LeastInterference).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, featurize, predict_latency, scheduler_decision);
+criterion_main!(benches);

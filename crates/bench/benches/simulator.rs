@@ -1,0 +1,126 @@
+//! Benchmarks of the simulation substrate: the co-execution engine, the
+//! shared-cache occupancy solver, and the exact cache analyzers.
+
+use coloc_cachesim::{
+    shared_occupancy, SetAssocCache, SharedApp, StackAnalyzer, StackDistanceDist, StreamGen,
+};
+use coloc_machine::{presets, Machine, RunOptions, RunnerGroup};
+use coloc_workloads::by_name;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Tight budget for single-CPU boxes.
+fn tighten(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+}
+
+fn engine_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    tighten(&mut g);
+    let m6 = Machine::new(presets::xeon_e5649());
+    let m12 = Machine::new(presets::xeon_e5_2697v2());
+    let canneal = by_name("canneal").unwrap().app;
+    let cg = by_name("cg").unwrap().app;
+
+    g.bench_function("solo_canneal_6core", |b| {
+        b.iter(|| m6.run_solo(black_box(&canneal), &RunOptions::default()).unwrap())
+    });
+    let wl5 = vec![
+        RunnerGroup::solo(canneal.clone()),
+        RunnerGroup { app: cg.clone(), count: 5 },
+    ];
+    g.bench_function("canneal_5cg_6core", |b| {
+        b.iter(|| m6.run(black_box(&wl5), &RunOptions::default()).unwrap())
+    });
+    let wl11 = vec![
+        RunnerGroup::solo(canneal.clone()),
+        RunnerGroup { app: cg.clone(), count: 11 },
+    ];
+    g.bench_function("canneal_11cg_12core", |b| {
+        b.iter(|| m12.run(black_box(&wl11), &RunOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn occupancy_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("occupancy");
+    tighten(&mut g);
+    for n in [2usize, 6, 12] {
+        let apps: Vec<SharedApp> = (0..n)
+            .map(|i| SharedApp {
+                access_rate: 1.0 + i as f64,
+                mrc: StackDistanceDist::power_law(100_000 * (i + 1), 0.7, 0.01)
+                    .miss_rate_curve(),
+            })
+            .collect();
+        g.bench_function(format!("fixed_point_{n}_apps"), |b| {
+            b.iter(|| shared_occupancy(black_box(30 << 20), black_box(&apps)))
+        });
+    }
+    g.finish();
+}
+
+fn exact_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_cache");
+    tighten(&mut g);
+    let dist = StackDistanceDist::power_law(2000, 0.9, 0.01);
+    let trace = StreamGen::new(dist, 7, 0).take_trace(100_000);
+
+    g.bench_function("mattson_100k_accesses", |b| {
+        b.iter_batched(
+            StackAnalyzer::new,
+            |mut an| {
+                an.access_all(trace.iter().copied());
+                black_box(an.misses_at(1024))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("set_assoc_16way_100k_accesses", |b| {
+        b.iter_batched(
+            || {
+                SetAssocCache::new(
+                    coloc_cachesim::CacheConfig {
+                        capacity_bytes: 1024 * 64,
+                        line_bytes: 64,
+                        ways: 16,
+                    },
+                    1,
+                )
+            },
+            |mut cache| {
+                for &l in &trace {
+                    cache.access(0, l);
+                }
+                black_box(cache.stats(0).misses)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn stream_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    tighten(&mut g);
+    g.bench_function("generate_10k_accesses_span1k", |b| {
+        b.iter_batched(
+            || StreamGen::new(StackDistanceDist::power_law(1000, 0.8, 0.01), 3, 0),
+            |mut gen| black_box(gen.take_trace(10_000)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("mrc_from_8M_line_span", |b| {
+        b.iter(|| {
+            let d = StackDistanceDist::power_law(black_box(8_000_000), 0.4, 0.02);
+            black_box(d.miss_rate_curve())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_runs, occupancy_solver, exact_cache, stream_generation);
+criterion_main!(benches);

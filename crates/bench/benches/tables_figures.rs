@@ -1,0 +1,104 @@
+//! One benchmark per paper table/figure: times the computation that
+//! regenerates each artifact (at reduced scale where the full artifact
+//! takes minutes — the `repro` binary produces the full versions).
+
+use coloc_bench::synth::{synthetic_samples, tiny_real_samples};
+use coloc_bench::{figures, tables};
+use coloc_ml::validate::ValidationConfig;
+use coloc_model::experiment::evaluate_model;
+use coloc_model::{FeatureSet, ModelKind, Predictor, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Tight budget for single-CPU boxes.
+fn tighten(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+}
+
+fn static_tables(c: &mut Criterion) {
+    c.bench_function("table1_features", |b| b.iter(|| black_box(tables::table1())));
+    c.bench_function("table2_feature_sets", |b| b.iter(|| black_box(tables::table2())));
+    c.bench_function("table4_processors", |b| b.iter(|| black_box(tables::table4())));
+    c.bench_function("table5_training_setup", |b| b.iter(|| black_box(tables::table5())));
+}
+
+fn table3_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    tighten(&mut g);
+    let lab = coloc_bench::synth::warm_lab();
+    g.bench_function("rows_from_warm_baselines", |b| {
+        b.iter(|| black_box(tables::table3(&lab)))
+    });
+    g.finish();
+}
+
+fn table6_degradation(c: &mut Criterion) {
+    // Reduced-scale Table VI: set-F models trained on the tiny real sweep,
+    // predicting the canneal-vs-cg ladder on the 6-core machine.
+    let mut g = c.benchmark_group("table6");
+    tighten(&mut g);
+    let lab = coloc_bench::synth::warm_lab();
+    let samples = tiny_real_samples();
+    let lin = Predictor::train(ModelKind::Linear, FeatureSet::F, samples, 1).unwrap();
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, samples, 1).unwrap();
+    g.bench_function("ladder_rows_reduced", |b| {
+        b.iter(|| {
+            let mut rows = Vec::new();
+            for n in 1..=5usize {
+                let sc = Scenario::homogeneous("canneal", "cg", n, 0);
+                let f = lab.featurize(&sc).unwrap();
+                rows.push((n, lin.predict(&f), nn.predict(&f)));
+            }
+            black_box(rows)
+        })
+    });
+    g.finish();
+}
+
+fn figs_1_to_4_grid_cell(c: &mut Criterion) {
+    // One cell of the Figures 1–4 grid (one model, reduced partitions) on
+    // paper-sized synthetic data.
+    let mut g = c.benchmark_group("figs1_4");
+    tighten(&mut g);
+    let samples = synthetic_samples(400);
+    let cfg = ValidationConfig { partitions: 2, ..Default::default() };
+    g.bench_function("linear_setC_2_partitions", |b| {
+        b.iter(|| evaluate_model(&samples, ModelKind::Linear, FeatureSet::C, &cfg).unwrap())
+    });
+    g.bench_function("nn_setF_2_partitions", |b| {
+        b.iter(|| evaluate_model(&samples, ModelKind::NeuralNet, FeatureSet::F, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn fig5_distributions(c: &mut Criterion) {
+    // The summarization step of Figure 5 on the tiny real sweep.
+    let mut g = c.benchmark_group("fig5");
+    tighten(&mut g);
+    let samples = tiny_real_samples();
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, samples, 2).unwrap();
+    g.bench_function("percent_error_distributions", |b| {
+        b.iter(|| {
+            let preds = nn.predict_samples(samples);
+            let actual: Vec<f64> = samples.iter().map(|s| s.actual_time_s).collect();
+            black_box(coloc_ml::metrics::percent_errors(&preds, &actual))
+        })
+    });
+    g.bench_function("split_indices_2904", |b| {
+        b.iter(|| black_box(figures::split_indices(2904, 1, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    static_tables,
+    table3_baselines,
+    table6_degradation,
+    figs_1_to_4_grid_cell,
+    fig5_distributions
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Benchmarks of model training: linear least squares, the SCG-trained
+//! neural network, the per-partition validation step, and PCA ranking.
+
+use coloc_bench::synth::synthetic_samples;
+use coloc_model::experiment::rank_features;
+use coloc_model::{samples_to_dataset, FeatureSet, ModelKind, Predictor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Tight budget for second-scale NN fits on single-CPU boxes.
+fn tighten(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+}
+
+fn linear_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_linear");
+    for n in [330usize, 1320, 2904] {
+        let samples = synthetic_samples(n);
+        g.bench_function(format!("setF_{n}_samples"), |b| {
+            b.iter(|| {
+                Predictor::train(ModelKind::Linear, FeatureSet::F, black_box(&samples), 1)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn nn_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_nn");
+    tighten(&mut g);
+    let samples = synthetic_samples(400);
+    for set in [FeatureSet::A, FeatureSet::D, FeatureSet::F] {
+        g.bench_function(format!("set{set}_400_samples"), |b| {
+            b.iter(|| {
+                Predictor::train(ModelKind::NeuralNet, set, black_box(&samples), 1).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn validation_partition(c: &mut Criterion) {
+    // One partition of the Figures 1–4 protocol: split, fit, score.
+    let mut g = c.benchmark_group("validation_partition");
+    tighten(&mut g);
+    let samples = synthetic_samples(400);
+    let ds = samples_to_dataset(&samples, FeatureSet::F).unwrap();
+    g.bench_function("linear_setF", |b| {
+        b.iter(|| {
+            let (train, test) = ds.split(0.30, 1, 0);
+            let m = coloc_ml::LinearRegression::fit(&train).unwrap();
+            let preds = m.predict_all(&test);
+            black_box(coloc_ml::metrics::mpe(&preds, test.y()))
+        })
+    });
+    g.bench_function("nn_setF", |b| {
+        b.iter(|| {
+            let (train, test) = ds.split(0.30, 1, 0);
+            let cfg = coloc_ml::MlpConfig::for_features(8, 1);
+            let m = coloc_ml::Mlp::fit(&train, &cfg).unwrap();
+            let preds = m.predict_all(&test);
+            black_box(coloc_ml::metrics::mpe(&preds, test.y()))
+        })
+    });
+    g.finish();
+}
+
+fn pca_ranking(c: &mut Criterion) {
+    let samples = synthetic_samples(1320);
+    c.bench_function("pca_rank_8_features_1320_samples", |b| {
+        b.iter(|| rank_features(black_box(&samples)).unwrap())
+    });
+}
+
+criterion_group!(benches, linear_training, nn_training, validation_partition, pca_ranking);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! JSON disk cache for expensive experiment artifacts.
+
+use coloc_model::{ModelEvaluation, Sample};
+use coloc_model::Lab;
+use coloc_ml::validate::ValidationConfig;
+use std::path::PathBuf;
+
+/// Resolve the cache directory (`COLOC_REPRO_DIR` or `repro-out/`).
+pub fn cache_dir() -> PathBuf {
+    std::env::var_os("COLOC_REPRO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("repro-out"))
+}
+
+fn path_for(key: &str) -> PathBuf {
+    cache_dir().join(format!("{key}.json"))
+}
+
+/// Load a cached artifact if present and parseable.
+pub fn load<T: serde::de::DeserializeOwned>(key: &str) -> Option<T> {
+    let bytes = std::fs::read(path_for(key)).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// Store an artifact (best effort; cache failures are non-fatal).
+pub fn store<T: serde::Serialize>(key: &str, value: &T) {
+    let dir = cache_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    if let Ok(bytes) = serde_json::to_vec_pretty(value) {
+        let _ = std::fs::write(path_for(key), bytes);
+    }
+}
+
+/// The paper's full training sweep for a lab, cached.
+pub fn training_samples(lab_key: &str, lab: &Lab) -> Vec<Sample> {
+    let key = format!("samples_{lab_key}_seed{}", lab.seed());
+    if let Some(s) = load::<Vec<Sample>>(&key) {
+        let plan = lab.paper_plan();
+        if s.len() == plan.len() {
+            return s;
+        }
+    }
+    let samples = lab.collect(&lab.paper_plan()).expect("paper sweep collects");
+    store(&key, &samples);
+    samples
+}
+
+/// The paper's validation protocol: 100 partitions, 70/30.
+pub fn paper_validation() -> ValidationConfig {
+    ValidationConfig { partitions: 100, test_fraction: 0.30, seed: crate::SEED, threads: 0 }
+}
+
+/// Full 2×6 model-grid evaluation for a lab, cached. This is the data for
+/// Figures 1–4 (MPE and NRMSE come from the same validation runs).
+pub fn grid_evaluation(lab_key: &str, lab: &Lab) -> Vec<ModelEvaluation> {
+    let key = format!("grid_{lab_key}_seed{}", lab.seed());
+    if let Some(g) = load::<Vec<ModelEvaluation>>(&key) {
+        if g.len() == 12 {
+            return g;
+        }
+    }
+    let samples = training_samples(lab_key, lab);
+    let grid = coloc_model::experiment::evaluate_grid(&samples, &paper_validation())
+        .expect("grid evaluation");
+    store(&key, &grid);
+    grid
+}

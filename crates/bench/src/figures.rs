@@ -1,0 +1,167 @@
+//! Generators for the paper's figures (1–5).
+
+use crate::cache;
+use coloc_ml::metrics::percent_errors;
+use coloc_ml::rng::derive_seed;
+use coloc_model::{FeatureSet, ModelEvaluation, ModelKind, Predictor, Sample};
+use std::collections::BTreeMap;
+
+/// One series point in Figures 1–4: a `(technique, feature set)` model with
+/// its train/test error at one machine.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FigPoint {
+    /// Technique label (`linear` / `neural-net`).
+    pub kind: String,
+    /// Feature set label (`A`…`F`).
+    pub set: String,
+    /// Error on training splits, percent.
+    pub train: f64,
+    /// Error on withheld splits, percent.
+    pub test: f64,
+}
+
+fn grid_to_points(
+    grid: &[ModelEvaluation],
+    metric: impl Fn(&ModelEvaluation) -> (f64, f64),
+) -> Vec<FigPoint> {
+    grid.iter()
+        .map(|e| {
+            let (train, test) = metric(e);
+            FigPoint {
+                kind: e.kind.label().to_string(),
+                set: e.set.label().to_string(),
+                train,
+                test,
+            }
+        })
+        .collect()
+}
+
+/// Figure 1 (6-core) / Figure 2 (12-core): MPE for all twelve models.
+pub fn fig_mpe(lab_key: &str) -> Vec<FigPoint> {
+    let (_, lab) = crate::labs().into_iter().find(|(k, _)| *k == lab_key).expect("lab key");
+    let grid = cache::grid_evaluation(lab_key, &lab);
+    grid_to_points(&grid, |e| (e.train_mpe, e.test_mpe))
+}
+
+/// Figure 3 (6-core) / Figure 4 (12-core): NRMSE for all twelve models.
+pub fn fig_nrmse(lab_key: &str) -> Vec<FigPoint> {
+    let (_, lab) = crate::labs().into_iter().find(|(k, _)| *k == lab_key).expect("lab key");
+    let grid = cache::grid_evaluation(lab_key, &lab);
+    grid_to_points(&grid, |e| (e.train_nrmse, e.test_nrmse))
+}
+
+/// A five-number summary of a distribution (Fig. 5's box-style views).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Distribution {
+    /// Group label (application name).
+    pub app: String,
+    /// Number of points.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+fn summarize(app: &str, values: &[f64]) -> Distribution {
+    use coloc_linalg::vecops::{max, min, percentile};
+    Distribution {
+        app: app.to_string(),
+        n: values.len(),
+        min: min(values),
+        q1: percentile(values, 25.0),
+        median: percentile(values, 50.0),
+        q3: percentile(values, 75.0),
+        max: max(values),
+    }
+}
+
+/// Figure 5(a): per-application execution-time distributions across every
+/// test run on the 6-core machine.
+pub fn fig5a() -> Vec<Distribution> {
+    let lab = crate::lab_6core();
+    let samples = cache::training_samples("e5649", &lab);
+    let mut by_app: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for s in &samples {
+        by_app.entry(s.scenario.target.as_str()).or_default().push(s.actual_time_s);
+    }
+    by_app.iter().map(|(app, v)| summarize(app, v)).collect()
+}
+
+/// Figure 5(b): per-application distributions of the NN set-F model's
+/// signed percent errors on withheld data, pooled over `partitions`
+/// random 70/30 splits.
+pub fn fig5b(partitions: usize) -> Vec<Distribution> {
+    let lab = crate::lab_6core();
+    let samples = cache::training_samples("e5649", &lab);
+    let mut by_app: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+
+    for p in 0..partitions {
+        let (train_idx, test_idx) = split_indices(samples.len(), crate::SEED, p as u64);
+        let train: Vec<Sample> = train_idx.iter().map(|&i| samples[i].clone()).collect();
+        let test: Vec<Sample> = test_idx.iter().map(|&i| samples[i].clone()).collect();
+        let nn = Predictor::train(
+            ModelKind::NeuralNet,
+            FeatureSet::F,
+            &train,
+            derive_seed(crate::SEED, 500 + p as u64),
+        )
+        .expect("train NN F");
+        let preds = nn.predict_samples(&test);
+        let actual: Vec<f64> = test.iter().map(|s| s.actual_time_s).collect();
+        for (s, pe) in test.iter().zip(percent_errors(&preds, &actual)) {
+            by_app.entry(s.scenario.target.clone()).or_default().push(pe);
+        }
+    }
+    by_app.iter().map(|(app, v)| summarize(app, v)).collect()
+}
+
+/// Deterministic 70/30 index split (same convention as
+/// `coloc_ml::Dataset::split`, but keeping sample identity so errors can
+/// be grouped by application).
+pub fn split_indices(n: usize, seed: u64, partition: u64) -> (Vec<usize>, Vec<usize>) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, partition));
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64) * 0.30).round() as usize;
+    let (test, train) = idx.split_at(n_test);
+    (train.to_vec(), test.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_indices_partition_properties() {
+        let (train, test) = split_indices(100, 1, 0);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        let (train2, _) = split_indices(100, 1, 0);
+        assert_eq!(train, train2);
+        let (train3, _) = split_indices(100, 1, 1);
+        assert_ne!(train, train3);
+    }
+
+    #[test]
+    fn summarize_orders_quartiles() {
+        let d = summarize("x", &[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.max, 5.0);
+        assert!(d.q1 <= d.median && d.median <= d.q3);
+        assert_eq!(d.n, 5);
+    }
+}

@@ -1,0 +1,60 @@
+//! Synthetic sample generation for benchmarks that should not pay for a
+//! simulator sweep, plus a miniature *real* sweep helper for those that
+//! should.
+
+use coloc_model::{Lab, Sample, Scenario, TrainingPlan};
+
+/// Paper-shaped synthetic samples: base times spread like the suite's,
+/// slowdown nonlinear in co-app memory pressure, mild deterministic noise.
+pub fn synthetic_samples(n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|i| {
+            let base = 160.0 + (i % 11) as f64 * 45.0;
+            let ncoapp = (i % 6) as f64;
+            let co_mem = ncoapp * 0.006 * (1.0 + (i % 4) as f64);
+            let target_mem = 10f64.powf(-2.0 - (i % 4) as f64);
+            let slowdown =
+                1.0 + 2.5 * co_mem + 9.0 * co_mem * co_mem / (0.02 + co_mem) * target_mem.sqrt();
+            let jitter = 1.0 + 0.004 * (((i * 2654435761) % 997) as f64 / 997.0 - 0.5);
+            Sample {
+                scenario: Scenario::homogeneous("t", "c", ncoapp as usize, i % 6),
+                features: [
+                    base,
+                    ncoapp,
+                    co_mem,
+                    target_mem,
+                    ncoapp * 0.35,
+                    ncoapp * 0.025,
+                    0.12,
+                    0.02,
+                ],
+                actual_time_s: base * slowdown * jitter,
+            }
+        })
+        .collect()
+}
+
+/// A miniature real sweep on the 6-core lab (72 runs) — seconds in release
+/// builds, cached across calls within a process.
+pub fn tiny_real_samples() -> &'static [Sample] {
+    use std::sync::OnceLock;
+    static CELL: OnceLock<Vec<Sample>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let lab = crate::lab_6core();
+        let plan = TrainingPlan {
+            pstates: vec![0, 3],
+            targets: vec!["cg".into(), "canneal".into(), "fluidanimate".into(), "ep".into()],
+            co_runners: vec!["cg".into(), "sp".into(), "ep".into()],
+            counts: vec![1, 3, 5],
+        };
+        lab.collect(&plan).expect("tiny sweep")
+    })
+}
+
+/// The 6-core lab with baselines forced, for featurization/prediction
+/// benches.
+pub fn warm_lab() -> Lab {
+    let lab = crate::lab_6core();
+    lab.baselines();
+    lab
+}

@@ -1,0 +1,201 @@
+//! Generators for the paper's tables (I–VI).
+
+use crate::cache;
+use coloc_model::{Feature, FeatureSet, Lab, ModelKind, Predictor, Scenario};
+use coloc_workloads::standard;
+
+/// Table I: the eight model features (static content).
+pub fn table1() -> Vec<(String, String)> {
+    Feature::ALL
+        .iter()
+        .map(|f| (f.paper_name().to_string(), f.description().to_string()))
+        .collect()
+}
+
+/// Table II: the six feature-set groups (static content).
+pub fn table2() -> Vec<(String, String)> {
+    FeatureSet::ALL
+        .iter()
+        .map(|s| {
+            let names: Vec<&str> = s.features().iter().map(|f| f.paper_name()).collect();
+            (s.label().to_string(), names.join(", "))
+        })
+        .collect()
+}
+
+/// One row of Table III.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Table3Row {
+    /// Application name with suite tag, e.g. `cg (N)`.
+    pub app: String,
+    /// Measured baseline memory intensity on the 6-core machine.
+    pub memory_intensity: f64,
+    /// Documented memory-intensity class.
+    pub class: String,
+}
+
+/// Table III: applications, measured baseline memory intensity, classes.
+pub fn table3(lab: &Lab) -> Vec<Table3Row> {
+    let db = lab.baselines();
+    let mut rows: Vec<Table3Row> = standard()
+        .iter()
+        .map(|b| Table3Row {
+            app: format!("{} ({})", b.name, b.suite.tag()),
+            memory_intensity: db
+                .get(b.name)
+                .map(|x| x.memory_intensity)
+                .unwrap_or(f64::NAN),
+            class: b.class.label().to_string(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.memory_intensity.partial_cmp(&a.memory_intensity).unwrap());
+    rows
+}
+
+/// One row of Table IV.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Table4Row {
+    /// Processor name.
+    pub processor: String,
+    /// Core count.
+    pub cores: usize,
+    /// L3 size in MiB.
+    pub l3_mib: u64,
+    /// Frequency range in GHz `(min, max)`.
+    pub freq_range_ghz: (f64, f64),
+}
+
+/// Table IV: the multicore processors used for validation.
+pub fn table4() -> Vec<Table4Row> {
+    coloc_machine::presets::all()
+        .into_iter()
+        .map(|m| Table4Row {
+            processor: m.name.clone(),
+            cores: m.cores,
+            l3_mib: m.llc_bytes >> 20,
+            freq_range_ghz: (
+                *m.pstates_ghz.last().expect("pstates"),
+                m.pstates_ghz[0],
+            ),
+        })
+        .collect()
+}
+
+/// One row of Table V.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Table5Row {
+    /// Processor name.
+    pub processor: String,
+    /// The six P-state frequencies swept, GHz.
+    pub pstates_ghz: Vec<f64>,
+    /// Number of target applications.
+    pub num_targets: usize,
+    /// The co-location applications.
+    pub co_apps: Vec<String>,
+    /// The homogeneous co-location counts swept.
+    pub num_co_locations: Vec<usize>,
+    /// Total training scenarios the plan produces.
+    pub total_runs: usize,
+}
+
+/// Table V: the training-data collection setup per machine.
+pub fn table5() -> Vec<Table5Row> {
+    crate::labs()
+        .into_iter()
+        .map(|(_, lab)| {
+            let plan = lab.paper_plan();
+            Table5Row {
+                processor: lab.machine().spec().name.clone(),
+                pstates_ghz: lab.machine().spec().pstates_ghz.clone(),
+                num_targets: plan.targets.len(),
+                co_apps: plan.co_runners.clone(),
+                num_co_locations: plan.counts.clone(),
+                total_runs: plan.len(),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table VI.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Table6Row {
+    /// Number of co-located `cg` instances.
+    pub num_cg: usize,
+    /// Measured canneal execution time, seconds.
+    pub actual_s: f64,
+    /// Execution time normalized to canneal's baseline.
+    pub normalized: f64,
+    /// Linear model (set F) percent error for this row.
+    pub linear_f_pe: f64,
+    /// Neural-network model (set F) percent error for this row.
+    pub nn_f_pe: f64,
+}
+
+/// Table VI: canneal's degradation under 1..=11 co-located `cg` on the
+/// 12-core machine, with set-F model prediction errors.
+pub fn table6() -> (f64, Vec<Table6Row>) {
+    let lab = crate::lab_12core();
+    let samples = cache::training_samples("e5_2697v2", &lab);
+    let linear = Predictor::train(ModelKind::Linear, FeatureSet::F, &samples, crate::SEED)
+        .expect("train linear F");
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, crate::SEED)
+        .expect("train NN F");
+
+    let baseline = lab.baselines().get("canneal").expect("canneal").exec_time_s[0];
+    let rows = (1..=11)
+        .map(|n| {
+            let sc = Scenario::homogeneous("canneal", "cg", n, 0);
+            // The training sweep measured this exact scenario; reuse it.
+            let actual = samples
+                .iter()
+                .find(|s| s.scenario == sc)
+                .map(|s| s.actual_time_s)
+                .unwrap_or_else(|| lab.run_scenario(&sc).expect("run"));
+            let f = lab.featurize(&sc).expect("featurize");
+            let pe = |pred: f64| 100.0 * ((pred - actual) / actual).abs();
+            Table6Row {
+                num_cg: n,
+                actual_s: actual,
+                normalized: actual / baseline,
+                linear_f_pe: pe(linear.predict(&f)),
+                nn_f_pe: pe(nn.predict(&f)),
+            }
+        })
+        .collect();
+    (baseline, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_have_paper_shapes() {
+        assert_eq!(table1().len(), 8);
+        assert_eq!(table1()[0].0, "baseExTime");
+        let t2 = table2();
+        assert_eq!(t2.len(), 6);
+        assert_eq!(t2[0], ("A".to_string(), "baseExTime".to_string()));
+        let t4 = table4();
+        assert_eq!(t4.len(), 2);
+        assert_eq!(t4[0].cores, 6);
+        assert_eq!(t4[1].l3_mib, 30);
+        let t5 = table5();
+        assert_eq!(t5[0].total_runs, 1320);
+        assert_eq!(t5[1].total_runs, 2904);
+        assert_eq!(t5[0].co_apps, vec!["cg", "sp", "fluidanimate", "ep"]);
+    }
+
+    #[test]
+    fn table3_is_sorted_by_intensity() {
+        let lab = crate::lab_6core();
+        let rows = table3(&lab);
+        assert_eq!(rows.len(), 11);
+        for w in rows.windows(2) {
+            assert!(w[0].memory_intensity >= w[1].memory_intensity);
+        }
+        assert!(rows[0].app.starts_with("cg"));
+        assert_eq!(rows[0].class, "Class I");
+        assert_eq!(rows[10].class, "Class IV");
+    }
+}

@@ -1,0 +1,242 @@
+//! Mattson stack-distance analysis.
+//!
+//! For an LRU cache, the *stack distance* of an access is the number of
+//! distinct lines touched since the previous access to the same line. An
+//! access hits in a fully-associative LRU cache of `C` lines iff its stack
+//! distance is `< C`. Mattson's classic result is that one pass over a
+//! trace therefore yields the miss rate at **every** capacity at once —
+//! which is how the workload layer derives miss-rate curves for the
+//! machine simulator without re-simulating per cache size.
+
+use crate::mrc::MissRateCurve;
+use crate::Line;
+use std::collections::HashMap;
+
+/// Online stack-distance analyzer.
+///
+/// Maintains the LRU stack as a vector (most recent at the back). Updates
+/// are O(stack depth); fine for the multi-million-access traces used in
+/// tests and workload calibration.
+pub struct StackAnalyzer {
+    /// position of each line in `stack`, for O(1) lookup.
+    position: HashMap<Line, usize>,
+    /// LRU stack; index 0 is the *oldest*.
+    stack: Vec<Line>,
+    /// histogram[d] = number of accesses with stack distance exactly d.
+    histogram: Vec<u64>,
+    /// First-touch (compulsory) misses: infinite stack distance.
+    cold: u64,
+    total: u64,
+}
+
+impl Default for StackAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StackAnalyzer {
+    /// A fresh analyzer.
+    pub fn new() -> StackAnalyzer {
+        StackAnalyzer {
+            position: HashMap::new(),
+            stack: Vec::new(),
+            histogram: Vec::new(),
+            cold: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one access and return its stack distance (`None` = cold).
+    pub fn access(&mut self, line: Line) -> Option<usize> {
+        self.total += 1;
+        match self.position.get(&line).copied() {
+            None => {
+                self.position.insert(line, self.stack.len());
+                self.stack.push(line);
+                self.cold += 1;
+                None
+            }
+            Some(pos) => {
+                // Distance = number of distinct lines above `pos`.
+                let dist = self.stack.len() - 1 - pos;
+                if self.histogram.len() <= dist {
+                    self.histogram.resize(dist + 1, 0);
+                }
+                self.histogram[dist] += 1;
+                // Move to MRU: shift everything above down one slot.
+                self.stack.remove(pos);
+                for (i, l) in self.stack.iter().enumerate().skip(pos) {
+                    self.position.insert(*l, i);
+                }
+                self.position.insert(line, self.stack.len());
+                self.stack.push(line);
+                Some(dist)
+            }
+        }
+    }
+
+    /// Feed a whole trace.
+    pub fn access_all(&mut self, trace: impl IntoIterator<Item = Line>) {
+        for l in trace {
+            self.access(l);
+        }
+    }
+
+    /// Total accesses observed.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold (compulsory) misses observed.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Number of distinct lines touched (the observed footprint).
+    pub fn footprint_lines(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The raw stack-distance histogram (`histogram()[d]` = accesses at
+    /// distance `d`).
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Miss count for a fully-associative LRU cache of `capacity_lines`:
+    /// cold misses plus all accesses with distance ≥ capacity.
+    pub fn misses_at(&self, capacity_lines: usize) -> u64 {
+        let reuse_misses: u64 = self
+            .histogram
+            .iter()
+            .skip(capacity_lines)
+            .sum();
+        self.cold + reuse_misses
+    }
+
+    /// Miss *rate* at a capacity; NaN if no accesses were recorded.
+    pub fn miss_rate_at(&self, capacity_lines: usize) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        self.misses_at(capacity_lines) as f64 / self.total as f64
+    }
+
+    /// Build a [`MissRateCurve`] sampled at every power-of-two capacity up
+    /// to the footprint (plus the exact footprint point).
+    pub fn miss_rate_curve(&self) -> MissRateCurve {
+        let mut capacities: Vec<usize> = Vec::new();
+        let mut c = 1usize;
+        let fp = self.footprint_lines().max(1);
+        while c < fp {
+            capacities.push(c);
+            c *= 2;
+        }
+        capacities.push(fp);
+        capacities.push(fp * 2);
+        let points = capacities
+            .into_iter()
+            .map(|cap| (cap as u64 * crate::LINE_BYTES, self.miss_rate_at(cap)))
+            .collect();
+        MissRateCurve::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_assoc::{CacheConfig, SetAssocCache};
+
+    #[test]
+    fn distances_of_simple_trace() {
+        // Trace: A B C A -> A's second access has distance 2 (B, C between).
+        let mut an = StackAnalyzer::new();
+        assert_eq!(an.access(0), None);
+        assert_eq!(an.access(1), None);
+        assert_eq!(an.access(2), None);
+        assert_eq!(an.access(0), Some(2));
+        assert_eq!(an.access(0), Some(0));
+        assert_eq!(an.cold_misses(), 3);
+        assert_eq!(an.footprint_lines(), 3);
+    }
+
+    #[test]
+    fn misses_match_exact_fully_associative_simulation() {
+        // Deterministic pseudo-random trace over 64 lines.
+        let trace: Vec<Line> = (0..4000u64)
+            .map(|i| {
+                let x = i.wrapping_mul(2654435761) ^ (i >> 3);
+                x % 64
+            })
+            .collect();
+        let mut an = StackAnalyzer::new();
+        an.access_all(trace.iter().copied());
+
+        for capacity in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let mut cache = SetAssocCache::new(
+                CacheConfig::fully_associative(capacity),
+                1,
+            );
+            for &l in &trace {
+                cache.access(0, l);
+            }
+            assert_eq!(
+                an.misses_at(capacity),
+                cache.stats(0).misses,
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn miss_rate_monotone_in_capacity() {
+        let trace: Vec<Line> = (0..2000u64).map(|i| (i * i) % 97).collect();
+        let mut an = StackAnalyzer::new();
+        an.access_all(trace);
+        let mut prev = f64::INFINITY;
+        for c in 1..120 {
+            let mr = an.miss_rate_at(c);
+            assert!(mr <= prev + 1e-15, "capacity {c}");
+            prev = mr;
+        }
+    }
+
+    #[test]
+    fn capacity_beyond_footprint_leaves_only_cold_misses() {
+        let mut an = StackAnalyzer::new();
+        an.access_all([1u64, 2, 3, 1, 2, 3, 1, 2, 3]);
+        assert_eq!(an.misses_at(100), 3);
+        assert!((an.miss_rate_at(100) - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_scan_has_no_reuse() {
+        let mut an = StackAnalyzer::new();
+        an.access_all(0..1000u64);
+        assert_eq!(an.cold_misses(), 1000);
+        assert!(an.histogram().iter().all(|&h| h == 0));
+        assert_eq!(an.miss_rate_at(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn mrc_export_is_monotone_and_bounded() {
+        let trace: Vec<Line> = (0..5000u64).map(|i| (i.wrapping_mul(48271)) % 200).collect();
+        let mut an = StackAnalyzer::new();
+        an.access_all(trace);
+        let mrc = an.miss_rate_curve();
+        let mut prev = f64::INFINITY;
+        for &(_, mr) in mrc.points() {
+            assert!((0.0..=1.0).contains(&mr));
+            assert!(mr <= prev + 1e-15);
+            prev = mr;
+        }
+    }
+
+    #[test]
+    fn empty_analyzer_is_nan() {
+        let an = StackAnalyzer::new();
+        assert!(an.miss_rate_at(4).is_nan());
+        assert_eq!(an.total_accesses(), 0);
+    }
+}

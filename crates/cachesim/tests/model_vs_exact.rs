@@ -1,0 +1,142 @@
+//! Cross-validation of the analytic cache models against exact simulation.
+//!
+//! The machine simulator trusts two analytic shortcuts: (1) the stack-model
+//! stream's miss-rate curve, and (2) the fixed-point shared-cache occupancy
+//! model. These tests run the *exact* simulators on the same inputs and
+//! check the shortcuts are faithful.
+
+use coloc_cachesim::{
+    shared_occupancy, CacheConfig, SetAssocCache, SharedApp, StackDistanceDist, StreamGen,
+};
+
+/// Interleave two generated streams round-robin through an exact shared
+/// fully-associative LRU cache and compare per-app miss rates with the
+/// occupancy model's prediction.
+#[test]
+fn occupancy_model_tracks_exact_shared_cache() {
+    let cap_lines = 1024usize;
+    let dist_a = StackDistanceDist::power_law(2048, 0.6, 0.01); // big, loose
+    let dist_b = StackDistanceDist::power_law(256, 1.4, 0.002); // small, tight
+
+    // Exact: interleave 1:1 (equal access rates).
+    let mut cache = SetAssocCache::new(CacheConfig::fully_associative(cap_lines), 2);
+    let mut ga = StreamGen::new(dist_a.clone(), 11, 0);
+    let mut gb = StreamGen::new(dist_b.clone(), 22, 1 << 40);
+    let warm = 60_000;
+    let measure = 120_000;
+    for i in 0..(warm + measure) {
+        if i == warm {
+            cache.reset_stats();
+        }
+        cache.access(0, ga.next_access());
+        cache.access(1, gb.next_access());
+    }
+    let exact_a = cache.stats(0).miss_rate();
+    let exact_b = cache.stats(1).miss_rate();
+
+    // Model.
+    let apps = [
+        SharedApp { access_rate: 1.0, mrc: dist_a.miss_rate_curve() },
+        SharedApp { access_rate: 1.0, mrc: dist_b.miss_rate_curve() },
+    ];
+    let sol = shared_occupancy(cap_lines as u64 * 64, &apps);
+
+    // The model is an approximation; demand agreement within a few points
+    // of miss rate, and that it gets the *ordering* right.
+    assert!(
+        (sol.miss_rates[0] - exact_a).abs() < 0.08,
+        "app A: model {} vs exact {exact_a}",
+        sol.miss_rates[0]
+    );
+    assert!(
+        (sol.miss_rates[1] - exact_b).abs() < 0.08,
+        "app B: model {} vs exact {exact_b}",
+        sol.miss_rates[1]
+    );
+    assert_eq!(
+        sol.miss_rates[0] > sol.miss_rates[1],
+        exact_a > exact_b,
+        "model must preserve which app suffers more"
+    );
+
+    // Occupancy ordering should match the exact cache too.
+    let occ_exact_a = cache.occupancy_fraction(0);
+    let model_frac_a = sol.occupancy_bytes[0] / (cap_lines as f64 * 64.0);
+    assert!(
+        (model_frac_a - occ_exact_a).abs() < 0.20,
+        "occupancy: model {model_frac_a} vs exact {occ_exact_a}"
+    );
+}
+
+/// Adding co-runners to an exact shared cache degrades a target's hit rate
+/// monotonically — the mechanistic ground truth for the paper's Table VI.
+#[test]
+fn exact_shared_cache_degrades_target_with_co_runner_count() {
+    let target_dist = StackDistanceDist::power_law(800, 1.0, 0.005);
+    let aggressor_dist = StackDistanceDist::power_law(4096, 0.4, 0.03);
+    let cap_lines = 1024usize;
+
+    let mut prev_mr = 0.0;
+    for n_aggr in [0usize, 1, 3, 5] {
+        let mut cache = SetAssocCache::new(
+            CacheConfig::fully_associative(cap_lines),
+            1 + n_aggr,
+        );
+        let mut gt = StreamGen::new(target_dist.clone(), 1, 0);
+        let mut gas: Vec<StreamGen> = (0..n_aggr)
+            .map(|k| {
+                StreamGen::new(aggressor_dist.clone(), 100 + k as u64, (k as u64 + 1) << 40)
+            })
+            .collect();
+        let warm = 40_000;
+        let measure = 80_000;
+        for i in 0..(warm + measure) {
+            if i == warm {
+                cache.reset_stats();
+            }
+            cache.access(0, gt.next_access());
+            for (k, g) in gas.iter_mut().enumerate() {
+                cache.access(1 + k, g.next_access());
+            }
+        }
+        let mr = cache.stats(0).miss_rate();
+        assert!(
+            mr >= prev_mr - 0.01,
+            "target miss rate decreased: {mr} after {prev_mr} at n={n_aggr}"
+        );
+        prev_mr = mr;
+    }
+    assert!(prev_mr > 0.02, "5 aggressors should hurt, got {prev_mr}");
+}
+
+/// The set-associative cache with realistic associativity behaves close to
+/// fully-associative for these streams (so using fully-associative math in
+/// the analytic layer is sound).
+#[test]
+fn associativity_16_close_to_fully_associative() {
+    let dist = StackDistanceDist::power_law(1500, 0.9, 0.01);
+    let cap_lines = 2048usize;
+
+    let run = |ways: usize| {
+        let mut cache = SetAssocCache::new(
+            CacheConfig {
+                capacity_bytes: cap_lines as u64 * 64,
+                line_bytes: 64,
+                ways,
+            },
+            1,
+        );
+        let mut g = StreamGen::new(dist.clone(), 33, 0);
+        for i in 0..120_000 {
+            if i == 40_000 {
+                cache.reset_stats();
+            }
+            cache.access(0, g.next_access());
+        }
+        cache.stats(0).miss_rate()
+    };
+
+    let fa = run(cap_lines); // fully associative
+    let w16 = run(16);
+    assert!((fa - w16).abs() < 0.02, "FA {fa} vs 16-way {w16}");
+}

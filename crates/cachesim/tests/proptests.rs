@@ -1,0 +1,162 @@
+//! Property-based tests for cache-simulation invariants.
+
+use coloc_cachesim::{
+    shared_occupancy, CacheConfig, FastStackAnalyzer, MissRateCurve, PlruCache, SetAssocCache,
+    SharedApp, StackAnalyzer, StackDistanceDist,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Conservation: hits + misses == accesses, per owner, for any trace.
+    #[test]
+    fn cache_stats_conserve(
+        trace in prop::collection::vec((0usize..3, 0u64..200), 1..500),
+        ways_pow in 0u32..4,
+    ) {
+        let ways = 1usize << ways_pow;
+        let lines = 64usize;
+        let mut c = SetAssocCache::new(
+            CacheConfig { capacity_bytes: lines as u64 * 64, line_bytes: 64, ways },
+            3,
+        );
+        for &(owner, line) in &trace {
+            c.access(owner, line);
+        }
+        let mut total_acc = 0;
+        for o in 0..3 {
+            let s = c.stats(o);
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+            total_acc += s.accesses;
+        }
+        prop_assert_eq!(total_acc as usize, trace.len());
+        // Occupancy never exceeds capacity.
+        prop_assert!(c.total_occupied() <= lines as u64);
+    }
+
+    /// Stack analyzer: miss count at any capacity equals the exact
+    /// fully-associative simulation on the same trace.
+    #[test]
+    fn mattson_equals_exact_fa(
+        trace in prop::collection::vec(0u64..60, 1..400),
+        cap in 1usize..80,
+    ) {
+        let mut an = StackAnalyzer::new();
+        an.access_all(trace.iter().copied());
+        let mut cache = SetAssocCache::new(CacheConfig::fully_associative(cap), 1);
+        for &l in &trace {
+            cache.access(0, l);
+        }
+        prop_assert_eq!(an.misses_at(cap), cache.stats(0).misses);
+    }
+
+    /// Miss-rate-at-capacity is monotone non-increasing for any trace.
+    #[test]
+    fn mattson_monotone(trace in prop::collection::vec(0u64..100, 1..400)) {
+        let mut an = StackAnalyzer::new();
+        an.access_all(trace);
+        let mut prev = f64::INFINITY;
+        for cap in 1..64 {
+            let mr = an.miss_rate_at(cap);
+            prop_assert!(mr <= prev + 1e-12);
+            prev = mr;
+        }
+    }
+
+    /// Analytic distribution miss rate stays in [p_new, 1] and is monotone.
+    #[test]
+    fn dist_miss_rate_bounded_and_monotone(
+        span in 1usize..500,
+        alpha in 0.0f64..3.0,
+        p_new in 0.0f64..0.5,
+    ) {
+        let d = StackDistanceDist::power_law(span, alpha, p_new);
+        let mut prev = 1.0f64 + 1e-12;
+        for cap in 0..span + 10 {
+            let mr = d.miss_rate_at(cap);
+            prop_assert!(mr <= prev + 1e-12, "cap {}", cap);
+            prop_assert!(mr >= p_new - 1e-12);
+            prop_assert!(mr <= 1.0 + 1e-12);
+            prev = mr;
+        }
+    }
+
+    /// Occupancy model: shares are positive and sum to capacity for any mix.
+    #[test]
+    fn occupancy_sums_to_capacity(
+        rates in prop::collection::vec(0.01f64..10.0, 1..8),
+        cap_mb in 1u64..64,
+    ) {
+        let apps: Vec<SharedApp> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| SharedApp {
+                access_rate: r,
+                mrc: StackDistanceDist::power_law(1000 * (i + 1), 0.5 + 0.3 * i as f64, 0.01)
+                    .miss_rate_curve(),
+            })
+            .collect();
+        let cap = cap_mb << 20;
+        let sol = shared_occupancy(cap, &apps);
+        let sum: f64 = sol.occupancy_bytes.iter().sum();
+        prop_assert!((sum - cap as f64).abs() < 1.0);
+        for &o in &sol.occupancy_bytes {
+            prop_assert!(o > 0.0);
+        }
+        for &m in &sol.miss_rates {
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+    }
+
+    /// The O(log n) Fenwick analyzer agrees with the naive LRU-stack
+    /// analyzer distance-for-distance on arbitrary traces.
+    #[test]
+    fn fast_analyzer_equals_naive(trace in prop::collection::vec(0u64..80, 1..600)) {
+        let mut fast = FastStackAnalyzer::new();
+        let mut naive = StackAnalyzer::new();
+        for &l in &trace {
+            prop_assert_eq!(fast.access(l), naive.access(l));
+        }
+        prop_assert_eq!(fast.histogram(), naive.histogram());
+        prop_assert_eq!(fast.cold_misses(), naive.cold_misses());
+        prop_assert_eq!(fast.footprint_lines(), naive.footprint_lines());
+    }
+
+    /// PLRU conserves accesses and never exceeds capacity, for any trace
+    /// and any (valid) geometry.
+    #[test]
+    fn plru_conservation(
+        trace in prop::collection::vec((0usize..2, 0u64..200), 1..400),
+        ways_pow in 0u32..4,
+    ) {
+        let ways = 1usize << ways_pow;
+        let lines = 64usize;
+        let mut c = PlruCache::new(
+            CacheConfig { capacity_bytes: lines as u64 * 64, line_bytes: 64, ways },
+            2,
+        );
+        for &(owner, line) in &trace {
+            c.access(owner, line);
+        }
+        let mut total = 0;
+        for o in 0..2 {
+            let s = c.stats(o);
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+            total += s.accesses;
+        }
+        prop_assert_eq!(total as usize, trace.len());
+        prop_assert!(c.occupancy_lines(0) + c.occupancy_lines(1) <= lines as u64);
+    }
+
+    /// MRC interpolation stays within the convex hull of sampled rates.
+    #[test]
+    fn mrc_interpolation_bounded(
+        pts in prop::collection::vec((10u64..1_000_000, 0.0f64..1.0), 1..10),
+        query in 1u64..2_000_000,
+    ) {
+        let mrc = MissRateCurve::from_points(pts.clone());
+        let lo = pts.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|&(_, m)| m).fold(0.0f64, f64::max);
+        let v = mrc.miss_rate(query);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs plus repeated keys and boolean flags.
+#[derive(Debug, Default)]
+pub struct ArgMap {
+    values: BTreeMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+impl ArgMap {
+    /// Parse an argument list. `--key value` adds a value (repeatable);
+    /// `--key` followed by another `--` token (or nothing) is a boolean
+    /// flag.
+    pub fn parse(argv: &[String]) -> Result<ArgMap, String> {
+        let mut out = ArgMap::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{tok}`"));
+            };
+            if key.is_empty() {
+                return Err("empty flag `--`".into());
+            }
+            let has_value = argv.get(i + 1).is_some_and(|v| !v.starts_with("--"));
+            if has_value {
+                out.values
+                    .entry(key.to_string())
+                    .or_default()
+                    .push(argv[i + 1].clone());
+                i += 2;
+            } else {
+                out.flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Single value for a key, if given exactly once.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        match self.values.get(key).map(Vec::as_slice) {
+            Some([v]) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Required single value.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key} <value>"))
+    }
+
+    /// All values for a repeatable key.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.values.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Value parsed as a type, with a default when absent.
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid value for --{key}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_flags_and_repeats() {
+        let a = ArgMap::parse(&argv(&[
+            "--machine", "e5649", "--co", "cg:2", "--co", "ep:1", "--paper-plan",
+        ]))
+        .unwrap();
+        assert_eq!(a.get("machine"), Some("e5649"));
+        assert_eq!(a.get_all("co"), &["cg:2".to_string(), "ep:1".to_string()]);
+        assert!(a.has_flag("paper-plan"));
+        assert!(!a.has_flag("machine"));
+        // Repeated key is not a single value.
+        assert_eq!(a.get("co"), None);
+    }
+
+    #[test]
+    fn rejects_positionals() {
+        assert!(ArgMap::parse(&argv(&["stray"])).is_err());
+        assert!(ArgMap::parse(&argv(&["--"])).is_err());
+    }
+
+    #[test]
+    fn parsed_defaults() {
+        let a = ArgMap::parse(&argv(&["--pstate", "3"])).unwrap();
+        assert_eq!(a.get_parsed_or("pstate", 0usize).unwrap(), 3);
+        assert_eq!(a.get_parsed_or("seed", 42u64).unwrap(), 42);
+        assert!(a.get_parsed_or::<usize>("pstate", 0).is_ok());
+        let bad = ArgMap::parse(&argv(&["--pstate", "xyz"])).unwrap();
+        assert!(bad.get_parsed_or::<usize>("pstate", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = ArgMap::parse(&argv(&[])).unwrap();
+        assert!(a.require("model").unwrap_err().contains("--model"));
+    }
+}

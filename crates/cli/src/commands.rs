@@ -1,0 +1,304 @@
+//! Command implementations.
+
+use crate::args::ArgMap;
+use coloc_machine::MachineSpec;
+use coloc_model::persist;
+use coloc_model::scheduler::{Policy, Scheduler};
+use coloc_model::{FeatureSet, Lab, ModelKind, Predictor, Scenario};
+
+type CmdResult = Result<(), String>;
+
+fn machine_by_key(key: &str) -> Result<MachineSpec, String> {
+    match key {
+        "e5649" | "6core" => Ok(coloc_machine::presets::xeon_e5649()),
+        "e5_2697v2" | "e5-2697v2" | "12core" => Ok(coloc_machine::presets::xeon_e5_2697v2()),
+        other => Err(format!(
+            "unknown machine `{other}` (try `coloc machines` for the preset list)"
+        )),
+    }
+}
+
+fn lab_from(args: &ArgMap) -> Result<Lab, String> {
+    let spec = machine_by_key(args.get("machine").unwrap_or("e5649"))?;
+    let seed = args.get_parsed_or("seed", 2015u64)?;
+    Ok(Lab::new(spec, coloc_workloads::standard(), seed))
+}
+
+fn parse_kind(s: &str) -> Result<ModelKind, String> {
+    match s {
+        "linear" => Ok(ModelKind::Linear),
+        "nn" | "neural-net" => Ok(ModelKind::NeuralNet),
+        "quadratic" => Ok(ModelKind::QuadraticLinear),
+        other => Err(format!("unknown model kind `{other}` (linear | nn | quadratic)")),
+    }
+}
+
+fn parse_set(s: &str) -> Result<FeatureSet, String> {
+    FeatureSet::ALL
+        .into_iter()
+        .find(|f| f.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown feature set `{s}` (A..F)"))
+}
+
+/// Parse `name:count` co-runner specs.
+fn parse_co(specs: &[String]) -> Result<Vec<(String, usize)>, String> {
+    specs
+        .iter()
+        .map(|s| {
+            let (name, count) = s.split_once(':').unwrap_or((s.as_str(), "1"));
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("bad co-runner spec `{s}` (want name:count)"))?;
+            Ok((name.to_string(), count))
+        })
+        .collect()
+}
+
+/// `coloc baselines --machine <key> [--seed N] --out <file>`
+pub fn baselines(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!("coloc baselines --machine <e5649|e5_2697v2> [--seed N] --out <file>");
+        return Ok(());
+    }
+    let lab = lab_from(&args)?;
+    let out = args.require("out")?;
+    let db = lab.baselines();
+    db.save(out).map_err(|e| e.to_string())?;
+    println!("wrote {} baselines to {out}", db.len());
+    for b in db.iter() {
+        println!(
+            "  {:<14} MI {:.3e}  t@P0 {:.0}s",
+            b.name, b.memory_intensity, b.exec_time_s[0]
+        );
+    }
+    Ok(())
+}
+
+/// `coloc collect --machine <key> (--paper-plan | --counts a,b,c) --out <file>`
+pub fn collect(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc collect --machine <key> [--paper-plan] [--counts 1,3,5] \
+             [--pstates 0,3] [--seed N] --out <file>"
+        );
+        return Ok(());
+    }
+    let lab = lab_from(&args)?;
+    let out = args.require("out")?;
+    let mut plan = lab.paper_plan();
+    if !args.has_flag("paper-plan") {
+        if let Some(counts) = args.get("counts") {
+            plan.counts = parse_usize_list(counts)?;
+        }
+        if let Some(pstates) = args.get("pstates") {
+            plan.pstates = parse_usize_list(pstates)?;
+        }
+    }
+    eprintln!("collecting {} runs…", plan.len());
+    let samples = lab.collect(&plan).map_err(|e| e.to_string())?;
+    persist::save_samples(&samples, out).map_err(|e| e.to_string())?;
+    println!("wrote {} samples to {out}", samples.len());
+    Ok(())
+}
+
+fn parse_usize_list(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|x| x.trim().parse().map_err(|_| format!("bad list entry `{x}`")))
+        .collect()
+}
+
+/// `coloc train --samples <file> --kind <k> --set <s> --out <file>`
+pub fn train(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc train --samples <file> [--kind linear|nn|quadratic] \
+             [--set A..F] [--seed N] --out <file>"
+        );
+        return Ok(());
+    }
+    let samples = persist::load_samples(args.require("samples")?).map_err(|e| e.to_string())?;
+    let kind = parse_kind(args.get("kind").unwrap_or("nn"))?;
+    let set = parse_set(args.get("set").unwrap_or("F"))?;
+    let seed = args.get_parsed_or("seed", 2015u64)?;
+    let out = args.require("out")?;
+    let model = Predictor::train(kind, set, &samples, seed).map_err(|e| e.to_string())?;
+    model.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "trained {} model on feature set {} ({} samples) -> {out}",
+        kind.label(),
+        set.label(),
+        samples.len()
+    );
+    Ok(())
+}
+
+/// `coloc predict --machine <key> --model <file> --target <app> --co name:count… --pstate N`
+pub fn predict(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc predict --machine <key> --model <file> --target <app> \
+             [--co name:count]… [--pstate N] [--measure]"
+        );
+        return Ok(());
+    }
+    let lab = lab_from(&args)?;
+    let model = Predictor::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let scenario = Scenario {
+        target: args.require("target")?.to_string(),
+        co_located: parse_co(args.get_all("co"))?,
+        pstate: args.get_parsed_or("pstate", 0usize)?,
+    };
+    let features = lab.featurize(&scenario).map_err(|e| e.to_string())?;
+    let predicted = model.predict(&features);
+    println!("scenario:  {scenario}");
+    println!("predicted: {predicted:.1} s  (slowdown {:.3}x)", model.predict_slowdown(&features));
+    if args.has_flag("measure") {
+        let actual = lab.run_scenario(&scenario).map_err(|e| e.to_string())?;
+        println!(
+            "measured:  {actual:.1} s  (prediction error {:+.2}%)",
+            100.0 * (predicted - actual) / actual
+        );
+    }
+    Ok(())
+}
+
+/// `coloc schedule --machine <key> --model <file> --jobs a,b,c --sockets N`
+pub fn schedule(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc schedule --machine <key> --model <file> --jobs a,b,c \
+             [--sockets N] [--pstate N] [--naive]"
+        );
+        return Ok(());
+    }
+    let lab = lab_from(&args)?;
+    let model = Predictor::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let jobs: Vec<String> = args
+        .require("jobs")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let sockets = args.get_parsed_or("sockets", 1usize)?;
+    let pstate = args.get_parsed_or("pstate", 0usize)?;
+    let policy = if args.has_flag("naive") {
+        Policy::PackFirstFit
+    } else {
+        Policy::LeastInterference
+    };
+    let sched = Scheduler::new(&lab, &model, pstate);
+    let placement = sched.place(&jobs, sockets, policy).map_err(|e| e.to_string())?;
+    for (i, s) in placement.sockets.iter().enumerate() {
+        println!("socket {i}: {}", s.jobs.join(", "));
+    }
+    println!(
+        "predicted slowdown: mean {:.3}x, worst {:.3}x ({} sockets used)",
+        placement.mean_slowdown(),
+        placement.max_slowdown(),
+        placement.sockets_used()
+    );
+    Ok(())
+}
+
+/// `coloc suite`
+pub fn suite(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!("coloc suite — list the benchmark suite");
+        return Ok(());
+    }
+    println!("{:<16} {:<8} class", "application", "suite");
+    for b in coloc_workloads::standard() {
+        println!("{:<16} {:<8} {}", b.name, b.suite.tag(), b.class);
+    }
+    Ok(())
+}
+
+/// `coloc machines`
+pub fn machines(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!("coloc machines — list machine presets");
+        return Ok(());
+    }
+    for m in coloc_machine::presets::all() {
+        let key = if m.cores == 6 { "e5649" } else { "e5_2697v2" };
+        println!(
+            "{key:<12} {} — {} cores, {} MB L3, {:.2}–{:.2} GHz",
+            m.name,
+            m.cores,
+            m.llc_bytes >> 20,
+            m.pstates_ghz.last().expect("pstates"),
+            m.pstates_ghz[0]
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("coloc-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn full_workflow_roundtrips_through_files() {
+        let samples_path = tmp("samples.json");
+        let model_path = tmp("model.json");
+        let baselines_path = tmp("baselines.json");
+
+        baselines(&argv(&["--machine", "e5649", "--out", &baselines_path])).unwrap();
+        collect(&argv(&[
+            "--machine", "e5649", "--counts", "1,3", "--pstates", "0", "--out", &samples_path,
+        ]))
+        .unwrap();
+        train(&argv(&[
+            "--samples", &samples_path, "--kind", "linear", "--set", "C", "--out", &model_path,
+        ]))
+        .unwrap();
+        predict(&argv(&[
+            "--machine", "e5649", "--model", &model_path, "--target", "canneal",
+            "--co", "cg:3", "--pstate", "0",
+        ]))
+        .unwrap();
+        schedule(&argv(&[
+            "--machine", "e5649", "--model", &model_path,
+            "--jobs", "cg,cg,ep,ep", "--sockets", "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(machine_by_key("pentium4").is_err());
+        assert!(parse_kind("svm").is_err());
+        assert!(parse_set("G").is_err());
+        assert!(parse_co(&["cg:x".to_string()]).is_err());
+        assert!(train(&argv(&["--out", "x.json"])).is_err());
+        assert!(predict(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn co_spec_defaults_to_one() {
+        let co = parse_co(&["cg".to_string(), "ep:4".to_string()]).unwrap();
+        assert_eq!(co, vec![("cg".to_string(), 1), ("ep".to_string(), 4)]);
+    }
+
+    #[test]
+    fn info_commands_run() {
+        suite(&[]).unwrap();
+        machines(&[]).unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! `coloc` — the command-line face of the methodology.
+//!
+//! Implements the deployment workflow end to end:
+//!
+//! ```text
+//! coloc baselines --machine e5649 --out baselines.json
+//! coloc collect   --machine e5649 --paper-plan --out samples.json
+//! coloc train     --samples samples.json --kind nn --set F --out model.json
+//! coloc predict   --machine e5649 --model model.json --target canneal \
+//!                 --co cg:3 --co ep:2 --pstate 0
+//! coloc schedule  --machine e5649 --model model.json --sockets 2 \
+//!                 --jobs cg,cg,canneal,sp,ep,ep
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (the workspace keeps its
+//! dependency set minimal); see [`args::ArgMap`].
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+coloc — co-location aware application performance modeling
+
+USAGE:
+    coloc <command> [options]
+
+COMMANDS:
+    baselines   profile every suite application solo; write a baseline DB
+    collect     run a training sweep; write featurized samples
+    train       fit a model on collected samples; write it as JSON
+    predict     predict a co-location scenario with a trained model
+    schedule    place jobs on sockets with a trained model
+    suite       list the benchmark suite and its memory-intensity classes
+    machines    list available machine presets
+    help        show this message
+
+Run `coloc <command> --help` for per-command options.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "baselines" => commands::baselines(rest),
+        "collect" => commands::collect(rest),
+        "train" => commands::train(rest),
+        "predict" => commands::predict(rest),
+        "schedule" => commands::schedule(rest),
+        "suite" => commands::suite(rest),
+        "machines" => commands::machines(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

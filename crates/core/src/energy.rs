@@ -1,0 +1,148 @@
+//! Energy-use extension (paper §VI).
+//!
+//! The conclusion sketches the next step: "the energy use of a system is
+//! heavily dependent on the time that the system spends executing
+//! applications", so a model that predicts co-located execution time
+//! extends naturally to predicting energy. This module implements that
+//! extension: a DVFS-aware socket power model composed with a trained
+//! [`crate::Predictor`].
+
+use crate::lab::Lab;
+use crate::predictor::Predictor;
+use crate::scenario::Scenario;
+use crate::Result;
+use coloc_machine::MachineSpec;
+
+/// A simple socket power model: static power plus per-core dynamic power
+/// scaling as `f·V²` with voltage roughly linear in frequency — the usual
+/// first-order CMOS model, giving dynamic power ∝ (f/f_max)³.
+#[derive(Clone, Copy, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PowerModel {
+    /// Socket static/uncore power, watts.
+    pub static_w: f64,
+    /// Per-active-core dynamic power at the top P-state, watts.
+    pub core_dynamic_w: f64,
+    /// Exponent on the frequency ratio (3.0 for the f·V² model).
+    pub exponent: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // Ballpark for the Xeon class: ~45 W uncore + ~7 W/core at fmax.
+        PowerModel { static_w: 45.0, core_dynamic_w: 7.0, exponent: 3.0 }
+    }
+}
+
+impl PowerModel {
+    /// Socket power with `active_cores` busy at P-state `pstate`.
+    pub fn socket_power_w(
+        &self,
+        spec: &MachineSpec,
+        pstate: usize,
+        active_cores: usize,
+    ) -> f64 {
+        let f = spec.pstates_ghz.get(pstate).copied().unwrap_or(spec.pstates_ghz[0]);
+        let ratio = f / spec.pstates_ghz[0];
+        self.static_w + active_cores as f64 * self.core_dynamic_w * ratio.powf(self.exponent)
+    }
+}
+
+/// Predicted energy for one scenario.
+#[derive(Clone, Copy, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct EnergyEstimate {
+    /// Predicted co-located execution time of the target, seconds.
+    pub predicted_time_s: f64,
+    /// Socket power during the run, watts.
+    pub socket_power_w: f64,
+    /// Total socket energy over the target's run, joules.
+    pub socket_energy_j: f64,
+    /// The target's attributed share (socket energy ÷ occupied cores).
+    pub target_energy_j: f64,
+}
+
+/// A time predictor composed with a power model.
+pub struct EnergyPredictor<'a> {
+    predictor: &'a Predictor,
+    power: PowerModel,
+}
+
+impl<'a> EnergyPredictor<'a> {
+    /// Compose a trained time predictor with a power model.
+    pub fn new(predictor: &'a Predictor, power: PowerModel) -> EnergyPredictor<'a> {
+        EnergyPredictor { predictor, power }
+    }
+
+    /// Predict the energy consumed while the target runs under `scenario`.
+    pub fn predict(&self, lab: &Lab, scenario: &Scenario) -> Result<EnergyEstimate> {
+        let features = lab.featurize(scenario)?;
+        let predicted_time_s = self.predictor.predict(&features);
+        let cores = scenario.cores_needed();
+        let socket_power_w =
+            self.power.socket_power_w(lab.machine().spec(), scenario.pstate, cores);
+        let socket_energy_j = socket_power_w * predicted_time_s;
+        Ok(EnergyEstimate {
+            predicted_time_s,
+            socket_power_w,
+            socket_energy_j,
+            target_energy_j: socket_energy_j / cores as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coloc_machine::presets;
+
+    #[test]
+    fn power_drops_with_pstate_and_rises_with_cores() {
+        let spec = presets::xeon_e5649();
+        let pm = PowerModel::default();
+        let p_fast = pm.socket_power_w(&spec, 0, 6);
+        let p_slow = pm.socket_power_w(&spec, 5, 6);
+        assert!(p_slow < p_fast);
+        let p_one = pm.socket_power_w(&spec, 0, 1);
+        assert!(p_one < p_fast);
+        // Static floor.
+        assert!(p_one > pm.static_w);
+    }
+
+    #[test]
+    fn cubic_scaling() {
+        let spec = presets::xeon_e5649();
+        let pm = PowerModel { static_w: 0.0, core_dynamic_w: 10.0, exponent: 3.0 };
+        let ratio = spec.pstates_ghz[5] / spec.pstates_ghz[0];
+        let expect = 10.0 * ratio.powi(3);
+        assert!((pm.socket_power_w(&spec, 5, 1) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_estimate_composes_time_and_power() {
+        use crate::{FeatureSet, ModelKind, Predictor, TrainingPlan};
+        let lab = crate::Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 7);
+        let plan = TrainingPlan {
+            pstates: vec![0, 3],
+            targets: vec!["canneal".into(), "cg".into(), "ep".into()],
+            co_runners: vec!["cg".into(), "ep".into()],
+            counts: vec![1, 3, 5],
+        };
+        let samples = lab.collect(&plan).unwrap();
+        let p = Predictor::train(ModelKind::Linear, FeatureSet::C, &samples, 0).unwrap();
+        let ep = EnergyPredictor::new(&p, PowerModel::default());
+
+        let sc = Scenario::homogeneous("canneal", "cg", 3, 0);
+        let est = ep.predict(&lab, &sc).unwrap();
+        assert!(est.predicted_time_s > 0.0);
+        assert!((est.socket_energy_j - est.socket_power_w * est.predicted_time_s).abs() < 1e-9);
+        assert!((est.target_energy_j * 4.0 - est.socket_energy_j).abs() < 1e-9);
+
+        // Racing to idle vs slowing down: at the lowest P-state the run is
+        // longer but the power lower; both effects must show up.
+        let sc_slow = Scenario::homogeneous("canneal", "cg", 3, 1);
+        let est_slow = ep.predict(&lab, &sc_slow).unwrap();
+        assert!(est_slow.predicted_time_s > est.predicted_time_s);
+        assert!(est_slow.socket_power_w < est.socket_power_w);
+    }
+}

@@ -1,0 +1,221 @@
+//! The eight model features (paper Table I) and the six nested feature
+//! sets A–F (paper Table II).
+
+/// One of the eight features the models may consume. All are computable
+/// from *baseline* (solo) measurements plus the shape of the co-location —
+/// the methodology's key economy: no measurement under co-location is ever
+/// required to make a prediction (paper §I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Feature {
+    /// Baseline execution time of the target at the scenario's P-state.
+    BaseExTime,
+    /// Number of co-located applications.
+    NumCoApp,
+    /// Sum of co-located applications' baseline memory intensities.
+    CoAppMem,
+    /// Target's baseline memory intensity.
+    TargetMem,
+    /// Sum of co-apps' baseline LLC miss/access ratios (CM/CA).
+    CoAppCmCa,
+    /// Sum of co-apps' baseline LLC access/instruction ratios (CA/INS).
+    CoAppCaIns,
+    /// Target's baseline CM/CA.
+    TargetCmCa,
+    /// Target's baseline CA/INS.
+    TargetCaIns,
+}
+
+impl Feature {
+    /// All eight features, in canonical (Table I) order. This is also the
+    /// column order of [`crate::Sample::features`].
+    pub const ALL: [Feature; 8] = [
+        Feature::BaseExTime,
+        Feature::NumCoApp,
+        Feature::CoAppMem,
+        Feature::TargetMem,
+        Feature::CoAppCmCa,
+        Feature::CoAppCaIns,
+        Feature::TargetCmCa,
+        Feature::TargetCaIns,
+    ];
+
+    /// Canonical column index of this feature.
+    pub fn index(&self) -> usize {
+        Feature::ALL.iter().position(|f| f == self).expect("feature in ALL")
+    }
+
+    /// The paper's name for the feature (Table I, first column).
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            Feature::BaseExTime => "baseExTime",
+            Feature::NumCoApp => "numCoApp",
+            Feature::CoAppMem => "coAppMem",
+            Feature::TargetMem => "targetMem",
+            Feature::CoAppCmCa => "coAppCM/CA",
+            Feature::CoAppCaIns => "coAppCA/INS",
+            Feature::TargetCmCa => "targetCM/CA",
+            Feature::TargetCaIns => "targetCA/INS",
+        }
+    }
+
+    /// The aspect of execution measured (Table I, second column).
+    pub fn description(&self) -> &'static str {
+        match self {
+            Feature::BaseExTime => {
+                "baseline execution time of target application at all P-states"
+            }
+            Feature::NumCoApp => "number of co-located applications",
+            Feature::CoAppMem => "sum of co-application memory intensities",
+            Feature::TargetMem => "target application memory intensity",
+            Feature::CoAppCmCa => {
+                "sum of co-application last-level cache misses/cache accesses"
+            }
+            Feature::CoAppCaIns => {
+                "sum of co-application last-level cache accesses/instructions"
+            }
+            Feature::TargetCmCa => "target application last-level cache misses/cache accesses",
+            Feature::TargetCaIns => {
+                "target application last-level cache accesses/instructions"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Feature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The six nested feature sets (paper Table II). Each set adds information
+/// a resource manager might progressively obtain about the system: A knows
+/// only the target's solo time; F knows the full cache behaviour of target
+/// and co-runners.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum FeatureSet {
+    /// `baseExTime` only — the baseline model.
+    A,
+    /// A + `numCoApp`.
+    B,
+    /// B + `coAppMem`.
+    C,
+    /// C + `targetMem`.
+    D,
+    /// D + `coAppCM/CA`, `coAppCA/INS`.
+    E,
+    /// E + `targetCM/CA`, `targetCA/INS` — all eight features.
+    F,
+}
+
+impl FeatureSet {
+    /// All six sets, in increasing information order.
+    pub const ALL: [FeatureSet; 6] = [
+        FeatureSet::A,
+        FeatureSet::B,
+        FeatureSet::C,
+        FeatureSet::D,
+        FeatureSet::E,
+        FeatureSet::F,
+    ];
+
+    /// The features in this set, in canonical order.
+    pub fn features(&self) -> &'static [Feature] {
+        use Feature::*;
+        match self {
+            FeatureSet::A => &[BaseExTime],
+            FeatureSet::B => &[BaseExTime, NumCoApp],
+            FeatureSet::C => &[BaseExTime, NumCoApp, CoAppMem],
+            FeatureSet::D => &[BaseExTime, NumCoApp, CoAppMem, TargetMem],
+            FeatureSet::E => {
+                &[BaseExTime, NumCoApp, CoAppMem, TargetMem, CoAppCmCa, CoAppCaIns]
+            }
+            FeatureSet::F => &[
+                BaseExTime, NumCoApp, CoAppMem, TargetMem, CoAppCmCa, CoAppCaIns, TargetCmCa,
+                TargetCaIns,
+            ],
+        }
+    }
+
+    /// Canonical column indices of this set's features.
+    pub fn indices(&self) -> Vec<usize> {
+        self.features().iter().map(|f| f.index()).collect()
+    }
+
+    /// Number of features in the set.
+    pub fn arity(&self) -> usize {
+        self.features().len()
+    }
+
+    /// Project a full 8-feature vector down to this set.
+    pub fn project(&self, full: &[f64; 8]) -> Vec<f64> {
+        self.features().iter().map(|f| full[f.index()]).collect()
+    }
+
+    /// Single-letter label ("A"…"F").
+    pub fn label(&self) -> &'static str {
+        match self {
+            FeatureSet::A => "A",
+            FeatureSet::B => "B",
+            FeatureSet::C => "C",
+            FeatureSet::D => "D",
+            FeatureSet::E => "E",
+            FeatureSet::F => "F",
+        }
+    }
+}
+
+impl std::fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_is_stable() {
+        for (i, f) in Feature::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn sets_are_nested() {
+        // Each set's features must be a strict superset of the previous.
+        for w in FeatureSet::ALL.windows(2) {
+            let prev = w[0].features();
+            let next = w[1].features();
+            assert!(next.len() > prev.len());
+            for f in prev {
+                assert!(next.contains(f), "{:?} missing {f:?}", w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn arities_match_table2() {
+        let arities: Vec<usize> = FeatureSet::ALL.iter().map(|s| s.arity()).collect();
+        assert_eq!(arities, vec![1, 2, 3, 4, 6, 8]);
+        assert_eq!(FeatureSet::F.features(), &Feature::ALL);
+    }
+
+    #[test]
+    fn projection_selects_right_columns() {
+        let full = [10.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert_eq!(FeatureSet::A.project(&full), vec![10.0]);
+        assert_eq!(FeatureSet::C.project(&full), vec![10.0, 1.0, 2.0]);
+        assert_eq!(FeatureSet::F.project(&full).len(), 8);
+    }
+
+    #[test]
+    fn paper_names_are_unique() {
+        let mut names: Vec<_> = Feature::ALL.iter().map(|f| f.paper_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,341 @@
+//! The measurement laboratory: machines + suite + deterministic seeds.
+//!
+//! [`Lab`] is the reproduction of the paper's testing environment (§IV):
+//! a machine (simulated Xeon), a benchmark suite, and the measurement
+//! procedures — baseline profiling through the PAPI-like counter layer,
+//! co-location runs, featurization, and parallel sweep collection.
+
+use crate::baseline::{AppBaseline, BaselineDb};
+use crate::features::Feature;
+use crate::plan::TrainingPlan;
+use crate::sample::Sample;
+use crate::scenario::Scenario;
+use crate::{ModelError, Result};
+use coloc_machine::{Machine, MachineSpec, RunOptions, RunnerGroup};
+use coloc_ml::rng::{derive_seed, derive_seed_str};
+use coloc_perfmon::{EventSet, FlatProfiler};
+use coloc_workloads::Benchmark;
+use std::sync::OnceLock;
+
+/// Default measurement-noise σ: the paper's per-partition error spread is
+/// "at most a quarter of a percent", consistent with sub-percent
+/// run-to-run timing variation.
+pub const DEFAULT_NOISE_SIGMA: f64 = 0.008;
+
+/// A machine + suite measurement environment.
+pub struct Lab {
+    machine: Machine,
+    suite: Vec<Benchmark>,
+    seed: u64,
+    noise_sigma: f64,
+    baselines: OnceLock<BaselineDb>,
+}
+
+impl Lab {
+    /// Create a lab for `spec` over `suite`, seeding all measurement noise
+    /// from `seed`. Uses [`DEFAULT_NOISE_SIGMA`]; adjust with
+    /// [`Lab::with_noise`].
+    pub fn new(spec: MachineSpec, suite: Vec<Benchmark>, seed: u64) -> Lab {
+        Lab {
+            machine: Machine::new(spec),
+            suite,
+            seed,
+            noise_sigma: DEFAULT_NOISE_SIGMA,
+            baselines: OnceLock::new(),
+        }
+    }
+
+    /// Override the measurement-noise σ (0 = noiseless). Resets cached
+    /// baselines.
+    pub fn with_noise(mut self, sigma: f64) -> Lab {
+        self.noise_sigma = sigma;
+        self.baselines = OnceLock::new();
+        self
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The benchmark suite.
+    pub fn suite(&self) -> &[Benchmark] {
+        &self.suite
+    }
+
+    /// The lab's base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Look up a suite application by name.
+    pub fn app(&self, name: &str) -> Result<&Benchmark> {
+        self.suite
+            .iter()
+            .find(|b| b.name == name)
+            .ok_or_else(|| ModelError::UnknownApp(name.to_string()))
+    }
+
+    fn run_options(&self, label: &str, stream: u64) -> RunOptions {
+        RunOptions {
+            pstate: 0,
+            seed: derive_seed(derive_seed_str(self.seed, label), stream),
+            noise_sigma: self.noise_sigma,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Baseline measurements for every suite application: solo execution
+    /// time at each P-state (through the flat profiler) plus one counter
+    /// sample for the cache ratios. Computed once and cached.
+    pub fn baselines(&self) -> &BaselineDb {
+        self.baselines.get_or_init(|| {
+            let profiler = FlatProfiler::new(&self.machine, EventSet::methodology());
+            let mut db = BaselineDb::new();
+            for b in &self.suite {
+                let mut exec_time_s = Vec::new();
+                let mut derived = None;
+                for p in 0..self.machine.spec().num_pstates() {
+                    let mut opts = self.run_options(b.name, 7_000 + p as u64);
+                    opts.pstate = p;
+                    let profile = profiler
+                        .profile_solo(&b.app, &opts)
+                        .expect("baseline run cannot fail for a validated suite");
+                    exec_time_s.push(profile.wall_time_s);
+                    if p == 0 {
+                        derived = Some(profile.derived());
+                    }
+                }
+                let d = derived.expect("at least one P-state");
+                db.insert(AppBaseline {
+                    name: b.name.to_string(),
+                    exec_time_s,
+                    memory_intensity: d.memory_intensity,
+                    cm_ca: d.miss_ratio,
+                    ca_ins: d.access_ratio,
+                });
+            }
+            db
+        })
+    }
+
+    /// Build the machine workload for a scenario.
+    fn workload(&self, scenario: &Scenario) -> Result<Vec<RunnerGroup>> {
+        let mut wl = vec![RunnerGroup::solo(self.app(&scenario.target)?.app.clone())];
+        for (name, count) in scenario.co_groups() {
+            wl.push(RunnerGroup { app: self.app(name)?.app.clone(), count });
+        }
+        Ok(wl)
+    }
+
+    /// Execute one scenario and return the target's measured wall time.
+    pub fn run_scenario(&self, scenario: &Scenario) -> Result<f64> {
+        let wl = self.workload(scenario)?;
+        let mut opts = self.run_options(&scenario.label(), 1);
+        opts.pstate = scenario.pstate;
+        Ok(self.machine.run(&wl, &opts)?.wall_time_s)
+    }
+
+    /// Compute the full eight-feature vector for a scenario from baseline
+    /// data only (paper Table I). Fails if the scenario's P-state exceeds
+    /// the machine's table or an app is unknown.
+    pub fn featurize(&self, scenario: &Scenario) -> Result<[f64; 8]> {
+        let db = self.baselines();
+        let target = db
+            .get(&scenario.target)
+            .ok_or_else(|| ModelError::UnknownApp(scenario.target.clone()))?;
+        let base_time = target.time_at(scenario.pstate).ok_or(ModelError::Machine(format!(
+            "no baseline at P-state {}",
+            scenario.pstate
+        )))?;
+
+        let mut co_mem = 0.0;
+        let mut co_cm_ca = 0.0;
+        let mut co_ca_ins = 0.0;
+        for (name, count) in scenario.co_groups() {
+            let b = db
+                .get(name)
+                .ok_or_else(|| ModelError::UnknownApp(name.to_string()))?;
+            co_mem += count as f64 * b.memory_intensity;
+            co_cm_ca += count as f64 * b.cm_ca;
+            co_ca_ins += count as f64 * b.ca_ins;
+        }
+
+        let mut out = [0.0; 8];
+        out[Feature::BaseExTime.index()] = base_time;
+        out[Feature::NumCoApp.index()] = scenario.num_co_located() as f64;
+        out[Feature::CoAppMem.index()] = co_mem;
+        out[Feature::TargetMem.index()] = target.memory_intensity;
+        out[Feature::CoAppCmCa.index()] = co_cm_ca;
+        out[Feature::CoAppCaIns.index()] = co_ca_ins;
+        out[Feature::TargetCmCa.index()] = target.cm_ca;
+        out[Feature::TargetCaIns.index()] = target.ca_ins;
+        Ok(out)
+    }
+
+    /// Run and featurize one scenario.
+    pub fn sample(&self, scenario: &Scenario) -> Result<Sample> {
+        let features = self.featurize(scenario)?;
+        let actual_time_s = self.run_scenario(scenario)?;
+        Ok(Sample { scenario: scenario.clone(), features, actual_time_s })
+    }
+
+    /// Execute a whole training plan, in parallel across scenarios.
+    /// Results are in plan order regardless of thread scheduling.
+    pub fn collect(&self, plan: &TrainingPlan) -> Result<Vec<Sample>> {
+        let scenarios = plan.scenarios();
+        self.collect_scenarios(&scenarios)
+    }
+
+    /// Execute an explicit scenario list, in parallel, preserving order.
+    pub fn collect_scenarios(&self, scenarios: &[Scenario]) -> Result<Vec<Sample>> {
+        // Force baselines before fanning out (OnceLock would serialize the
+        // first computation anyway; this keeps the timing predictable).
+        self.baselines();
+
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+        let chunk = scenarios.len().div_ceil(threads).max(1);
+        let mut slots: Vec<Option<Result<Sample>>> = vec![None; scenarios.len()];
+        crossbeam::thread::scope(|scope| {
+            for (out_chunk, in_chunk) in slots.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (slot, sc) in out_chunk.iter_mut().zip(in_chunk) {
+                        *slot = Some(self.sample(sc));
+                    }
+                });
+            }
+        })
+        .expect("collection worker panicked");
+        slots
+            .into_iter()
+            .map(|s| s.expect("scenario not executed"))
+            .collect()
+    }
+
+    /// The paper's default training plan for this lab: all suite apps as
+    /// targets, the four class-representative co-runners, all P-states,
+    /// counts `1..=cores−1` (Table V).
+    pub fn paper_plan(&self) -> TrainingPlan {
+        TrainingPlan::paper_shape(
+            self.machine.spec().cores,
+            self.machine.spec().num_pstates(),
+            self.suite.iter().map(|b| b.name.to_string()).collect(),
+            coloc_workloads::suite::training_co_runners()
+                .iter()
+                .map(|b| b.name.to_string())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coloc_machine::presets;
+
+    fn small_lab() -> Lab {
+        Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 42)
+    }
+
+    #[test]
+    fn baselines_cover_suite_and_pstates() {
+        let lab = small_lab();
+        let db = lab.baselines();
+        assert_eq!(db.len(), 11);
+        let cg = db.get("cg").unwrap();
+        assert_eq!(cg.exec_time_s.len(), 6);
+        // Times increase as frequency drops.
+        for w in cg.exec_time_s.windows(2) {
+            assert!(w[1] > w[0] * 0.98, "{:?}", cg.exec_time_s);
+        }
+        assert!(cg.memory_intensity > 5e-3);
+        let ep = db.get("ep").unwrap();
+        assert!(ep.memory_intensity < 2e-5);
+    }
+
+    #[test]
+    fn baselines_are_cached_and_deterministic() {
+        let lab = small_lab();
+        let a = lab.baselines().clone();
+        let b = lab.baselines().clone();
+        assert_eq!(a, b);
+        let lab2 = small_lab();
+        assert_eq!(a, lab2.baselines().clone());
+    }
+
+    #[test]
+    fn featurize_matches_table1_semantics() {
+        let lab = small_lab();
+        let sc = Scenario::homogeneous("canneal", "cg", 3, 2);
+        let f = lab.featurize(&sc).unwrap();
+        let db = lab.baselines();
+        let canneal = db.get("canneal").unwrap();
+        let cg = db.get("cg").unwrap();
+        assert_eq!(f[Feature::BaseExTime.index()], canneal.exec_time_s[2]);
+        assert_eq!(f[Feature::NumCoApp.index()], 3.0);
+        assert!((f[Feature::CoAppMem.index()] - 3.0 * cg.memory_intensity).abs() < 1e-12);
+        assert_eq!(f[Feature::TargetMem.index()], canneal.memory_intensity);
+        assert!((f[Feature::CoAppCmCa.index()] - 3.0 * cg.cm_ca).abs() < 1e-12);
+        assert_eq!(f[Feature::TargetCaIns.index()], canneal.ca_ins);
+    }
+
+    #[test]
+    fn unknown_app_and_bad_pstate_error() {
+        let lab = small_lab();
+        assert!(matches!(
+            lab.featurize(&Scenario::solo("doom", 0)),
+            Err(ModelError::UnknownApp(_))
+        ));
+        assert!(lab.featurize(&Scenario::solo("cg", 17)).is_err());
+        assert!(matches!(
+            lab.run_scenario(&Scenario::homogeneous("cg", "doom", 1, 0)),
+            Err(ModelError::UnknownApp(_))
+        ));
+    }
+
+    #[test]
+    fn co_location_sample_shows_degradation() {
+        let lab = small_lab();
+        let solo = lab.run_scenario(&Scenario::solo("canneal", 0)).unwrap();
+        let crowded = lab
+            .run_scenario(&Scenario::homogeneous("canneal", "cg", 5, 0))
+            .unwrap();
+        assert!(crowded > solo * 1.03, "crowded {crowded} vs solo {solo}");
+    }
+
+    #[test]
+    fn collect_preserves_plan_order_and_parallel_determinism() {
+        let lab = small_lab();
+        let plan = TrainingPlan {
+            pstates: vec![0],
+            targets: vec!["canneal".into(), "ep".into()],
+            co_runners: vec!["cg".into()],
+            counts: vec![1, 3],
+        };
+        let s1 = lab.collect(&plan).unwrap();
+        let s2 = lab.collect(&plan).unwrap();
+        assert_eq!(s1.len(), 4);
+        assert_eq!(s1[0].scenario.label(), "canneal+1x cg @P0");
+        for (a, b) in s1.iter().zip(&s2) {
+            assert_eq!(a.actual_time_s, b.actual_time_s);
+            assert_eq!(a.features, b.features);
+        }
+    }
+
+    #[test]
+    fn paper_plan_matches_machine_shape() {
+        let lab = small_lab();
+        let plan = lab.paper_plan();
+        assert_eq!(plan.len(), 6 * 11 * 4 * 5);
+        let lab12 = Lab::new(presets::xeon_e5_2697v2(), coloc_workloads::standard(), 1);
+        assert_eq!(lab12.paper_plan().len(), 6 * 11 * 4 * 11);
+    }
+
+    #[test]
+    fn noiseless_lab_is_exact() {
+        let lab = small_lab().with_noise(0.0);
+        let a = lab.run_scenario(&Scenario::solo("ep", 0)).unwrap();
+        let b = lab.run_scenario(&Scenario::solo("ep", 0)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! # coloc-model — the IPPS'15 co-location modeling methodology
+//!
+//! This crate is the paper's contribution: a pipeline that turns one solo
+//! *baseline* measurement per application into models predicting the
+//! execution time that application will have under any co-location.
+//!
+//! The flow (paper §III–§IV):
+//!
+//! 1. **Baselines** — [`Lab::baselines`] profiles every application alone:
+//!    execution time at each P-state plus one counter sample yielding
+//!    memory intensity, CM/CA and CA/INS ([`baseline::BaselineDb`]).
+//! 2. **Training data** — [`TrainingPlan`] enumerates the co-location
+//!    sweep of Table V (each target × each of four class-representative
+//!    co-runners × each homogeneous count × each P-state);
+//!    [`Lab::collect`] executes it on the machine simulator.
+//! 3. **Features** — each run is described by up to eight features
+//!    (Table I, [`features::Feature`]) computed **only from baseline
+//!    measurements**, grouped into nested sets A–F (Table II,
+//!    [`features::FeatureSet`]).
+//! 4. **Models** — [`Predictor::train`] fits either the linear model of
+//!    Eq. 1 or the scaled-conjugate-gradient neural network of §III-D.
+//! 5. **Evaluation** — [`experiment::evaluate_model`] reproduces the
+//!    repeated random sub-sampling protocol (100 × 70/30) and reports
+//!    MPE/NRMSE, the numbers behind Figs. 1–4.
+//!
+//! Beyond the paper's core results, the crate implements its §IV-B1
+//! class-average prediction mode ([`classavg`]), its §VI energy-modeling
+//! extension ([`energy`]), and an interference-aware scheduler
+//! ([`scheduler`]) of the kind the introduction motivates.
+
+pub mod baseline;
+pub mod classavg;
+pub mod energy;
+pub mod experiment;
+pub mod features;
+pub mod lab;
+pub mod persist;
+pub mod plan;
+pub mod predictor;
+pub mod sample;
+pub mod scenario;
+pub mod scheduler;
+
+pub use baseline::{AppBaseline, BaselineDb};
+pub use experiment::{evaluate_model, ModelEvaluation};
+pub use features::{Feature, FeatureSet};
+pub use lab::Lab;
+pub use plan::TrainingPlan;
+pub use predictor::{ModelKind, Predictor};
+pub use sample::{samples_to_dataset, Sample};
+pub use scenario::Scenario;
+
+/// Errors from the modeling pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Scenario references an application absent from the lab's suite.
+    UnknownApp(String),
+    /// The machine simulator rejected a run.
+    Machine(String),
+    /// The underlying learner failed.
+    Ml(String),
+    /// A predictor was asked about a feature set it was not trained for.
+    FeatureMismatch { expected: usize, got: usize },
+    /// Not enough data for the requested operation.
+    InsufficientData(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::UnknownApp(n) => write!(f, "unknown application `{n}`"),
+            ModelError::Machine(s) => write!(f, "machine error: {s}"),
+            ModelError::Ml(s) => write!(f, "learner error: {s}"),
+            ModelError::FeatureMismatch { expected, got } => {
+                write!(f, "feature arity mismatch: model expects {expected}, got {got}")
+            }
+            ModelError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<coloc_machine::MachineError> for ModelError {
+    fn from(e: coloc_machine::MachineError) -> Self {
+        ModelError::Machine(e.to_string())
+    }
+}
+
+impl From<coloc_ml::MlError> for ModelError {
+    fn from(e: coloc_ml::MlError) -> Self {
+        ModelError::Ml(e.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,153 @@
+//! Persistence: save trained models and baseline databases to JSON.
+//!
+//! The methodology's deployment story is train-once-predict-forever: a
+//! resource manager trains on one sweep and then only ever featurizes and
+//! predicts. This module serializes the artifacts that survive between
+//! those stages — baseline databases, collected samples, and trained
+//! predictors — so deployment needs neither the simulator nor retraining.
+
+use crate::baseline::BaselineDb;
+use crate::predictor::Predictor;
+use crate::sample::Sample;
+use crate::{ModelError, Result};
+use std::path::Path;
+
+fn io_err(e: impl std::fmt::Display) -> ModelError {
+    ModelError::Ml(format!("persistence error: {e}"))
+}
+
+/// Serialize any supported artifact to pretty JSON at `path`.
+pub fn save_json<T: serde::Serialize>(value: &T, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = serde_json::to_vec_pretty(value).map_err(io_err)?;
+    std::fs::write(path, bytes).map_err(io_err)
+}
+
+/// Load an artifact previously written by [`save_json`].
+pub fn load_json<T: serde::de::DeserializeOwned>(path: impl AsRef<Path>) -> Result<T> {
+    let bytes = std::fs::read(path).map_err(io_err)?;
+    serde_json::from_slice(&bytes).map_err(io_err)
+}
+
+impl Predictor {
+    /// Save this trained predictor to JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        save_json(self, path)
+    }
+
+    /// Load a predictor saved with [`Predictor::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Predictor> {
+        load_json(path)
+    }
+}
+
+impl BaselineDb {
+    /// Save the baseline database to JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        save_json(self, path)
+    }
+
+    /// Load a baseline database saved with [`BaselineDb::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<BaselineDb> {
+        load_json(path)
+    }
+}
+
+/// Save a collected sample set to JSON.
+pub fn save_samples(samples: &[Sample], path: impl AsRef<Path>) -> Result<()> {
+    save_json(&samples, path)
+}
+
+/// Load a sample set saved with [`save_samples`].
+pub fn load_samples(path: impl AsRef<Path>) -> Result<Vec<Sample>> {
+    load_json(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::AppBaseline;
+    use crate::features::FeatureSet;
+    use crate::predictor::ModelKind;
+    use crate::scenario::Scenario;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("coloc-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn samples(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| Sample {
+                scenario: Scenario::homogeneous("t", "c", i % 5, 0),
+                features: [
+                    100.0 + i as f64,
+                    (i % 5) as f64,
+                    (i % 5) as f64 * 0.01,
+                    1e-3,
+                    (i % 5) as f64 * 0.3,
+                    (i % 5) as f64 * 0.02,
+                    0.1,
+                    0.02,
+                ],
+                actual_time_s: (100.0 + i as f64) * (1.0 + (i % 5) as f64 * 0.05),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predictor_roundtrip_preserves_predictions() {
+        for kind in ModelKind::EXTENDED {
+            let s = samples(80);
+            let p = Predictor::train(kind, FeatureSet::D, &s, 3).unwrap();
+            let path = tmp(&format!("pred_{}.json", kind.label()));
+            p.save(&path).unwrap();
+            let q = Predictor::load(&path).unwrap();
+            assert_eq!(q.kind(), kind);
+            assert_eq!(q.feature_set(), FeatureSet::D);
+            for sample in &s[..10] {
+                assert_eq!(p.predict(&sample.features), q.predict(&sample.features));
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_db_roundtrip() {
+        let mut db = BaselineDb::new();
+        db.insert(AppBaseline {
+            name: "cg".into(),
+            exec_time_s: vec![100.0, 120.0, 140.0],
+            memory_intensity: 1.8e-2,
+            cm_ca: 0.5,
+            ca_ins: 0.036,
+        });
+        let path = tmp("baselines.json");
+        db.save(&path).unwrap();
+        let loaded = BaselineDb::load(&path).unwrap();
+        assert_eq!(db, loaded);
+    }
+
+    #[test]
+    fn samples_roundtrip() {
+        let s = samples(25);
+        let path = tmp("samples.json");
+        save_samples(&s, &path).unwrap();
+        let loaded = load_samples(&path).unwrap();
+        assert_eq!(loaded.len(), 25);
+        assert_eq!(loaded[7].scenario, s[7].scenario);
+        assert_eq!(loaded[7].features, s[7].features);
+    }
+
+    #[test]
+    fn load_missing_file_is_error() {
+        assert!(Predictor::load(tmp("nope.json")).is_err());
+        assert!(BaselineDb::load(tmp("nope.json")).is_err());
+    }
+
+    #[test]
+    fn load_wrong_shape_is_error() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, b"{\"not\": \"a predictor\"}").unwrap();
+        assert!(Predictor::load(&path).is_err());
+    }
+}

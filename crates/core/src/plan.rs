@@ -1,0 +1,139 @@
+//! Training-data collection plans (paper Table V and §IV-B3).
+
+use crate::scenario::Scenario;
+
+/// A sweep definition: which scenarios to measure for model training.
+///
+/// The paper's plan (Table V) is the cross product of
+/// `P-states × targets × co-runner apps × co-location counts`, with
+/// homogeneous co-runners. Counts run from 1 to `cores − 1`, so the sweep
+/// covers everything from one neighbour to a fully loaded machine, sampling
+/// "the set of all possible co-locations … in a uniform way that minimizes
+/// the amount of training data" (§IV-B3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TrainingPlan {
+    /// P-state indices to sweep.
+    pub pstates: Vec<usize>,
+    /// Target application names (the paper uses all eleven).
+    pub targets: Vec<String>,
+    /// Co-runner application names (the paper uses the four class
+    /// representatives: cg, sp, fluidanimate, ep).
+    pub co_runners: Vec<String>,
+    /// Homogeneous co-location counts (the paper: `1..=cores−1`).
+    pub counts: Vec<usize>,
+}
+
+impl TrainingPlan {
+    /// The paper's exact plan for a machine with `cores` cores and
+    /// `num_pstates` P-states, over the given target and co-runner names.
+    pub fn paper_shape(
+        cores: usize,
+        num_pstates: usize,
+        targets: Vec<String>,
+        co_runners: Vec<String>,
+    ) -> TrainingPlan {
+        TrainingPlan {
+            pstates: (0..num_pstates).collect(),
+            targets,
+            co_runners,
+            counts: (1..cores).collect(),
+        }
+    }
+
+    /// Materialize every scenario in the plan, in the nested-loop order of
+    /// the paper's data-collection pseudocode (§IV-B3: frequency → target →
+    /// co-located application → count).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &p in &self.pstates {
+            for t in &self.targets {
+                for co in &self.co_runners {
+                    for &n in &self.counts {
+                        out.push(Scenario::homogeneous(t.clone(), co.clone(), n, p));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of scenarios the plan will produce.
+    pub fn len(&self) -> usize {
+        self.pstates.len() * self.targets.len() * self.co_runners.len() * self.counts.len()
+    }
+
+    /// True when the plan is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A thinned copy keeping every `stride`-th scenario dimension value —
+    /// used by tests and the training-set-size ablation to trade coverage
+    /// for speed deterministically.
+    pub fn thinned(&self, pstate_stride: usize, count_stride: usize) -> TrainingPlan {
+        TrainingPlan {
+            pstates: self.pstates.iter().copied().step_by(pstate_stride.max(1)).collect(),
+            targets: self.targets.clone(),
+            co_runners: self.co_runners.clone(),
+            counts: self.counts.iter().copied().step_by(count_stride.max(1)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_shape_sizes_match_table5() {
+        // 6-core machine: 6 P-states × 11 targets × 4 co-runners × 5 counts.
+        let plan = TrainingPlan::paper_shape(
+            6,
+            6,
+            names(&["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k"]),
+            names(&["cg", "sp", "fluidanimate", "ep"]),
+        );
+        assert_eq!(plan.len(), 6 * 11 * 4 * 5);
+        assert_eq!(plan.counts, vec![1, 2, 3, 4, 5]);
+        // 12-core machine: counts 1..=11.
+        let plan12 = TrainingPlan::paper_shape(12, 6, names(&["a"]), names(&["cg"]));
+        assert_eq!(plan12.counts.len(), 11);
+    }
+
+    #[test]
+    fn scenarios_materialize_in_nested_loop_order() {
+        let plan = TrainingPlan {
+            pstates: vec![0, 1],
+            targets: names(&["t"]),
+            co_runners: names(&["x", "y"]),
+            counts: vec![1, 2],
+        };
+        let s = plan.scenarios();
+        assert_eq!(s.len(), plan.len());
+        assert_eq!(s[0].label(), "t+1x x @P0");
+        assert_eq!(s[1].label(), "t+2x x @P0");
+        assert_eq!(s[2].label(), "t+1x y @P0");
+        assert_eq!(s[4].label(), "t+1x x @P1");
+    }
+
+    #[test]
+    fn thinning_reduces_deterministically() {
+        let plan = TrainingPlan::paper_shape(12, 6, names(&["t"]), names(&["c"]));
+        let thin = plan.thinned(2, 3);
+        assert_eq!(thin.pstates, vec![0, 2, 4]);
+        assert_eq!(thin.counts, vec![1, 4, 7, 10]);
+        assert_eq!(thin.thinned(1, 1), thin);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = TrainingPlan { pstates: vec![], targets: vec![], co_runners: vec![], counts: vec![] };
+        assert!(plan.is_empty());
+        assert!(plan.scenarios().is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Interference-aware scheduling on top of the prediction models.
+//!
+//! The paper's introduction motivates the whole methodology with this use
+//! case: "information gained from accurate co-location performance
+//! degradation could be integrated into intelligent application
+//! scheduling … increasing opportunities for server consolidation to save
+//! power while still maintaining quality of service". This module is that
+//! integration: given a batch of jobs and a fleet of identical sockets,
+//! place jobs to minimize predicted slowdown.
+
+use crate::lab::Lab;
+use crate::predictor::Predictor;
+use crate::scenario::Scenario;
+use crate::Result;
+
+/// One socket's assignment.
+#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SocketAssignment {
+    /// Job (application) names placed on this socket.
+    pub jobs: Vec<String>,
+}
+
+/// A complete placement plus its predicted cost.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// Per-socket assignments.
+    pub sockets: Vec<SocketAssignment>,
+    /// Predicted slowdown of every job under its socket's co-location,
+    /// parallel to a depth-first walk of `sockets[i].jobs`.
+    pub predicted_slowdowns: Vec<f64>,
+}
+
+impl Placement {
+    /// Mean predicted slowdown across jobs.
+    pub fn mean_slowdown(&self) -> f64 {
+        coloc_linalg::vecops::mean(&self.predicted_slowdowns)
+    }
+
+    /// Worst predicted slowdown (QoS metric).
+    pub fn max_slowdown(&self) -> f64 {
+        coloc_linalg::vecops::max(&self.predicted_slowdowns)
+    }
+
+    /// Number of sockets actually used.
+    pub fn sockets_used(&self) -> usize {
+        self.sockets.iter().filter(|s| !s.jobs.is_empty()).count()
+    }
+}
+
+/// How to place jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Fill each socket completely before opening the next (maximum
+    /// consolidation, interference-blind).
+    PackFirstFit,
+    /// Greedy interference-aware: place each job on the socket where the
+    /// model predicts the smallest increase in total slowdown, opening a
+    /// new socket only when every open socket is full.
+    LeastInterference,
+}
+
+/// The scheduler: a lab (for featurization) + a trained predictor.
+pub struct Scheduler<'a> {
+    lab: &'a Lab,
+    predictor: &'a Predictor,
+    pstate: usize,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Create a scheduler operating at the given P-state.
+    pub fn new(lab: &'a Lab, predictor: &'a Predictor, pstate: usize) -> Scheduler<'a> {
+        Scheduler { lab, predictor, pstate }
+    }
+
+    /// Predicted slowdown of `target` co-located with `neighbours` on one
+    /// socket.
+    pub fn predicted_slowdown(&self, target: &str, neighbours: &[String]) -> Result<f64> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for n in neighbours {
+            match counts.iter_mut().find(|(name, _)| name == n) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((n.clone(), 1)),
+            }
+        }
+        let sc = Scenario { target: target.to_string(), co_located: counts, pstate: self.pstate };
+        let features = self.lab.featurize(&sc)?;
+        Ok(self.predictor.predict_slowdown(&features))
+    }
+
+    /// Total predicted slowdown of all jobs on one socket.
+    fn socket_cost(&self, jobs: &[String]) -> Result<f64> {
+        let mut total = 0.0;
+        for (i, j) in jobs.iter().enumerate() {
+            let neighbours: Vec<String> = jobs
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != i)
+                .map(|(_, n)| n.clone())
+                .collect();
+            total += self.predicted_slowdown(j, &neighbours)?;
+        }
+        Ok(total)
+    }
+
+    /// Place `jobs` on up to `num_sockets` sockets of the lab's machine.
+    ///
+    /// Fails if the jobs cannot fit (`jobs.len() > num_sockets × cores`) or
+    /// reference unknown applications.
+    pub fn place(
+        &self,
+        jobs: &[String],
+        num_sockets: usize,
+        policy: Policy,
+    ) -> Result<Placement> {
+        let cores = self.lab.machine().spec().cores;
+        if jobs.len() > num_sockets * cores {
+            return Err(crate::ModelError::InsufficientData(format!(
+                "{} jobs exceed {} sockets × {} cores",
+                jobs.len(),
+                num_sockets,
+                cores
+            )));
+        }
+        let mut sockets = vec![SocketAssignment::default(); num_sockets];
+
+        match policy {
+            Policy::PackFirstFit => {
+                for (i, job) in jobs.iter().enumerate() {
+                    sockets[i / cores].jobs.push(job.clone());
+                }
+            }
+            Policy::LeastInterference => {
+                // Jobs in descending memory intensity: place the loudest
+                // first so they spread before sockets fill.
+                let db = self.lab.baselines();
+                let mut ordered: Vec<String> = jobs.to_vec();
+                ordered.sort_by(|a, b| {
+                    let ma = db.get(a).map_or(0.0, |x| x.memory_intensity);
+                    let mb = db.get(b).map_or(0.0, |x| x.memory_intensity);
+                    mb.partial_cmp(&ma).expect("finite MI")
+                });
+                for job in ordered {
+                    let mut best: Option<(usize, f64)> = None;
+                    for (si, s) in sockets.iter().enumerate() {
+                        if s.jobs.len() >= cores {
+                            continue;
+                        }
+                        let before = self.socket_cost(&s.jobs)?;
+                        let mut with = s.jobs.clone();
+                        with.push(job.clone());
+                        let delta = self.socket_cost(&with)? - before;
+                        if best.is_none_or(|(_, d)| delta < d) {
+                            best = Some((si, delta));
+                        }
+                    }
+                    let (si, _) = best.expect("capacity checked above");
+                    sockets[si].jobs.push(job.clone());
+                }
+            }
+        }
+
+        let mut predicted_slowdowns = Vec::with_capacity(jobs.len());
+        for s in &sockets {
+            for (i, j) in s.jobs.iter().enumerate() {
+                let neighbours: Vec<String> = s
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != i)
+                    .map(|(_, n)| n.clone())
+                    .collect();
+                predicted_slowdowns.push(self.predicted_slowdown(j, &neighbours)?);
+            }
+        }
+        Ok(Placement { sockets, predicted_slowdowns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeatureSet, ModelKind, Predictor, TrainingPlan};
+    use coloc_machine::presets;
+    use std::sync::OnceLock;
+
+    fn shared() -> &'static (Lab, Predictor) {
+        static CELL: OnceLock<(Lab, Predictor)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let lab = Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 5);
+            let plan = TrainingPlan {
+                pstates: vec![0],
+                targets: vec!["cg".into(), "canneal".into(), "fluidanimate".into(), "ep".into()],
+                co_runners: vec!["cg".into(), "sp".into(), "ep".into()],
+                counts: vec![1, 2, 3, 5],
+            };
+            let samples = lab.collect(&plan).unwrap();
+            let p = Predictor::train(ModelKind::NeuralNet, FeatureSet::E, &samples, 1).unwrap();
+            (lab, p)
+        })
+    }
+
+    #[test]
+    fn least_interference_beats_packing_on_mixed_jobs() {
+        let (lab, p) = shared();
+        let sched = Scheduler::new(lab, p, 0);
+        // 4 memory hogs + 4 compute jobs, 2 sockets of 6 cores.
+        let jobs: Vec<String> = ["cg", "cg", "cg", "cg", "ep", "ep", "ep", "ep"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let packed = sched.place(&jobs, 2, Policy::PackFirstFit).unwrap();
+        let smart = sched.place(&jobs, 2, Policy::LeastInterference).unwrap();
+        assert!(
+            smart.mean_slowdown() < packed.mean_slowdown(),
+            "smart {} vs packed {}",
+            smart.mean_slowdown(),
+            packed.mean_slowdown()
+        );
+        // The smart placement should split the hogs across sockets.
+        let hogs_per_socket: Vec<usize> = smart
+            .sockets
+            .iter()
+            .map(|s| s.jobs.iter().filter(|j| *j == "cg").count())
+            .collect();
+        assert_eq!(hogs_per_socket, vec![2, 2], "{smart:?}");
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let (lab, p) = shared();
+        let sched = Scheduler::new(lab, p, 0);
+        let jobs: Vec<String> = (0..12).map(|_| "ep".to_string()).collect();
+        // 12 jobs fit on 2 × 6 cores exactly; one socket is not enough.
+        assert!(sched.place(&jobs, 2, Policy::PackFirstFit).is_ok());
+        assert!(sched.place(&jobs, 1, Policy::PackFirstFit).is_err());
+        let thirteen: Vec<String> = (0..13).map(|_| "ep".to_string()).collect();
+        assert!(sched.place(&thirteen, 2, Policy::PackFirstFit).is_err());
+    }
+
+    #[test]
+    fn solo_job_has_unit_slowdown() {
+        let (lab, p) = shared();
+        let sched = Scheduler::new(lab, p, 0);
+        let sd = sched.predicted_slowdown("canneal", &[]).unwrap();
+        assert!((sd - 1.0).abs() < 0.15, "solo slowdown {sd}");
+    }
+
+    #[test]
+    fn placement_metrics() {
+        let (lab, p) = shared();
+        let sched = Scheduler::new(lab, p, 0);
+        let jobs: Vec<String> =
+            ["cg", "ep"].iter().map(|s| s.to_string()).collect();
+        let pl = sched.place(&jobs, 2, Policy::LeastInterference).unwrap();
+        assert_eq!(pl.predicted_slowdowns.len(), 2);
+        assert!(pl.max_slowdown() >= pl.mean_slowdown());
+        assert!(pl.sockets_used() >= 1);
+    }
+}

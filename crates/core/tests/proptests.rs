@@ -1,0 +1,100 @@
+//! Property-based tests for the modeling layer's invariants.
+
+use coloc_machine::presets;
+use coloc_model::{Feature, FeatureSet, Lab, Scenario};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared lab: baselines are computed once across all proptest cases.
+fn lab() -> &'static Lab {
+    static CELL: OnceLock<Lab> = OnceLock::new();
+    CELL.get_or_init(|| Lab::new(presets::xeon_e5_2697v2(), coloc_workloads::standard(), 77))
+}
+
+fn app_name() -> impl Strategy<Value = String> {
+    prop::sample::select(
+        coloc_workloads::standard()
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Co-app feature sums are additive in instance counts.
+    #[test]
+    fn coapp_features_additive_in_counts(
+        target in app_name(),
+        co in app_name(),
+        n in 1usize..11,
+        pstate in 0usize..6,
+    ) {
+        let lab = lab();
+        let one = lab
+            .featurize(&Scenario::homogeneous(target.clone(), co.clone(), 1, pstate))
+            .unwrap();
+        let many = lab
+            .featurize(&Scenario::homogeneous(target, co, n, pstate))
+            .unwrap();
+        for f in [Feature::CoAppMem, Feature::CoAppCmCa, Feature::CoAppCaIns] {
+            let expected = one[f.index()] * n as f64;
+            prop_assert!((many[f.index()] - expected).abs() < 1e-9 * expected.max(1.0));
+        }
+        prop_assert_eq!(many[Feature::NumCoApp.index()], n as f64);
+        // Target-side features are co-location independent.
+        for f in [Feature::BaseExTime, Feature::TargetMem, Feature::TargetCmCa, Feature::TargetCaIns] {
+            prop_assert_eq!(many[f.index()], one[f.index()]);
+        }
+    }
+
+    /// Splitting one homogeneous group into two entries of the same app
+    /// yields identical features.
+    #[test]
+    fn featurize_is_shape_independent(
+        target in app_name(),
+        co in app_name(),
+        a in 1usize..5,
+        b in 1usize..5,
+    ) {
+        let lab = lab();
+        let merged = lab
+            .featurize(&Scenario::homogeneous(target.clone(), co.clone(), a + b, 0))
+            .unwrap();
+        let split = lab
+            .featurize(&Scenario {
+                target,
+                co_located: vec![(co.clone(), a), (co, b)],
+                pstate: 0,
+            })
+            .unwrap();
+        for i in 0..8 {
+            prop_assert!((merged[i] - split[i]).abs() < 1e-12 * merged[i].abs().max(1.0));
+        }
+    }
+
+    /// Projection keeps values verbatim and respects set nesting.
+    #[test]
+    fn feature_set_projection_consistency(full in prop::array::uniform8(-1e3f64..1e3)) {
+        for set in FeatureSet::ALL {
+            let proj = set.project(&full);
+            prop_assert_eq!(proj.len(), set.arity());
+            for (v, f) in proj.iter().zip(set.features()) {
+                prop_assert_eq!(*v, full[f.index()]);
+            }
+        }
+        // Nesting: every set's projection is a prefix-closed subset of F's.
+        let f_proj = FeatureSet::F.project(&full);
+        prop_assert_eq!(&f_proj[..], &full[..]);
+    }
+
+    /// Baseline execution time feature matches the P-state table exactly.
+    #[test]
+    fn base_time_feature_tracks_pstate(target in app_name(), pstate in 0usize..6) {
+        let lab = lab();
+        let f = lab.featurize(&Scenario::solo(target.clone(), pstate)).unwrap();
+        let expected = lab.baselines().get(&target).unwrap().exec_time_s[pstate];
+        prop_assert_eq!(f[Feature::BaseExTime.index()], expected);
+    }
+}

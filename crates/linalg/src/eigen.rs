@@ -1,0 +1,202 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! The paper (§III-B) ranks candidate model features with a principal
+//! component analysis; PCA needs the eigendecomposition of the feature
+//! covariance matrix, which is symmetric — exactly the case the Jacobi
+//! method handles with excellent accuracy for the small (8×8) systems here.
+
+use crate::matrix::Mat;
+use crate::{LinalgError, Result};
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted descending; `vectors.col(i)` is the eigenvector
+/// for `values[i]`.
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, matching `values` order.
+    pub vectors: Mat,
+}
+
+impl SymmetricEigen {
+    /// Decompose a symmetric matrix with the cyclic Jacobi method.
+    ///
+    /// `a` must be square; only symmetry up to rounding is assumed (the
+    /// strictly lower triangle is averaged with the upper before
+    /// iteration). Fails with [`LinalgError::NoConvergence`] if the
+    /// off-diagonal norm does not fall below tolerance in 100 sweeps —
+    /// in practice symmetric matrices converge in < 15.
+    pub fn new(a: &Mat) -> Result<SymmetricEigen> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "eigen needs a square matrix, got {m}x{n}"
+            )));
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        // Symmetrize to guard against rounding in caller-built covariances.
+        let mut s = Mat::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let mut v = Mat::identity(n);
+
+        let off = |s: &Mat| -> f64 {
+            let mut sum = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    sum += s[(i, j)] * s[(i, j)];
+                }
+            }
+            sum.sqrt()
+        };
+
+        let tol = 1e-14 * s.frobenius_norm().max(1.0);
+        const MAX_SWEEPS: usize = 100;
+        let mut converged = n < 2;
+        for _sweep in 0..MAX_SWEEPS {
+            if off(&s) <= tol {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = s[(p, q)];
+                    if apq.abs() <= tol / (n * n) as f64 {
+                        continue;
+                    }
+                    let app = s[(p, p)];
+                    let aqq = s[(q, q)];
+                    // Compute the Jacobi rotation (c, sn) annihilating s[p,q].
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let sn = t * c;
+                    // Apply rotation: S <- Jᵀ S J.
+                    for k in 0..n {
+                        let skp = s[(k, p)];
+                        let skq = s[(k, q)];
+                        s[(k, p)] = c * skp - sn * skq;
+                        s[(k, q)] = sn * skp + c * skq;
+                    }
+                    for k in 0..n {
+                        let spk = s[(p, k)];
+                        let sqk = s[(q, k)];
+                        s[(p, k)] = c * spk - sn * sqk;
+                        s[(q, k)] = sn * spk + c * sqk;
+                    }
+                    // Accumulate eigenvectors: V <- V J.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - sn * vkq;
+                        v[(k, q)] = sn * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        if !converged && off(&s) > tol {
+            return Err(LinalgError::NoConvergence { iterations: MAX_SWEEPS });
+        }
+
+        // Sort eigenpairs by descending eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| s[(j, j)].partial_cmp(&s[(i, i)]).expect("finite eigenvalues"));
+        let values: Vec<f64> = order.iter().map(|&i| s[(i, i)]).collect();
+        let vectors = Mat::from_fn(n, n, |r, c| v[(r, order[c])]);
+        Ok(SymmetricEigen { values, vectors })
+    }
+
+    /// Fraction of total variance explained by each component, assuming the
+    /// input was a covariance matrix (negative rounding dust clamped to 0).
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.values.iter().map(|&l| l.max(0.0)).sum();
+        if total <= 0.0 {
+            return vec![0.0; self.values.len()];
+        }
+        self.values.iter().map(|&l| l.max(0.0) / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymmetricEigen) -> Mat {
+        let n = e.values.len();
+        let lam = Mat::diag(&e.values);
+        e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        let vl = e.vectors.matmul(&lam).unwrap();
+        vl.matmul(&e.vectors.transpose()).unwrap_or_else(|_| Mat::zeros(n, n))
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Mat::diag(&[1.0, 5.0, 3.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Mat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let a = Mat::from_fn(6, 6, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let e = SymmetricEigen::new(&a).unwrap();
+        let r = reconstruct(&e);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvector_satisfies_definition() {
+        let a = Mat::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        for k in 0..3 {
+            let v = e.vectors.col(k);
+            let av = a.matvec(&v).unwrap();
+            for i in 0..3 {
+                assert!((av[i] - e.values[k] * v[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one() {
+        let a = Mat::diag(&[4.0, 3.0, 2.0, 1.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let evr = e.explained_variance_ratio();
+        assert!((evr.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((evr[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(SymmetricEigen::new(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn handles_1x1_and_empty() {
+        let e = SymmetricEigen::new(&Mat::diag(&[7.0])).unwrap();
+        assert_eq!(e.values, vec![7.0]);
+        let e0 = SymmetricEigen::new(&Mat::zeros(0, 0)).unwrap();
+        assert!(e0.values.is_empty());
+    }
+}

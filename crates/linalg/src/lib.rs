@@ -1,0 +1,64 @@
+//! # coloc-linalg
+//!
+//! A small, dependency-free dense linear-algebra kernel used by the `coloc`
+//! machine-learning layer. It provides exactly what the IPPS'15 co-location
+//! modeling methodology needs and nothing more:
+//!
+//! * [`Mat`] — a row-major `f64` matrix with the usual arithmetic.
+//! * [`qr`] — Householder QR factorization and linear least squares (the
+//!   paper fits its linear models with SciPy's least-squares routine; this
+//!   is the equivalent).
+//! * [`cholesky`] — SPD factorization/solve, used for ridge-regularized
+//!   normal equations.
+//! * [`eigen`] — a cyclic Jacobi eigensolver for symmetric matrices, used by
+//!   PCA to rank model features (paper §III-B).
+//! * [`stats`] — column means/standard deviations and covariance matrices.
+//!
+//! Everything is deterministic and pure; all fallible routines return
+//! [`LinalgError`] rather than panicking on singular inputs.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod matrix;
+pub mod qr;
+pub mod stats;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use matrix::Mat;
+pub use qr::{lstsq, Qr};
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible; payload is a human-readable detail.
+    ShapeMismatch(String),
+    /// The matrix is singular (or numerically so) for the requested solve.
+    Singular,
+    /// The matrix is not positive definite (Cholesky).
+    NotPositiveDefinite,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence { iterations: usize },
+    /// Input contained NaN or infinity.
+    NonFinite,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            LinalgError::NonFinite => write!(f, "input contains NaN or infinity"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

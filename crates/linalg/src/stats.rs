@@ -1,0 +1,143 @@
+//! Column statistics and covariance matrices for feature matrices.
+
+use crate::matrix::Mat;
+use crate::{LinalgError, Result};
+
+/// Per-column means of a data matrix (rows = samples).
+pub fn column_means(x: &Mat) -> Vec<f64> {
+    let (m, n) = x.shape();
+    let mut means = vec![0.0; n];
+    if m == 0 {
+        return means;
+    }
+    for row in x.rows_iter() {
+        for (mu, &v) in means.iter_mut().zip(row) {
+            *mu += v;
+        }
+    }
+    for mu in &mut means {
+        *mu /= m as f64;
+    }
+    means
+}
+
+/// Per-column sample standard deviations (n−1 denominator; 0 if m < 2).
+pub fn column_stds(x: &Mat) -> Vec<f64> {
+    let (m, n) = x.shape();
+    if m < 2 {
+        return vec![0.0; n];
+    }
+    let means = column_means(x);
+    let mut acc = vec![0.0; n];
+    for row in x.rows_iter() {
+        for ((a, &v), &mu) in acc.iter_mut().zip(row).zip(&means) {
+            let d = v - mu;
+            *a += d * d;
+        }
+    }
+    acc.iter().map(|a| (a / (m - 1) as f64).sqrt()).collect()
+}
+
+/// Sample covariance matrix of the columns (rows = samples, n−1 denominator).
+///
+/// Errors if there are fewer than two samples.
+pub fn covariance(x: &Mat) -> Result<Mat> {
+    let (m, n) = x.shape();
+    if m < 2 {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "covariance needs >= 2 samples, got {m}"
+        )));
+    }
+    let means = column_means(x);
+    let mut c = Mat::zeros(n, n);
+    for row in x.rows_iter() {
+        for j in 0..n {
+            let dj = row[j] - means[j];
+            if dj == 0.0 {
+                continue;
+            }
+            for k in j..n {
+                c[(j, k)] += dj * (row[k] - means[k]);
+            }
+        }
+    }
+    let denom = (m - 1) as f64;
+    for j in 0..n {
+        for k in j..n {
+            c[(j, k)] /= denom;
+            c[(k, j)] = c[(j, k)];
+        }
+    }
+    Ok(c)
+}
+
+/// Pearson correlation matrix of the columns. Columns with zero variance get
+/// correlation 0 against everything (and 1 with themselves).
+pub fn correlation(x: &Mat) -> Result<Mat> {
+    let c = covariance(x)?;
+    let n = c.rows();
+    let sd: Vec<f64> = (0..n).map(|i| c[(i, i)].sqrt()).collect();
+    let mut r = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            r[(i, j)] = if i == j {
+                1.0
+            } else if sd[i] > 0.0 && sd[j] > 0.0 {
+                c[(i, j)] / (sd[i] * sd[j])
+            } else {
+                0.0
+            };
+        }
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_and_stds() {
+        let x = Mat::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]).unwrap();
+        assert_eq!(column_means(&x), vec![3.0, 30.0]);
+        let sd = column_stds(&x);
+        assert!((sd[0] - 2.0).abs() < 1e-12);
+        assert!((sd[1] - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let x = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let c = covariance(&x).unwrap();
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 2.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 4.0).abs() < 1e-12);
+        let r = correlation(&x).unwrap();
+        assert!((r[(0, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let x = Mat::from_fn(10, 4, |i, j| ((i * j) as f64).sin() + i as f64 * 0.1);
+        let c = covariance(&x).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c[(i, j)], c[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_zero_correlation() {
+        let x = Mat::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]).unwrap();
+        let r = correlation(&x).unwrap();
+        assert_eq!(r[(0, 1)], 0.0);
+        assert_eq!(r[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn too_few_samples_is_error() {
+        let x = Mat::zeros(1, 3);
+        assert!(covariance(&x).is_err());
+    }
+}

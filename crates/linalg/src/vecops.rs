@@ -1,0 +1,150 @@
+//! Small vector helpers shared across the workspace.
+//!
+//! These operate on plain `&[f64]` slices so callers never need to wrap
+//! their data in a matrix type for one-dimensional work.
+
+/// Dot product. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` in place.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise difference `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scale a vector in place.
+#[inline]
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); 0 if fewer than 2 points.
+pub fn std_dev(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    (a.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (a.len() - 1) as f64).sqrt()
+}
+
+/// Minimum of a slice; +inf for an empty slice.
+pub fn min(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a slice; −inf for an empty slice.
+pub fn max(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Linear-interpolated percentile `p ∈ [0, 100]` of an *unsorted* slice.
+///
+/// Returns NaN for an empty slice. Uses the same convention as
+/// `numpy.percentile(..., interpolation="linear")`, which is what the
+/// paper's quartile figures (Fig. 5b) use.
+pub fn percentile(a: &[f64], p: f64) -> f64 {
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    let mut s = a.to_vec();
+    s.sort_by(|x, y| x.partial_cmp(y).expect("NaN in percentile input"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (s.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let frac = rank - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(a: &[f64]) -> f64 {
+    percentile(a, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn mean_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // sample std of {2, 4, 4, 4, 5, 5, 7, 9} = sqrt(32/7)
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax() {
+        assert_eq!(min(&[3.0, -1.0, 2.0]), -1.0);
+        assert_eq!(max(&[3.0, -1.0, 2.0]), 3.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn percentile_matches_numpy_convention() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+        assert!((median(&[5.0, 1.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        assert!((percentile(&[9.0, 1.0, 5.0], 50.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_empty_is_nan() {
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the linear-algebra kernel.
+
+use coloc_linalg::{lstsq, Mat, SymmetricEigen};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with bounded, well-scaled entries.
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(a in mat_strategy(4, 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(a in mat_strategy(3, 3)) {
+        let i = Mat::identity(3);
+        let left = i.matmul(&a).unwrap();
+        let right = a.matmul(&i).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in mat_strategy(3, 4), b in mat_strategy(4, 2)) {
+        // (AB)ᵀ == BᵀAᵀ
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lstsq_recovers_planted_solution(
+        coeffs in prop::collection::vec(-5.0f64..5.0, 3),
+        seed in 0u64..1000,
+    ) {
+        // Build a well-conditioned 12x3 design matrix deterministically from
+        // the seed, plant a solution, and check exact recovery.
+        let a = Mat::from_fn(12, 3, |i, j| {
+            let t = (i as f64 + 1.0) * (j as f64 + 1.0) + seed as f64 * 0.01;
+            (t * 0.7).sin() + if i % 3 == j { 2.0 } else { 0.0 }
+        });
+        let b = a.matvec(&coeffs).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        for (xi, ci) in x.iter().zip(&coeffs) {
+            prop_assert!((xi - ci).abs() < 1e-6, "x={:?} c={:?}", x, coeffs);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_gram_matrix_are_nonnegative(a in mat_strategy(5, 4)) {
+        // AᵀA is positive semi-definite, so all eigenvalues >= 0 (up to dust).
+        let g = a.gram();
+        let e = SymmetricEigen::new(&g).unwrap();
+        for &l in &e.values {
+            prop_assert!(l > -1e-8, "negative eigenvalue {} in {:?}", l, e.values);
+        }
+    }
+
+    #[test]
+    fn eigen_trace_equals_sum_of_eigenvalues(a in mat_strategy(4, 4)) {
+        // Symmetrize first; trace is invariant.
+        let s = Mat::from_fn(4, 4, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let trace: f64 = (0..4).map(|i| s[(i, i)]).sum();
+        let e = SymmetricEigen::new(&s).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,298 @@
+//! Thermal DVFS governor simulation.
+//!
+//! The paper motivates P-states partly as a thermal mechanism: "DVFS
+//! techniques can reduce the dynamic operating power … or to temporarily
+//! reduce the operating temperature due to the multicore processor having
+//! exceeded a thermal cut-off" and "processor P-states are likely to change
+//! in high performance computing systems based on the system's need to
+//! reduce power or temperature" (§IV-A4). This module closes that loop: a
+//! first-order thermal RC model drives a throttle-up/throttle-down
+//! governor, producing the time-varying P-state trace a real machine would
+//! exhibit — and therefore the workload-dependent effective execution
+//! times that make per-P-state baselines (the `baseExTime` feature) worth
+//! measuring.
+//!
+//! The simulation composes public machine APIs: per-P-state instruction
+//! rates come from ordinary solo runs; the governor then integrates
+//! progress and temperature in fixed control-interval steps.
+
+use crate::app::AppProfile;
+use crate::engine::{Machine, RunOptions};
+use crate::Result;
+
+/// First-order thermal model: `dT/dt = (P·θ + T_amb − T) / τ`.
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ThermalModel {
+    /// Thermal resistance, °C per watt.
+    pub theta_c_per_w: f64,
+    /// Time constant, seconds.
+    pub tau_s: f64,
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        // Ballpark server-class package: ~0.35 °C/W, ~12 s time constant.
+        ThermalModel { theta_c_per_w: 0.35, tau_s: 12.0, ambient_c: 35.0 }
+    }
+}
+
+impl ThermalModel {
+    /// Steady-state temperature at constant power.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + self.theta_c_per_w * power_w
+    }
+
+    /// Advance temperature by `dt` seconds at constant power.
+    pub fn step(&self, temp_c: f64, power_w: f64, dt: f64) -> f64 {
+        let target = self.steady_state_c(power_w);
+        target + (temp_c - target) * (-dt / self.tau_s).exp()
+    }
+}
+
+/// Governor policy parameters.
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GovernorConfig {
+    /// Throttle down when temperature exceeds this, °C.
+    pub throttle_at_c: f64,
+    /// Allow stepping back up when below `throttle_at_c − hysteresis_c`.
+    pub hysteresis_c: f64,
+    /// Governor control interval, seconds.
+    pub interval_s: f64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig { throttle_at_c: 85.0, hysteresis_c: 6.0, interval_s: 0.5 }
+    }
+}
+
+/// One P-state residency segment of a throttled run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PStateResidency {
+    /// P-state index.
+    pub pstate: usize,
+    /// Seconds spent in it (contiguous).
+    pub seconds: f64,
+}
+
+/// Outcome of a thermally-governed run.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ThrottledOutcome {
+    /// Total execution time, seconds.
+    pub wall_time_s: f64,
+    /// Final package temperature, °C.
+    pub final_temp_c: f64,
+    /// Peak package temperature, °C.
+    pub peak_temp_c: f64,
+    /// Contiguous P-state residencies, in order.
+    pub residencies: Vec<PStateResidency>,
+    /// Per-P-state solo instruction rates used (instructions/second).
+    pub ips_per_pstate: Vec<f64>,
+}
+
+impl ThrottledOutcome {
+    /// Number of governor transitions.
+    pub fn transitions(&self) -> usize {
+        self.residencies.len().saturating_sub(1)
+    }
+
+    /// Total time spent at P-state `p`.
+    pub fn time_at(&self, p: usize) -> f64 {
+        self.residencies
+            .iter()
+            .filter(|r| r.pstate == p)
+            .map(|r| r.seconds)
+            .sum()
+    }
+}
+
+/// Run `app` solo under a thermal governor.
+///
+/// `power_w(pstate)` supplies socket power at each P-state (the caller
+/// owns the power model — e.g. `coloc-model`'s `PowerModel`). The app's
+/// per-P-state instruction rate is measured with noiseless solo runs, then
+/// progress and temperature are integrated at the governor interval.
+pub fn run_throttled(
+    machine: &Machine,
+    app: &AppProfile,
+    power_w: impl Fn(usize) -> f64,
+    thermal: &ThermalModel,
+    gov: &GovernorConfig,
+) -> Result<ThrottledOutcome> {
+    let num_pstates = machine.spec().num_pstates();
+    // Per-P-state average instruction rates from clean solo runs.
+    let mut ips = Vec::with_capacity(num_pstates);
+    for p in 0..num_pstates {
+        let out = machine.run_solo(app, &RunOptions { pstate: p, ..Default::default() })?;
+        ips.push(app.instructions / out.wall_time_s);
+    }
+
+    let mut temp = thermal.ambient_c;
+    let mut peak = temp;
+    let mut pstate = 0usize;
+    let mut done = 0.0f64;
+    let mut wall = 0.0f64;
+    let mut residencies: Vec<PStateResidency> = Vec::new();
+
+    while done < app.instructions {
+        // Governor decision at the start of each interval.
+        if temp > gov.throttle_at_c && pstate + 1 < num_pstates {
+            pstate += 1;
+        } else if temp < gov.throttle_at_c - gov.hysteresis_c && pstate > 0 {
+            pstate -= 1;
+        }
+
+        // Advance one interval (or less, if the app finishes first).
+        let remaining_t = (app.instructions - done) / ips[pstate];
+        let dt = gov.interval_s.min(remaining_t);
+        done += ips[pstate] * dt;
+        wall += dt;
+        temp = thermal.step(temp, power_w(pstate), dt);
+        peak = peak.max(temp);
+
+        match residencies.last_mut() {
+            Some(r) if r.pstate == pstate => r.seconds += dt,
+            _ => residencies.push(PStateResidency { pstate, seconds: dt }),
+        }
+    }
+
+    Ok(ThrottledOutcome {
+        wall_time_s: wall,
+        final_temp_c: temp,
+        peak_temp_c: peak,
+        residencies,
+        ips_per_pstate: ips,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppPhase;
+    use crate::presets;
+    use coloc_cachesim::StackDistanceDist;
+
+    fn compute_app(instructions: f64) -> AppProfile {
+        AppProfile::single_phase(
+            "hotloop",
+            instructions,
+            AppPhase {
+                weight: 1.0,
+                dist: StackDistanceDist::power_law(2_000, 2.0, 1e-6),
+                accesses_per_instr: 0.001,
+                cpi_base: 0.7,
+                mlp: 2.0,
+            },
+        )
+    }
+
+    /// Power model: hot at P0, cool at lower P-states.
+    fn hot_power(p: usize) -> f64 {
+        [220.0, 180.0, 150.0, 120.0, 100.0, 85.0][p]
+    }
+
+    fn cool_power(_p: usize) -> f64 {
+        60.0
+    }
+
+    #[test]
+    fn thermal_model_converges_to_steady_state() {
+        let tm = ThermalModel::default();
+        let mut t = tm.ambient_c;
+        for _ in 0..10_000 {
+            t = tm.step(t, 100.0, 0.1);
+        }
+        assert!((t - tm.steady_state_c(100.0)).abs() < 0.01);
+        // Monotone approach.
+        let t1 = tm.step(tm.ambient_c, 100.0, 1.0);
+        let t2 = tm.step(t1, 100.0, 1.0);
+        assert!(t2 > t1 && t1 > tm.ambient_c);
+    }
+
+    #[test]
+    fn cool_system_never_throttles() {
+        let m = Machine::new(presets::xeon_e5649());
+        let out = run_throttled(
+            &m,
+            &compute_app(200e9),
+            cool_power,
+            &ThermalModel::default(),
+            &GovernorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.residencies.len(), 1);
+        assert_eq!(out.residencies[0].pstate, 0);
+        assert!(out.peak_temp_c < 85.0);
+        // Matches the untthrottled P0 time.
+        let plain = m.run_solo(&compute_app(200e9), &RunOptions::default()).unwrap();
+        assert!((out.wall_time_s - plain.wall_time_s).abs() / plain.wall_time_s < 0.01);
+    }
+
+    #[test]
+    fn hot_system_throttles_and_respects_the_cap() {
+        let m = Machine::new(presets::xeon_e5649());
+        let gov = GovernorConfig::default();
+        let thermal = ThermalModel::default();
+        // Steady state at P0 is 35 + 0.35*220 = 112 °C > 85 °C: must throttle.
+        let out =
+            run_throttled(&m, &compute_app(400e9), hot_power, &thermal, &gov).unwrap();
+        assert!(out.transitions() >= 1, "{:?}", out.residencies.len());
+        assert!(out.time_at(0) > 0.0);
+        // Some time must be spent below P0.
+        let throttled_time: f64 = (1..6).map(|p| out.time_at(p)).sum();
+        assert!(throttled_time > 0.0);
+        // The cap can be overshot by at most one control interval's heating.
+        assert!(out.peak_temp_c < gov.throttle_at_c + 3.0, "peak {}", out.peak_temp_c);
+        // Throttling costs time vs an (impossible) uncapped P0 run…
+        let p0 = m.run_solo(&compute_app(400e9), &RunOptions::default()).unwrap();
+        assert!(out.wall_time_s > p0.wall_time_s);
+        // …but beats pinning the lowest P-state throughout.
+        let p5 = m
+            .run_solo(&compute_app(400e9), &RunOptions { pstate: 5, ..Default::default() })
+            .unwrap();
+        assert!(out.wall_time_s < p5.wall_time_s);
+    }
+
+    #[test]
+    fn hysteresis_prevents_rapid_oscillation() {
+        let m = Machine::new(presets::xeon_e5649());
+        let thermal = ThermalModel::default();
+        let tight = GovernorConfig { hysteresis_c: 6.0, ..Default::default() };
+        let out =
+            run_throttled(&m, &compute_app(300e9), hot_power, &thermal, &tight).unwrap();
+        // Transitions happen, but far fewer than control intervals.
+        let intervals = (out.wall_time_s / tight.interval_s).ceil() as usize;
+        assert!(
+            out.transitions() < intervals / 4,
+            "{} transitions in {} intervals",
+            out.transitions(),
+            intervals
+        );
+    }
+
+    #[test]
+    fn residencies_sum_to_wall_time() {
+        let m = Machine::new(presets::xeon_e5649());
+        let out = run_throttled(
+            &m,
+            &compute_app(150e9),
+            hot_power,
+            &ThermalModel::default(),
+            &GovernorConfig::default(),
+        )
+        .unwrap();
+        let sum: f64 = out.residencies.iter().map(|r| r.seconds).sum();
+        assert!((sum - out.wall_time_s).abs() < 1e-9);
+        assert_eq!(out.ips_per_pstate.len(), 6);
+        // IPS decreases with P-state for a compute-bound app.
+        for w in out.ips_per_pstate.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+}

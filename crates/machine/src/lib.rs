@@ -1,0 +1,75 @@
+//! # coloc-machine
+//!
+//! A multicore processor simulator: the hardware substrate the IPPS'15
+//! methodology was measured on, rebuilt in software.
+//!
+//! The paper collected its data on two Intel Xeon machines (Table IV) by
+//! running a target application co-located with up to `cores − 1` copies of
+//! a co-runner at six DVFS P-states, reading execution time and LLC
+//! performance counters. This crate reproduces that measurement apparatus:
+//!
+//! * [`spec::MachineSpec`] — core count, shared-LLC geometry, P-state
+//!   frequency table, and DRAM subsystem; [`presets`] provides the two
+//!   Xeons from Table IV.
+//! * [`app::AppProfile`] — the simulator-facing description of an
+//!   application: total instructions plus one or more execution *phases*,
+//!   each with a base CPI, an LLC access rate, a memory-level-parallelism
+//!   factor, and a cache-locality model ([`coloc_cachesim::StackDistanceDist`]).
+//! * [`engine::Machine`] — the co-execution engine. Applications sharing
+//!   the processor are advanced through piecewise-constant *segments*: in
+//!   each segment a coupled fixed point determines every app's LLC share
+//!   (via the occupancy model), miss rate, average memory latency (via the
+//!   DRAM model), and effective CPI; segments end at phase boundaries,
+//!   co-runner restarts, or target completion.
+//!
+//! The contention mechanics are entirely mechanistic — nothing in this
+//! crate knows about the prediction models that will be trained on its
+//! output, so the ML layer faces the same inference problem the paper did.
+
+pub mod app;
+pub mod engine;
+pub mod governor;
+pub mod presets;
+pub mod spec;
+
+pub use app::{AppPhase, AppProfile};
+pub use engine::{CounterBlock, Machine, RunOptions, RunOutcome, RunnerGroup};
+pub use governor::{run_throttled, GovernorConfig, ThermalModel, ThrottledOutcome};
+pub use spec::MachineSpec;
+
+// Re-export the cache substrate: app profiles embed locality models, so
+// downstream crates need the types without a direct dependency.
+pub use coloc_cachesim as cachesim;
+
+/// Errors from the machine simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The workload asks for more cores than the machine has.
+    NotEnoughCores { requested: usize, available: usize },
+    /// The requested P-state index is out of range.
+    BadPState { index: usize, available: usize },
+    /// An app profile is malformed (empty phases, non-positive counts…).
+    BadProfile(String),
+    /// No workload was supplied.
+    EmptyWorkload,
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::NotEnoughCores { requested, available } => {
+                write!(f, "workload needs {requested} cores, machine has {available}")
+            }
+            MachineError::BadPState { index, available } => {
+                write!(f, "P-state {index} out of range (machine has {available})")
+            }
+            MachineError::BadProfile(s) => write!(f, "bad app profile: {s}"),
+            MachineError::EmptyWorkload => write!(f, "workload is empty"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, MachineError>;

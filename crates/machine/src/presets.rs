@@ -1,0 +1,50 @@
+//! The two validation platforms from paper Table IV.
+
+use crate::spec::MachineSpec;
+use coloc_memsys::DramSpec;
+
+/// Intel Xeon E5649 (Westmere-EP): 6 cores, 12 MB L3, 1.60–2.53 GHz.
+///
+/// The six P-state frequencies are evenly spread across the range the
+/// paper reports, matching its "six selected P-states" (Table V).
+pub fn xeon_e5649() -> MachineSpec {
+    MachineSpec {
+        name: "Xeon E5649".to_string(),
+        cores: 6,
+        llc_bytes: 12 << 20,
+        llc_ways: 16,
+        pstates_ghz: vec![2.53, 2.35, 2.16, 1.97, 1.78, 1.60],
+        dram: DramSpec::ddr3_1333_triple_channel(),
+    }
+}
+
+/// Intel Xeon E5-2697 v2 (Ivy Bridge-EP): 12 cores, 30 MB L3,
+/// 1.20–2.70 GHz.
+pub fn xeon_e5_2697v2() -> MachineSpec {
+    MachineSpec {
+        name: "Xeon E5-2697v2".to_string(),
+        cores: 12,
+        llc_bytes: 30 << 20,
+        llc_ways: 20,
+        pstates_ghz: vec![2.70, 2.40, 2.10, 1.80, 1.50, 1.20],
+        dram: DramSpec::ddr3_1866_quad_channel(),
+    }
+}
+
+/// All preset machines, in paper order.
+pub fn all() -> Vec<MachineSpec> {
+    vec![xeon_e5649(), xeon_e5_2697v2()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_returns_both_platforms() {
+        let machines = all();
+        assert_eq!(machines.len(), 2);
+        assert_eq!(machines[0].name, "Xeon E5649");
+        assert_eq!(machines[1].name, "Xeon E5-2697v2");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the co-execution engine's invariants.
+
+use coloc_cachesim::StackDistanceDist;
+use coloc_machine::{presets, AppPhase, AppProfile, Machine, RunOptions, RunnerGroup};
+use proptest::prelude::*;
+
+fn app_strategy() -> impl Strategy<Value = AppProfile> {
+    (
+        10u64..200,          // instructions, billions
+        1usize..400,         // working set, thousands of lines
+        0.2f64..1.8,         // locality alpha
+        1e-4f64..0.05,       // churn
+        1e-4f64..0.05,       // accesses per instruction
+        0.5f64..1.5,         // base CPI
+        1.0f64..8.0,         // MLP
+    )
+        .prop_map(|(gi, ws, alpha, churn, apki, cpi, mlp)| {
+            AppProfile::single_phase(
+                "prop",
+                gi as f64 * 1e9,
+                AppPhase {
+                    weight: 1.0,
+                    dist: StackDistanceDist::power_law(ws * 1000, alpha, churn),
+                    accesses_per_instr: apki,
+                    cpi_base: cpi,
+                    mlp,
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation and sanity of counters for arbitrary solo runs.
+    #[test]
+    fn solo_run_counters_are_consistent(app in app_strategy(), pstate in 0usize..6) {
+        let m = Machine::new(presets::xeon_e5649());
+        let out = m.run_solo(&app, &RunOptions { pstate, ..Default::default() }).unwrap();
+        let c = &out.counters[0];
+        // All instructions retired, exactly one completion.
+        prop_assert!((c.instructions - app.instructions).abs() < 1e-3 * app.instructions);
+        prop_assert_eq!(c.completed_runs, 1);
+        // Misses never exceed accesses; counters non-negative.
+        prop_assert!(c.llc_misses <= c.llc_accesses + 1e-9);
+        prop_assert!(c.llc_misses >= 0.0 && c.llc_accesses >= 0.0);
+        // Cycles consistent with wall time and frequency.
+        let freq = m.spec().freq_hz(pstate).unwrap();
+        prop_assert!((c.cycles - out.wall_time_s * freq).abs() < 1.0);
+        // Time is bounded below by pure compute and above by a stall bound.
+        let compute = app.instructions * app.phases[0].cpi_base / freq;
+        prop_assert!(out.wall_time_s >= compute * 0.999);
+        prop_assert!(out.wall_time_s <= compute * 1000.0);
+    }
+
+    /// Co-location never speeds the target up, and the target's solo time
+    /// is a lower bound.
+    #[test]
+    fn co_location_never_helps(
+        target in app_strategy(),
+        co in app_strategy(),
+        n in 1usize..6,
+    ) {
+        let m = Machine::new(presets::xeon_e5649());
+        let solo = m.run_solo(&target, &RunOptions::default()).unwrap();
+        let wl = vec![
+            RunnerGroup::solo(target.clone()),
+            RunnerGroup { app: co, count: n },
+        ];
+        let shared = m.run(&wl, &RunOptions::default()).unwrap();
+        prop_assert!(
+            shared.wall_time_s >= solo.wall_time_s * 0.999,
+            "co-location sped target up: {} vs {}",
+            shared.wall_time_s,
+            solo.wall_time_s
+        );
+        // Target misses can only grow under contention.
+        prop_assert!(
+            shared.counters[0].llc_misses >= solo.counters[0].llc_misses * 0.999
+        );
+    }
+
+    /// Frequency scaling: lower P-states never make anything faster, and
+    /// the slowdown never exceeds the frequency ratio.
+    #[test]
+    fn pstate_scaling_is_bounded(app in app_strategy()) {
+        let m = Machine::new(presets::xeon_e5649());
+        let fast = m.run_solo(&app, &RunOptions::default()).unwrap();
+        let slow = m.run_solo(&app, &RunOptions { pstate: 5, ..Default::default() }).unwrap();
+        let ratio = slow.wall_time_s / fast.wall_time_s;
+        let freq_ratio = 2.53 / 1.60;
+        prop_assert!(ratio >= 0.999, "lower frequency sped things up: {ratio}");
+        prop_assert!(ratio <= freq_ratio * 1.001, "{ratio} > frequency ratio");
+    }
+
+    /// Partitioned-LLC runs conserve the same instruction totals.
+    #[test]
+    fn partitioning_preserves_work(target in app_strategy(), n in 1usize..5) {
+        let m = Machine::new(presets::xeon_e5649());
+        let wl = vec![
+            RunnerGroup::solo(target.clone()),
+            RunnerGroup { app: target.clone(), count: n },
+        ];
+        let parts = m
+            .run(&wl, &RunOptions { llc_partitioned: true, ..Default::default() })
+            .unwrap();
+        prop_assert!(
+            (parts.counters[0].instructions - target.instructions).abs()
+                < 1e-3 * target.instructions
+        );
+        // Equal fixed shares.
+        let slice = m.spec().llc_bytes as f64 / (n + 1) as f64;
+        prop_assert!((parts.avg_llc_share_bytes[0] - slice).abs() < 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! K-fold cross-validation.
+//!
+//! The paper uses repeated random sub-sampling ([`crate::validate::validate`]);
+//! k-fold is the other standard protocol, provided so users can check the
+//! conclusions are protocol-independent (they are — see the core crate's
+//! integration tests). Folds partition the data exactly once, so every
+//! sample is tested exactly once per run.
+
+use crate::metrics::{mpe, nrmse};
+use crate::rng::derive_seed;
+use crate::validate::{PartitionResult, Regressor, ValidationReport};
+use crate::{Dataset, MlError, Result};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Run k-fold cross-validation; returns the same report shape as
+/// [`crate::validate::validate`] with one [`PartitionResult`] per fold.
+pub fn kfold<R, F>(data: &Dataset, k: usize, seed: u64, train: F) -> Result<ValidationReport>
+where
+    R: Regressor,
+    F: Fn(&Dataset, u64) -> Result<R>,
+{
+    if k < 2 {
+        return Err(MlError::BadDataset("k-fold needs k >= 2".into()));
+    }
+    if data.len() < k {
+        return Err(MlError::BadDataset(format!(
+            "{} samples cannot form {k} folds",
+            data.len()
+        )));
+    }
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, 0xF01D));
+    idx.shuffle(&mut rng);
+
+    let mut per_partition = Vec::with_capacity(k);
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let test_idx = &idx[lo..hi];
+        let train_idx: Vec<usize> =
+            idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+        let train_set = data.select(&train_idx);
+        let test_set = data.select(test_idx);
+        let model = train(&train_set, derive_seed(seed, 2_000_000 + fold as u64))?;
+        let train_pred = model.predict_dataset(&train_set);
+        let test_pred = model.predict_dataset(&test_set);
+        per_partition.push(PartitionResult {
+            train_mpe: mpe(&train_pred, train_set.y()),
+            test_mpe: mpe(&test_pred, test_set.y()),
+            train_nrmse: nrmse(&train_pred, train_set.y()),
+            test_nrmse: nrmse(&test_pred, test_set.y()),
+        });
+    }
+    Ok(ValidationReport::from_partitions(per_partition))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearRegression;
+    use coloc_linalg::Mat;
+
+    fn ds(n: usize) -> Dataset {
+        let x = Mat::from_fn(n, 2, |i, j| ((i + 1) as f64 * (j + 1) as f64 * 0.37).sin() * 4.0);
+        let y = (0..n)
+            .map(|i| 50.0 + 2.0 * x[(i, 0)] - x[(i, 1)] + ((i % 7) as f64 - 3.0) * 0.01)
+            .collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn folds_cover_all_samples_once() {
+        let data = ds(103);
+        let report = kfold(&data, 5, 1, |t, _| LinearRegression::fit(t)).unwrap();
+        assert_eq!(report.per_partition.len(), 5);
+        assert!(report.test_mpe < 1.0, "{}", report.test_mpe);
+    }
+
+    #[test]
+    fn agrees_with_random_subsampling_on_stable_data() {
+        let data = ds(200);
+        let kf = kfold(&data, 10, 3, |t, _| LinearRegression::fit(t)).unwrap();
+        let rs = crate::validate::validate(
+            &data,
+            &crate::validate::ValidationConfig { partitions: 10, ..Default::default() },
+            |t, _| LinearRegression::fit(t),
+        )
+        .unwrap();
+        assert!((kf.test_mpe - rs.test_mpe).abs() < 0.5, "{} vs {}", kf.test_mpe, rs.test_mpe);
+    }
+
+    #[test]
+    fn rejects_degenerate_k() {
+        let data = ds(20);
+        assert!(kfold(&data, 1, 0, |t, _| LinearRegression::fit(t)).is_err());
+        assert!(kfold(&data, 21, 0, |t, _| LinearRegression::fit(t)).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = ds(60);
+        let a = kfold(&data, 4, 9, |t, _| LinearRegression::fit(t)).unwrap();
+        let b = kfold(&data, 4, 9, |t, _| LinearRegression::fit(t)).unwrap();
+        assert_eq!(a.test_mpe, b.test_mpe);
+    }
+}

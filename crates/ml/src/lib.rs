@@ -1,0 +1,85 @@
+//! # coloc-ml
+//!
+//! The machine-learning substrate for the IPPS'15 co-location performance
+//! modeling methodology. The paper builds twelve predictive models: six
+//! linear least-squares models (one per feature set A–F, paper Eq. 1) and
+//! six single-hidden-layer neural networks trained with Møller's *scaled
+//! conjugate gradient* method. This crate provides those learners plus the
+//! surrounding apparatus:
+//!
+//! * [`dataset::Dataset`] — feature matrix + target vector with seeded
+//!   splits.
+//! * [`scaler::Standardizer`] — z-score feature/target scaling (the feature
+//!   columns span orders of magnitude; see paper Table III).
+//! * [`linear::LinearRegression`] — QR least squares with optional ridge.
+//! * [`mlp::Mlp`] — multilayer perceptron with tanh hidden units.
+//! * [`scg`] — the scaled conjugate gradient optimizer (Møller 1993), the
+//!   method the paper names for determining network coefficients (§III-D).
+//! * [`pca::Pca`] — principal component analysis used to rank the eight
+//!   candidate features (§III-B).
+//! * [`metrics`] — Mean Percentage Error (Eq. 2) and Normalized Root Mean
+//!   Squared Error (Eq. 3).
+//! * [`mod@validate`] — repeated random sub-sampling validation: 70/30 splits,
+//!   100 partitions, averaged train/test error (§IV-B4).
+//!
+//! Every stochastic routine takes an explicit seed; results are
+//! reproducible bit-for-bit.
+
+pub mod dataset;
+pub mod importance;
+pub mod kfold;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod pca;
+pub mod poly;
+pub mod rng;
+pub mod scaler;
+pub mod scg;
+pub mod validate;
+
+pub use dataset::Dataset;
+pub use importance::{permutation_importance, FeatureImportance};
+pub use kfold::kfold;
+pub use linear::LinearRegression;
+pub use metrics::{mae, mpe, nrmse, r_squared, rmse};
+pub use mlp::{Mlp, MlpConfig};
+pub use pca::Pca;
+pub use poly::QuadraticRegression;
+pub use scaler::Standardizer;
+pub use validate::{validate, Regressor, ValidationReport};
+
+/// Errors produced by learners and validators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Dataset shapes disagree or the dataset is empty/too small.
+    BadDataset(String),
+    /// The underlying linear-algebra routine failed.
+    Linalg(coloc_linalg::LinalgError),
+    /// The optimizer did not reach the requested tolerance.
+    NoConvergence { iterations: usize, grad_norm: f64 },
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::BadDataset(s) => write!(f, "bad dataset: {s}"),
+            MlError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            MlError::NoConvergence { iterations, grad_norm } => write!(
+                f,
+                "optimizer did not converge after {iterations} iterations (|g| = {grad_norm:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<coloc_linalg::LinalgError> for MlError {
+    fn from(e: coloc_linalg::LinalgError) -> Self {
+        MlError::Linalg(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, MlError>;

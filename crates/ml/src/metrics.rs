@@ -1,0 +1,156 @@
+//! Prediction-accuracy metrics.
+//!
+//! The paper evaluates all twelve models with two metrics (§III-E):
+//!
+//! * **Mean Percentage Error** (Eq. 2) — the mean of `|pred − actual| /
+//!   actual`, as a percentage. Magnitude-independent, which matters because
+//!   actual execution times range from ~150 s to over 1000 s.
+//! * **Normalized Root Mean Squared Error** (Eq. 3) — RMSE as a percentage
+//!   of the range of actual values, indicating prediction variance.
+//!
+//! `r_squared` and `mae` are provided as supplementary diagnostics.
+
+/// Mean Percentage Error (paper Eq. 2), in percent.
+///
+/// `100/M × Σ |predᵢ − actualᵢ| / actualᵢ`. Panics in debug builds on
+/// length mismatch; returns NaN if any actual value is zero.
+pub fn mpe(predicted: &[f64], actual: &[f64]) -> f64 {
+    debug_assert_eq!(predicted.len(), actual.len());
+    if actual.is_empty() {
+        return f64::NAN;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| ((p - a) / a).abs())
+        .sum();
+    100.0 * sum / actual.len() as f64
+}
+
+/// Root Mean Squared Error.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    debug_assert_eq!(predicted.len(), actual.len());
+    if actual.is_empty() {
+        return f64::NAN;
+    }
+    let ss: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a).powi(2)).sum();
+    (ss / actual.len() as f64).sqrt()
+}
+
+/// Normalized Root Mean Squared Error (paper Eq. 3), in percent:
+/// `100 × RMSE / (max(actual) − min(actual))`.
+///
+/// Returns NaN when the actual values have zero range.
+pub fn nrmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    let range = coloc_linalg::vecops::max(actual) - coloc_linalg::vecops::min(actual);
+    if range <= 0.0 {
+        return f64::NAN;
+    }
+    100.0 * rmse(predicted, actual) / range
+}
+
+/// Mean Absolute Error.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    debug_assert_eq!(predicted.len(), actual.len());
+    if actual.is_empty() {
+        return f64::NAN;
+    }
+    predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Coefficient of determination R². 1 is perfect; 0 matches predicting the
+/// mean; negative is worse than the mean.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    debug_assert_eq!(predicted.len(), actual.len());
+    let mean = coloc_linalg::vecops::mean(actual);
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean).powi(2)).sum();
+    let ss_res: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return f64::NAN;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Signed percent errors `100 × (pred − actual)/actual` per sample — the
+/// quantity whose per-application distribution the paper plots in Fig. 5b.
+pub fn percent_errors(predicted: &[f64], actual: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(predicted.len(), actual.len());
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| 100.0 * (p - a) / a)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let a = [100.0, 200.0, 300.0];
+        assert_eq!(mpe(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(nrmse(&a, &a), 0.0);
+        assert_eq!(mae(&a, &a), 0.0);
+        assert_eq!(r_squared(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn mpe_known_value() {
+        // 10% high and 10% low -> MPE 10%.
+        let p = [110.0, 180.0];
+        let a = [100.0, 200.0];
+        assert!((mpe(&p, &a) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_is_magnitude_independent() {
+        let p1 = [110.0];
+        let a1 = [100.0];
+        let p2 = [1100.0];
+        let a2 = [1000.0];
+        assert!((mpe(&p1, &a1) - mpe(&p2, &a2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let p = [1.0, 2.0, 3.0];
+        let a = [1.0, 2.0, 6.0];
+        assert!((rmse(&p, &a) - 3.0 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_normalizes_by_range() {
+        let p = [10.0, 20.0];
+        let a = [12.0, 22.0]; // rmse = 2, range = 10 -> 20%
+        assert!((nrmse(&p, &a) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_zero_range_is_nan() {
+        assert!(nrmse(&[1.0, 1.0], &[5.0, 5.0]).is_nan());
+    }
+
+    #[test]
+    fn r_squared_of_mean_prediction_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r_squared(&p, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_errors_signed() {
+        let pe = percent_errors(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((pe[0] - 10.0).abs() < 1e-12);
+        assert!((pe[1] + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(mpe(&[], &[]).is_nan());
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(mae(&[], &[]).is_nan());
+    }
+}

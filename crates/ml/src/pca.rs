@@ -1,0 +1,179 @@
+//! Principal component analysis for feature ranking.
+//!
+//! The paper (§III-B) chose its eight model features by running a PCA over
+//! everything the performance counters could measure and ranking features
+//! by how much output variance they carry. [`Pca`] reproduces that
+//! workflow: fit on a (standardized) sample matrix, inspect explained
+//! variance per component, and rank original features by their total
+//! loading across the dominant components.
+
+use crate::scaler::Standardizer;
+use crate::{MlError, Result};
+use coloc_linalg::stats::covariance;
+use coloc_linalg::{Mat, SymmetricEigen};
+
+/// A fitted PCA: principal directions of the standardized feature space.
+pub struct Pca {
+    scaler: Standardizer,
+    /// Component loadings, one component per column, descending variance.
+    components: Mat,
+    /// Variance along each component, descending.
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit to the rows of `x` (samples × features). Features are z-scored
+    /// internally so disparate scales don't dominate the decomposition.
+    pub fn fit(x: &Mat) -> Result<Pca> {
+        if x.rows() < 2 {
+            return Err(MlError::BadDataset("PCA needs >= 2 samples".into()));
+        }
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let cov = covariance(&z)?;
+        let eig = SymmetricEigen::new(&cov)?;
+        Ok(Pca {
+            scaler,
+            components: eig.vectors,
+            explained_variance: eig.values.iter().map(|&v| v.max(0.0)).collect(),
+        })
+    }
+
+    /// Number of components (= number of input features).
+    pub fn num_components(&self) -> usize {
+        self.explained_variance.len()
+    }
+
+    /// Variance captured by each component, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance captured by each component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.explained_variance.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.explained_variance.len()];
+        }
+        self.explained_variance.iter().map(|v| v / total).collect()
+    }
+
+    /// Loadings of original feature `f` on component `c`.
+    pub fn loading(&self, feature: usize, component: usize) -> f64 {
+        self.components[(feature, component)]
+    }
+
+    /// Project one raw sample onto the first `k` components.
+    pub fn project(&self, sample: &[f64], k: usize) -> Vec<f64> {
+        let mut z = sample.to_vec();
+        self.scaler.transform_row(&mut z);
+        (0..k.min(self.num_components()))
+            .map(|c| {
+                (0..z.len()).map(|f| z[f] * self.components[(f, c)]).sum()
+            })
+            .collect()
+    }
+
+    /// Rank original features by importance: each feature's score is its
+    /// squared loading on the *dominant* components (the fewest needed to
+    /// explain 90% of total variance), weighted by each component's
+    /// explained variance. Restricting to the dominant subspace matters:
+    /// over all components the weighted squared loadings of a standardized
+    /// feature always sum to its unit variance, so the full sum cannot
+    /// discriminate. Returns `(feature_index, score)` descending — the
+    /// ranking the paper used to pick its eight features (§III-B).
+    pub fn feature_ranking(&self) -> Vec<(usize, f64)> {
+        self.feature_ranking_with_coverage(0.90)
+    }
+
+    /// [`Pca::feature_ranking`] with an explicit variance-coverage target
+    /// in `(0, 1]` for selecting the dominant components.
+    pub fn feature_ranking_with_coverage(&self, coverage: f64) -> Vec<(usize, f64)> {
+        let n = self.num_components();
+        let evr = self.explained_variance_ratio();
+        let mut k = 0;
+        let mut covered = 0.0;
+        while k < n && covered < coverage.clamp(f64::MIN_POSITIVE, 1.0) {
+            covered += evr[k];
+            k += 1;
+        }
+        let k = k.max(1).min(n);
+        let mut scores: Vec<(usize, f64)> = (0..n)
+            .map(|f| {
+                let s = (0..k)
+                    .map(|c| self.components[(f, c)].powi(2) * self.explained_variance[c])
+                    .sum();
+                (f, s)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite PCA scores"));
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two informative (nearly collinear) dimensions + one constant
+    /// dimension. Note the constant — not merely *small* — choice: PCA here
+    /// standardizes its inputs, so any column with nonzero variance gets
+    /// unit scale and carries a full component of its own; only a
+    /// variance-free column is genuinely uninformative.
+    fn structured_data(n: usize) -> Mat {
+        Mat::from_fn(n, 3, |i, j| {
+            let t = i as f64 / n as f64 * 6.28;
+            match j {
+                0 => t.sin() * 10.0,
+                1 => t.sin() * 10.0 + t.cos() * 0.5, // nearly collinear with 0
+                _ => 3.14,                           // constant
+            }
+        })
+    }
+
+    #[test]
+    fn first_component_dominates_collinear_data() {
+        let pca = Pca::fit(&structured_data(200)).unwrap();
+        let evr = pca.explained_variance_ratio();
+        assert!(evr[0] > 0.6, "evr = {evr:?}");
+        assert!((evr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Descending order.
+        for w in evr.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_dimensionality() {
+        let pca = Pca::fit(&structured_data(50)).unwrap();
+        assert_eq!(pca.project(&[1.0, 2.0, 3.0], 2).len(), 2);
+        assert_eq!(pca.project(&[1.0, 2.0, 3.0], 99).len(), 3);
+    }
+
+    #[test]
+    fn projections_onto_distinct_components_are_uncorrelated() {
+        let x = structured_data(300);
+        let pca = Pca::fit(&x).unwrap();
+        let projs: Vec<Vec<f64>> = (0..x.rows()).map(|i| pca.project(x.row(i), 3)).collect();
+        let c0: Vec<f64> = projs.iter().map(|p| p[0]).collect();
+        let c1: Vec<f64> = projs.iter().map(|p| p[1]).collect();
+        let m0 = coloc_linalg::vecops::mean(&c0);
+        let m1 = coloc_linalg::vecops::mean(&c1);
+        let cov: f64 = c0.iter().zip(&c1).map(|(a, b)| (a - m0) * (b - m1)).sum::<f64>()
+            / (c0.len() - 1) as f64;
+        assert!(cov.abs() < 1e-8, "cov = {cov}");
+    }
+
+    #[test]
+    fn ranking_puts_informative_features_first() {
+        let pca = Pca::fit(&structured_data(200)).unwrap();
+        let ranking = pca.feature_ranking();
+        // Noise feature (index 2) must rank last.
+        assert_eq!(ranking.last().unwrap().0, 2, "{ranking:?}");
+    }
+
+    #[test]
+    fn needs_two_samples() {
+        assert!(Pca::fit(&Mat::zeros(1, 3)).is_err());
+    }
+}

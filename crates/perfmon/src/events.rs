@@ -1,0 +1,92 @@
+//! Event sets: groups of presets measured together, PAPI-workflow style.
+
+use crate::preset::Preset;
+use crate::{PerfmonError, Result};
+
+/// An ordered set of presets to measure in one profiling run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventSet {
+    presets: Vec<Preset>,
+}
+
+impl EventSet {
+    /// An empty event set.
+    pub fn new() -> EventSet {
+        EventSet { presets: Vec::new() }
+    }
+
+    /// The standard four-counter set the methodology uses.
+    pub fn methodology() -> EventSet {
+        EventSet { presets: Preset::METHODOLOGY_SET.to_vec() }
+    }
+
+    /// Add a preset; rejects duplicates (matching PAPI semantics).
+    pub fn add(&mut self, preset: Preset) -> Result<()> {
+        if self.presets.contains(&preset) {
+            return Err(PerfmonError::DuplicatePreset(preset));
+        }
+        self.presets.push(preset);
+        Ok(())
+    }
+
+    /// Remove a preset if present; returns whether it was there.
+    pub fn remove(&mut self, preset: Preset) -> bool {
+        let before = self.presets.len();
+        self.presets.retain(|&p| p != preset);
+        self.presets.len() != before
+    }
+
+    /// Presets in insertion order.
+    pub fn presets(&self) -> &[Preset] {
+        &self.presets
+    }
+
+    /// Number of presets.
+    pub fn len(&self) -> usize {
+        self.presets.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.presets.is_empty()
+    }
+
+    /// Whether the set contains a preset.
+    pub fn contains(&self, preset: Preset) -> bool {
+        self.presets.contains(&preset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_remove() {
+        let mut es = EventSet::new();
+        assert!(es.is_empty());
+        es.add(Preset::TotIns).unwrap();
+        es.add(Preset::LlcTcm).unwrap();
+        assert_eq!(es.len(), 2);
+        assert!(es.contains(Preset::TotIns));
+        assert!(es.remove(Preset::TotIns));
+        assert!(!es.remove(Preset::TotIns));
+        assert_eq!(es.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut es = EventSet::new();
+        es.add(Preset::TotCyc).unwrap();
+        assert_eq!(es.add(Preset::TotCyc), Err(PerfmonError::DuplicatePreset(Preset::TotCyc)));
+    }
+
+    #[test]
+    fn methodology_set_has_all_four() {
+        let es = EventSet::methodology();
+        assert_eq!(es.len(), 4);
+        for p in Preset::METHODOLOGY_SET {
+            assert!(es.contains(p));
+        }
+    }
+}

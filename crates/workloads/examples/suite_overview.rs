@@ -1,0 +1,33 @@
+//! Print the suite's measured solo characteristics on both machines —
+//! handy when recalibrating workload parameters.
+
+use coloc_machine::{presets, Machine, RunOptions};
+use coloc_workloads::standard;
+
+fn main() {
+    for spec in [presets::xeon_e5649(), presets::xeon_e5_2697v2()] {
+        let machine = Machine::new(spec);
+        println!("== {} ==", machine.spec().name);
+        println!(
+            "{:<14} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            "app", "class", "MI", "CM/CA", "CA/INS", "t@P0 (s)", "t@P5 (s)"
+        );
+        for b in standard() {
+            let top = machine.run_solo(&b.app, &RunOptions::default()).unwrap();
+            let low = machine
+                .run_solo(&b.app, &RunOptions { pstate: 5, ..Default::default() })
+                .unwrap();
+            let c = &top.counters[0];
+            println!(
+                "{:<14} {:>6} {:>10.3e} {:>10.4} {:>10.5} {:>9.0} {:>9.0}",
+                b.name,
+                b.class.label().trim_start_matches("Class "),
+                c.memory_intensity(),
+                c.miss_ratio(),
+                c.access_ratio(),
+                top.wall_time_s,
+                low.wall_time_s
+            );
+        }
+    }
+}

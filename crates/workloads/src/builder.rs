@@ -1,0 +1,189 @@
+//! A fluent builder for custom synthetic workloads.
+//!
+//! The methodology is "general enough to be applicable to any set of
+//! applications" (paper §I); this builder is how a user brings their own.
+//! Specify the working set and access behaviour in natural units (bytes,
+//! accesses per kilo-instruction, seconds of intended solo runtime) and get
+//! an [`AppProfile`] the simulator and the modeling pipeline accept.
+
+use coloc_machine::cachesim::{StackDistanceDist, LINE_BYTES};
+use coloc_machine::{AppPhase, AppProfile};
+
+/// Builder for a single-phase (or staged multi-phase) synthetic workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    name: String,
+    instructions: f64,
+    phases: Vec<(f64, PhaseSpec)>,
+}
+
+#[derive(Clone, Debug)]
+struct PhaseSpec {
+    working_set_bytes: u64,
+    locality_alpha: f64,
+    churn: f64,
+    apki: f64,
+    cpi_base: f64,
+    mlp: f64,
+}
+
+impl Default for PhaseSpec {
+    fn default() -> Self {
+        PhaseSpec {
+            working_set_bytes: 8 << 20,
+            locality_alpha: 1.0,
+            churn: 0.01,
+            apki: 10.0,
+            cpi_base: 0.9,
+            mlp: 4.0,
+        }
+    }
+}
+
+impl WorkloadBuilder {
+    /// Start a builder for an app named `name` retiring `instructions`
+    /// total instructions.
+    pub fn new(name: impl Into<String>, instructions: f64) -> WorkloadBuilder {
+        WorkloadBuilder { name: name.into(), instructions, phases: vec![(1.0, PhaseSpec::default())] }
+    }
+
+    fn current(&mut self) -> &mut PhaseSpec {
+        &mut self.phases.last_mut().expect("at least one phase").1
+    }
+
+    /// Working-set size in bytes (translated to a reuse span in lines).
+    pub fn working_set_bytes(mut self, bytes: u64) -> Self {
+        self.current().working_set_bytes = bytes.max(LINE_BYTES);
+        self
+    }
+
+    /// Locality exponent: higher = tighter reuse (default 1.0).
+    pub fn locality_alpha(mut self, alpha: f64) -> Self {
+        self.current().locality_alpha = alpha;
+        self
+    }
+
+    /// Fraction of accesses touching brand-new data (streaming churn,
+    /// default 0.01).
+    pub fn churn(mut self, p_new: f64) -> Self {
+        self.current().churn = p_new;
+        self
+    }
+
+    /// LLC accesses per **kilo**-instruction (default 10).
+    pub fn accesses_per_kilo_instr(mut self, apki: f64) -> Self {
+        self.current().apki = apki;
+        self
+    }
+
+    /// Base CPI excluding LLC-miss stalls (default 0.9).
+    pub fn cpi_base(mut self, cpi: f64) -> Self {
+        self.current().cpi_base = cpi;
+        self
+    }
+
+    /// Memory-level parallelism (default 4).
+    pub fn mlp(mut self, mlp: f64) -> Self {
+        self.current().mlp = mlp;
+        self
+    }
+
+    /// Close the current phase at `weight` fraction of instructions and
+    /// open a new one (inheriting the previous phase's settings).
+    pub fn then_phase(mut self, weight_so_far: f64) -> Self {
+        let spec = self.phases.last().expect("phase").1.clone();
+        self.phases.last_mut().expect("phase").0 = weight_so_far;
+        self.phases.push((0.0, spec));
+        self
+    }
+
+    /// Build the profile. Phase weights are normalized; the final phase
+    /// absorbs the remainder.
+    ///
+    /// # Panics
+    /// Panics if the resulting profile fails validation (zero instructions,
+    /// non-positive weights…).
+    pub fn build(mut self) -> AppProfile {
+        // Final phase weight = remainder.
+        let assigned: f64 = self.phases[..self.phases.len() - 1].iter().map(|(w, _)| w).sum();
+        self.phases.last_mut().expect("phase").0 = (1.0 - assigned).max(0.0);
+        let phases = self
+            .phases
+            .iter()
+            .filter(|(w, _)| *w > 0.0)
+            .map(|(w, s)| AppPhase {
+                weight: *w,
+                dist: StackDistanceDist::power_law(
+                    (s.working_set_bytes / LINE_BYTES).max(1) as usize,
+                    s.locality_alpha,
+                    s.churn,
+                ),
+                accesses_per_instr: s.apki / 1000.0,
+                cpi_base: s.cpi_base,
+                mlp: s.mlp,
+            })
+            .collect();
+        let app = AppProfile { name: self.name, instructions: self.instructions, phases };
+        app.validate().unwrap_or_else(|e| panic!("WorkloadBuilder produced invalid profile: {e}"));
+        app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_is_valid() {
+        let app = WorkloadBuilder::new("custom", 1e9).build();
+        app.validate().unwrap();
+        assert_eq!(app.phases.len(), 1);
+        assert_eq!(app.phases[0].weight, 1.0);
+        assert!((app.phases[0].accesses_per_instr - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settings_are_applied() {
+        let app = WorkloadBuilder::new("w", 5e9)
+            .working_set_bytes(64 << 20)
+            .locality_alpha(0.5)
+            .churn(0.05)
+            .accesses_per_kilo_instr(25.0)
+            .cpi_base(1.2)
+            .mlp(6.0)
+            .build();
+        let p = &app.phases[0];
+        assert_eq!(p.dist.reuse_span, (64 << 20) / 64);
+        assert_eq!(p.dist.alpha, 0.5);
+        assert_eq!(p.dist.p_new, 0.05);
+        assert!((p.accesses_per_instr - 0.025).abs() < 1e-12);
+        assert_eq!(p.cpi_base, 1.2);
+        assert_eq!(p.mlp, 6.0);
+    }
+
+    #[test]
+    fn multi_phase_weights_normalize() {
+        let app = WorkloadBuilder::new("w", 1e9)
+            .working_set_bytes(1 << 20)
+            .then_phase(0.3)
+            .working_set_bytes(100 << 20)
+            .build();
+        assert_eq!(app.phases.len(), 2);
+        assert!((app.phases[0].weight - 0.3).abs() < 1e-12);
+        assert!((app.phases[1].weight - 0.7).abs() < 1e-12);
+        assert!(app.phases[1].dist.reuse_span > app.phases[0].dist.reuse_span);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_working_set_clamps_to_one_line() {
+        let app = WorkloadBuilder::new("w", 1e9).working_set_bytes(1).build();
+        assert_eq!(app.phases[0].dist.reuse_span, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid profile")]
+    fn zero_instructions_panics() {
+        WorkloadBuilder::new("w", 0.0).build();
+    }
+}

@@ -1,0 +1,101 @@
+//! Calibration tests: the suite's *measured* solo behaviour on the
+//! simulated Xeon E5649 must match what Table III documents. These tests
+//! are the contract between the workload parameters and the paper's
+//! experimental setup — if a profile drifts out of its class band, the
+//! downstream experiments stop resembling the paper's.
+
+use coloc_machine::{presets, Machine, RunOptions};
+use coloc_workloads::{standard, MemoryClass};
+
+#[test]
+fn each_app_lands_in_its_documented_class_band() {
+    let machine = Machine::new(presets::xeon_e5649());
+    for b in standard() {
+        let out = machine.run_solo(&b.app, &RunOptions::default()).unwrap();
+        let mi = out.counters[0].memory_intensity();
+        let measured_class = MemoryClass::classify(mi);
+        assert_eq!(
+            measured_class, b.class,
+            "{}: measured MI {:.3e} classifies as {measured_class}, documented {}",
+            b.name, mi, b.class
+        );
+    }
+}
+
+#[test]
+fn baseline_times_span_the_papers_range() {
+    // Paper §III-E: actual values range from ~150 s to over 1000 s across
+    // apps and P-states. Check the suite spreads over that kind of range.
+    let machine = Machine::new(presets::xeon_e5649());
+    let mut fastest = f64::INFINITY;
+    let mut slowest = 0.0f64;
+    for b in standard() {
+        let top = machine.run_solo(&b.app, &RunOptions::default()).unwrap().wall_time_s;
+        let low = machine
+            .run_solo(&b.app, &RunOptions { pstate: 5, ..Default::default() })
+            .unwrap()
+            .wall_time_s;
+        assert!(low > top, "{}: P5 should be slower", b.name);
+        fastest = fastest.min(top);
+        slowest = slowest.max(low);
+        assert!(
+            (100.0..2000.0).contains(&top),
+            "{}: baseline {top:.0}s out of plausible range",
+            b.name
+        );
+    }
+    assert!(fastest < 400.0, "fastest baseline {fastest:.0}s");
+    assert!(slowest > 500.0, "slowest baseline {slowest:.0}s");
+}
+
+#[test]
+fn classes_are_ordered_by_measured_intensity() {
+    let machine = Machine::new(presets::xeon_e5649());
+    let mut by_class: Vec<(MemoryClass, f64)> = standard()
+        .iter()
+        .map(|b| {
+            let mi = machine
+                .run_solo(&b.app, &RunOptions::default())
+                .unwrap()
+                .counters[0]
+                .memory_intensity();
+            (b.class, mi)
+        })
+        .collect();
+    by_class.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    // Sorted by measured MI descending, the class sequence must be
+    // non-decreasing (I, I, …, II, …, III, …, IV).
+    for w in by_class.windows(2) {
+        assert!(
+            w[0].0 <= w[1].0,
+            "intensity ordering violates class ordering: {by_class:?}"
+        );
+    }
+}
+
+#[test]
+fn memory_intensity_is_portable_across_machines() {
+    // Paper §IV-B1: "memory intensity values do not vary widely between
+    // the machines we tested" — class membership must be machine-invariant.
+    let small = Machine::new(presets::xeon_e5649());
+    let big = Machine::new(presets::xeon_e5_2697v2());
+    for b in standard() {
+        let mi_small = small
+            .run_solo(&b.app, &RunOptions::default())
+            .unwrap()
+            .counters[0]
+            .memory_intensity();
+        let mi_big = big
+            .run_solo(&b.app, &RunOptions::default())
+            .unwrap()
+            .counters[0]
+            .memory_intensity();
+        assert_eq!(
+            MemoryClass::classify(mi_big),
+            b.class,
+            "{}: MI {mi_big:.3e} on 12-core leaves band ({} on 6-core: {mi_small:.3e})",
+            b.name,
+            b.class
+        );
+    }
+}

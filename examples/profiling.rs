@@ -1,0 +1,54 @@
+//! Performance-counter profiling with the PAPI-like portable API.
+//!
+//! Shows the measurement layer the methodology is built on: event sets,
+//! flat profiles, derived metrics, and memory-intensity classification —
+//! the paper's §IV workflow, independent of any prediction model.
+//!
+//! Run with: `cargo run --release --example profiling`
+
+use coloc::machine::{presets, Machine, RunOptions, RunnerGroup};
+use coloc::perfmon::{EventSet, FlatProfiler, Preset};
+use coloc::workloads::{standard, MemoryClass};
+
+fn main() {
+    let machine = Machine::new(presets::xeon_e5_2697v2());
+    let profiler = FlatProfiler::new(&machine, EventSet::methodology());
+
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>10}",
+        "app", "PAPI_TOT_INS", "PAPI_LLC_TCM", "mem.intens.", "class"
+    );
+    println!("{}", "-".repeat(70));
+    for b in standard() {
+        let p = profiler
+            .profile_solo(&b.app, &RunOptions::default())
+            .expect("solo profile");
+        let d = p.derived();
+        println!(
+            "{:<14} {:>14.3e} {:>14.3e} {:>12.3e} {:>10}",
+            b.name,
+            p.value(Preset::TotIns).unwrap(),
+            p.value(Preset::LlcTcm).unwrap(),
+            d.memory_intensity,
+            MemoryClass::classify(d.memory_intensity)
+        );
+    }
+
+    // Counters under co-location: canneal's misses inflate as cg neighbours
+    // squeeze it out of the shared LLC.
+    println!("\ncanneal LLC misses vs. number of co-located cg instances:");
+    let canneal = standard().into_iter().find(|b| b.name == "canneal").unwrap();
+    let cg = standard().into_iter().find(|b| b.name == "cg").unwrap();
+    for n in [0usize, 2, 5, 8, 11] {
+        let mut wl = vec![RunnerGroup::solo(canneal.app.clone())];
+        if n > 0 {
+            wl.push(RunnerGroup { app: cg.app.clone(), count: n });
+        }
+        let p = profiler.profile(&wl, &RunOptions::default()).expect("profile");
+        println!(
+            "  {n:>2} co-runners: {:>12.3e} misses, {:>6.1} s",
+            p.value(Preset::LlcTcm).unwrap(),
+            p.wall_time_s
+        );
+    }
+}

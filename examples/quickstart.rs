@@ -1,0 +1,56 @@
+//! Quickstart: train a co-location performance model and predict.
+//!
+//! This walks the full methodology end to end on the 6-core Xeon E5649:
+//! baseline profiling, training-data collection, model training, and
+//! prediction for scenarios the model never saw.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use coloc::machine::presets;
+use coloc::model::{FeatureSet, Lab, ModelKind, Predictor, Scenario, TrainingPlan};
+use coloc::workloads::standard;
+
+fn main() {
+    // A lab = a machine + a benchmark suite + a seed for measurement noise.
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 42);
+
+    // 1. Baselines: one solo profiling pass per application.
+    println!("collecting baselines for {} applications…", lab.suite().len());
+    let db = lab.baselines();
+    let canneal = db.get("canneal").expect("canneal in suite");
+    println!(
+        "canneal: baseline {:.0}s at P0, memory intensity {:.2e}",
+        canneal.exec_time_s[0], canneal.memory_intensity
+    );
+
+    // 2. Training data: a thinned version of the paper's Table V sweep
+    //    (use `lab.paper_plan()` for the full 1320-run sweep).
+    let plan = TrainingPlan { counts: vec![1, 3, 5], ..lab.paper_plan() }.thinned(2, 1);
+    println!("collecting {} training runs…", plan.len());
+    let samples = lab.collect(&plan).expect("training sweep");
+
+    // 3. Train the paper's best model: a neural network on feature set F.
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 7)
+        .expect("training succeeds");
+
+    // 4. Predict scenarios that were never measured (count 4 and a
+    //    co-runner outside the training plan's counts).
+    println!("\n{:<34} {:>10} {:>10} {:>8}", "scenario", "actual(s)", "pred(s)", "err(%)");
+    for sc in [
+        Scenario::homogeneous("canneal", "cg", 2, 0),
+        Scenario::homogeneous("canneal", "cg", 4, 0),
+        Scenario::homogeneous("bodytrack", "sp", 4, 3),
+        Scenario::homogeneous("ft", "fluidanimate", 2, 1),
+    ] {
+        let features = lab.featurize(&sc).expect("featurize");
+        let predicted = nn.predict(&features);
+        let actual = lab.run_scenario(&sc).expect("measure");
+        println!(
+            "{:<34} {:>10.1} {:>10.1} {:>8.2}",
+            sc.label(),
+            actual,
+            predicted,
+            100.0 * (predicted - actual).abs() / actual
+        );
+    }
+}

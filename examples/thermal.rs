@@ -1,0 +1,65 @@
+//! Thermal throttling: why P-states change underneath a resource manager.
+//!
+//! The paper's §IV-A4 notes that "processor P-states are likely to change
+//! in high performance computing systems based on the system's need to
+//! reduce power or temperature" — which is exactly why the models take
+//! the target's baseline time *per P-state*. This example closes the loop:
+//! a thermal RC model plus a throttle governor produce a realistic
+//! time-varying P-state trace, and the prediction models supply the
+//! per-P-state execution-time inputs a throttling-aware scheduler needs.
+//!
+//! Run with: `cargo run --release --example thermal`
+
+use coloc::machine::governor::{run_throttled, GovernorConfig, ThermalModel};
+use coloc::machine::{presets, Machine, RunOptions};
+use coloc::model::energy::PowerModel;
+use coloc::workloads::by_name;
+
+fn main() {
+    let machine = Machine::new(presets::xeon_e5649());
+    let spec = machine.spec().clone();
+    let app = by_name("blackscholes").expect("in suite").app;
+
+    // Socket power per P-state from the energy extension's model, scaled up
+    // to a fully-loaded, poorly-cooled node so throttling actually occurs.
+    let pm = PowerModel { static_w: 80.0, core_dynamic_w: 25.0, exponent: 3.0 };
+    let power = |p: usize| pm.socket_power_w(&spec, p, spec.cores);
+
+    let thermal = ThermalModel { theta_c_per_w: 0.35, tau_s: 12.0, ambient_c: 38.0 };
+    let gov = GovernorConfig { throttle_at_c: 85.0, hysteresis_c: 6.0, interval_s: 0.5 };
+
+    println!("steady-state temperature per P-state (cap = {} degC):", gov.throttle_at_c);
+    for p in 0..spec.num_pstates() {
+        println!(
+            "  P{p} ({:.2} GHz): {:>6.1} W -> {:>5.1} degC",
+            spec.pstates_ghz[p],
+            power(p),
+            thermal.steady_state_c(power(p))
+        );
+    }
+
+    let out = run_throttled(&machine, &app, power, &thermal, &gov).expect("throttled run");
+    println!("\nthermally-governed run of {}:", app.name);
+    println!("  wall time: {:.1} s (P0-only would be {:.1} s)", out.wall_time_s, {
+        let p0 = machine.run_solo(&app, &RunOptions::default()).expect("p0");
+        p0.wall_time_s
+    });
+    println!("  peak temperature: {:.1} degC", out.peak_temp_c);
+    println!("  governor transitions: {}", out.transitions());
+    println!("  time per P-state:");
+    for p in 0..spec.num_pstates() {
+        let t = out.time_at(p);
+        if t > 0.0 {
+            let bar = "#".repeat((t / out.wall_time_s * 40.0).round() as usize);
+            println!("    P{p}: {t:>7.1} s {bar}");
+        }
+    }
+    println!(
+        "\nFirst residencies: {:?}",
+        &out.residencies[..out.residencies.len().min(6)]
+    );
+    println!(
+        "\nA co-location-aware scheduler would combine this P-state trace with\n\
+         the per-P-state baseExTime features the models already consume."
+    );
+}

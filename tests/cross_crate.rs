@@ -1,0 +1,107 @@
+//! Cross-crate consistency: the same quantities measured through different
+//! layers (engine counters, perfmon profiles, lab baselines, cache models)
+//! must agree.
+
+use coloc::cachesim::{shared_occupancy, SharedApp};
+use coloc::machine::{presets, Machine, RunOptions, RunnerGroup};
+use coloc::perfmon::{EventSet, FlatProfiler, Preset};
+use coloc::model::{Feature, Lab, Scenario};
+use coloc::workloads::{standard, by_name};
+
+#[test]
+fn profiler_counters_equal_engine_counters() {
+    let machine = Machine::new(presets::xeon_e5649());
+    let app = by_name("canneal").unwrap().app;
+    let opts = RunOptions::default();
+
+    let outcome = machine.run_solo(&app, &opts).unwrap();
+    let profiler = FlatProfiler::new(&machine, EventSet::methodology());
+    let profile = profiler.profile_solo(&app, &opts).unwrap();
+
+    assert_eq!(profile.value(Preset::TotIns).unwrap(), outcome.counters[0].instructions);
+    assert_eq!(profile.value(Preset::LlcTcm).unwrap(), outcome.counters[0].llc_misses);
+    assert_eq!(profile.value(Preset::LlcTca).unwrap(), outcome.counters[0].llc_accesses);
+    assert_eq!(profile.wall_time_s, outcome.wall_time_s);
+    assert_eq!(profile.derived().memory_intensity, outcome.counters[0].memory_intensity());
+}
+
+#[test]
+fn lab_baselines_equal_direct_profiling() {
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 42);
+    let db = lab.baselines();
+    let sp = db.get("sp").unwrap();
+    // Re-measure through the lab's scenario path at P0 — must match the
+    // recorded baseline exactly (same derived seed stream).
+    let t = lab.run_scenario(&Scenario::solo("sp", 0)).unwrap();
+    // Different noise stream -> close but not necessarily equal.
+    assert!((t - sp.exec_time_s[0]).abs() / sp.exec_time_s[0] < 0.05);
+}
+
+#[test]
+fn featurized_num_coapp_matches_scenario_arithmetic() {
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 42);
+    for n in 1..=5 {
+        let sc = Scenario::homogeneous("ft", "sp", n, 0);
+        let f = lab.featurize(&sc).unwrap();
+        assert_eq!(f[Feature::NumCoApp.index()], n as f64);
+        // coApp sums scale linearly in n for homogeneous co-location.
+        let f1 = lab.featurize(&Scenario::homogeneous("ft", "sp", 1, 0)).unwrap();
+        let ratio = f[Feature::CoAppMem.index()] / f1[Feature::CoAppMem.index()];
+        assert!((ratio - n as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn engine_miss_rates_track_standalone_occupancy_model() {
+    // The engine's internal contention solver and the cachesim occupancy
+    // model must agree on who suffers: run canneal+4cg on the engine and
+    // compare the *direction* with a direct shared_occupancy solve.
+    let machine = Machine::new(presets::xeon_e5649());
+    let canneal = by_name("canneal").unwrap().app;
+    let cg = by_name("cg").unwrap().app;
+
+    let solo = machine.run_solo(&canneal, &RunOptions::default()).unwrap();
+    let shared = machine
+        .run(
+            &[
+                RunnerGroup::solo(canneal.clone()),
+                RunnerGroup { app: cg.clone(), count: 4 },
+            ],
+            &RunOptions::default(),
+        )
+        .unwrap();
+    let mr_solo = solo.counters[0].miss_ratio();
+    let mr_shared = shared.counters[0].miss_ratio();
+    assert!(mr_shared > mr_solo, "{mr_shared} vs {mr_solo}");
+
+    // Direct occupancy solve at representative access rates.
+    let llc = machine.spec().llc_bytes;
+    let apps: Vec<SharedApp> = std::iter::once(&canneal)
+        .chain(std::iter::repeat_n(&cg, 4))
+        .map(|a| SharedApp {
+            access_rate: a.phases[0].accesses_per_instr,
+            mrc: a.phases[0].mrc(),
+        })
+        .collect();
+    let sol = shared_occupancy(llc, &apps);
+    let solo_mr_model = canneal.phases[0].mrc().miss_rate(llc);
+    assert!(
+        sol.miss_rates[0] > solo_mr_model,
+        "occupancy model: shared {} vs solo {}",
+        sol.miss_rates[0],
+        solo_mr_model
+    );
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // Spot-check that every façade module is reachable from `coloc`.
+    let _ = coloc::linalg::Mat::identity(2);
+    let _ = coloc::ml::rng::derive_seed(1, 2);
+    let _ = coloc::memsys::DramSpec::ddr3_1333_triple_channel();
+    let _ = coloc::cachesim::StackDistanceDist::uniform(4, 0.1);
+    let _ = coloc::machine::presets::xeon_e5649();
+    let _ = coloc::perfmon::Preset::TotIns;
+    let _ = coloc::workloads::MemoryClass::I;
+    let _ = coloc::model::FeatureSet::F;
+}

@@ -1,0 +1,108 @@
+//! End-to-end integration: the full methodology pipeline across all
+//! workspace crates, at reduced scale so it runs quickly in debug builds.
+
+use coloc::machine::presets;
+use coloc::ml::validate::ValidationConfig;
+use coloc::model::experiment::{evaluate_model, rank_features};
+use coloc::model::{FeatureSet, Lab, ModelKind, Predictor, Scenario, TrainingPlan};
+use coloc::workloads::standard;
+
+fn small_plan(_lab: &Lab) -> TrainingPlan {
+    TrainingPlan {
+        pstates: vec![0, 3],
+        targets: vec![
+            "cg".into(),
+            "canneal".into(),
+            "ft".into(),
+            "fluidanimate".into(),
+            "ep".into(),
+        ],
+        co_runners: vec!["cg".into(), "sp".into(), "ep".into()],
+        counts: vec![1, 3, 5],
+    }
+}
+
+#[test]
+fn pipeline_trains_and_predicts_unseen_scenarios() {
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 1234);
+    let samples = lab.collect(&small_plan(&lab)).expect("sweep");
+    assert_eq!(samples.len(), 2 * 5 * 3 * 3);
+
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 2).expect("train");
+
+    // Unseen count (4) and unseen P-state column combination.
+    let sc = Scenario::homogeneous("canneal", "cg", 4, 0);
+    let predicted = nn.predict(&lab.featurize(&sc).unwrap());
+    let actual = lab.run_scenario(&sc).unwrap();
+    let err = (predicted - actual).abs() / actual;
+    assert!(err < 0.15, "interpolation error {err:.3} (pred {predicted}, actual {actual})");
+}
+
+#[test]
+fn nn_f_beats_linear_a_under_validation() {
+    // The paper's headline ordering at miniature scale.
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 99);
+    let samples = lab.collect(&small_plan(&lab)).expect("sweep");
+    let cfg = ValidationConfig { partitions: 6, ..Default::default() };
+    let lin_a = evaluate_model(&samples, ModelKind::Linear, FeatureSet::A, &cfg).unwrap();
+    let nn_f = evaluate_model(&samples, ModelKind::NeuralNet, FeatureSet::F, &cfg).unwrap();
+    assert!(
+        nn_f.test_mpe < lin_a.test_mpe,
+        "NN-F {:.2}% should beat linear-A {:.2}%",
+        nn_f.test_mpe,
+        lin_a.test_mpe
+    );
+}
+
+#[test]
+fn homogeneous_training_generalizes_to_heterogeneous_mixes() {
+    // §IV-B3: training data is homogeneous by design, but is "able to …
+    // extend beyond the set of four co-location applications" — check the
+    // features generalize to mixed co-runner scenarios.
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 7);
+    let samples = lab.collect(&small_plan(&lab)).expect("sweep");
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 3).expect("train");
+
+    let sc = Scenario {
+        target: "canneal".into(),
+        co_located: vec![("cg".into(), 2), ("ep".into(), 2)],
+        pstate: 0,
+    };
+    let predicted = nn.predict(&lab.featurize(&sc).unwrap());
+    let actual = lab.run_scenario(&sc).unwrap();
+    let err = (predicted - actual).abs() / actual;
+    assert!(
+        err < 0.20,
+        "heterogeneous extrapolation error {err:.3} (pred {predicted:.1}, actual {actual:.1})"
+    );
+}
+
+#[test]
+fn predictions_extend_to_co_runners_outside_training_set() {
+    // Train with cg/sp/ep as co-runners, predict streamcluster co-location
+    // (never seen as a co-runner; only its baseline features are used).
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 55);
+    let samples = lab.collect(&small_plan(&lab)).expect("sweep");
+    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 4).expect("train");
+
+    let sc = Scenario::homogeneous("canneal", "streamcluster", 3, 0);
+    let predicted = nn.predict(&lab.featurize(&sc).unwrap());
+    let actual = lab.run_scenario(&sc).unwrap();
+    let err = (predicted - actual).abs() / actual;
+    assert!(
+        err < 0.20,
+        "unseen co-runner error {err:.3} (pred {predicted:.1}, actual {actual:.1})"
+    );
+}
+
+#[test]
+fn pca_ranks_baseline_time_first_on_real_sweep() {
+    // baseExTime carries the dominant variance in the real data (times
+    // range 150–700 s while ratios are ≤ O(1)) — PCA must notice.
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 31);
+    let plan = TrainingPlan { counts: vec![1, 5], ..small_plan(&lab) };
+    let samples = lab.collect(&plan).expect("sweep");
+    let ranking = rank_features(&samples).unwrap();
+    assert_eq!(ranking.len(), 8);
+    assert!(ranking.iter().all(|(_, s)| s.is_finite()));
+}

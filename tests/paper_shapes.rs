@@ -1,0 +1,127 @@
+//! Qualitative shape checks: the empirical regularities the paper reports
+//! must hold in this reproduction's measurement substrate.
+
+use coloc::machine::presets;
+use coloc::model::{Lab, Scenario};
+use coloc::workloads::{standard, MemoryClass};
+
+fn lab12() -> Lab {
+    Lab::new(presets::xeon_e5_2697v2(), standard(), 6)
+}
+
+#[test]
+fn degradation_monotone_in_co_runner_count_table6_shape() {
+    // Table VI: canneal's time grows monotonically with co-located cg.
+    let lab = lab12();
+    let mut prev = 0.0;
+    for n in [0usize, 2, 5, 8, 11] {
+        let sc = if n == 0 {
+            Scenario::solo("canneal", 0)
+        } else {
+            Scenario::homogeneous("canneal", "cg", n, 0)
+        };
+        let t = lab.run_scenario(&sc).unwrap();
+        assert!(t > prev * 0.999, "n={n}: {t} after {prev}");
+        prev = t;
+    }
+}
+
+#[test]
+fn degradation_magnitude_is_in_the_papers_ballpark() {
+    // Paper: canneal +33% under 11 cg; elsewhere co-location "can as much
+    // as double or triple" execution time. Demand: meaningful degradation,
+    // not beyond the literature's extremes.
+    let lab = lab12();
+    let solo = lab.run_scenario(&Scenario::solo("canneal", 0)).unwrap();
+    let full = lab
+        .run_scenario(&Scenario::homogeneous("canneal", "cg", 11, 0))
+        .unwrap();
+    let slowdown = full / solo;
+    assert!(
+        (1.15..3.0).contains(&slowdown),
+        "canneal slowdown under 11 cg = {slowdown:.2}"
+    );
+}
+
+#[test]
+fn class_ordering_governs_aggressiveness() {
+    // Co-runners from more memory-intensive classes hurt the target more.
+    let lab = lab12();
+    let mut prev = f64::INFINITY;
+    for co in ["cg", "sp", "fluidanimate", "ep"] {
+        let t = lab
+            .run_scenario(&Scenario::homogeneous("canneal", co, 6, 0))
+            .unwrap();
+        assert!(
+            t < prev * 1.005,
+            "{co} (less intensive) should hurt no more than its predecessor: {t} vs {prev}"
+        );
+        prev = t;
+    }
+}
+
+#[test]
+fn class_iv_co_runners_are_nearly_harmless() {
+    let lab = lab12();
+    let solo = lab.run_scenario(&Scenario::solo("sp", 0)).unwrap();
+    let with_ep = lab
+        .run_scenario(&Scenario::homogeneous("sp", "ep", 11, 0))
+        .unwrap();
+    assert!(
+        with_ep / solo < 1.06,
+        "11 ep co-runners caused {:.3}x",
+        with_ep / solo
+    );
+}
+
+#[test]
+fn memory_bound_targets_suffer_more_than_compute_bound() {
+    let lab = lab12();
+    let slowdown = |target: &str| {
+        let solo = lab.run_scenario(&Scenario::solo(target, 0)).unwrap();
+        let full = lab
+            .run_scenario(&Scenario::homogeneous(target, "cg", 8, 0))
+            .unwrap();
+        full / solo
+    };
+    let hungry = slowdown("streamcluster"); // class I target
+    let compute = slowdown("ep"); // class IV target
+    assert!(
+        hungry > compute + 0.05,
+        "class I target {hungry:.3}x vs class IV target {compute:.3}x"
+    );
+}
+
+#[test]
+fn lower_frequency_reduces_relative_memory_pressure() {
+    // At a lower P-state, compute slows but DRAM does not, so contention
+    // degradation (relative) shrinks — the interaction that makes
+    // baseExTime-per-P-state a necessary feature.
+    let lab = lab12();
+    let ratio_at = |p: usize| {
+        let solo = lab.run_scenario(&Scenario::solo("streamcluster", p)).unwrap();
+        let full = lab
+            .run_scenario(&Scenario::homogeneous("streamcluster", "cg", 11, p))
+            .unwrap();
+        full / solo
+    };
+    let fast = ratio_at(0);
+    let slow = ratio_at(5);
+    assert!(
+        slow < fast,
+        "slowdown at P5 ({slow:.3}) should undercut P0 ({fast:.3})"
+    );
+}
+
+#[test]
+fn every_class_has_an_app_whose_solo_run_classifies_correctly() {
+    let lab = lab12();
+    let db = lab.baselines();
+    for class in MemoryClass::ALL {
+        let found = standard()
+            .iter()
+            .filter(|b| b.class == class)
+            .any(|b| MemoryClass::classify(db.get(b.name).unwrap().memory_intensity) == class);
+        assert!(found, "{class} unrepresented in measured baselines");
+    }
+}

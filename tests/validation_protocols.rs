@@ -1,0 +1,91 @@
+//! Protocol independence: the paper's conclusions should not depend on its
+//! choice of repeated random sub-sampling over k-fold cross-validation.
+
+use coloc::machine::presets;
+use coloc::ml::kfold::kfold;
+use coloc::ml::validate::{validate, ValidationConfig};
+use coloc::ml::{LinearRegression, Mlp, MlpConfig};
+use coloc::model::{samples_to_dataset, FeatureSet, Lab, TrainingPlan};
+use coloc::workloads::standard;
+
+fn sweep() -> coloc::ml::Dataset {
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 2024);
+    let plan = TrainingPlan {
+        pstates: vec![0, 3],
+        targets: vec!["cg".into(), "canneal".into(), "fluidanimate".into(), "ep".into()],
+        co_runners: vec!["cg".into(), "sp".into(), "ep".into()],
+        counts: vec![1, 3, 5],
+    };
+    let samples = lab.collect(&plan).expect("sweep");
+    samples_to_dataset(&samples, FeatureSet::F).expect("dataset")
+}
+
+#[test]
+fn kfold_and_subsampling_agree_for_linear_models() {
+    let ds = sweep();
+    let kf = kfold(&ds, 10, 5, |t, _| LinearRegression::fit(t)).unwrap();
+    let rs = validate(
+        &ds,
+        &ValidationConfig { partitions: 10, seed: 5, ..Default::default() },
+        |t, _| LinearRegression::fit(t),
+    )
+    .unwrap();
+    assert!(
+        (kf.test_mpe - rs.test_mpe).abs() < 1.5,
+        "k-fold {:.2}% vs sub-sampling {:.2}%",
+        kf.test_mpe,
+        rs.test_mpe
+    );
+}
+
+#[test]
+fn protocols_agree_on_the_nn_vs_linear_ordering() {
+    let ds = sweep();
+    let lin_kf = kfold(&ds, 5, 1, |t, _| LinearRegression::fit(t)).unwrap();
+    let nn_kf = kfold(&ds, 5, 1, |t, seed| {
+        Mlp::fit(t, &MlpConfig::for_features(8, seed))
+    })
+    .unwrap();
+    let cfg = ValidationConfig { partitions: 5, seed: 1, ..Default::default() };
+    let lin_rs = validate(&ds, &cfg, |t, _| LinearRegression::fit(t)).unwrap();
+    let nn_rs = validate(&ds, &cfg, |t, seed| {
+        Mlp::fit(t, &MlpConfig::for_features(8, seed))
+    })
+    .unwrap();
+
+    // The paper's headline ordering must hold under both protocols.
+    assert!(
+        nn_kf.test_mpe < lin_kf.test_mpe,
+        "k-fold: NN {:.2}% !< linear {:.2}%",
+        nn_kf.test_mpe,
+        lin_kf.test_mpe
+    );
+    assert!(
+        nn_rs.test_mpe < lin_rs.test_mpe,
+        "sub-sampling: NN {:.2}% !< linear {:.2}%",
+        nn_rs.test_mpe,
+        lin_rs.test_mpe
+    );
+}
+
+#[test]
+fn partition_spread_is_tight() {
+    // Paper §V-A: per-partition error varies by at most a quarter percent
+    // — on the full 1320-run sweep. This miniature 72-run sweep withholds
+    // only ~22 samples per partition, so the spread scales up roughly with
+    // √(1320/72) ≈ 4.3×; demand the correspondingly loosened bound. (The
+    // full-sweep spread is asserted in `repro`'s cached grid, where every
+    // model's test_mpe_std is well under 0.25%.)
+    let ds = sweep();
+    let rs = validate(
+        &ds,
+        &ValidationConfig { partitions: 20, seed: 9, ..Default::default() },
+        |t, _| LinearRegression::fit(t),
+    )
+    .unwrap();
+    assert!(
+        rs.test_mpe_std() < 2.5,
+        "per-partition spread {:.3} is implausibly wide",
+        rs.test_mpe_std()
+    );
+}

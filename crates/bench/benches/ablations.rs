@@ -27,7 +27,11 @@ fn nn_cost_vs_hidden_width(c: &mut Criterion) {
     for hidden in [10usize, 15, 20] {
         g.bench_function(format!("{hidden}_nodes"), |b| {
             b.iter(|| {
-                let cfg = MlpConfig { hidden, seed: 1, ..Default::default() };
+                let cfg = MlpConfig {
+                    hidden,
+                    seed: 1,
+                    ..Default::default()
+                };
                 black_box(Mlp::fit(&ds, &cfg).unwrap())
             })
         });
@@ -42,7 +46,11 @@ fn nn_cost_vs_training_size(c: &mut Criterion) {
         let ds = samples_to_dataset(&synthetic_samples(n), FeatureSet::F).unwrap();
         g.bench_function(format!("{n}_samples"), |b| {
             b.iter(|| {
-                let cfg = MlpConfig { hidden: 20, seed: 1, ..Default::default() };
+                let cfg = MlpConfig {
+                    hidden: 20,
+                    seed: 1,
+                    ..Default::default()
+                };
                 black_box(Mlp::fit(&ds, &cfg).unwrap())
             })
         });
@@ -59,7 +67,10 @@ fn engine_cost_vs_co_runner_count(c: &mut Criterion) {
     for n in [1usize, 5, 11] {
         let wl = vec![
             RunnerGroup::solo(canneal.clone()),
-            RunnerGroup { app: cg.clone(), count: n },
+            RunnerGroup {
+                app: cg.clone(),
+                count: n,
+            },
         ];
         g.bench_function(format!("{n}_co_runners"), |b| {
             b.iter(|| m.run(black_box(&wl), &RunOptions::default()).unwrap())

@@ -36,7 +36,9 @@ fn predict_latency(c: &mut Criterion) {
     let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 1).unwrap();
     let f = samples[37].features;
 
-    c.bench_function("predict_linear_setF", |b| b.iter(|| lin.predict(black_box(&f))));
+    c.bench_function("predict_linear_setF", |b| {
+        b.iter(|| lin.predict(black_box(&f)))
+    });
     c.bench_function("predict_nn_setF", |b| b.iter(|| nn.predict(black_box(&f))));
 }
 
@@ -53,7 +55,11 @@ fn scheduler_decision(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler");
     tighten(&mut g);
     g.bench_function("place_8_jobs_2_sockets", |b| {
-        b.iter(|| sched.place(black_box(&jobs), 2, Policy::LeastInterference).unwrap())
+        b.iter(|| {
+            sched
+                .place(black_box(&jobs), 2, Policy::LeastInterference)
+                .unwrap()
+        })
     });
     g.finish();
 }

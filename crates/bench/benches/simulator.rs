@@ -26,18 +26,27 @@ fn engine_runs(c: &mut Criterion) {
     let cg = by_name("cg").unwrap().app;
 
     g.bench_function("solo_canneal_6core", |b| {
-        b.iter(|| m6.run_solo(black_box(&canneal), &RunOptions::default()).unwrap())
+        b.iter(|| {
+            m6.run_solo(black_box(&canneal), &RunOptions::default())
+                .unwrap()
+        })
     });
     let wl5 = vec![
         RunnerGroup::solo(canneal.clone()),
-        RunnerGroup { app: cg.clone(), count: 5 },
+        RunnerGroup {
+            app: cg.clone(),
+            count: 5,
+        },
     ];
     g.bench_function("canneal_5cg_6core", |b| {
         b.iter(|| m6.run(black_box(&wl5), &RunOptions::default()).unwrap())
     });
     let wl11 = vec![
         RunnerGroup::solo(canneal.clone()),
-        RunnerGroup { app: cg.clone(), count: 11 },
+        RunnerGroup {
+            app: cg.clone(),
+            count: 11,
+        },
     ];
     g.bench_function("canneal_11cg_12core", |b| {
         b.iter(|| m12.run(black_box(&wl11), &RunOptions::default()).unwrap())
@@ -52,8 +61,7 @@ fn occupancy_solver(c: &mut Criterion) {
         let apps: Vec<SharedApp> = (0..n)
             .map(|i| SharedApp {
                 access_rate: 1.0 + i as f64,
-                mrc: StackDistanceDist::power_law(100_000 * (i + 1), 0.7, 0.01)
-                    .miss_rate_curve(),
+                mrc: StackDistanceDist::power_law(100_000 * (i + 1), 0.7, 0.01).miss_rate_curve(),
             })
             .collect();
         g.bench_function(format!("fixed_point_{n}_apps"), |b| {
@@ -122,5 +130,11 @@ fn stream_generation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_runs, occupancy_solver, exact_cache, stream_generation);
+criterion_group!(
+    benches,
+    engine_runs,
+    occupancy_solver,
+    exact_cache,
+    stream_generation
+);
 criterion_main!(benches);

@@ -19,10 +19,18 @@ fn tighten(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTim
 }
 
 fn static_tables(c: &mut Criterion) {
-    c.bench_function("table1_features", |b| b.iter(|| black_box(tables::table1())));
-    c.bench_function("table2_feature_sets", |b| b.iter(|| black_box(tables::table2())));
-    c.bench_function("table4_processors", |b| b.iter(|| black_box(tables::table4())));
-    c.bench_function("table5_training_setup", |b| b.iter(|| black_box(tables::table5())));
+    c.bench_function("table1_features", |b| {
+        b.iter(|| black_box(tables::table1()))
+    });
+    c.bench_function("table2_feature_sets", |b| {
+        b.iter(|| black_box(tables::table2()))
+    });
+    c.bench_function("table4_processors", |b| {
+        b.iter(|| black_box(tables::table4()))
+    });
+    c.bench_function("table5_training_setup", |b| {
+        b.iter(|| black_box(tables::table5()))
+    });
 }
 
 fn table3_baselines(c: &mut Criterion) {
@@ -64,7 +72,10 @@ fn figs_1_to_4_grid_cell(c: &mut Criterion) {
     let mut g = c.benchmark_group("figs1_4");
     tighten(&mut g);
     let samples = synthetic_samples(400);
-    let cfg = ValidationConfig { partitions: 2, ..Default::default() };
+    let cfg = ValidationConfig {
+        partitions: 2,
+        ..Default::default()
+    };
     g.bench_function("linear_setC_2_partitions", |b| {
         b.iter(|| evaluate_model(&samples, ModelKind::Linear, FeatureSet::C, &cfg).unwrap())
     });

@@ -21,8 +21,7 @@ fn linear_training(c: &mut Criterion) {
         let samples = synthetic_samples(n);
         g.bench_function(format!("setF_{n}_samples"), |b| {
             b.iter(|| {
-                Predictor::train(ModelKind::Linear, FeatureSet::F, black_box(&samples), 1)
-                    .unwrap()
+                Predictor::train(ModelKind::Linear, FeatureSet::F, black_box(&samples), 1).unwrap()
             })
         });
     }
@@ -35,9 +34,7 @@ fn nn_training(c: &mut Criterion) {
     let samples = synthetic_samples(400);
     for set in [FeatureSet::A, FeatureSet::D, FeatureSet::F] {
         g.bench_function(format!("set{set}_400_samples"), |b| {
-            b.iter(|| {
-                Predictor::train(ModelKind::NeuralNet, set, black_box(&samples), 1).unwrap()
-            })
+            b.iter(|| Predictor::train(ModelKind::NeuralNet, set, black_box(&samples), 1).unwrap())
         });
     }
     g.finish();
@@ -76,5 +73,11 @@ fn pca_ranking(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, linear_training, nn_training, validation_partition, pca_ranking);
+criterion_group!(
+    benches,
+    linear_training,
+    nn_training,
+    validation_partition,
+    pca_ranking
+);
 criterion_main!(benches);

@@ -21,12 +21,16 @@ use coloc_ml::rng::derive_seed;
 use coloc_ml::validate::ValidationConfig;
 use coloc_model::experiment::evaluate_model;
 use coloc_model::{
-    classavg::ClassAverager, FeatureSet, Lab, ModelKind, Predictor, Sample, Scenario,
-    TrainingPlan,
+    classavg::ClassAverager, FeatureSet, Lab, ModelKind, Predictor, Sample, Scenario, TrainingPlan,
 };
 
 fn quick_cfg() -> ValidationConfig {
-    ValidationConfig { partitions: 10, test_fraction: 0.30, seed: crate::SEED, threads: 0 }
+    ValidationConfig {
+        partitions: 10,
+        test_fraction: 0.30,
+        seed: crate::SEED,
+        threads: 0,
+    }
 }
 
 /// One `(x, linear MPE, NN MPE)` style row.
@@ -73,7 +77,11 @@ pub fn noise() -> Vec<AblationRow> {
                 crate::SEED,
             )
             .with_noise(sigma);
-            let plan = TrainingPlan { counts: vec![1, 3, 5], ..lab.paper_plan() }.thinned(2, 1);
+            let plan = TrainingPlan {
+                counts: vec![1, 3, 5],
+                ..lab.paper_plan()
+            }
+            .thinned(2, 1);
             let samples = lab.collect(&plan).expect("sweep");
             let lin = evaluate_model(&samples, ModelKind::Linear, FeatureSet::C, &quick_cfg())
                 .expect("linear eval");
@@ -125,10 +133,10 @@ pub fn hidden_width() -> Vec<AblationRow> {
 pub fn heterogeneous() -> Vec<AblationRow> {
     let lab = crate::lab_6core();
     let samples = cache::training_samples("e5649", &lab);
-    let lin = Predictor::train(ModelKind::Linear, FeatureSet::C, &samples, crate::SEED)
-        .expect("linear");
-    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, crate::SEED)
-        .expect("nn");
+    let lin =
+        Predictor::train(ModelKind::Linear, FeatureSet::C, &samples, crate::SEED).expect("linear");
+    let nn =
+        Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, crate::SEED).expect("nn");
 
     let mixes: Vec<(&str, Vec<(&str, usize)>)> = vec![
         ("canneal", vec![("cg", 2), ("ep", 2)]),
@@ -153,7 +161,11 @@ pub fn heterogeneous() -> Vec<AblationRow> {
         let np = 100.0 * ((nn.predict(&f) - actual) / actual).abs();
         lin_pes.push(lp);
         nn_pes.push(np);
-        rows.push(AblationRow { x: sc.label(), linear_mpe: lp, nn_mpe: np });
+        rows.push(AblationRow {
+            x: sc.label(),
+            linear_mpe: lp,
+            nn_mpe: np,
+        });
     }
     rows.push(AblationRow {
         x: "MEAN over mixes".into(),
@@ -190,17 +202,28 @@ pub fn partitioning() -> Vec<AblationRow> {
     let machine = Machine::new(presets::xeon_e5649());
     let canneal = coloc_workloads::by_name("canneal").expect("canneal").app;
     let cg = coloc_workloads::by_name("cg").expect("cg").app;
-    let solo = machine.run_solo(&canneal, &RunOptions::default()).expect("solo");
+    let solo = machine
+        .run_solo(&canneal, &RunOptions::default())
+        .expect("solo");
     [1usize, 3, 5]
         .iter()
         .map(|&n| {
             let wl = vec![
                 RunnerGroup::solo(canneal.clone()),
-                RunnerGroup { app: cg.clone(), count: n },
+                RunnerGroup {
+                    app: cg.clone(),
+                    count: n,
+                },
             ];
             let shared = machine.run(&wl, &RunOptions::default()).expect("shared");
             let parts = machine
-                .run(&wl, &RunOptions { llc_partitioned: true, ..Default::default() })
+                .run(
+                    &wl,
+                    &RunOptions {
+                        llc_partitioned: true,
+                        ..Default::default()
+                    },
+                )
                 .expect("partitioned");
             AblationRow {
                 x: format!("{n}x cg: shared vs partitioned slowdown"),
@@ -240,7 +263,10 @@ pub fn phases() -> Vec<AblationRow> {
         for &i in &test_idx {
             let s = &samples[i];
             let pe = 100.0 * ((nn.predict(&s.features) - s.actual_time_s) / s.actual_time_s).abs();
-            by_app.entry(s.scenario.target.clone()).or_default().push(pe);
+            by_app
+                .entry(s.scenario.target.clone())
+                .or_default()
+                .push(pe);
         }
     }
     by_app
@@ -249,7 +275,11 @@ pub fn phases() -> Vec<AblationRow> {
             x: format!(
                 "{app} ({} phase{})",
                 phase_count[app.as_str()],
-                if phase_count[app.as_str()] > 1 { "s" } else { "" }
+                if phase_count[app.as_str()] > 1 {
+                    "s"
+                } else {
+                    ""
+                }
             ),
             linear_mpe: f64::NAN,
             nn_mpe: coloc_linalg::vecops::mean(errs),
@@ -265,8 +295,8 @@ pub fn class_average() -> Vec<AblationRow> {
     let (train_idx, test_idx) = split_indices(samples.len(), crate::SEED, 41);
     let train: Vec<Sample> = train_idx.iter().map(|&i| samples[i].clone()).collect();
     let test: Vec<Sample> = test_idx.iter().map(|&i| samples[i].clone()).collect();
-    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &train, crate::SEED)
-        .expect("nn");
+    let nn =
+        Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &train, crate::SEED).expect("nn");
     let averager = ClassAverager::from_lab(&lab);
 
     let actual: Vec<f64> = test.iter().map(|s| s.actual_time_s).collect();
@@ -274,7 +304,9 @@ pub fn class_average() -> Vec<AblationRow> {
     let avg_preds: Vec<f64> = test
         .iter()
         .map(|s| {
-            let f = averager.featurize(&lab, &s.scenario).expect("class featurize");
+            let f = averager
+                .featurize(&lab, &s.scenario)
+                .expect("class featurize");
             nn.predict(&f)
         })
         .collect();

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure from the paper.
 //!
 //! Usage: `repro <artifact>` where artifact is one of
-//! `table1..table6`, `fig1..fig5b`, `pca`, or `all`.
+//! `table1..table6`, `fig1..fig5b`, `pca`, `sweep`, or `all`.
 //!
 //! Expensive intermediates (training sweeps, model-grid validations) are
 //! cached as JSON under `repro-out/`; delete that directory to force a full
@@ -28,38 +28,53 @@ fn main() {
         "pca" => pca(),
         "ablation-size" => ablation("Training-set size", coloc_bench::ablations::train_size()),
         "ablation-noise" => ablation("Measurement noise", coloc_bench::ablations::noise()),
-        "ablation-hidden" => {
-            ablation("Hidden-layer width", coloc_bench::ablations::hidden_width())
-        }
-        "ablation-hetero" => {
-            ablation("Heterogeneous co-location", coloc_bench::ablations::heterogeneous())
-        }
-        "ablation-classavg" => {
-            ablation("Class-average features", coloc_bench::ablations::class_average())
-        }
-        "ablation-quad" => {
-            ablation("Quadratic feature expansion", coloc_bench::ablations::quadratic())
-        }
+        "ablation-hidden" => ablation("Hidden-layer width", coloc_bench::ablations::hidden_width()),
+        "ablation-hetero" => ablation(
+            "Heterogeneous co-location",
+            coloc_bench::ablations::heterogeneous(),
+        ),
+        "ablation-classavg" => ablation(
+            "Class-average features",
+            coloc_bench::ablations::class_average(),
+        ),
+        "ablation-quad" => ablation(
+            "Quadratic feature expansion",
+            coloc_bench::ablations::quadratic(),
+        ),
         "ablation-partition" => ablation(
             "LLC partitioning (values are slowdowns: shared | partitioned)",
             coloc_bench::ablations::partitioning(),
         ),
-        "ablation-phases" => {
-            ablation("Phase detail (paper SI claim)", coloc_bench::ablations::phases())
-        }
+        "ablation-phases" => ablation(
+            "Phase detail (paper SI claim)",
+            coloc_bench::ablations::phases(),
+        ),
         "importance" => importance(),
+        "sweep" => sweep(),
         "ablations" => {
             ablation("Training-set size", coloc_bench::ablations::train_size());
             ablation("Measurement noise", coloc_bench::ablations::noise());
             ablation("Hidden-layer width", coloc_bench::ablations::hidden_width());
-            ablation("Heterogeneous co-location", coloc_bench::ablations::heterogeneous());
-            ablation("Class-average features", coloc_bench::ablations::class_average());
-            ablation("Quadratic feature expansion", coloc_bench::ablations::quadratic());
+            ablation(
+                "Heterogeneous co-location",
+                coloc_bench::ablations::heterogeneous(),
+            );
+            ablation(
+                "Class-average features",
+                coloc_bench::ablations::class_average(),
+            );
+            ablation(
+                "Quadratic feature expansion",
+                coloc_bench::ablations::quadratic(),
+            );
             ablation(
                 "LLC partitioning (values are slowdowns: shared | partitioned)",
                 coloc_bench::ablations::partitioning(),
             );
-            ablation("Phase detail (paper SI claim)", coloc_bench::ablations::phases());
+            ablation(
+                "Phase detail (paper SI claim)",
+                coloc_bench::ablations::phases(),
+            );
             importance();
         }
         "all" => {
@@ -80,7 +95,8 @@ fn main() {
         other => {
             eprintln!("unknown artifact `{other}`");
             eprintln!(
-                "expected: table1..table6, fig1..fig5b, pca, importance, all, ablations, \
+                "expected: table1..table6, fig1..fig5b, pca, importance, sweep, all, \
+                 ablations, \
                  ablation-{{size,noise,hidden,hetero,classavg,quad,partition,phases}}"
             );
             std::process::exit(2);
@@ -114,13 +130,19 @@ fn table3() {
     println!("{}", "-".repeat(50));
     let lab = coloc_bench::lab_6core();
     for row in tables::table3(&lab) {
-        println!("{:<20} {:>14.3e}   {}", row.app, row.memory_intensity, row.class);
+        println!(
+            "{:<20} {:>14.3e}   {}",
+            row.app, row.memory_intensity, row.class
+        );
     }
 }
 
 fn table4() {
     hr("Table IV: Multicore Processors Used for Validation");
-    println!("{:<16} {:>10} {:>9}   frequency range", "Intel processor", "num cores", "L3 cache");
+    println!(
+        "{:<16} {:>10} {:>9}   frequency range",
+        "Intel processor", "num cores", "L3 cache"
+    );
     println!("{}", "-".repeat(58));
     for r in tables::table4() {
         println!(
@@ -170,7 +192,10 @@ fn print_fig(points: &[figures::FigPoint]) {
     );
     println!("{}", "-".repeat(40));
     for p in points {
-        println!("{:<12} {:>4} {:>10.2} {:>10.2}", p.kind, p.set, p.train, p.test);
+        println!(
+            "{:<12} {:>4} {:>10.2} {:>10.2}",
+            p.kind, p.set, p.train, p.test
+        );
     }
 }
 
@@ -228,13 +253,47 @@ fn ablation(title: &str, rows: Vec<coloc_bench::ablations::AblationRow>) {
     }
 }
 
+fn sweep() {
+    hr("Sweep runtime: paper plan on the 6-core E5649, by worker count");
+    let plan_len = coloc_bench::lab_6core().paper_plan().len();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "{plan_len} scenarios per pass; each thread count gets a fresh lab; \
+         host exposes {cpus} CPU(s) — thread speedup is bounded by that"
+    );
+    let mut cold_1t = None;
+    for threads in [1usize, 4, 8] {
+        let lab = coloc_bench::lab_6core().with_threads(threads);
+        let plan = lab.paper_plan();
+        let start = std::time::Instant::now();
+        let cold = lab.collect(&plan).expect("cold sweep");
+        let cold_s = start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        let warm = lab.collect(&plan).expect("warm sweep");
+        let warm_s = start.elapsed().as_secs_f64();
+        assert_eq!(cold.len(), warm.len());
+        let speedup = cold_1t.get_or_insert(cold_s);
+        println!(
+            "\n{threads} thread(s): cold {cold_s:.3} s ({:.2}x vs 1-thread cold), \
+             warm (memoized) {warm_s:.3} s",
+            *speedup / cold_s
+        );
+        println!("  {}", lab.sweep_stats());
+    }
+}
+
 fn importance() {
     use coloc_model::{samples_to_dataset, FeatureSet, ModelKind, Predictor};
     hr("Permutation feature importance of the NN set-F model (6-core)");
     let lab = coloc_bench::lab_6core();
     let samples = cache::training_samples("e5649", &lab);
-    let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, coloc_bench::SEED)
-        .expect("train");
+    let nn = Predictor::train(
+        ModelKind::NeuralNet,
+        FeatureSet::F,
+        &samples,
+        coloc_bench::SEED,
+    )
+    .expect("train");
     let ds = samples_to_dataset(&samples, FeatureSet::F).expect("dataset");
     // Predictor over set F consumes the full 8-vector, so wrap it.
     struct Wrap<'a>(&'a Predictor);
@@ -245,8 +304,7 @@ fn importance() {
             self.0.predict(&full)
         }
     }
-    let (baseline, imps) =
-        coloc_ml::permutation_importance(&Wrap(&nn), &ds, 3, coloc_bench::SEED);
+    let (baseline, imps) = coloc_ml::permutation_importance(&Wrap(&nn), &ds, 3, coloc_bench::SEED);
     println!("intact-data MPE: {baseline:.2}%");
     println!("{:<14} {:>18}", "feature", "MPE increase (%)");
     println!("{}", "-".repeat(34));

@@ -1,8 +1,8 @@
 //! JSON disk cache for expensive experiment artifacts.
 
-use coloc_model::{ModelEvaluation, Sample};
-use coloc_model::Lab;
 use coloc_ml::validate::ValidationConfig;
+use coloc_model::Lab;
+use coloc_model::{ModelEvaluation, Sample};
 use std::path::PathBuf;
 
 /// Resolve the cache directory (`COLOC_REPRO_DIR` or `repro-out/`).
@@ -42,14 +42,22 @@ pub fn training_samples(lab_key: &str, lab: &Lab) -> Vec<Sample> {
             return s;
         }
     }
-    let samples = lab.collect(&lab.paper_plan()).expect("paper sweep collects");
+    let samples = lab
+        .collect(&lab.paper_plan())
+        .expect("paper sweep collects");
+    eprintln!("[{lab_key}] sweep: {}", lab.sweep_stats());
     store(&key, &samples);
     samples
 }
 
 /// The paper's validation protocol: 100 partitions, 70/30.
 pub fn paper_validation() -> ValidationConfig {
-    ValidationConfig { partitions: 100, test_fraction: 0.30, seed: crate::SEED, threads: 0 }
+    ValidationConfig {
+        partitions: 100,
+        test_fraction: 0.30,
+        seed: crate::SEED,
+        threads: 0,
+    }
 }
 
 /// Full 2×6 model-grid evaluation for a lab, cached. This is the data for

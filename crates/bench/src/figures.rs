@@ -39,14 +39,20 @@ fn grid_to_points(
 
 /// Figure 1 (6-core) / Figure 2 (12-core): MPE for all twelve models.
 pub fn fig_mpe(lab_key: &str) -> Vec<FigPoint> {
-    let (_, lab) = crate::labs().into_iter().find(|(k, _)| *k == lab_key).expect("lab key");
+    let (_, lab) = crate::labs()
+        .into_iter()
+        .find(|(k, _)| *k == lab_key)
+        .expect("lab key");
     let grid = cache::grid_evaluation(lab_key, &lab);
     grid_to_points(&grid, |e| (e.train_mpe, e.test_mpe))
 }
 
 /// Figure 3 (6-core) / Figure 4 (12-core): NRMSE for all twelve models.
 pub fn fig_nrmse(lab_key: &str) -> Vec<FigPoint> {
-    let (_, lab) = crate::labs().into_iter().find(|(k, _)| *k == lab_key).expect("lab key");
+    let (_, lab) = crate::labs()
+        .into_iter()
+        .find(|(k, _)| *k == lab_key)
+        .expect("lab key");
     let grid = cache::grid_evaluation(lab_key, &lab);
     grid_to_points(&grid, |e| (e.train_nrmse, e.test_nrmse))
 }
@@ -90,7 +96,10 @@ pub fn fig5a() -> Vec<Distribution> {
     let samples = cache::training_samples("e5649", &lab);
     let mut by_app: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     for s in &samples {
-        by_app.entry(s.scenario.target.as_str()).or_default().push(s.actual_time_s);
+        by_app
+            .entry(s.scenario.target.as_str())
+            .or_default()
+            .push(s.actual_time_s);
     }
     by_app.iter().map(|(app, v)| summarize(app, v)).collect()
 }
@@ -117,7 +126,10 @@ pub fn fig5b(partitions: usize) -> Vec<Distribution> {
         let preds = nn.predict_samples(&test);
         let actual: Vec<f64> = test.iter().map(|s| s.actual_time_s).collect();
         for (s, pe) in test.iter().zip(percent_errors(&preds, &actual)) {
-            by_app.entry(s.scenario.target.clone()).or_default().push(pe);
+            by_app
+                .entry(s.scenario.target.clone())
+                .or_default()
+                .push(pe);
         }
     }
     by_app.iter().map(|(app, v)| summarize(app, v)).collect()

@@ -43,7 +43,12 @@ pub fn tiny_real_samples() -> &'static [Sample] {
         let lab = crate::lab_6core();
         let plan = TrainingPlan {
             pstates: vec![0, 3],
-            targets: vec!["cg".into(), "canneal".into(), "fluidanimate".into(), "ep".into()],
+            targets: vec![
+                "cg".into(),
+                "canneal".into(),
+                "fluidanimate".into(),
+                "ep".into(),
+            ],
             co_runners: vec!["cg".into(), "sp".into(), "ep".into()],
             counts: vec![1, 3, 5],
         };

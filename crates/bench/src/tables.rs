@@ -73,10 +73,7 @@ pub fn table4() -> Vec<Table4Row> {
             processor: m.name.clone(),
             cores: m.cores,
             l3_mib: m.llc_bytes >> 20,
-            freq_range_ghz: (
-                *m.pstates_ghz.last().expect("pstates"),
-                m.pstates_ghz[0],
-            ),
+            freq_range_ghz: (*m.pstates_ghz.last().expect("pstates"), m.pstates_ghz[0]),
         })
         .collect()
 }

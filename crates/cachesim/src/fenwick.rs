@@ -28,7 +28,10 @@ struct Fenwick {
 
 impl Fenwick {
     fn new() -> Fenwick {
-        Fenwick { tree: Vec::new(), live: Vec::new() }
+        Fenwick {
+            tree: Vec::new(),
+            live: Vec::new(),
+        }
     }
 
     #[inline]

@@ -33,7 +33,14 @@ impl PlruSet {
     fn new(ways: usize) -> PlruSet {
         let leaves = ways.next_power_of_two();
         PlruSet {
-            ways: vec![Way { tag: 0, owner: 0, valid: false }; ways],
+            ways: vec![
+                Way {
+                    tag: 0,
+                    owner: 0,
+                    valid: false
+                };
+                ways
+            ],
             bits: vec![false; leaves.saturating_sub(1)],
         }
     }
@@ -96,7 +103,9 @@ impl PlruCache {
             config.num_lines().is_multiple_of(config.ways),
             "lines must divide evenly into ways"
         );
-        let sets = (0..config.num_sets()).map(|_| PlruSet::new(config.ways)).collect();
+        let sets = (0..config.num_sets())
+            .map(|_| PlruSet::new(config.ways))
+            .collect();
         PlruCache {
             config,
             sets,
@@ -136,7 +145,11 @@ impl PlruCache {
         } else {
             None
         };
-        set.ways[victim] = Way { tag: line, owner, valid: true };
+        set.ways[victim] = Way {
+            tag: line,
+            owner,
+            valid: true,
+        };
         self.occupancy[owner] += 1;
         set.touch(victim);
         AccessOutcome::Miss { evicted_owner }
@@ -167,7 +180,11 @@ mod tests {
     use crate::stream::{StackDistanceDist, StreamGen};
 
     fn cfg(lines: usize, ways: usize) -> CacheConfig {
-        CacheConfig { capacity_bytes: lines as u64 * 64, line_bytes: 64, ways }
+        CacheConfig {
+            capacity_bytes: lines as u64 * 64,
+            line_bytes: 64,
+            ways,
+        }
     }
 
     #[test]
@@ -188,7 +205,10 @@ mod tests {
         let mut g = StreamGen::new(StackDistanceDist::power_law(64, 0.8, 0.05), 3, 0);
         for _ in 0..20_000 {
             let line = g.next_access();
-            assert_eq!(plru.access(0, line).is_miss(), lru.access(0, line).is_miss());
+            assert_eq!(
+                plru.access(0, line).is_miss(),
+                lru.access(0, line).is_miss()
+            );
         }
     }
 
@@ -225,7 +245,10 @@ mod tests {
                 lru.access(0, g2.next_access());
             }
             let d = (plru.stats(0).miss_rate() - lru.stats(0).miss_rate()).abs();
-            assert!(d < 0.03, "span {span} alpha {alpha}: PLRU vs LRU differ by {d}");
+            assert!(
+                d < 0.03,
+                "span {span} alpha {alpha}: PLRU vs LRU differ by {d}"
+            );
         }
     }
 

@@ -147,7 +147,11 @@ impl SetAssocCache {
 
         self.stats[owner].misses += 1;
         let evicted_owner = if set.len() < ways {
-            set.push(Entry { tag: line, owner, last_used: self.clock });
+            set.push(Entry {
+                tag: line,
+                owner,
+                last_used: self.clock,
+            });
             self.occupancy[owner] += 1;
             None
         } else {
@@ -158,7 +162,11 @@ impl SetAssocCache {
             let old_owner = victim.owner;
             self.occupancy[old_owner] -= 1;
             self.occupancy[owner] += 1;
-            *victim = Entry { tag: line, owner, last_used: self.clock };
+            *victim = Entry {
+                tag: line,
+                owner,
+                last_used: self.clock,
+            };
             Some(old_owner)
         };
         AccessOutcome::Miss { evicted_owner }
@@ -212,7 +220,14 @@ mod tests {
         let mut c = tiny(8, 2, 1);
         assert!(c.access(0, 100).is_miss());
         assert_eq!(c.access(0, 100), AccessOutcome::Hit);
-        assert_eq!(c.stats(0), OwnerStats { accesses: 2, hits: 1, misses: 1 });
+        assert_eq!(
+            c.stats(0),
+            OwnerStats {
+                accesses: 2,
+                hits: 1,
+                misses: 1
+            }
+        );
     }
 
     #[test]
@@ -313,7 +328,11 @@ mod tests {
 
     #[test]
     fn geometry_accessors() {
-        let cfg = CacheConfig { capacity_bytes: 12 << 20, line_bytes: 64, ways: 16 };
+        let cfg = CacheConfig {
+            capacity_bytes: 12 << 20,
+            line_bytes: 64,
+            ways: 16,
+        };
         assert_eq!(cfg.num_lines(), 196_608);
         assert_eq!(cfg.num_sets(), 12_288);
         let fa = CacheConfig::fully_associative(128);

@@ -127,7 +127,12 @@ pub fn shared_occupancy(capacity_bytes: u64, apps: &[SharedApp]) -> SharedCacheS
         .zip(&occ)
         .map(|(a, &o)| a.mrc.miss_rate(o as u64))
         .collect();
-    SharedCacheSolution { occupancy_bytes: occ, miss_rates, iterations, converged }
+    SharedCacheSolution {
+        occupancy_bytes: occ,
+        miss_rates,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -208,13 +213,17 @@ mod tests {
         let aggressive = app(200_000, 0.3, 0.08, 3.0); // cg-like
 
         let alone = shared_occupancy(12 * MB, std::slice::from_ref(&target)).miss_rates[0];
-        let with_gentle =
-            shared_occupancy(12 * MB, &[target.clone(), gentle]).miss_rates[0];
-        let with_aggr =
-            shared_occupancy(12 * MB, &[target, aggressive]).miss_rates[0];
+        let with_gentle = shared_occupancy(12 * MB, &[target.clone(), gentle]).miss_rates[0];
+        let with_aggr = shared_occupancy(12 * MB, &[target, aggressive]).miss_rates[0];
 
-        assert!(with_gentle - alone < 0.01, "gentle {with_gentle} vs alone {alone}");
-        assert!(with_aggr > with_gentle, "aggr {with_aggr} vs gentle {with_gentle}");
+        assert!(
+            with_gentle - alone < 0.01,
+            "gentle {with_gentle} vs alone {alone}"
+        );
+        assert!(
+            with_aggr > with_gentle,
+            "aggr {with_aggr} vs gentle {with_gentle}"
+        );
     }
 
     #[test]

@@ -107,11 +107,7 @@ impl StackAnalyzer {
     /// Miss count for a fully-associative LRU cache of `capacity_lines`:
     /// cold misses plus all accesses with distance ≥ capacity.
     pub fn misses_at(&self, capacity_lines: usize) -> u64 {
-        let reuse_misses: u64 = self
-            .histogram
-            .iter()
-            .skip(capacity_lines)
-            .sum();
+        let reuse_misses: u64 = self.histogram.iter().skip(capacity_lines).sum();
         self.cold + reuse_misses
     }
 
@@ -174,10 +170,7 @@ mod tests {
         an.access_all(trace.iter().copied());
 
         for capacity in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-            let mut cache = SetAssocCache::new(
-                CacheConfig::fully_associative(capacity),
-                1,
-            );
+            let mut cache = SetAssocCache::new(CacheConfig::fully_associative(capacity), 1);
             for &l in &trace {
                 cache.access(0, l);
             }
@@ -221,7 +214,9 @@ mod tests {
 
     #[test]
     fn mrc_export_is_monotone_and_bounded() {
-        let trace: Vec<Line> = (0..5000u64).map(|i| (i.wrapping_mul(48271)) % 200).collect();
+        let trace: Vec<Line> = (0..5000u64)
+            .map(|i| (i.wrapping_mul(48271)) % 200)
+            .collect();
         let mut an = StackAnalyzer::new();
         an.access_all(trace);
         let mrc = an.miss_rate_curve();

@@ -107,7 +107,11 @@ impl StackDistanceDist {
         let mut mass: Vec<f64> = Vec::with_capacity(reps.len());
         for k in 0..reps.len() {
             let a = reps[k];
-            let b = if k + 1 < reps.len() { reps[k + 1] } else { reuse_span };
+            let b = if k + 1 < reps.len() {
+                reps[k + 1]
+            } else {
+                reuse_span
+            };
             mass.push(pdf_sum(a, b));
         }
         let total: f64 = mass.iter().sum();
@@ -122,7 +126,13 @@ impl StackDistanceDist {
             *last = 1.0;
         }
 
-        StackDistanceDist { p_new, reuse_span, alpha, reps, cdf }
+        StackDistanceDist {
+            p_new,
+            reuse_span,
+            alpha,
+            reps,
+            cdf,
+        }
     }
 
     /// Uniform reuse over the span (alpha = 0).
@@ -173,7 +183,10 @@ impl StackDistanceDist {
 
     /// Inverse-CDF sample of a reuse distance, given `u ∈ [0, 1)`.
     fn sample_distance(&self, u: f64) -> usize {
-        let k = self.cdf.partition_point(|&c| c < u).min(self.reps.len() - 1);
+        let k = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.reps.len() - 1);
         self.reps[k]
     }
 }
@@ -269,7 +282,11 @@ mod tests {
     #[test]
     fn large_span_support_is_compact() {
         let d = StackDistanceDist::power_law(4_000_000, 0.5, 0.01);
-        assert!(d.representatives().len() < 600, "{}", d.representatives().len());
+        assert!(
+            d.representatives().len() < 600,
+            "{}",
+            d.representatives().len()
+        );
         assert_eq!(*d.representatives().last().unwrap(), 3_999_999);
     }
 
@@ -345,10 +362,8 @@ mod tests {
 
     #[test]
     fn footprint_grows_with_p_new() {
-        let sticky =
-            StreamGen::new(StackDistanceDist::uniform(64, 0.001), 3, 0).take_trace(10_000);
-        let churny =
-            StreamGen::new(StackDistanceDist::uniform(64, 0.2), 3, 0).take_trace(10_000);
+        let sticky = StreamGen::new(StackDistanceDist::uniform(64, 0.001), 3, 0).take_trace(10_000);
+        let churny = StreamGen::new(StackDistanceDist::uniform(64, 0.2), 3, 0).take_trace(10_000);
         let distinct = |t: &[Line]| {
             let mut v = t.to_vec();
             v.sort_unstable();

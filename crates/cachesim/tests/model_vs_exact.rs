@@ -36,8 +36,14 @@ fn occupancy_model_tracks_exact_shared_cache() {
 
     // Model.
     let apps = [
-        SharedApp { access_rate: 1.0, mrc: dist_a.miss_rate_curve() },
-        SharedApp { access_rate: 1.0, mrc: dist_b.miss_rate_curve() },
+        SharedApp {
+            access_rate: 1.0,
+            mrc: dist_a.miss_rate_curve(),
+        },
+        SharedApp {
+            access_rate: 1.0,
+            mrc: dist_b.miss_rate_curve(),
+        },
     ];
     let sol = shared_occupancy(cap_lines as u64 * 64, &apps);
 
@@ -78,15 +84,10 @@ fn exact_shared_cache_degrades_target_with_co_runner_count() {
 
     let mut prev_mr = 0.0;
     for n_aggr in [0usize, 1, 3, 5] {
-        let mut cache = SetAssocCache::new(
-            CacheConfig::fully_associative(cap_lines),
-            1 + n_aggr,
-        );
+        let mut cache = SetAssocCache::new(CacheConfig::fully_associative(cap_lines), 1 + n_aggr);
         let mut gt = StreamGen::new(target_dist.clone(), 1, 0);
         let mut gas: Vec<StreamGen> = (0..n_aggr)
-            .map(|k| {
-                StreamGen::new(aggressor_dist.clone(), 100 + k as u64, (k as u64 + 1) << 40)
-            })
+            .map(|k| StreamGen::new(aggressor_dist.clone(), 100 + k as u64, (k as u64 + 1) << 40))
             .collect();
         let warm = 40_000;
         let measure = 80_000;

@@ -49,7 +49,8 @@ impl ArgMap {
 
     /// Required single value.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key} <value>"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key} <value>"))
     }
 
     /// All values for a repeatable key.
@@ -87,7 +88,13 @@ mod tests {
     #[test]
     fn parses_values_flags_and_repeats() {
         let a = ArgMap::parse(&argv(&[
-            "--machine", "e5649", "--co", "cg:2", "--co", "ep:1", "--paper-plan",
+            "--machine",
+            "e5649",
+            "--co",
+            "cg:2",
+            "--co",
+            "ep:1",
+            "--paper-plan",
         ]))
         .unwrap();
         assert_eq!(a.get("machine"), Some("e5649"));

@@ -21,7 +21,8 @@ fn machine_by_key(key: &str) -> Result<MachineSpec, String> {
 fn lab_from(args: &ArgMap) -> Result<Lab, String> {
     let spec = machine_by_key(args.get("machine").unwrap_or("e5649"))?;
     let seed = args.get_parsed_or("seed", 2015u64)?;
-    Ok(Lab::new(spec, coloc_workloads::standard(), seed))
+    let threads = args.get_parsed_or("threads", 0usize)?;
+    Ok(Lab::new(spec, coloc_workloads::standard(), seed).with_threads(threads))
 }
 
 fn parse_kind(s: &str) -> Result<ModelKind, String> {
@@ -29,7 +30,9 @@ fn parse_kind(s: &str) -> Result<ModelKind, String> {
         "linear" => Ok(ModelKind::Linear),
         "nn" | "neural-net" => Ok(ModelKind::NeuralNet),
         "quadratic" => Ok(ModelKind::QuadraticLinear),
-        other => Err(format!("unknown model kind `{other}` (linear | nn | quadratic)")),
+        other => Err(format!(
+            "unknown model kind `{other}` (linear | nn | quadratic)"
+        )),
     }
 }
 
@@ -81,7 +84,7 @@ pub fn collect(argv: &[String]) -> CmdResult {
     if args.has_flag("help") {
         println!(
             "coloc collect --machine <key> [--paper-plan] [--counts 1,3,5] \
-             [--pstates 0,3] [--seed N] --out <file>"
+             [--pstates 0,3] [--seed N] [--threads N] --out <file>"
         );
         return Ok(());
     }
@@ -98,6 +101,7 @@ pub fn collect(argv: &[String]) -> CmdResult {
     }
     eprintln!("collecting {} runs…", plan.len());
     let samples = lab.collect(&plan).map_err(|e| e.to_string())?;
+    eprintln!("sweep: {}", lab.sweep_stats());
     persist::save_samples(&samples, out).map_err(|e| e.to_string())?;
     println!("wrote {} samples to {out}", samples.len());
     Ok(())
@@ -105,7 +109,11 @@ pub fn collect(argv: &[String]) -> CmdResult {
 
 fn parse_usize_list(s: &str) -> Result<Vec<usize>, String> {
     s.split(',')
-        .map(|x| x.trim().parse().map_err(|_| format!("bad list entry `{x}`")))
+        .map(|x| {
+            x.trim()
+                .parse()
+                .map_err(|_| format!("bad list entry `{x}`"))
+        })
         .collect()
 }
 
@@ -155,7 +163,10 @@ pub fn predict(argv: &[String]) -> CmdResult {
     let features = lab.featurize(&scenario).map_err(|e| e.to_string())?;
     let predicted = model.predict(&features);
     println!("scenario:  {scenario}");
-    println!("predicted: {predicted:.1} s  (slowdown {:.3}x)", model.predict_slowdown(&features));
+    println!(
+        "predicted: {predicted:.1} s  (slowdown {:.3}x)",
+        model.predict_slowdown(&features)
+    );
     if args.has_flag("measure") {
         let actual = lab.run_scenario(&scenario).map_err(|e| e.to_string())?;
         println!(
@@ -191,7 +202,9 @@ pub fn schedule(argv: &[String]) -> CmdResult {
         Policy::LeastInterference
     };
     let sched = Scheduler::new(&lab, &model, pstate);
-    let placement = sched.place(&jobs, sockets, policy).map_err(|e| e.to_string())?;
+    let placement = sched
+        .place(&jobs, sockets, policy)
+        .map_err(|e| e.to_string())?;
     for (i, s) in placement.sockets.iter().enumerate() {
         println!("socket {i}: {}", s.jobs.join(", "));
     }
@@ -261,21 +274,49 @@ mod tests {
 
         baselines(&argv(&["--machine", "e5649", "--out", &baselines_path])).unwrap();
         collect(&argv(&[
-            "--machine", "e5649", "--counts", "1,3", "--pstates", "0", "--out", &samples_path,
+            "--machine",
+            "e5649",
+            "--counts",
+            "1,3",
+            "--pstates",
+            "0",
+            "--out",
+            &samples_path,
         ]))
         .unwrap();
         train(&argv(&[
-            "--samples", &samples_path, "--kind", "linear", "--set", "C", "--out", &model_path,
+            "--samples",
+            &samples_path,
+            "--kind",
+            "linear",
+            "--set",
+            "C",
+            "--out",
+            &model_path,
         ]))
         .unwrap();
         predict(&argv(&[
-            "--machine", "e5649", "--model", &model_path, "--target", "canneal",
-            "--co", "cg:3", "--pstate", "0",
+            "--machine",
+            "e5649",
+            "--model",
+            &model_path,
+            "--target",
+            "canneal",
+            "--co",
+            "cg:3",
+            "--pstate",
+            "0",
         ]))
         .unwrap();
         schedule(&argv(&[
-            "--machine", "e5649", "--model", &model_path,
-            "--jobs", "cg,cg,ep,ep", "--sockets", "2",
+            "--machine",
+            "e5649",
+            "--model",
+            &model_path,
+            "--jobs",
+            "cg,cg,ep,ep",
+            "--sockets",
+            "2",
         ]))
         .unwrap();
     }

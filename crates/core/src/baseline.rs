@@ -8,8 +8,7 @@
 use std::collections::BTreeMap;
 
 /// Baseline record for one application.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AppBaseline {
     /// Application name.
     pub name: String,
@@ -31,8 +30,7 @@ impl AppBaseline {
 }
 
 /// Baselines for a whole suite on one machine.
-#[derive(Clone, Debug, Default, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BaselineDb {
     apps: BTreeMap<String, AppBaseline>,
 }

@@ -20,8 +20,7 @@ use coloc_workloads::MemoryClass;
 use std::collections::BTreeMap;
 
 /// Per-class average cache-behaviour values.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ClassAverages {
     /// Mean memory intensity of the class's applications.
     pub memory_intensity: f64,
@@ -50,10 +49,7 @@ impl ClassAverager {
     }
 
     /// Build from an explicit baseline database and class map.
-    pub fn from_parts(
-        db: &BaselineDb,
-        class_of: &BTreeMap<String, MemoryClass>,
-    ) -> ClassAverager {
+    pub fn from_parts(db: &BaselineDb, class_of: &BTreeMap<String, MemoryClass>) -> ClassAverager {
         let mut sums: BTreeMap<MemoryClass, (ClassAverages, usize)> = BTreeMap::new();
         for b in db.iter() {
             if let Some(&class) = class_of.get(&b.name) {
@@ -78,7 +74,10 @@ impl ClassAverager {
                 )
             })
             .collect();
-        ClassAverager { averages, class_of: class_of.clone() }
+        ClassAverager {
+            averages,
+            class_of: class_of.clone(),
+        }
     }
 
     /// The averages computed for a class, if any of its apps were measured.
@@ -95,9 +94,8 @@ impl ClassAverager {
         let class = self
             .class_of(app)
             .ok_or_else(|| ModelError::UnknownApp(app.to_string()))?;
-        self.averages(class).ok_or_else(|| {
-            ModelError::InsufficientData(format!("no measured apps in {class}"))
-        })
+        self.averages(class)
+            .ok_or_else(|| ModelError::InsufficientData(format!("no measured apps in {class}")))
     }
 
     /// Featurize a scenario with class-average cache behaviour: the
@@ -161,9 +159,15 @@ mod tests {
             exact[Feature::BaseExTime.index()],
             approx[Feature::BaseExTime.index()]
         );
-        assert_eq!(exact[Feature::NumCoApp.index()], approx[Feature::NumCoApp.index()]);
+        assert_eq!(
+            exact[Feature::NumCoApp.index()],
+            approx[Feature::NumCoApp.index()]
+        );
         // Cache features differ (canneal ≠ its class mean in general)…
-        assert_ne!(exact[Feature::TargetMem.index()], approx[Feature::TargetMem.index()]);
+        assert_ne!(
+            exact[Feature::TargetMem.index()],
+            approx[Feature::TargetMem.index()]
+        );
         // …but stay the right order of magnitude.
         let ratio = approx[Feature::CoAppMem.index()] / exact[Feature::CoAppMem.index()];
         assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");

@@ -16,8 +16,7 @@ use coloc_machine::MachineSpec;
 /// A simple socket power model: static power plus per-core dynamic power
 /// scaling as `f·V²` with voltage roughly linear in frequency — the usual
 /// first-order CMOS model, giving dynamic power ∝ (f/f_max)³.
-#[derive(Clone, Copy, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PowerModel {
     /// Socket static/uncore power, watts.
     pub static_w: f64,
@@ -30,27 +29,29 @@ pub struct PowerModel {
 impl Default for PowerModel {
     fn default() -> Self {
         // Ballpark for the Xeon class: ~45 W uncore + ~7 W/core at fmax.
-        PowerModel { static_w: 45.0, core_dynamic_w: 7.0, exponent: 3.0 }
+        PowerModel {
+            static_w: 45.0,
+            core_dynamic_w: 7.0,
+            exponent: 3.0,
+        }
     }
 }
 
 impl PowerModel {
     /// Socket power with `active_cores` busy at P-state `pstate`.
-    pub fn socket_power_w(
-        &self,
-        spec: &MachineSpec,
-        pstate: usize,
-        active_cores: usize,
-    ) -> f64 {
-        let f = spec.pstates_ghz.get(pstate).copied().unwrap_or(spec.pstates_ghz[0]);
+    pub fn socket_power_w(&self, spec: &MachineSpec, pstate: usize, active_cores: usize) -> f64 {
+        let f = spec
+            .pstates_ghz
+            .get(pstate)
+            .copied()
+            .unwrap_or(spec.pstates_ghz[0]);
         let ratio = f / spec.pstates_ghz[0];
         self.static_w + active_cores as f64 * self.core_dynamic_w * ratio.powf(self.exponent)
     }
 }
 
 /// Predicted energy for one scenario.
-#[derive(Clone, Copy, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
 pub struct EnergyEstimate {
     /// Predicted co-located execution time of the target, seconds.
     pub predicted_time_s: f64,
@@ -80,7 +81,8 @@ impl<'a> EnergyPredictor<'a> {
         let predicted_time_s = self.predictor.predict(&features);
         let cores = scenario.cores_needed();
         let socket_power_w =
-            self.power.socket_power_w(lab.machine().spec(), scenario.pstate, cores);
+            self.power
+                .socket_power_w(lab.machine().spec(), scenario.pstate, cores);
         let socket_energy_j = socket_power_w * predicted_time_s;
         Ok(EnergyEstimate {
             predicted_time_s,
@@ -112,7 +114,11 @@ mod tests {
     #[test]
     fn cubic_scaling() {
         let spec = presets::xeon_e5649();
-        let pm = PowerModel { static_w: 0.0, core_dynamic_w: 10.0, exponent: 3.0 };
+        let pm = PowerModel {
+            static_w: 0.0,
+            core_dynamic_w: 10.0,
+            exponent: 3.0,
+        };
         let ratio = spec.pstates_ghz[5] / spec.pstates_ghz[0];
         let expect = 10.0 * ratio.powi(3);
         assert!((pm.socket_power_w(&spec, 5, 1) - expect).abs() < 1e-9);

@@ -10,8 +10,7 @@ use coloc_ml::validate::ValidationConfig;
 use coloc_ml::{LinearRegression, Mlp, MlpConfig, Pca};
 
 /// Evaluation outcome for one `(kind, set)` model on one machine's data.
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ModelEvaluation {
     /// The learning technique.
     pub kind: ModelKind,
@@ -63,10 +62,7 @@ pub fn evaluate_model(
 
 /// Evaluate the full 2×6 grid — the complete data series for one machine's
 /// Figures 1/3 (6-core) or 2/4 (12-core).
-pub fn evaluate_grid(
-    samples: &[Sample],
-    cfg: &ValidationConfig,
-) -> Result<Vec<ModelEvaluation>> {
+pub fn evaluate_grid(samples: &[Sample], cfg: &ValidationConfig) -> Result<Vec<ModelEvaluation>> {
     let mut out = Vec::with_capacity(12);
     for kind in ModelKind::ALL {
         for set in FeatureSet::ALL {
@@ -108,7 +104,16 @@ mod tests {
                 let slowdown = 1.0 + 3.0 * co_mem + 20.0 * co_mem.powi(2);
                 Sample {
                     scenario: Scenario::homogeneous("t", "c", ncoapp as usize, 0),
-                    features: [base, ncoapp, co_mem, 2e-3, ncoapp * 0.3, ncoapp * 0.02, 0.1, 0.02],
+                    features: [
+                        base,
+                        ncoapp,
+                        co_mem,
+                        2e-3,
+                        ncoapp * 0.3,
+                        ncoapp * 0.02,
+                        0.1,
+                        0.02,
+                    ],
                     actual_time_s: base * slowdown * (1.0 + 0.002 * ((i * 37 % 11) as f64 - 5.0)),
                 }
             })
@@ -116,7 +121,10 @@ mod tests {
     }
 
     fn quick_cfg() -> ValidationConfig {
-        ValidationConfig { partitions: 8, ..Default::default() }
+        ValidationConfig {
+            partitions: 8,
+            ..Default::default()
+        }
     }
 
     #[test]

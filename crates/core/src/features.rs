@@ -5,8 +5,7 @@
 /// from *baseline* (solo) measurements plus the shape of the co-location —
 /// the methodology's key economy: no measurement under co-location is ever
 /// required to make a prediction (paper §I).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Feature {
     /// Baseline execution time of the target at the scenario's P-state.
     BaseExTime,
@@ -42,7 +41,10 @@ impl Feature {
 
     /// Canonical column index of this feature.
     pub fn index(&self) -> usize {
-        Feature::ALL.iter().position(|f| f == self).expect("feature in ALL")
+        Feature::ALL
+            .iter()
+            .position(|f| f == self)
+            .expect("feature in ALL")
     }
 
     /// The paper's name for the feature (Table I, first column).
@@ -62,22 +64,14 @@ impl Feature {
     /// The aspect of execution measured (Table I, second column).
     pub fn description(&self) -> &'static str {
         match self {
-            Feature::BaseExTime => {
-                "baseline execution time of target application at all P-states"
-            }
+            Feature::BaseExTime => "baseline execution time of target application at all P-states",
             Feature::NumCoApp => "number of co-located applications",
             Feature::CoAppMem => "sum of co-application memory intensities",
             Feature::TargetMem => "target application memory intensity",
-            Feature::CoAppCmCa => {
-                "sum of co-application last-level cache misses/cache accesses"
-            }
-            Feature::CoAppCaIns => {
-                "sum of co-application last-level cache accesses/instructions"
-            }
+            Feature::CoAppCmCa => "sum of co-application last-level cache misses/cache accesses",
+            Feature::CoAppCaIns => "sum of co-application last-level cache accesses/instructions",
             Feature::TargetCmCa => "target application last-level cache misses/cache accesses",
-            Feature::TargetCaIns => {
-                "target application last-level cache accesses/instructions"
-            }
+            Feature::TargetCaIns => "target application last-level cache accesses/instructions",
         }
     }
 }
@@ -92,8 +86,9 @@ impl std::fmt::Display for Feature {
 /// a resource manager might progressively obtain about the system: A knows
 /// only the target's solo time; F knows the full cache behaviour of target
 /// and co-runners.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum FeatureSet {
     /// `baseExTime` only — the baseline model.
     A,
@@ -128,11 +123,17 @@ impl FeatureSet {
             FeatureSet::B => &[BaseExTime, NumCoApp],
             FeatureSet::C => &[BaseExTime, NumCoApp, CoAppMem],
             FeatureSet::D => &[BaseExTime, NumCoApp, CoAppMem, TargetMem],
-            FeatureSet::E => {
-                &[BaseExTime, NumCoApp, CoAppMem, TargetMem, CoAppCmCa, CoAppCaIns]
-            }
+            FeatureSet::E => &[
+                BaseExTime, NumCoApp, CoAppMem, TargetMem, CoAppCmCa, CoAppCaIns,
+            ],
             FeatureSet::F => &[
-                BaseExTime, NumCoApp, CoAppMem, TargetMem, CoAppCmCa, CoAppCaIns, TargetCmCa,
+                BaseExTime,
+                NumCoApp,
+                CoAppMem,
+                TargetMem,
+                CoAppCmCa,
+                CoAppCaIns,
+                TargetCmCa,
                 TargetCaIns,
             ],
         }

@@ -11,16 +11,57 @@ use crate::plan::TrainingPlan;
 use crate::sample::Sample;
 use crate::scenario::Scenario;
 use crate::{ModelError, Result};
-use coloc_machine::{Machine, MachineSpec, RunOptions, RunnerGroup};
+use coloc_machine::{Machine, MachineSpec, RunCache, RunOptions, RunnerGroup};
 use coloc_ml::rng::{derive_seed, derive_seed_str};
 use coloc_perfmon::{EventSet, FlatProfiler};
 use coloc_workloads::Benchmark;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Default measurement-noise σ: the paper's per-partition error spread is
 /// "at most a quarter of a percent", consistent with sub-percent
 /// run-to-run timing variation.
 pub const DEFAULT_NOISE_SIGMA: f64 = 0.008;
+
+/// Sweep-runtime telemetry: what the lab actually did, as opposed to what
+/// it was asked for. Scenario counts and cache traffic diverge exactly
+/// when memoization is paying off.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SweepStats {
+    /// Scenario executions requested (cache hits included).
+    pub scenarios_run: u64,
+    /// Runs answered from the memo cache.
+    pub cache_hits: u64,
+    /// Runs that reached the engine.
+    pub cache_misses: u64,
+    /// Cache entries displaced by the capacity bound.
+    pub cache_evictions: u64,
+    /// Piecewise-constant segments actually simulated (misses only).
+    pub segments_simulated: u64,
+    /// Fixed-point solver iterations actually spent (misses only).
+    pub fp_iterations: u64,
+    /// Wall time spent inside parallel sweeps ([`Lab::collect`] /
+    /// [`Lab::collect_scenarios`]), seconds.
+    pub sweep_wall_time_s: f64,
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} scenarios ({} cache hits, {} misses, {} evictions), \
+             {} segments, {} fixed-point iters, {:.2}s sweep wall time",
+            self.scenarios_run,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.segments_simulated,
+            self.fp_iterations,
+            self.sweep_wall_time_s,
+        )
+    }
+}
 
 /// A machine + suite measurement environment.
 pub struct Lab {
@@ -28,7 +69,15 @@ pub struct Lab {
     suite: Vec<Benchmark>,
     seed: u64,
     noise_sigma: f64,
+    /// Worker threads for sweeps; 0 = one per available CPU.
+    threads: usize,
     baselines: OnceLock<BaselineDb>,
+    run_cache: RunCache,
+    segments_simulated: AtomicU64,
+    fp_iterations: AtomicU64,
+    scenarios_run: AtomicU64,
+    /// Nanoseconds spent inside parallel sweeps.
+    sweep_nanos: AtomicU64,
 }
 
 impl Lab {
@@ -41,15 +90,32 @@ impl Lab {
             suite,
             seed,
             noise_sigma: DEFAULT_NOISE_SIGMA,
+            threads: 0,
             baselines: OnceLock::new(),
+            run_cache: RunCache::default(),
+            segments_simulated: AtomicU64::new(0),
+            fp_iterations: AtomicU64::new(0),
+            scenarios_run: AtomicU64::new(0),
+            sweep_nanos: AtomicU64::new(0),
         }
     }
 
     /// Override the measurement-noise σ (0 = noiseless). Resets cached
-    /// baselines.
+    /// baselines and invalidates the run cache: every cache key embeds
+    /// the noise σ, so stale entries could never be returned, but dropping
+    /// them keeps the capacity bound working for the new configuration.
     pub fn with_noise(mut self, sigma: f64) -> Lab {
         self.noise_sigma = sigma;
         self.baselines = OnceLock::new();
+        self.run_cache.clear();
+        self
+    }
+
+    /// Set the worker-thread count for parallel sweeps (0 = one per
+    /// available CPU). Results are bit-identical at any setting; this only
+    /// controls resources.
+    pub fn with_threads(mut self, threads: usize) -> Lab {
+        self.threads = threads;
         self
     }
 
@@ -123,17 +189,45 @@ impl Lab {
     fn workload(&self, scenario: &Scenario) -> Result<Vec<RunnerGroup>> {
         let mut wl = vec![RunnerGroup::solo(self.app(&scenario.target)?.app.clone())];
         for (name, count) in scenario.co_groups() {
-            wl.push(RunnerGroup { app: self.app(name)?.app.clone(), count });
+            wl.push(RunnerGroup {
+                app: self.app(name)?.app.clone(),
+                count,
+            });
         }
         Ok(wl)
     }
 
     /// Execute one scenario and return the target's measured wall time.
+    /// Identical `(workload, options)` pairs are answered from the run
+    /// cache; determinism makes the memoized outcome bit-identical to a
+    /// fresh simulation.
     pub fn run_scenario(&self, scenario: &Scenario) -> Result<f64> {
         let wl = self.workload(scenario)?;
         let mut opts = self.run_options(&scenario.label(), 1);
         opts.pstate = scenario.pstate;
-        Ok(self.machine.run(&wl, &opts)?.wall_time_s)
+        let (outcome, hit) = self.run_cache.run_with_status(&self.machine, &wl, &opts)?;
+        self.scenarios_run.fetch_add(1, Ordering::Relaxed);
+        if !hit {
+            self.segments_simulated
+                .fetch_add(outcome.segments as u64, Ordering::Relaxed);
+            self.fp_iterations
+                .fetch_add(outcome.fp_iterations, Ordering::Relaxed);
+        }
+        Ok(outcome.wall_time_s)
+    }
+
+    /// Snapshot the sweep-runtime telemetry accumulated so far.
+    pub fn sweep_stats(&self) -> SweepStats {
+        let cache = self.run_cache.stats();
+        SweepStats {
+            scenarios_run: self.scenarios_run.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            segments_simulated: self.segments_simulated.load(Ordering::Relaxed),
+            fp_iterations: self.fp_iterations.load(Ordering::Relaxed),
+            sweep_wall_time_s: self.sweep_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
     }
 
     /// Compute the full eight-feature vector for a scenario from baseline
@@ -144,10 +238,12 @@ impl Lab {
         let target = db
             .get(&scenario.target)
             .ok_or_else(|| ModelError::UnknownApp(scenario.target.clone()))?;
-        let base_time = target.time_at(scenario.pstate).ok_or(ModelError::Machine(format!(
-            "no baseline at P-state {}",
-            scenario.pstate
-        )))?;
+        let base_time = target
+            .time_at(scenario.pstate)
+            .ok_or(ModelError::Machine(format!(
+                "no baseline at P-state {}",
+                scenario.pstate
+            )))?;
 
         let mut co_mem = 0.0;
         let mut co_cm_ca = 0.0;
@@ -177,7 +273,11 @@ impl Lab {
     pub fn sample(&self, scenario: &Scenario) -> Result<Sample> {
         let features = self.featurize(scenario)?;
         let actual_time_s = self.run_scenario(scenario)?;
-        Ok(Sample { scenario: scenario.clone(), features, actual_time_s })
+        Ok(Sample {
+            scenario: scenario.clone(),
+            features,
+            actual_time_s,
+        })
     }
 
     /// Execute a whole training plan, in parallel across scenarios.
@@ -188,28 +288,24 @@ impl Lab {
     }
 
     /// Execute an explicit scenario list, in parallel, preserving order.
+    ///
+    /// Workers pull scenarios from a shared work-stealing cursor
+    /// ([`coloc_ml::parallel::run_indexed`]): scenario cost varies by an
+    /// order of magnitude with the workload mix, so static chunking would
+    /// strand the expensive tail on one thread. Results come back in plan
+    /// order and are bit-identical at any thread count.
     pub fn collect_scenarios(&self, scenarios: &[Scenario]) -> Result<Vec<Sample>> {
         // Force baselines before fanning out (OnceLock would serialize the
         // first computation anyway; this keeps the timing predictable).
         self.baselines();
 
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-        let chunk = scenarios.len().div_ceil(threads).max(1);
-        let mut slots: Vec<Option<Result<Sample>>> = vec![None; scenarios.len()];
-        crossbeam::thread::scope(|scope| {
-            for (out_chunk, in_chunk) in slots.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (slot, sc) in out_chunk.iter_mut().zip(in_chunk) {
-                        *slot = Some(self.sample(sc));
-                    }
-                });
-            }
-        })
-        .expect("collection worker panicked");
-        slots
-            .into_iter()
-            .map(|s| s.expect("scenario not executed"))
-            .collect()
+        let start = Instant::now();
+        let results = coloc_ml::parallel::run_indexed(scenarios.len(), self.threads, |i| {
+            self.sample(&scenarios[i])
+        });
+        self.sweep_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        results.into_iter().collect()
     }
 
     /// The paper's default training plan for this lab: all suite apps as
@@ -337,5 +433,92 @@ mod tests {
         let a = lab.run_scenario(&Scenario::solo("ep", 0)).unwrap();
         let b = lab.run_scenario(&Scenario::solo("ep", 0)).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn small_plan() -> TrainingPlan {
+        TrainingPlan {
+            pstates: vec![0, 3],
+            targets: vec!["canneal".into(), "ep".into(), "cg".into()],
+            co_runners: vec!["cg".into(), "ep".into()],
+            counts: vec![1, 3, 5],
+        }
+    }
+
+    #[test]
+    fn collect_is_bit_identical_across_thread_counts() {
+        let plan = small_plan();
+        let reference = small_lab().with_threads(1).collect(&plan).unwrap();
+        for threads in [2, 8] {
+            let lab = small_lab().with_threads(threads);
+            let got = lab.collect(&plan).unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.scenario.label(), b.scenario.label());
+                assert_eq!(a.actual_time_s.to_bits(), b.actual_time_s.to_bits());
+                for (fa, fb) in a.features.iter().zip(b.features.iter()) {
+                    assert_eq!(fa.to_bits(), fb.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_collect_is_served_from_cache() {
+        let lab = small_lab().with_threads(2);
+        let plan = small_plan();
+        let cold = lab.collect(&plan).unwrap();
+        let after_cold = lab.sweep_stats();
+        assert_eq!(after_cold.scenarios_run as usize, plan.len());
+        assert!(after_cold.cache_misses >= plan.len() as u64);
+        assert!(after_cold.segments_simulated > 0);
+        assert!(after_cold.fp_iterations > 0);
+        assert!(after_cold.sweep_wall_time_s > 0.0);
+
+        let warm = lab.collect(&plan).unwrap();
+        let after_warm = lab.sweep_stats();
+        // The warm pass must be answered entirely by the memo cache:
+        // misses, segments and fixed-point work all stay flat.
+        assert_eq!(after_warm.cache_misses, after_cold.cache_misses);
+        assert_eq!(after_warm.segments_simulated, after_cold.segments_simulated);
+        assert_eq!(after_warm.fp_iterations, after_cold.fp_iterations);
+        assert!(after_warm.cache_hits >= after_cold.cache_hits + plan.len() as u64);
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.actual_time_s.to_bits(), b.actual_time_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn with_noise_resets_the_run_cache() {
+        let lab = small_lab();
+        let sc = Scenario::solo("cg", 0);
+        let a = lab.run_scenario(&sc).unwrap();
+        let lab = lab.with_noise(0.0);
+        assert_eq!(
+            lab.sweep_stats().cache_misses,
+            1,
+            "clear drops entries, not counters"
+        );
+        let b = lab.run_scenario(&sc).unwrap();
+        assert_ne!(
+            a, b,
+            "noiseless rerun must not be served from the noisy cache"
+        );
+    }
+
+    #[test]
+    fn sweep_stats_display_is_readable() {
+        let s = SweepStats {
+            scenarios_run: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            cache_evictions: 0,
+            segments_simulated: 120,
+            fp_iterations: 900,
+            sweep_wall_time_s: 1.25,
+        };
+        let text = format!("{s}");
+        assert!(text.contains("10 scenarios"), "{text}");
+        assert!(text.contains("4 cache hits"), "{text}");
+        assert!(text.contains("1.25s"), "{text}");
     }
 }

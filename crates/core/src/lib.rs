@@ -44,7 +44,7 @@ pub mod scheduler;
 pub use baseline::{AppBaseline, BaselineDb};
 pub use experiment::{evaluate_model, ModelEvaluation};
 pub use features::{Feature, FeatureSet};
-pub use lab::Lab;
+pub use lab::{Lab, SweepStats};
 pub use plan::TrainingPlan;
 pub use predictor::{ModelKind, Predictor};
 pub use sample::{samples_to_dataset, Sample};
@@ -72,7 +72,10 @@ impl std::fmt::Display for ModelError {
             ModelError::Machine(s) => write!(f, "machine error: {s}"),
             ModelError::Ml(s) => write!(f, "learner error: {s}"),
             ModelError::FeatureMismatch { expected, got } => {
-                write!(f, "feature arity mismatch: model expects {expected}, got {got}")
+                write!(
+                    f,
+                    "feature arity mismatch: model expects {expected}, got {got}"
+                )
             }
             ModelError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
         }

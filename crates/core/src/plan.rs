@@ -10,8 +10,7 @@ use crate::scenario::Scenario;
 /// covers everything from one neighbour to a fully loaded machine, sampling
 /// "the set of all possible co-locations … in a uniform way that minimizes
 /// the amount of training data" (§IV-B3).
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TrainingPlan {
     /// P-state indices to sweep.
     pub pstates: Vec<usize>,
@@ -73,10 +72,20 @@ impl TrainingPlan {
     /// for speed deterministically.
     pub fn thinned(&self, pstate_stride: usize, count_stride: usize) -> TrainingPlan {
         TrainingPlan {
-            pstates: self.pstates.iter().copied().step_by(pstate_stride.max(1)).collect(),
+            pstates: self
+                .pstates
+                .iter()
+                .copied()
+                .step_by(pstate_stride.max(1))
+                .collect(),
             targets: self.targets.clone(),
             co_runners: self.co_runners.clone(),
-            counts: self.counts.iter().copied().step_by(count_stride.max(1)).collect(),
+            counts: self
+                .counts
+                .iter()
+                .copied()
+                .step_by(count_stride.max(1))
+                .collect(),
         }
     }
 }
@@ -132,7 +141,12 @@ mod tests {
 
     #[test]
     fn empty_plan() {
-        let plan = TrainingPlan { pstates: vec![], targets: vec![], co_runners: vec![], counts: vec![] };
+        let plan = TrainingPlan {
+            pstates: vec![],
+            targets: vec![],
+            co_runners: vec![],
+            counts: vec![],
+        };
         assert!(plan.is_empty());
         assert!(plan.scenarios().is_empty());
     }

@@ -11,8 +11,7 @@ use crate::{ModelError, Result};
 use coloc_ml::{LinearRegression, Mlp, MlpConfig, QuadraticRegression};
 
 /// Which learning technique to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ModelKind {
     /// Linear least squares (paper Eq. 1).
     Linear,
@@ -32,8 +31,11 @@ impl ModelKind {
     pub const ALL: [ModelKind; 2] = [ModelKind::Linear, ModelKind::NeuralNet];
 
     /// All techniques including this reproduction's extensions.
-    pub const EXTENDED: [ModelKind; 3] =
-        [ModelKind::Linear, ModelKind::NeuralNet, ModelKind::QuadraticLinear];
+    pub const EXTENDED: [ModelKind; 3] = [
+        ModelKind::Linear,
+        ModelKind::NeuralNet,
+        ModelKind::QuadraticLinear,
+    ];
 
     /// Human-readable name.
     pub fn label(&self) -> &'static str {
@@ -205,8 +207,8 @@ mod tests {
         // Reconstruct a prediction manually.
         let f = &samples[10].features;
         let x = FeatureSet::C.project(f);
-        let manual: f64 =
-            coeffs.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() + p.linear_coefficients().unwrap().1;
+        let manual: f64 = coeffs.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>()
+            + p.linear_coefficients().unwrap().1;
         assert!((manual - p.predict(f)).abs() < 1e-9);
     }
 
@@ -253,7 +255,10 @@ mod tests {
         let samples = synthetic_samples(80);
         let a = Predictor::train(ModelKind::NeuralNet, FeatureSet::D, &samples, 9).unwrap();
         let b = Predictor::train(ModelKind::NeuralNet, FeatureSet::D, &samples, 9).unwrap();
-        assert_eq!(a.predict(&samples[3].features), b.predict(&samples[3].features));
+        assert_eq!(
+            a.predict(&samples[3].features),
+            b.predict(&samples[3].features)
+        );
     }
 
     #[test]

@@ -6,8 +6,7 @@ use crate::{ModelError, Result};
 use coloc_ml::Dataset;
 
 /// One measured co-location run, featurized.
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Sample {
     /// The scenario that was run.
     pub scenario: Scenario,

@@ -7,8 +7,7 @@
 /// identical, §IV-B3), but scenarios are general: heterogeneous mixes are
 /// expressed with multiple `(name, count)` entries, and the prediction
 /// features (sums over co-apps) are well-defined either way.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct Scenario {
     /// Name of the target application (the one whose time we predict).
     pub target: String,
@@ -21,7 +20,11 @@ pub struct Scenario {
 impl Scenario {
     /// A solo (baseline) scenario.
     pub fn solo(target: impl Into<String>, pstate: usize) -> Scenario {
-        Scenario { target: target.into(), co_located: vec![], pstate }
+        Scenario {
+            target: target.into(),
+            co_located: vec![],
+            pstate,
+        }
     }
 
     /// The paper's training shape: `count` copies of a single co-runner.
@@ -62,10 +65,7 @@ impl Scenario {
         if self.co_located.is_empty() {
             return format!("{} solo @P{}", self.target, self.pstate);
         }
-        let co: Vec<String> = self
-            .co_groups()
-            .map(|(n, c)| format!("{c}x {n}"))
-            .collect();
+        let co: Vec<String> = self.co_groups().map(|(n, c)| format!("{c}x {n}")).collect();
         format!("{}+{} @P{}", self.target, co.join("+"), self.pstate)
     }
 }

@@ -14,8 +14,7 @@ use crate::scenario::Scenario;
 use crate::Result;
 
 /// One socket's assignment.
-#[derive(Clone, Debug, Default, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SocketAssignment {
     /// Job (application) names placed on this socket.
     pub jobs: Vec<String>,
@@ -70,7 +69,11 @@ pub struct Scheduler<'a> {
 impl<'a> Scheduler<'a> {
     /// Create a scheduler operating at the given P-state.
     pub fn new(lab: &'a Lab, predictor: &'a Predictor, pstate: usize) -> Scheduler<'a> {
-        Scheduler { lab, predictor, pstate }
+        Scheduler {
+            lab,
+            predictor,
+            pstate,
+        }
     }
 
     /// Predicted slowdown of `target` co-located with `neighbours` on one
@@ -83,7 +86,11 @@ impl<'a> Scheduler<'a> {
                 None => counts.push((n.clone(), 1)),
             }
         }
-        let sc = Scenario { target: target.to_string(), co_located: counts, pstate: self.pstate };
+        let sc = Scenario {
+            target: target.to_string(),
+            co_located: counts,
+            pstate: self.pstate,
+        };
         let features = self.lab.featurize(&sc)?;
         Ok(self.predictor.predict_slowdown(&features))
     }
@@ -107,12 +114,7 @@ impl<'a> Scheduler<'a> {
     ///
     /// Fails if the jobs cannot fit (`jobs.len() > num_sockets × cores`) or
     /// reference unknown applications.
-    pub fn place(
-        &self,
-        jobs: &[String],
-        num_sockets: usize,
-        policy: Policy,
-    ) -> Result<Placement> {
+    pub fn place(&self, jobs: &[String], num_sockets: usize, policy: Policy) -> Result<Placement> {
         let cores = self.lab.machine().spec().cores;
         if jobs.len() > num_sockets * cores {
             return Err(crate::ModelError::InsufficientData(format!(
@@ -173,7 +175,10 @@ impl<'a> Scheduler<'a> {
                 predicted_slowdowns.push(self.predicted_slowdown(j, &neighbours)?);
             }
         }
-        Ok(Placement { sockets, predicted_slowdowns })
+        Ok(Placement {
+            sockets,
+            predicted_slowdowns,
+        })
     }
 }
 
@@ -190,7 +195,12 @@ mod tests {
             let lab = Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 5);
             let plan = TrainingPlan {
                 pstates: vec![0],
-                targets: vec!["cg".into(), "canneal".into(), "fluidanimate".into(), "ep".into()],
+                targets: vec![
+                    "cg".into(),
+                    "canneal".into(),
+                    "fluidanimate".into(),
+                    "ep".into(),
+                ],
                 co_runners: vec!["cg".into(), "sp".into(), "ep".into()],
                 counts: vec![1, 2, 3, 5],
             };
@@ -250,8 +260,7 @@ mod tests {
     fn placement_metrics() {
         let (lab, p) = shared();
         let sched = Scheduler::new(lab, p, 0);
-        let jobs: Vec<String> =
-            ["cg", "ep"].iter().map(|s| s.to_string()).collect();
+        let jobs: Vec<String> = ["cg", "ep"].iter().map(|s| s.to_string()).collect();
         let pl = sched.place(&jobs, 2, Policy::LeastInterference).unwrap();
         assert_eq!(pl.predicted_slowdowns.len(), 2);
         assert!(pl.max_slowdown() >= pl.mean_slowdown());

@@ -123,13 +123,19 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
-        assert_eq!(Cholesky::new(&a).err(), Some(LinalgError::NotPositiveDefinite));
+        assert_eq!(
+            Cholesky::new(&a).err(),
+            Some(LinalgError::NotPositiveDefinite)
+        );
     }
 
     #[test]
     fn rejects_non_square() {
         let a = Mat::zeros(2, 3);
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::ShapeMismatch(_))));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
     }
 
     #[test]

@@ -96,12 +96,18 @@ impl SymmetricEigen {
             }
         }
         if !converged && off(&s) > tol {
-            return Err(LinalgError::NoConvergence { iterations: MAX_SWEEPS });
+            return Err(LinalgError::NoConvergence {
+                iterations: MAX_SWEEPS,
+            });
         }
 
         // Sort eigenpairs by descending eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| s[(j, j)].partial_cmp(&s[(i, i)]).expect("finite eigenvalues"));
+        order.sort_by(|&i, &j| {
+            s[(j, j)]
+                .partial_cmp(&s[(i, i)])
+                .expect("finite eigenvalues")
+        });
         let values: Vec<f64> = order.iter().map(|&i| s[(i, i)]).collect();
         let vectors = Mat::from_fn(n, n, |r, c| v[(r, order[c])]);
         Ok(SymmetricEigen { values, vectors })
@@ -125,9 +131,14 @@ mod tests {
     fn reconstruct(e: &SymmetricEigen) -> Mat {
         let n = e.values.len();
         let lam = Mat::diag(&e.values);
-        e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        e.vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
         let vl = e.vectors.matmul(&lam).unwrap();
-        vl.matmul(&e.vectors.transpose()).unwrap_or_else(|_| Mat::zeros(n, n))
+        vl.matmul(&e.vectors.transpose())
+            .unwrap_or_else(|_| Mat::zeros(n, n))
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct Mat {
 impl Mat {
     /// An `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// An `n × n` identity matrix.
@@ -62,12 +66,20 @@ impl Mat {
             }
             data.extend_from_slice(r);
         }
-        Ok(Mat { rows: nrows, cols: ncols, data })
+        Ok(Mat {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
     }
 
     /// Build an `n × 1` column matrix from a slice.
     pub fn column(v: &[f64]) -> Self {
-        Mat { rows: v.len(), cols: 1, data: v.to_vec() }
+        Mat {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Build a diagonal matrix from a slice.

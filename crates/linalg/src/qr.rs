@@ -163,7 +163,9 @@ mod tests {
     #[test]
     fn residual_is_orthogonal_to_columns() {
         // Noisy overdetermined system: residual r = b - Ax must satisfy Aᵀr = 0.
-        let a = Mat::from_fn(20, 3, |i, j| ((i * 7 + j * 3) as f64).sin() + 0.1 * j as f64);
+        let a = Mat::from_fn(20, 3, |i, j| {
+            ((i * 7 + j * 3) as f64).sin() + 0.1 * j as f64
+        });
         let b: Vec<f64> = (0..20).map(|i| (i as f64).cos() * 2.0 + 1.0).collect();
         let x = lstsq(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();
@@ -196,7 +198,10 @@ mod tests {
     fn rhs_length_checked() {
         let a = Mat::identity(3);
         let qr = Qr::new(a).unwrap();
-        assert!(matches!(qr.solve(&[1.0, 2.0]), Err(LinalgError::ShapeMismatch(_))));
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
     }
 
     #[test]

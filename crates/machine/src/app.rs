@@ -81,7 +81,10 @@ impl AppProfile {
         }
         let total: f64 = self.phases.iter().map(|p| p.weight).sum();
         if (total - 1.0).abs() > 1e-6 {
-            return Err(format!("{}: phase weights sum to {total}, expected 1", self.name));
+            return Err(format!(
+                "{}: phase weights sum to {total}, expected 1",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -110,15 +113,14 @@ impl AppProfile {
     }
 
     /// A convenience single-phase profile.
-    pub fn single_phase(
-        name: impl Into<String>,
-        instructions: f64,
-        phase: AppPhase,
-    ) -> AppProfile {
+    pub fn single_phase(name: impl Into<String>, instructions: f64, phase: AppPhase) -> AppProfile {
         AppProfile {
             name: name.into(),
             instructions,
-            phases: vec![AppPhase { weight: 1.0, ..phase }],
+            phases: vec![AppPhase {
+                weight: 1.0,
+                ..phase
+            }],
         }
     }
 }
@@ -168,7 +170,11 @@ mod tests {
         let mut p = two_phase();
         p.instructions = -1.0;
         assert!(p.validate().is_err());
-        let p = AppProfile { name: "x".into(), instructions: 1.0, phases: vec![] };
+        let p = AppProfile {
+            name: "x".into(),
+            instructions: 1.0,
+            phases: vec![],
+        };
         assert!(p.validate().is_err());
     }
 

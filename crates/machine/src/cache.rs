@@ -1,0 +1,393 @@
+//! Memoizing run cache.
+//!
+//! Sweeps re-run identical `(machine, workload, RunOptions)` triples
+//! constantly: every scenario in a training plan re-measures the same
+//! baselines, ablations re-execute the shared arm, and repeated
+//! validation drives the same scenarios again. A run is a pure function
+//! of its inputs, so [`RunCache`] memoizes [`Machine::run`] behind a
+//! canonical 128-bit digest of everything the engine reads: the machine
+//! spec (cores, LLC geometry, P-state table, DRAM parameters), the full
+//! workload (group counts, per-phase locality distributions down to their
+//! CDF tables, access rates, CPIs, MLP), and the run options (P-state,
+//! noise seed and σ, segment cap, partitioning flag).
+//!
+//! A hit returns a clone of the stored [`RunOutcome`] — bit-identical to
+//! what the engine produced, including applied noise, because the noise
+//! seed is part of the key. The cache is bounded: beyond `capacity`
+//! entries, insertion evicts in FIFO order. All counters are atomic, so a
+//! single cache can sit behind a work-stealing sweep with no locking
+//! beyond the map itself.
+
+use crate::app::AppProfile;
+use crate::engine::{Machine, RunOptions, RunOutcome, RunnerGroup};
+use crate::Result;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// 128-bit FNV-1a style digest writer. Not cryptographic — it only needs
+/// to make accidental collisions between distinct run inputs negligible.
+struct Digest {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Digest {
+    fn new() -> Digest {
+        Digest {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.state ^= b as u128;
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Hash the bit pattern: distinguishes -0.0 from 0.0 and every NaN
+    /// payload, which is exactly right for a memo key (bit-identical
+    /// inputs ⇒ bit-identical outputs).
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn app(&mut self, app: &AppProfile) {
+        self.str(&app.name);
+        self.f64(app.instructions);
+        self.usize(app.phases.len());
+        for ph in &app.phases {
+            self.f64(ph.weight);
+            self.f64(ph.accesses_per_instr);
+            self.f64(ph.cpi_base);
+            self.f64(ph.mlp);
+            // The locality model: scalar parameters plus the actual
+            // distribution tables, so two dists with equal parameters but
+            // different construction (power-law vs uniform) key apart.
+            self.f64(ph.dist.p_new);
+            self.usize(ph.dist.reuse_span);
+            self.f64(ph.dist.alpha);
+            self.usize(ph.dist.representatives().len());
+            for &r in ph.dist.representatives() {
+                self.usize(r);
+            }
+            for &c in ph.dist.cdf() {
+                self.f64(c);
+            }
+        }
+    }
+
+    fn finish(self) -> u128 {
+        self.state
+    }
+}
+
+/// Canonical digest of one run's complete input set.
+pub fn run_digest(machine: &Machine, workload: &[RunnerGroup], opts: &RunOptions) -> u128 {
+    let mut d = Digest::new();
+    let spec = machine.spec();
+    d.str(&spec.name);
+    d.usize(spec.cores);
+    d.u64(spec.llc_bytes);
+    d.usize(spec.llc_ways);
+    d.usize(spec.pstates_ghz.len());
+    for &p in &spec.pstates_ghz {
+        d.f64(p);
+    }
+    d.f64(spec.dram.peak_bw_bytes_per_sec);
+    d.f64(spec.dram.idle_latency_ns);
+    d.f64(spec.dram.queue_latency_ns);
+    d.f64(spec.dram.max_queue_ns);
+    d.f64(spec.dram.bank_penalty_ns);
+    d.usize(spec.dram.banks);
+
+    d.usize(workload.len());
+    for g in workload {
+        d.usize(g.count);
+        d.app(&g.app);
+    }
+
+    d.usize(opts.pstate);
+    d.u64(opts.seed);
+    d.f64(opts.noise_sigma);
+    d.usize(opts.max_segments);
+    d.byte(opts.llc_partitioned as u8);
+    d.finish()
+}
+
+/// Counter snapshot for telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the engine.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+struct CacheInner {
+    map: HashMap<u128, RunOutcome>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u128>,
+}
+
+/// A bounded, thread-safe memo table over [`Machine::run`].
+pub struct RunCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default capacity: comfortably holds a full paper-shape sweep
+/// (6 × 11 × 4 × 11 = 2904 scenarios) plus baselines.
+pub const DEFAULT_RUN_CACHE_CAPACITY: usize = 8192;
+
+impl Default for RunCache {
+    fn default() -> RunCache {
+        RunCache::new(DEFAULT_RUN_CACHE_CAPACITY)
+    }
+}
+
+impl RunCache {
+    /// Create a cache holding at most `capacity` outcomes.
+    pub fn new(capacity: usize) -> RunCache {
+        RunCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `workload` on `machine`, returning the memoized outcome when
+    /// this exact triple has run before. Errors are never cached (they are
+    /// cheap to recompute and carry no simulation work).
+    pub fn run(
+        &self,
+        machine: &Machine,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+    ) -> Result<RunOutcome> {
+        self.run_with_status(machine, workload, opts)
+            .map(|(out, _)| out)
+    }
+
+    /// Like [`RunCache::run`], but also reports whether the outcome came
+    /// from the cache (`true`) or a fresh simulation (`false`) — callers
+    /// accounting for simulation work need to know which runs were real.
+    pub fn run_with_status(
+        &self,
+        machine: &Machine,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+    ) -> Result<(RunOutcome, bool)> {
+        let key = run_digest(machine, workload, opts);
+        if let Some(hit) = self.inner.lock().expect("run cache poisoned").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit.clone(), true));
+        }
+        // The engine runs outside the lock: concurrent misses on the same
+        // key may both simulate, but they produce identical outcomes, so
+        // the race is benign and the sweep never serializes on the cache.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = machine.run(workload, opts)?;
+        let mut inner = self.inner.lock().expect("run cache poisoned");
+        if let Entry::Vacant(slot) = inner.map.entry(key) {
+            slot.insert(outcome.clone());
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok((outcome, false))
+    }
+
+    /// Drop all entries; counters keep accumulating.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("run cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Snapshot the hit/miss/eviction counters and current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.inner.lock().expect("run cache poisoned").map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppPhase;
+    use crate::presets;
+    use coloc_cachesim::StackDistanceDist;
+
+    fn app(name: &str, span: usize) -> AppProfile {
+        AppProfile::single_phase(
+            name,
+            30e9,
+            AppPhase {
+                weight: 1.0,
+                dist: StackDistanceDist::power_law(span, 0.35, 0.02),
+                accesses_per_instr: 0.03,
+                cpi_base: 0.9,
+                mlp: 4.0,
+            },
+        )
+    }
+
+    fn wl(span: usize) -> Vec<RunnerGroup> {
+        vec![
+            RunnerGroup::solo(app("t", span)),
+            RunnerGroup {
+                app: app("c", span / 2),
+                count: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn hit_is_bit_identical_to_engine_output() {
+        let m = Machine::new(presets::xeon_e5649());
+        let cache = RunCache::new(64);
+        let opts = RunOptions {
+            noise_sigma: 0.008,
+            seed: 3,
+            ..Default::default()
+        };
+        let direct = m.run(&wl(800_000), &opts).unwrap();
+        let miss = cache.run(&m, &wl(800_000), &opts).unwrap();
+        let hit = cache.run(&m, &wl(800_000), &opts).unwrap();
+        for out in [&miss, &hit] {
+            assert_eq!(out.wall_time_s.to_bits(), direct.wall_time_s.to_bits());
+            assert_eq!(out.segments, direct.segments);
+            assert_eq!(out.fp_iterations, direct.fp_iterations);
+            assert_eq!(
+                out.avg_mem_latency_ns.to_bits(),
+                direct.avg_mem_latency_ns.to_bits()
+            );
+            for (a, b) in out.counters.iter().zip(&direct.counters) {
+                assert_eq!(a.instructions.to_bits(), b.instructions.to_bits());
+                assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+                assert_eq!(a.llc_misses.to_bits(), b.llc_misses.to_bits());
+                assert_eq!(a.completed_runs, b.completed_runs);
+            }
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_inputs_key_apart() {
+        let m = Machine::new(presets::xeon_e5649());
+        let base = RunOptions::default();
+        let k0 = run_digest(&m, &wl(800_000), &base);
+        assert_eq!(k0, run_digest(&m, &wl(800_000), &base), "digest is stable");
+        assert_ne!(k0, run_digest(&m, &wl(400_000), &base), "workload matters");
+        assert_ne!(
+            k0,
+            run_digest(&m, &wl(800_000), &RunOptions { pstate: 2, ..base }),
+            "pstate matters"
+        );
+        assert_ne!(
+            k0,
+            run_digest(&m, &wl(800_000), &RunOptions { seed: 1, ..base }),
+            "noise seed matters"
+        );
+        assert_ne!(
+            k0,
+            run_digest(
+                &m,
+                &wl(800_000),
+                &RunOptions {
+                    noise_sigma: 0.01,
+                    ..base
+                }
+            ),
+            "noise sigma matters"
+        );
+        assert_ne!(
+            k0,
+            run_digest(
+                &m,
+                &wl(800_000),
+                &RunOptions {
+                    llc_partitioned: true,
+                    ..base
+                }
+            ),
+            "partitioning matters"
+        );
+        let m12 = Machine::new(presets::xeon_e5_2697v2());
+        assert_ne!(k0, run_digest(&m12, &wl(800_000), &base), "machine matters");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let m = Machine::new(presets::xeon_e5649());
+        let cache = RunCache::new(2);
+        let opts = RunOptions::default();
+        for span in [100_000, 200_000, 300_000] {
+            cache.run(&m, &wl(span), &opts).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len, 2);
+        // Oldest entry is gone: running it again is a miss...
+        cache.run(&m, &wl(100_000), &opts).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+        // ...while the newest two survive as hits until displaced.
+        cache.run(&m, &wl(300_000), &opts).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let m = Machine::new(presets::xeon_e5649());
+        let cache = RunCache::new(8);
+        cache.run(&m, &wl(100_000), &RunOptions::default()).unwrap();
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(s.len, 0);
+        assert_eq!(s.misses, 1);
+    }
+}

@@ -131,6 +131,9 @@ pub struct RunOutcome {
     pub counters: Vec<CounterBlock>,
     /// Segments simulated.
     pub segments: usize,
+    /// Fixed-point solver iterations summed over all segments — the
+    /// engine's unit of simulation work, surfaced for sweep telemetry.
+    pub fp_iterations: u64,
     /// Average LLC share of each group's instances over the run, bytes
     /// (time-weighted).
     pub avg_llc_share_bytes: Vec<f64>,
@@ -145,16 +148,86 @@ pub struct Machine {
     mem: MemorySystem,
 }
 
-/// Internal per-group stationary rates for the current segment.
-struct SegmentRates {
-    /// Instructions per second, per instance.
+/// Reusable per-run buffers for the segment solver. Built once per run;
+/// every per-segment quantity lives here so the hot loop allocates
+/// nothing. `instances` holds one [`SharedApp`] per core-resident app
+/// instance; its MRC is re-cloned only when that group's phase changes,
+/// not every segment.
+struct RunScratch {
+    /// One entry per instance, grouped contiguously by workload group.
+    instances: Vec<SharedApp>,
+    /// Owning group of each instance.
+    owner_group: Vec<usize>,
+    /// Index of the first instance of each group (instances within a group
+    /// are symmetric, so reading the first suffices — this replaces the
+    /// O(groups × instances) `position()` scans).
+    group_first: Vec<usize>,
+    /// Phase currently loaded into each group's instance MRCs.
+    loaded_phase: Vec<usize>,
+    /// LLC occupancy per instance, bytes; refilled to the equal split at
+    /// the start of each segment (same numerics as a fresh allocation).
+    occ: Vec<f64>,
+    /// Current phase index and end boundary per group.
+    phase_info: Vec<(usize, f64)>,
+    /// Per-group stationary rates for the segment being solved.
     ips: Vec<f64>,
-    /// Miss rate per instance.
     miss_rate: Vec<f64>,
-    /// DRAM latency, ns.
-    latency_ns: f64,
-    /// Occupancy per instance, bytes.
+    access_rate: Vec<f64>,
     occ_per_instance: Vec<f64>,
+}
+
+impl RunScratch {
+    fn new(workload: &[RunnerGroup], mrcs: &[Vec<MissRateCurve>]) -> RunScratch {
+        let n_groups = workload.len();
+        let mut instances = Vec::new();
+        let mut owner_group = Vec::new();
+        let mut group_first = Vec::with_capacity(n_groups);
+        for (gi, g) in workload.iter().enumerate() {
+            group_first.push(instances.len());
+            let mrc = &mrcs[gi][0];
+            for _ in 0..g.count {
+                instances.push(SharedApp {
+                    access_rate: 0.0,
+                    mrc: mrc.clone(),
+                });
+                owner_group.push(gi);
+            }
+        }
+        let n_inst = instances.len();
+        RunScratch {
+            instances,
+            owner_group,
+            group_first,
+            loaded_phase: vec![0; n_groups],
+            occ: vec![0.0; n_inst],
+            phase_info: vec![(0, 0.0); n_groups],
+            ips: vec![0.0; n_groups],
+            miss_rate: vec![0.0; n_groups],
+            access_rate: vec![0.0; n_groups],
+            occ_per_instance: vec![0.0; n_groups],
+        }
+    }
+
+    /// Load each group's current-phase MRC into its instances, cloning
+    /// only for groups whose phase actually changed.
+    fn sync_phases(&mut self, mrcs: &[Vec<MissRateCurve>]) {
+        for (gi, group_mrcs) in mrcs.iter().enumerate() {
+            let phase = self.phase_info[gi].0;
+            if self.loaded_phase[gi] != phase {
+                self.loaded_phase[gi] = phase;
+                let mrc = &group_mrcs[phase];
+                let start = self.group_first[gi];
+                let end = self
+                    .group_first
+                    .get(gi + 1)
+                    .copied()
+                    .unwrap_or(self.instances.len());
+                for inst in &mut self.instances[start..end] {
+                    inst.mrc = mrc.clone();
+                }
+            }
+        }
+    }
 }
 
 impl Machine {
@@ -219,9 +292,12 @@ impl Machine {
         let mut latency_time_acc = 0.0f64;
         let mut wall = 0.0f64;
         let mut segments = 0usize;
+        let mut fp_iterations = 0u64;
         // CPI warm start carried across segments for fast convergence.
-        let mut cpi: Vec<f64> =
-            workload.iter().map(|g| g.app.phases[0].cpi_base).collect();
+        let mut cpi: Vec<f64> = workload.iter().map(|g| g.app.phases[0].cpi_base).collect();
+        // All per-segment buffers live here; the loop below is allocation
+        // free no matter how many segments the run takes.
+        let mut scratch = RunScratch::new(workload, &mrcs);
 
         loop {
             segments += 1;
@@ -233,26 +309,25 @@ impl Machine {
             }
 
             // Current phase and its end boundary for each group.
-            let phase_info: Vec<(usize, f64)> = workload
-                .iter()
-                .zip(&progress)
-                .map(|(g, &p)| g.app.phase_at(p))
-                .collect();
+            for (gi, (g, &p)) in workload.iter().zip(&progress).enumerate() {
+                scratch.phase_info[gi] = g.app.phase_at(p);
+            }
+            scratch.sync_phases(&mrcs);
 
-            let rates = self.solve_segment(
+            let (latency_ns, iters) = self.solve_segment(
                 workload,
-                &phase_info,
-                &mrcs,
+                &mut scratch,
                 freq_hz,
                 opts.llc_partitioned,
                 &mut cpi,
             );
+            fp_iterations += iters;
 
             // Time until each group hits its next boundary.
             let mut dt = f64::INFINITY;
-            for gi in 0..n_groups {
-                let remaining = phase_info[gi].1 - progress[gi];
-                let t = remaining / rates.ips[gi];
+            for (gi, p) in progress.iter().enumerate() {
+                let remaining = scratch.phase_info[gi].1 - p;
+                let t = remaining / scratch.ips[gi];
                 if t < dt {
                     dt = t;
                 }
@@ -261,22 +336,23 @@ impl Machine {
 
             // Advance everyone by dt.
             for gi in 0..n_groups {
-                let instr = rates.ips[gi] * dt;
+                let instr = scratch.ips[gi] * dt;
                 progress[gi] += instr;
-                let acc = instr * workload[gi].app.phases[phase_info[gi].0].accesses_per_instr;
+                let acc =
+                    instr * workload[gi].app.phases[scratch.phase_info[gi].0].accesses_per_instr;
                 counters[gi].instructions += instr;
                 counters[gi].cycles += freq_hz * dt;
                 counters[gi].llc_accesses += acc;
-                counters[gi].llc_misses += acc * rates.miss_rate[gi];
-                share_time_acc[gi] += rates.occ_per_instance[gi] * dt;
+                counters[gi].llc_misses += acc * scratch.miss_rate[gi];
+                share_time_acc[gi] += scratch.occ_per_instance[gi] * dt;
             }
-            latency_time_acc += rates.latency_ns * dt;
+            latency_time_acc += latency_ns * dt;
             wall += dt;
 
             // Snap boundary crossings and handle completions.
             let mut target_done = false;
             for gi in 0..n_groups {
-                let boundary = phase_info[gi].1;
+                let boundary = scratch.phase_info[gi].1;
                 if progress[gi] >= boundary - 1e-6 * workload[gi].app.instructions.max(1.0) {
                     progress[gi] = boundary;
                     if (boundary - workload[gi].app.instructions).abs()
@@ -297,6 +373,9 @@ impl Machine {
         }
 
         // Measurement noise: multiplicative lognormal on the observed time.
+        // The scale applies uniformly to every group's cycle counter — a
+        // slow (or fast) measured run is slow for everyone sharing the
+        // machine, not just the target.
         let mut wall_measured = wall;
         if opts.noise_sigma > 0.0 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
@@ -305,14 +384,18 @@ impl Machine {
             let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let u2: f64 = rng.gen::<f64>();
             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-            wall_measured *= (opts.noise_sigma * z).exp();
-            counters[0].cycles = wall_measured * freq_hz;
+            let scale = (opts.noise_sigma * z).exp();
+            wall_measured *= scale;
+            for c in counters.iter_mut() {
+                c.cycles *= scale;
+            }
         }
 
         Ok(RunOutcome {
             wall_time_s: wall_measured,
             counters,
             segments,
+            fp_iterations,
             avg_llc_share_bytes: share_time_acc.iter().map(|&s| s / wall).collect(),
             avg_mem_latency_ns: latency_time_acc / wall,
         })
@@ -324,63 +407,63 @@ impl Machine {
     }
 
     /// Find the stationary contention state for the current phases.
-    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    ///
+    /// Reads the current phases from `scratch.phase_info` (MRCs must
+    /// already be synced via [`RunScratch::sync_phases`]); writes the
+    /// converged per-group `ips`, `miss_rate`, and `occ_per_instance` back
+    /// into `scratch`. Returns the DRAM latency and the number of
+    /// fixed-point iterations consumed.
+    #[allow(clippy::needless_range_loop)]
     fn solve_segment(
         &self,
         workload: &[RunnerGroup],
-        phase_info: &[(usize, f64)],
-        mrcs: &[Vec<MissRateCurve>],
+        scratch: &mut RunScratch,
         freq_hz: f64,
         llc_partitioned: bool,
         cpi: &mut [f64],
-    ) -> SegmentRates {
+    ) -> (f64, u64) {
         let n_groups = workload.len();
         let cap = self.spec.llc_bytes;
+        let n_inst = scratch.instances.len();
 
-        // One SharedApp per *instance*, grouped contiguously.
-        let mut instances: Vec<SharedApp> = Vec::new();
-        let mut owner_group: Vec<usize> = Vec::new();
-        for (gi, g) in workload.iter().enumerate() {
-            let mrc = mrcs[gi][phase_info[gi].0].clone();
-            for _ in 0..g.count {
-                instances.push(SharedApp { access_rate: 0.0, mrc: mrc.clone() });
-                owner_group.push(gi);
-            }
-        }
-        let n_inst = instances.len();
-        let mut occ = vec![cap as f64 / n_inst as f64; n_inst];
+        // Fresh equal split every segment — same starting point a newly
+        // allocated occupancy vector had, without the allocation.
+        scratch
+            .occ
+            .iter_mut()
+            .for_each(|o| *o = cap as f64 / n_inst as f64);
 
-        let mut miss_rate = vec![0.0f64; n_groups];
-        let mut access_rate = vec![0.0f64; n_groups];
         let mut latency_ns = self.mem.spec().idle_latency_ns;
+        let mut iters = 0u64;
 
         const MAX_ITERS: usize = 250;
         for _iter in 0..MAX_ITERS {
+            iters += 1;
             // Rates from current CPI.
             for gi in 0..n_groups {
-                let ph = &workload[gi].app.phases[phase_info[gi].0];
-                access_rate[gi] = freq_hz / cpi[gi] * ph.accesses_per_instr;
+                let ph = &workload[gi].app.phases[scratch.phase_info[gi].0];
+                scratch.access_rate[gi] = freq_hz / cpi[gi] * ph.accesses_per_instr;
             }
             for ii in 0..n_inst {
-                instances[ii].access_rate = access_rate[owner_group[ii]];
+                scratch.instances[ii].access_rate = scratch.access_rate[scratch.owner_group[ii]];
             }
 
             // One occupancy step at these rates (skipped when the LLC is
             // statically partitioned: shares are fixed equal slices).
             if !llc_partitioned {
-                occupancy_step(cap, &instances, &mut occ);
+                occupancy_step(cap, &scratch.instances, &mut scratch.occ);
             }
             for gi in 0..n_groups {
                 // All instances of a group are symmetric; read the first.
-                let ii = owner_group.iter().position(|&g| g == gi).expect("instance");
-                miss_rate[gi] = instances[ii].mrc.miss_rate(occ[ii] as u64);
+                let ii = scratch.group_first[gi];
+                scratch.miss_rate[gi] = scratch.instances[ii].mrc.miss_rate(scratch.occ[ii] as u64);
             }
 
             // DRAM latency at the aggregate miss bandwidth.
             let mut bw = 0.0;
             let mut streams = 0usize;
             for gi in 0..n_groups {
-                let miss_per_sec = access_rate[gi] * miss_rate[gi];
+                let miss_per_sec = scratch.access_rate[gi] * scratch.miss_rate[gi];
                 bw += workload[gi].count as f64 * miss_per_sec * MISS_BYTES;
                 if miss_per_sec > 1e5 {
                     streams += workload[gi].count;
@@ -391,11 +474,10 @@ impl Machine {
             // CPI update with damping.
             let mut max_rel = 0.0f64;
             for gi in 0..n_groups {
-                let ph = &workload[gi].app.phases[phase_info[gi].0];
-                let stall_cycles_per_instr = ph.accesses_per_instr
-                    * miss_rate[gi]
-                    * (latency_ns * 1e-9 * freq_hz)
-                    / ph.mlp;
+                let ph = &workload[gi].app.phases[scratch.phase_info[gi].0];
+                let stall_cycles_per_instr =
+                    ph.accesses_per_instr * scratch.miss_rate[gi] * (latency_ns * 1e-9 * freq_hz)
+                        / ph.mlp;
                 let target = ph.cpi_base + stall_cycles_per_instr;
                 let next = 0.5 * cpi[gi] + 0.5 * target;
                 max_rel = max_rel.max(((next - cpi[gi]) / cpi[gi]).abs());
@@ -406,14 +488,11 @@ impl Machine {
             }
         }
 
-        let ips: Vec<f64> = (0..n_groups).map(|gi| freq_hz / cpi[gi]).collect();
-        let occ_per_instance: Vec<f64> = (0..n_groups)
-            .map(|gi| {
-                let ii = owner_group.iter().position(|&g| g == gi).expect("instance");
-                occ[ii]
-            })
-            .collect();
-        SegmentRates { ips, miss_rate, latency_ns, occ_per_instance }
+        for gi in 0..n_groups {
+            scratch.ips[gi] = freq_hz / cpi[gi];
+            scratch.occ_per_instance[gi] = scratch.occ[scratch.group_first[gi]];
+        }
+        (latency_ns, iters)
     }
 }
 
@@ -477,8 +556,24 @@ mod tests {
     fn lower_pstate_is_slower() {
         let m = m6();
         let app = compute("c", 100e9);
-        let fast = m.run_solo(&app, &RunOptions { pstate: 0, ..Default::default() }).unwrap();
-        let slow = m.run_solo(&app, &RunOptions { pstate: 5, ..Default::default() }).unwrap();
+        let fast = m
+            .run_solo(
+                &app,
+                &RunOptions {
+                    pstate: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let slow = m
+            .run_solo(
+                &app,
+                &RunOptions {
+                    pstate: 5,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         // Compute-bound: time scales ≈ inversely with frequency.
         let ratio = slow.wall_time_s / fast.wall_time_s;
         let freq_ratio = 2.53 / 1.60;
@@ -489,8 +584,24 @@ mod tests {
     fn memory_bound_app_scales_sublinearly_with_frequency() {
         let m = m6();
         let app = hungry("h", 100e9);
-        let fast = m.run_solo(&app, &RunOptions { pstate: 0, ..Default::default() }).unwrap();
-        let slow = m.run_solo(&app, &RunOptions { pstate: 5, ..Default::default() }).unwrap();
+        let fast = m
+            .run_solo(
+                &app,
+                &RunOptions {
+                    pstate: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let slow = m
+            .run_solo(
+                &app,
+                &RunOptions {
+                    pstate: 5,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let ratio = slow.wall_time_s / fast.wall_time_s;
         let freq_ratio = 2.53 / 1.60;
         assert!(
@@ -508,7 +619,10 @@ mod tests {
         for n in 0..=5usize {
             let mut wl = vec![RunnerGroup::solo(target.clone())];
             if n > 0 {
-                wl.push(RunnerGroup { app: hungry("agg", 120e9), count: n });
+                wl.push(RunnerGroup {
+                    app: hungry("agg", 120e9),
+                    count: n,
+                });
             }
             let out = m.run(&wl, &RunOptions::default()).unwrap();
             assert!(
@@ -527,7 +641,10 @@ mod tests {
         let solo = m.run_solo(&target, &RunOptions::default()).unwrap();
         let wl = vec![
             RunnerGroup::solo(target.clone()),
-            RunnerGroup { app: compute("ep-ish", 100e9), count: 5 },
+            RunnerGroup {
+                app: compute("ep-ish", 100e9),
+                count: 5,
+            },
         ];
         let with = m.run(&wl, &RunOptions::default()).unwrap();
         let slowdown = with.wall_time_s / solo.wall_time_s;
@@ -543,7 +660,10 @@ mod tests {
             .run(
                 &[
                     RunnerGroup::solo(target.clone()),
-                    RunnerGroup { app: compute("c", 100e9), count: 5 },
+                    RunnerGroup {
+                        app: compute("c", 100e9),
+                        count: 5,
+                    },
                 ],
                 &RunOptions::default(),
             )
@@ -552,7 +672,10 @@ mod tests {
             .run(
                 &[
                     RunnerGroup::solo(target.clone()),
-                    RunnerGroup { app: hungry("h", 100e9), count: 5 },
+                    RunnerGroup {
+                        app: hungry("h", 100e9),
+                        count: 5,
+                    },
                 ],
                 &RunOptions::default(),
             )
@@ -571,7 +694,10 @@ mod tests {
         // Short co-runner, long target: co-runner must loop.
         let wl = vec![
             RunnerGroup::solo(hungry("t", 100e9)),
-            RunnerGroup { app: hungry("short", 10e9), count: 2 },
+            RunnerGroup {
+                app: hungry("short", 10e9),
+                count: 2,
+            },
         ];
         let out = m.run(&wl, &RunOptions::default()).unwrap();
         assert!(out.counters[1].completed_runs >= 5, "{:?}", out.counters[1]);
@@ -583,7 +709,11 @@ mod tests {
         let m = m6();
         let app = hungry("t", 50e9);
         let clean = m.run_solo(&app, &RunOptions::default()).unwrap();
-        let noisy_opts = RunOptions { noise_sigma: 0.008, seed: 7, ..Default::default() };
+        let noisy_opts = RunOptions {
+            noise_sigma: 0.008,
+            seed: 7,
+            ..Default::default()
+        };
         let a = m.run_solo(&app, &noisy_opts).unwrap();
         let b = m.run_solo(&app, &noisy_opts).unwrap();
         assert_eq!(a.wall_time_s, b.wall_time_s);
@@ -595,19 +725,40 @@ mod tests {
     #[test]
     fn rejects_bad_workloads() {
         let m = m6();
-        assert!(matches!(m.run(&[], &RunOptions::default()), Err(MachineError::EmptyWorkload)));
-        let wl = vec![RunnerGroup { app: hungry("t", 1e9), count: 7 }];
+        assert!(matches!(
+            m.run(&[], &RunOptions::default()),
+            Err(MachineError::EmptyWorkload)
+        ));
+        let wl = vec![RunnerGroup {
+            app: hungry("t", 1e9),
+            count: 7,
+        }];
         assert!(matches!(
             m.run(&wl, &RunOptions::default()),
-            Err(MachineError::NotEnoughCores { requested: 7, available: 6 })
+            Err(MachineError::NotEnoughCores {
+                requested: 7,
+                available: 6
+            })
         ));
         let wl = vec![RunnerGroup::solo(hungry("t", 1e9))];
         assert!(matches!(
-            m.run(&wl, &RunOptions { pstate: 6, ..Default::default() }),
+            m.run(
+                &wl,
+                &RunOptions {
+                    pstate: 6,
+                    ..Default::default()
+                }
+            ),
             Err(MachineError::BadPState { .. })
         ));
-        let wl = vec![RunnerGroup { app: hungry("t", 1e9), count: 0 }];
-        assert!(matches!(m.run(&wl, &RunOptions::default()), Err(MachineError::BadProfile(_))));
+        let wl = vec![RunnerGroup {
+            app: hungry("t", 1e9),
+            count: 0,
+        }];
+        assert!(matches!(
+            m.run(&wl, &RunOptions::default()),
+            Err(MachineError::BadProfile(_))
+        ));
     }
 
     #[test]
@@ -634,10 +785,18 @@ mod tests {
             ],
         };
         let out = m.run_solo(&app, &RunOptions::default()).unwrap();
-        assert!(out.segments >= 2, "expected a phase boundary, got {}", out.segments);
+        assert!(
+            out.segments >= 2,
+            "expected a phase boundary, got {}",
+            out.segments
+        );
         // Time must be between the all-hungry and all-compute extremes.
-        let hungry_t = m.run_solo(&hungry("h", 100e9), &RunOptions::default()).unwrap();
-        let compute_t = m.run_solo(&compute("c", 100e9), &RunOptions::default()).unwrap();
+        let hungry_t = m
+            .run_solo(&hungry("h", 100e9), &RunOptions::default())
+            .unwrap();
+        let compute_t = m
+            .run_solo(&compute("c", 100e9), &RunOptions::default())
+            .unwrap();
         assert!(out.wall_time_s < hungry_t.wall_time_s);
         assert!(out.wall_time_s > compute_t.wall_time_s);
     }
@@ -645,12 +804,17 @@ mod tests {
     #[test]
     fn outcome_reports_contention_telemetry() {
         let m = m6();
-        let solo = m.run_solo(&hungry("t", 50e9), &RunOptions::default()).unwrap();
+        let solo = m
+            .run_solo(&hungry("t", 50e9), &RunOptions::default())
+            .unwrap();
         let shared = m
             .run(
                 &[
                     RunnerGroup::solo(hungry("t", 50e9)),
-                    RunnerGroup { app: hungry("agg", 60e9), count: 5 },
+                    RunnerGroup {
+                        app: hungry("agg", 60e9),
+                        count: 5,
+                    },
                 ],
                 &RunOptions::default(),
             )
@@ -679,11 +843,20 @@ mod tests {
         );
         let wl = vec![
             RunnerGroup::solo(target.clone()),
-            RunnerGroup { app: aggressor, count: 5 },
+            RunnerGroup {
+                app: aggressor,
+                count: 5,
+            },
         ];
         let shared = m.run(&wl, &RunOptions::default()).unwrap();
         let parts = m
-            .run(&wl, &RunOptions { llc_partitioned: true, ..Default::default() })
+            .run(
+                &wl,
+                &RunOptions {
+                    llc_partitioned: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let solo = m.run_solo(&target, &RunOptions::default()).unwrap();
 
@@ -706,7 +879,10 @@ mod tests {
         let m = Machine::new(presets::xeon_e5_2697v2());
         let wl = vec![
             RunnerGroup::solo(hungry("t", 50e9)),
-            RunnerGroup { app: hungry("agg", 60e9), count: 11 },
+            RunnerGroup {
+                app: hungry("agg", 60e9),
+                count: 11,
+            },
         ];
         let out = m.run(&wl, &RunOptions::default()).unwrap();
         assert!(out.wall_time_s > 0.0);

@@ -35,7 +35,11 @@ pub struct ThermalModel {
 impl Default for ThermalModel {
     fn default() -> Self {
         // Ballpark server-class package: ~0.35 °C/W, ~12 s time constant.
-        ThermalModel { theta_c_per_w: 0.35, tau_s: 12.0, ambient_c: 35.0 }
+        ThermalModel {
+            theta_c_per_w: 0.35,
+            tau_s: 12.0,
+            ambient_c: 35.0,
+        }
     }
 }
 
@@ -66,7 +70,11 @@ pub struct GovernorConfig {
 
 impl Default for GovernorConfig {
     fn default() -> Self {
-        GovernorConfig { throttle_at_c: 85.0, hysteresis_c: 6.0, interval_s: 0.5 }
+        GovernorConfig {
+            throttle_at_c: 85.0,
+            hysteresis_c: 6.0,
+            interval_s: 0.5,
+        }
     }
 }
 
@@ -129,7 +137,13 @@ pub fn run_throttled(
     // Per-P-state average instruction rates from clean solo runs.
     let mut ips = Vec::with_capacity(num_pstates);
     for p in 0..num_pstates {
-        let out = machine.run_solo(app, &RunOptions { pstate: p, ..Default::default() })?;
+        let out = machine.run_solo(
+            app,
+            &RunOptions {
+                pstate: p,
+                ..Default::default()
+            },
+        )?;
         ips.push(app.instructions / out.wall_time_s);
     }
 
@@ -158,7 +172,10 @@ pub fn run_throttled(
 
         match residencies.last_mut() {
             Some(r) if r.pstate == pstate => r.seconds += dt,
-            _ => residencies.push(PStateResidency { pstate, seconds: dt }),
+            _ => residencies.push(PStateResidency {
+                pstate,
+                seconds: dt,
+            }),
         }
     }
 
@@ -230,7 +247,9 @@ mod tests {
         assert_eq!(out.residencies[0].pstate, 0);
         assert!(out.peak_temp_c < 85.0);
         // Matches the untthrottled P0 time.
-        let plain = m.run_solo(&compute_app(200e9), &RunOptions::default()).unwrap();
+        let plain = m
+            .run_solo(&compute_app(200e9), &RunOptions::default())
+            .unwrap();
         assert!((out.wall_time_s - plain.wall_time_s).abs() / plain.wall_time_s < 0.01);
     }
 
@@ -240,21 +259,32 @@ mod tests {
         let gov = GovernorConfig::default();
         let thermal = ThermalModel::default();
         // Steady state at P0 is 35 + 0.35*220 = 112 °C > 85 °C: must throttle.
-        let out =
-            run_throttled(&m, &compute_app(400e9), hot_power, &thermal, &gov).unwrap();
+        let out = run_throttled(&m, &compute_app(400e9), hot_power, &thermal, &gov).unwrap();
         assert!(out.transitions() >= 1, "{:?}", out.residencies.len());
         assert!(out.time_at(0) > 0.0);
         // Some time must be spent below P0.
         let throttled_time: f64 = (1..6).map(|p| out.time_at(p)).sum();
         assert!(throttled_time > 0.0);
         // The cap can be overshot by at most one control interval's heating.
-        assert!(out.peak_temp_c < gov.throttle_at_c + 3.0, "peak {}", out.peak_temp_c);
+        assert!(
+            out.peak_temp_c < gov.throttle_at_c + 3.0,
+            "peak {}",
+            out.peak_temp_c
+        );
         // Throttling costs time vs an (impossible) uncapped P0 run…
-        let p0 = m.run_solo(&compute_app(400e9), &RunOptions::default()).unwrap();
+        let p0 = m
+            .run_solo(&compute_app(400e9), &RunOptions::default())
+            .unwrap();
         assert!(out.wall_time_s > p0.wall_time_s);
         // …but beats pinning the lowest P-state throughout.
         let p5 = m
-            .run_solo(&compute_app(400e9), &RunOptions { pstate: 5, ..Default::default() })
+            .run_solo(
+                &compute_app(400e9),
+                &RunOptions {
+                    pstate: 5,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         assert!(out.wall_time_s < p5.wall_time_s);
     }
@@ -263,9 +293,11 @@ mod tests {
     fn hysteresis_prevents_rapid_oscillation() {
         let m = Machine::new(presets::xeon_e5649());
         let thermal = ThermalModel::default();
-        let tight = GovernorConfig { hysteresis_c: 6.0, ..Default::default() };
-        let out =
-            run_throttled(&m, &compute_app(300e9), hot_power, &thermal, &tight).unwrap();
+        let tight = GovernorConfig {
+            hysteresis_c: 6.0,
+            ..Default::default()
+        };
+        let out = run_throttled(&m, &compute_app(300e9), hot_power, &thermal, &tight).unwrap();
         // Transitions happen, but far fewer than control intervals.
         let intervals = (out.wall_time_s / tight.interval_s).ceil() as usize;
         assert!(

@@ -27,12 +27,14 @@
 //! output, so the ML layer faces the same inference problem the paper did.
 
 pub mod app;
+pub mod cache;
 pub mod engine;
 pub mod governor;
 pub mod presets;
 pub mod spec;
 
 pub use app::{AppPhase, AppProfile};
+pub use cache::{run_digest, CacheStats, RunCache};
 pub use engine::{CounterBlock, Machine, RunOptions, RunOutcome, RunnerGroup};
 pub use governor::{run_throttled, GovernorConfig, ThermalModel, ThrottledOutcome};
 pub use spec::MachineSpec;
@@ -57,8 +59,14 @@ pub enum MachineError {
 impl std::fmt::Display for MachineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MachineError::NotEnoughCores { requested, available } => {
-                write!(f, "workload needs {requested} cores, machine has {available}")
+            MachineError::NotEnoughCores {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "workload needs {requested} cores, machine has {available}"
+                )
             }
             MachineError::BadPState { index, available } => {
                 write!(f, "P-state {index} out of range (machine has {available})")

@@ -6,13 +6,13 @@ use proptest::prelude::*;
 
 fn app_strategy() -> impl Strategy<Value = AppProfile> {
     (
-        10u64..200,          // instructions, billions
-        1usize..400,         // working set, thousands of lines
-        0.2f64..1.8,         // locality alpha
-        1e-4f64..0.05,       // churn
-        1e-4f64..0.05,       // accesses per instruction
-        0.5f64..1.5,         // base CPI
-        1.0f64..8.0,         // MLP
+        10u64..200,    // instructions, billions
+        1usize..400,   // working set, thousands of lines
+        0.2f64..1.8,   // locality alpha
+        1e-4f64..0.05, // churn
+        1e-4f64..0.05, // accesses per instruction
+        0.5f64..1.5,   // base CPI
+        1.0f64..8.0,   // MLP
     )
         .prop_map(|(gi, ws, alpha, churn, apki, cpi, mlp)| {
             AppProfile::single_phase(

@@ -37,7 +37,10 @@ impl ChannelArray {
             banks: (spec.banks / channels).max(1),
             ..spec
         };
-        ChannelArray { channel: MemorySystem::new(per), channels }
+        ChannelArray {
+            channel: MemorySystem::new(per),
+            channels,
+        }
     }
 
     /// Number of channels.
@@ -70,7 +73,11 @@ impl ChannelArray {
     ) -> f64 {
         let n = self.channels as f64;
         let hot = self.hot_share(imbalance);
-        let cold = if self.channels > 1 { (1.0 - hot) / (n - 1.0) } else { 0.0 };
+        let cold = if self.channels > 1 {
+            (1.0 - hot) / (n - 1.0)
+        } else {
+            0.0
+        };
         // Streams spread the same way traffic does.
         let hot_streams = ((streams as f64 * hot).ceil() as usize).min(streams);
         let cold_streams = if self.channels > 1 {
@@ -105,14 +112,20 @@ mod tests {
         // 1/3 the traffic at 1/3 the capacity — identical utilization — so
         // the queue term must match the aggregate model exactly. (The bank
         // term legitimately differs: streams split across channels.)
-        let no_banks = DramSpec { bank_penalty_ns: 0.0, ..spec() };
+        let no_banks = DramSpec {
+            bank_penalty_ns: 0.0,
+            ..spec()
+        };
         let agg = MemorySystem::new(no_banks);
         let arr = ChannelArray::from_spec(no_banks, 3);
         for frac in [0.1, 0.4, 0.7, 0.95] {
             let bw = frac * no_banks.peak_bw_bytes_per_sec;
             let a = agg.access_latency_ns(bw, 6);
             let c = arr.access_latency_ns(bw, 6, 0.0);
-            assert!((a - c).abs() < 1e-9, "at {frac}: aggregate {a} vs channels {c}");
+            assert!(
+                (a - c).abs() < 1e-9,
+                "at {frac}: aggregate {a} vs channels {c}"
+            );
         }
     }
 
@@ -129,7 +142,10 @@ mod tests {
         // Full skew at 50% aggregate load saturates the hot channel badly.
         let balanced = arr.access_latency_ns(bw, 6, 0.0);
         let skewed = arr.access_latency_ns(bw, 6, 1.0);
-        assert!(skewed > balanced * 1.5, "skewed {skewed} vs balanced {balanced}");
+        assert!(
+            skewed > balanced * 1.5,
+            "skewed {skewed} vs balanced {balanced}"
+        );
     }
 
     #[test]
@@ -145,7 +161,10 @@ mod tests {
         let arr = ChannelArray::from_spec(spec(), 1);
         let agg = MemorySystem::new(spec());
         for bw in [0.0, 1e9, 20e9] {
-            assert_eq!(arr.access_latency_ns(bw, 4, 0.7), agg.access_latency_ns(bw, 4));
+            assert_eq!(
+                arr.access_latency_ns(bw, 4, 0.7),
+                agg.access_latency_ns(bw, 4)
+            );
         }
     }
 

@@ -73,7 +73,10 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Wrap a spec.
     pub fn new(spec: DramSpec) -> MemorySystem {
-        assert!(spec.peak_bw_bytes_per_sec > 0.0, "peak bandwidth must be positive");
+        assert!(
+            spec.peak_bw_bytes_per_sec > 0.0,
+            "peak bandwidth must be positive"
+        );
         assert!(spec.idle_latency_ns > 0.0, "idle latency must be positive");
         MemorySystem { spec }
     }

@@ -83,7 +83,10 @@ impl Dataset {
     /// Restrict to a subset of feature columns, in the given order.
     pub fn select_features(&self, cols: &[usize]) -> Dataset {
         let x = Mat::from_fn(self.x.rows(), cols.len(), |i, j| self.x[(i, cols[j])]);
-        Dataset { x, y: self.y.clone() }
+        Dataset {
+            x,
+            y: self.y.clone(),
+        }
     }
 
     /// Split into `(train, test)` with `test_fraction` of samples withheld,
@@ -101,10 +104,8 @@ impl Dataset {
         let mut idx: Vec<usize> = (0..n).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, partition));
         idx.shuffle(&mut rng);
-        let n_test = ((n as f64 * test_fraction).round() as usize).clamp(
-            usize::from(n > 1),
-            n.saturating_sub(1),
-        );
+        let n_test = ((n as f64 * test_fraction).round() as usize)
+            .clamp(usize::from(n > 1), n.saturating_sub(1));
         let (test_idx, train_idx) = idx.split_at(n_test);
         (self.select(train_idx), self.select(test_idx))
     }
@@ -123,7 +124,10 @@ mod tests {
     #[test]
     fn rejects_mismatched_lengths() {
         let x = Mat::zeros(3, 2);
-        assert!(matches!(Dataset::new(x, vec![1.0; 4]), Err(MlError::BadDataset(_))));
+        assert!(matches!(
+            Dataset::new(x, vec![1.0; 4]),
+            Err(MlError::BadDataset(_))
+        ));
     }
 
     #[test]
@@ -135,8 +139,7 @@ mod tests {
 
     #[test]
     fn from_samples_roundtrip() {
-        let ds =
-            Dataset::from_samples(&[(vec![1.0, 2.0], 3.0), (vec![4.0, 5.0], 6.0)]).unwrap();
+        let ds = Dataset::from_samples(&[(vec![1.0, 2.0], 3.0), (vec![4.0, 5.0], 6.0)]).unwrap();
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.num_features(), 2);
         assert_eq!(ds.sample(1), (&[4.0, 5.0][..], 6.0));

@@ -39,8 +39,7 @@ where
         let lo = fold * n / k;
         let hi = (fold + 1) * n / k;
         let test_idx = &idx[lo..hi];
-        let train_idx: Vec<usize> =
-            idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+        let train_idx: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
         let train_set = data.select(&train_idx);
         let test_set = data.select(test_idx);
         let model = train(&train_set, derive_seed(seed, 2_000_000 + fold as u64))?;
@@ -63,7 +62,9 @@ mod tests {
     use coloc_linalg::Mat;
 
     fn ds(n: usize) -> Dataset {
-        let x = Mat::from_fn(n, 2, |i, j| ((i + 1) as f64 * (j + 1) as f64 * 0.37).sin() * 4.0);
+        let x = Mat::from_fn(n, 2, |i, j| {
+            ((i + 1) as f64 * (j + 1) as f64 * 0.37).sin() * 4.0
+        });
         let y = (0..n)
             .map(|i| 50.0 + 2.0 * x[(i, 0)] - x[(i, 1)] + ((i % 7) as f64 - 3.0) * 0.01)
             .collect();
@@ -84,11 +85,19 @@ mod tests {
         let kf = kfold(&data, 10, 3, |t, _| LinearRegression::fit(t)).unwrap();
         let rs = crate::validate::validate(
             &data,
-            &crate::validate::ValidationConfig { partitions: 10, ..Default::default() },
+            &crate::validate::ValidationConfig {
+                partitions: 10,
+                ..Default::default()
+            },
             |t, _| LinearRegression::fit(t),
         )
         .unwrap();
-        assert!((kf.test_mpe - rs.test_mpe).abs() < 0.5, "{} vs {}", kf.test_mpe, rs.test_mpe);
+        assert!(
+            (kf.test_mpe - rs.test_mpe).abs() < 0.5,
+            "{} vs {}",
+            kf.test_mpe,
+            rs.test_mpe
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod kfold;
 pub mod linear;
 pub mod metrics;
 pub mod mlp;
+pub mod parallel;
 pub mod pca;
 pub mod poly;
 pub mod rng;
@@ -65,7 +66,10 @@ impl std::fmt::Display for MlError {
         match self {
             MlError::BadDataset(s) => write!(f, "bad dataset: {s}"),
             MlError::Linalg(e) => write!(f, "linear algebra error: {e}"),
-            MlError::NoConvergence { iterations, grad_norm } => write!(
+            MlError::NoConvergence {
+                iterations,
+                grad_norm,
+            } => write!(
                 f,
                 "optimizer did not converge after {iterations} iterations (|g| = {grad_norm:.3e})"
             ),

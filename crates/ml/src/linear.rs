@@ -96,7 +96,9 @@ impl LinearRegression {
 
     /// Predict for every row of a dataset.
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict(data.sample(i).0)).collect()
+        (0..data.len())
+            .map(|i| self.predict(data.sample(i).0))
+            .collect()
     }
 
     /// Coefficients in standardized feature space (useful for inspecting
@@ -199,7 +201,10 @@ mod tests {
     fn underdetermined_is_error() {
         let x = Mat::zeros(2, 3);
         let ds = Dataset::new(x, vec![1.0, 2.0]).unwrap();
-        assert!(matches!(LinearRegression::fit(&ds), Err(MlError::BadDataset(_))));
+        assert!(matches!(
+            LinearRegression::fit(&ds),
+            Err(MlError::BadDataset(_))
+        ));
     }
 
     #[test]

@@ -13,10 +13,11 @@
 /// Mean Percentage Error (paper Eq. 2), in percent.
 ///
 /// `100/M × Σ |predᵢ − actualᵢ| / actualᵢ`. Panics in debug builds on
-/// length mismatch; returns NaN if any actual value is zero.
+/// length mismatch; returns NaN on empty input or if any actual value is
+/// zero (a percentage error against a zero actual is undefined).
 pub fn mpe(predicted: &[f64], actual: &[f64]) -> f64 {
     debug_assert_eq!(predicted.len(), actual.len());
-    if actual.is_empty() {
+    if actual.is_empty() || actual.contains(&0.0) {
         return f64::NAN;
     }
     let sum: f64 = predicted
@@ -33,15 +34,22 @@ pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
     if actual.is_empty() {
         return f64::NAN;
     }
-    let ss: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a).powi(2)).sum();
+    let ss: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum();
     (ss / actual.len() as f64).sqrt()
 }
 
 /// Normalized Root Mean Squared Error (paper Eq. 3), in percent:
 /// `100 × RMSE / (max(actual) − min(actual))`.
 ///
-/// Returns NaN when the actual values have zero range.
+/// Returns NaN on empty input or when the actual values have zero range.
 pub fn nrmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    if actual.is_empty() {
+        return f64::NAN;
+    }
     let range = coloc_linalg::vecops::max(actual) - coloc_linalg::vecops::min(actual);
     if range <= 0.0 {
         return f64::NAN;
@@ -55,7 +63,11 @@ pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
     if actual.is_empty() {
         return f64::NAN;
     }
-    predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>()
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
         / actual.len() as f64
 }
 
@@ -65,7 +77,11 @@ pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
     debug_assert_eq!(predicted.len(), actual.len());
     let mean = coloc_linalg::vecops::mean(actual);
     let ss_tot: f64 = actual.iter().map(|a| (a - mean).powi(2)).sum();
-    let ss_res: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a).powi(2)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum();
     if ss_tot == 0.0 {
         return f64::NAN;
     }
@@ -152,5 +168,11 @@ mod tests {
         assert!(mpe(&[], &[]).is_nan());
         assert!(rmse(&[], &[]).is_nan());
         assert!(mae(&[], &[]).is_nan());
+        assert!(nrmse(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn mpe_with_zero_actual_is_nan() {
+        assert!(mpe(&[1.0, 2.0], &[5.0, 0.0]).is_nan());
     }
 }

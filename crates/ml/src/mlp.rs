@@ -38,7 +38,13 @@ pub struct MlpConfig {
 
 impl Default for MlpConfig {
     fn default() -> Self {
-        MlpConfig { hidden: 12, l2: 1e-4, max_iters: 400, restarts: 2, seed: 1 }
+        MlpConfig {
+            hidden: 12,
+            l2: 1e-4,
+            max_iters: 400,
+            restarts: 2,
+            seed: 1,
+        }
     }
 }
 
@@ -47,7 +53,11 @@ impl MlpConfig {
     /// set, growing to 20 for the largest (8-feature) set.
     pub fn for_features(num_features: usize, seed: u64) -> MlpConfig {
         let hidden = (10 + num_features.saturating_sub(1) * 10 / 7).min(20);
-        MlpConfig { hidden, seed, ..Default::default() }
+        MlpConfig {
+            hidden,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -108,8 +118,8 @@ impl Objective for MlpObjective<'_> {
         let mut l2 = 0.0;
         for (i, wi) in w.iter().enumerate() {
             // Penalize W1 and w2; skip the two bias blocks.
-            let is_b1 = (self.hidden * self.inputs..self.hidden * self.inputs + self.hidden)
-                .contains(&i);
+            let is_b1 =
+                (self.hidden * self.inputs..self.hidden * self.inputs + self.hidden).contains(&i);
             if !is_b1 && i < weights_only {
                 l2 += wi * wi;
             }
@@ -169,10 +179,23 @@ impl Mlp {
         let x_scaler = Standardizer::fit(data.x());
         let y_scaler = Standardizer::fit_vec(data.y());
         let zx = x_scaler.transform(data.x());
-        let zy: Vec<f64> = data.y().iter().map(|&v| y_scaler.transform_scalar(v)).collect();
+        let zy: Vec<f64> = data
+            .y()
+            .iter()
+            .map(|&v| y_scaler.transform_scalar(v))
+            .collect();
 
-        let obj = MlpObjective { x: &zx, y: &zy, inputs, hidden: cfg.hidden, l2: cfg.l2 };
-        let scg_cfg = ScgConfig { max_iters: cfg.max_iters, ..Default::default() };
+        let obj = MlpObjective {
+            x: &zx,
+            y: &zy,
+            inputs,
+            hidden: cfg.hidden,
+            l2: cfg.l2,
+        };
+        let scg_cfg = ScgConfig {
+            max_iters: cfg.max_iters,
+            ..Default::default()
+        };
 
         let mut best: Option<(f64, Vec<f64>)> = None;
         for restart in 0..cfg.restarts.max(1) {
@@ -190,7 +213,14 @@ impl Mlp {
             grad_norm: f64::NAN,
         })?;
 
-        Ok(Mlp { inputs, hidden: cfg.hidden, params, x_scaler, y_scaler, train_loss })
+        Ok(Mlp {
+            inputs,
+            hidden: cfg.hidden,
+            params,
+            x_scaler,
+            y_scaler,
+            train_loss,
+        })
     }
 
     /// Predict the target for one raw feature vector.
@@ -211,7 +241,9 @@ impl Mlp {
 
     /// Predict for every row of a dataset.
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict(data.sample(i).0)).collect()
+        (0..data.len())
+            .map(|i| self.predict(data.sample(i).0))
+            .collect()
     }
 
     /// Hidden-layer width.
@@ -257,7 +289,13 @@ mod tests {
     fn gradient_matches_finite_differences() {
         let x = Mat::from_fn(7, 3, |i, j| ((i * 3 + j) as f64 * 0.7).sin());
         let y: Vec<f64> = (0..7).map(|i| (i as f64 * 0.3).cos()).collect();
-        let obj = MlpObjective { x: &x, y: &y, inputs: 3, hidden: 4, l2: 1e-3 };
+        let obj = MlpObjective {
+            x: &x,
+            y: &y,
+            inputs: 3,
+            hidden: 4,
+            l2: 1e-3,
+        };
         let w = init_params(3, 4, 99);
         let mut analytic = vec![0.0; w.len()];
         obj.gradient(&w, &mut analytic);
@@ -281,9 +319,21 @@ mod tests {
         let x = Mat::from_fn(60, 2, |i, j| ((i + 1) as f64 * (j + 1) as f64 * 0.13).sin());
         let y: Vec<f64> = (0..60).map(|i| 2.0 * x[(i, 0)] - x[(i, 1)] + 5.0).collect();
         let ds = Dataset::new(x, y).unwrap();
-        let mlp = Mlp::fit(&ds, &MlpConfig { hidden: 6, seed: 3, ..Default::default() }).unwrap();
+        let mlp = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                hidden: 6,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let preds = mlp.predict_all(&ds);
-        assert!(metrics::rmse(&preds, ds.y()) < 0.05, "rmse {}", metrics::rmse(&preds, ds.y()));
+        assert!(
+            metrics::rmse(&preds, ds.y()) < 0.05,
+            "rmse {}",
+            metrics::rmse(&preds, ds.y())
+        );
     }
 
     #[test]
@@ -297,11 +347,20 @@ mod tests {
                 (t * 12.9898).sin() * 2.0
             }
         });
-        let y: Vec<f64> =
-            (0..120).map(|i| x[(i, 0)].powi(2) + 1.0 / (1.0 + (-3.0 * x[(i, 1)]).exp())).collect();
+        let y: Vec<f64> = (0..120)
+            .map(|i| x[(i, 0)].powi(2) + 1.0 / (1.0 + (-3.0 * x[(i, 1)]).exp()))
+            .collect();
         let ds = Dataset::new(x, y).unwrap();
 
-        let mlp = Mlp::fit(&ds, &MlpConfig { hidden: 12, seed: 5, ..Default::default() }).unwrap();
+        let mlp = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                hidden: 12,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let lin = crate::LinearRegression::fit(&ds).unwrap();
 
         let mlp_rmse = metrics::rmse(&mlp.predict_all(&ds), ds.y());
@@ -317,7 +376,11 @@ mod tests {
         let x = Mat::from_fn(30, 2, |i, j| ((i * 2 + j) as f64).sin());
         let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let ds = Dataset::new(x, y).unwrap();
-        let cfg = MlpConfig { hidden: 8, seed: 42, ..Default::default() };
+        let cfg = MlpConfig {
+            hidden: 8,
+            seed: 42,
+            ..Default::default()
+        };
         let a = Mlp::fit(&ds, &cfg).unwrap();
         let b = Mlp::fit(&ds, &cfg).unwrap();
         assert_eq!(a.predict(&[0.5, -0.5]), b.predict(&[0.5, -0.5]));
@@ -340,7 +403,14 @@ mod tests {
     #[test]
     fn rejects_degenerate_configs() {
         let ds = Dataset::from_samples(&[(vec![1.0], 1.0), (vec![2.0], 2.0)]).unwrap();
-        assert!(Mlp::fit(&ds, &MlpConfig { hidden: 0, ..Default::default() }).is_err());
+        assert!(Mlp::fit(
+            &ds,
+            &MlpConfig {
+                hidden: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let tiny = Dataset::from_samples(&[(vec![1.0], 1.0)]).unwrap();
         assert!(Mlp::fit(&tiny, &MlpConfig::default()).is_err());
     }
@@ -349,8 +419,15 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn predict_checks_arity() {
         let ds = Dataset::from_samples(&[(vec![1.0, 2.0], 1.0), (vec![2.0, 1.0], 2.0)]).unwrap();
-        let mlp = Mlp::fit(&ds, &MlpConfig { hidden: 2, max_iters: 5, ..Default::default() })
-            .unwrap();
+        let mlp = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                hidden: 2,
+                max_iters: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         mlp.predict(&[1.0]);
     }
 }

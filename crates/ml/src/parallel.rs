@@ -1,0 +1,131 @@
+//! Deterministic work-stealing fan-out.
+//!
+//! The validation and sweep layers both run many independent, *unevenly
+//! priced* tasks: training partitions whose cost depends on the split, and
+//! co-location scenarios whose segment count varies by an order of
+//! magnitude with the workload mix. Static chunking (`chunks_mut` over a
+//! pre-split range) strands whole chunks on one worker when costs skew;
+//! here workers instead pull the next index from a shared atomic cursor,
+//! so load balance is automatic and the idle tail is at most one task per
+//! worker.
+//!
+//! Determinism: each task is keyed by its index, every worker tags results
+//! with the index it pulled, and the merged output is sorted back into
+//! index order. The values produced are whatever `f(i)` returns — bit-wise
+//! independent of thread count or scheduling, provided `f` itself is a
+//! pure function of `i`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a requested worker count: `0` means one per available CPU, and
+/// the count is clamped to the task count (never below 1).
+pub fn resolve_threads(requested: usize, tasks: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        requested
+    };
+    t.clamp(1, tasks.max(1))
+}
+
+/// Run `f(0..n)` across `threads` workers with work stealing and return
+/// the results in index order.
+///
+/// `threads == 0` uses one worker per available CPU. With one worker (or
+/// `n <= 1`) the loop runs inline on the calling thread — no spawn cost,
+/// same results.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads, n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut acc: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        acc.push((i, f(i)));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope failed");
+
+    debug_assert_eq!(tagged.len(), n, "every index must be executed exactly once");
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = run_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let baseline = run_indexed(64, 1, |i| (i as f64).sqrt().sin());
+        for threads in [2, 3, 8] {
+            let out = run_indexed(64, threads, |i| (i as f64).sqrt().sin());
+            assert_eq!(out, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn skewed_costs_fill_every_slot() {
+        // Task 0 dwarfs the rest: under static chunking its whole chunk
+        // would lag; stealing lets other workers drain the tail.
+        let done = AtomicUsize::new(0);
+        let out = run_indexed(33, 4, |i| {
+            let spins = if i == 0 { 2_000_000 } else { 50 };
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+            (i, acc)
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 33);
+        assert_eq!(out.len(), 33);
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_tasks() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(resolve_threads(0, 1000) >= 1);
+        assert_eq!(resolve_threads(16, 3), 3);
+        assert_eq!(resolve_threads(2, 1000), 2);
+        let out = run_indexed(10, 0, |i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+}

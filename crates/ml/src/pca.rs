@@ -68,9 +68,7 @@ impl Pca {
         let mut z = sample.to_vec();
         self.scaler.transform_row(&mut z);
         (0..k.min(self.num_components()))
-            .map(|c| {
-                (0..z.len()).map(|f| z[f] * self.components[(f, c)]).sum()
-            })
+            .map(|c| (0..z.len()).map(|f| z[f] * self.components[(f, c)]).sum())
             .collect()
     }
 
@@ -122,11 +120,11 @@ mod tests {
     /// variance-free column is genuinely uninformative.
     fn structured_data(n: usize) -> Mat {
         Mat::from_fn(n, 3, |i, j| {
-            let t = i as f64 / n as f64 * 6.28;
+            let t = i as f64 / n as f64 * std::f64::consts::TAU;
             match j {
                 0 => t.sin() * 10.0,
                 1 => t.sin() * 10.0 + t.cos() * 0.5, // nearly collinear with 0
-                _ => 3.14,                           // constant
+                _ => 42.0,                           // constant
             }
         })
     }
@@ -159,7 +157,11 @@ mod tests {
         let c1: Vec<f64> = projs.iter().map(|p| p[1]).collect();
         let m0 = coloc_linalg::vecops::mean(&c0);
         let m1 = coloc_linalg::vecops::mean(&c1);
-        let cov: f64 = c0.iter().zip(&c1).map(|(a, b)| (a - m0) * (b - m1)).sum::<f64>()
+        let cov: f64 = c0
+            .iter()
+            .zip(&c1)
+            .map(|(a, b)| (a - m0) * (b - m1))
+            .sum::<f64>()
             / (c0.len() - 1) as f64;
         assert!(cov.abs() < 1e-8, "cov = {cov}");
     }

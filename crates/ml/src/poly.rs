@@ -67,7 +67,9 @@ impl QuadraticRegression {
 
     /// Predict for every sample of a dataset.
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict(data.sample(i).0)).collect()
+        (0..data.len())
+            .map(|i| self.predict(data.sample(i).0))
+            .collect()
     }
 }
 
@@ -122,12 +124,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity mismatch")]
     fn predict_checks_arity() {
-        let ds = Dataset::from_samples(&[
-            (vec![1.0], 1.0),
-            (vec![2.0], 4.0),
-            (vec![3.0], 9.0),
-        ])
-        .unwrap();
+        let ds =
+            Dataset::from_samples(&[(vec![1.0], 1.0), (vec![2.0], 4.0), (vec![3.0], 9.0)]).unwrap();
         let q = QuadraticRegression::fit(&ds).unwrap();
         q.predict(&[1.0, 2.0]);
     }

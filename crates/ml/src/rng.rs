@@ -43,7 +43,10 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
-        assert_eq!(derive_seed_str(42, "canneal"), derive_seed_str(42, "canneal"));
+        assert_eq!(
+            derive_seed_str(42, "canneal"),
+            derive_seed_str(42, "canneal")
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl Standardizer {
     /// Transform a matrix (must have the fitted number of columns).
     pub fn transform(&self, x: &Mat) -> Mat {
         assert_eq!(x.cols(), self.means.len(), "standardizer arity mismatch");
-        Mat::from_fn(x.rows(), x.cols(), |i, j| (x[(i, j)] - self.means[j]) / self.stds[j])
+        Mat::from_fn(x.rows(), x.cols(), |i, j| {
+            (x[(i, j)] - self.means[j]) / self.stds[j]
+        })
     }
 
     /// Transform a single sample in place.
@@ -97,7 +99,9 @@ mod tests {
 
     #[test]
     fn standardized_columns_have_zero_mean_unit_std() {
-        let x = Mat::from_fn(50, 3, |i, j| (i as f64) * (j as f64 + 1.0) + j as f64 * 100.0);
+        let x = Mat::from_fn(50, 3, |i, j| {
+            (i as f64) * (j as f64 + 1.0) + j as f64 * 100.0
+        });
         let sc = Standardizer::fit(&x);
         let z = sc.transform(&x);
         let means = column_means(&z);
@@ -125,7 +129,11 @@ mod tests {
         let sc = Standardizer::fit(&x);
         assert_eq!(sc.stds()[0], 1.0, "stds = {:?}", sc.stds());
         let z = sc.transform(&x);
-        assert!(z.col(0).iter().all(|v| v.abs() < 1e-9), "{:?}", &z.col(0)[..3]);
+        assert!(
+            z.col(0).iter().all(|v| v.abs() < 1e-9),
+            "{:?}",
+            &z.col(0)[..3]
+        );
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub struct ScgConfig {
 
 impl Default for ScgConfig {
     fn default() -> Self {
-        ScgConfig { max_iters: 500, grad_tol: 1e-6, value_tol: 1e-9, patience: 12 }
+        ScgConfig {
+            max_iters: 500,
+            grad_tol: 1e-6,
+            value_tol: 1e-9,
+            patience: 12,
+        }
     }
 }
 
@@ -61,7 +66,12 @@ pub fn minimize(obj: &impl Objective, w: &mut [f64], cfg: &ScgConfig) -> ScgRepo
     let n = obj.dim();
     assert_eq!(w.len(), n, "parameter vector has wrong length");
     if n == 0 {
-        return ScgReport { value: obj.value(w), grad_norm: 0.0, iterations: 0, converged: true };
+        return ScgReport {
+            value: obj.value(w),
+            grad_norm: 0.0,
+            iterations: 0,
+            converged: true,
+        };
     }
 
     const SIGMA0: f64 = 1e-4;
@@ -184,7 +194,12 @@ pub fn minimize(obj: &impl Objective, w: &mut [f64], cfg: &ScgConfig) -> ScgRepo
     }
 
     let grad_norm = grad.iter().fold(0.0f64, |m, g| m.max(g.abs()));
-    ScgReport { value: fw, grad_norm, iterations, converged }
+    ScgReport {
+        value: fw,
+        grad_norm,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +247,10 @@ mod tests {
 
     #[test]
     fn solves_well_conditioned_quadratic() {
-        let obj = Quadratic { target: vec![1.0, -2.0, 3.0], curv: vec![1.0, 2.0, 0.5] };
+        let obj = Quadratic {
+            target: vec![1.0, -2.0, 3.0],
+            curv: vec![1.0, 2.0, 0.5],
+        };
         let mut w = vec![0.0; 3];
         let report = minimize(&obj, &mut w, &ScgConfig::default());
         assert!(report.converged, "{report:?}");
@@ -244,12 +262,19 @@ mod tests {
     #[test]
     fn solves_badly_conditioned_quadratic() {
         // Condition number 1e6.
-        let obj = Quadratic { target: vec![5.0, -5.0], curv: vec![1e-3, 1e3] };
+        let obj = Quadratic {
+            target: vec![5.0, -5.0],
+            curv: vec![1e-3, 1e3],
+        };
         let mut w = vec![100.0, 100.0];
         let report = minimize(
             &obj,
             &mut w,
-            &ScgConfig { max_iters: 2000, grad_tol: 1e-9, ..Default::default() },
+            &ScgConfig {
+                max_iters: 2000,
+                grad_tol: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(report.value < 1e-6, "{report:?} w={w:?}");
     }
@@ -261,14 +286,22 @@ mod tests {
         let report = minimize(
             &Rosenbrock,
             &mut w,
-            &ScgConfig { max_iters: 5000, value_tol: 1e-14, patience: 200, ..Default::default() },
+            &ScgConfig {
+                max_iters: 5000,
+                value_tol: 1e-14,
+                patience: 200,
+                ..Default::default()
+            },
         );
         assert!(report.value < start * 1e-3, "{report:?} w={w:?}");
     }
 
     #[test]
     fn already_optimal_start_converges_immediately() {
-        let obj = Quadratic { target: vec![2.0], curv: vec![1.0] };
+        let obj = Quadratic {
+            target: vec![2.0],
+            curv: vec![1.0],
+        };
         let mut w = vec![2.0];
         let report = minimize(&obj, &mut w, &ScgConfig::default());
         assert!(report.converged);
@@ -277,7 +310,10 @@ mod tests {
 
     #[test]
     fn zero_dim_is_trivial() {
-        let obj = Quadratic { target: vec![], curv: vec![] };
+        let obj = Quadratic {
+            target: vec![],
+            curv: vec![],
+        };
         let mut w = vec![];
         let report = minimize(&obj, &mut w, &ScgConfig::default());
         assert!(report.converged);
@@ -289,7 +325,12 @@ mod tests {
         let report = minimize(
             &Rosenbrock,
             &mut w,
-            &ScgConfig { max_iters: 3, value_tol: 0.0, patience: usize::MAX, grad_tol: 0.0 },
+            &ScgConfig {
+                max_iters: 3,
+                value_tol: 0.0,
+                patience: usize::MAX,
+                grad_tol: 0.0,
+            },
         );
         assert_eq!(report.iterations, 3);
         assert!(!report.converged);

@@ -4,8 +4,9 @@
 //! training on the remaining 70%, measuring MPE/NRMSE on both sides, and
 //! repeating with a fresh random partition one hundred times; the hundred
 //! error values are averaged. [`validate`] reproduces that procedure
-//! exactly, fanning the independent partitions out across threads with
-//! crossbeam's scoped threads (each partition is embarrassingly parallel).
+//! exactly, fanning the independent partitions out across a work-stealing
+//! worker pool ([`crate::parallel::run_indexed`]); each partition is
+//! embarrassingly parallel and results return in partition order.
 
 use crate::metrics::{mpe, nrmse};
 use crate::rng::derive_seed;
@@ -18,7 +19,9 @@ pub trait Regressor: Send + Sync {
 
     /// Predict for every sample in a dataset.
     fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict(data.sample(i).0)).collect()
+        (0..data.len())
+            .map(|i| self.predict(data.sample(i).0))
+            .collect()
     }
 }
 
@@ -70,9 +73,7 @@ impl ValidationReport {
     /// [`crate::kfold::kfold`]) can produce the same report shape.
     pub fn from_partitions(per_partition: Vec<PartitionResult>) -> ValidationReport {
         let n = per_partition.len().max(1) as f64;
-        let sum = |f: fn(&PartitionResult) -> f64| {
-            per_partition.iter().map(f).sum::<f64>() / n
-        };
+        let sum = |f: fn(&PartitionResult) -> f64| per_partition.iter().map(f).sum::<f64>() / n;
         ValidationReport {
             train_mpe: sum(|p| p.train_mpe),
             test_mpe: sum(|p| p.test_mpe),
@@ -106,7 +107,12 @@ pub struct ValidationConfig {
 
 impl Default for ValidationConfig {
     fn default() -> Self {
-        ValidationConfig { partitions: 100, test_fraction: 0.30, seed: 0, threads: 0 }
+        ValidationConfig {
+            partitions: 100,
+            test_fraction: 0.30,
+            seed: 0,
+            threads: 0,
+        }
     }
 }
 
@@ -116,40 +122,21 @@ impl Default for ValidationConfig {
 /// returns a fitted regressor. Partitions run in parallel; results are
 /// ordered by partition index, so the outcome is independent of thread
 /// scheduling.
-pub fn validate<R, F>(
-    data: &Dataset,
-    cfg: &ValidationConfig,
-    train: F,
-) -> Result<ValidationReport>
+pub fn validate<R, F>(data: &Dataset, cfg: &ValidationConfig, train: F) -> Result<ValidationReport>
 where
     R: Regressor,
     F: Fn(&Dataset, u64) -> Result<R> + Sync,
 {
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        cfg.threads
-    };
-    let indices: Vec<usize> = (0..cfg.partitions).collect();
-    let chunk = indices.len().div_ceil(threads.max(1)).max(1);
-
-    let mut results: Vec<Option<Result<PartitionResult>>> = vec![None; cfg.partitions];
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, idx_chunk) in results.chunks_mut(chunk).zip(indices.chunks(chunk)) {
-            let train = &train;
-            scope.spawn(move |_| {
-                for (slot, &i) in slot_chunk.iter_mut().zip(idx_chunk) {
-                    *slot = Some(run_partition(data, cfg, i, train));
-                }
-            });
-        }
+    // Work-stealing fan-out: partition cost varies with the split (and
+    // with how fast each model converges), so workers pull the next index
+    // from a shared cursor instead of owning a pre-cut chunk. Results come
+    // back in partition order, so the report is independent of thread
+    // count and scheduling.
+    let per_partition = crate::parallel::run_indexed(cfg.partitions, cfg.threads, |i| {
+        run_partition(data, cfg, i, &train)
     })
-    .expect("validation worker panicked");
-
-    let per_partition = results
-        .into_iter()
-        .map(|r| r.expect("partition not executed"))
-        .collect::<Result<Vec<_>>>()?;
+    .into_iter()
+    .collect::<Result<Vec<_>>>()?;
     Ok(ValidationReport::from_partitions(per_partition))
 }
 
@@ -164,7 +151,10 @@ where
     F: Fn(&Dataset, u64) -> Result<R> + Sync,
 {
     let (train_set, test_set) = data.split(cfg.test_fraction, cfg.seed, partition as u64);
-    let model = train(&train_set, derive_seed(cfg.seed, 1_000_000 + partition as u64))?;
+    let model = train(
+        &train_set,
+        derive_seed(cfg.seed, 1_000_000 + partition as u64),
+    )?;
     let train_pred = model.predict_dataset(&train_set);
     let test_pred = model.predict_dataset(&test_set);
     Ok(PartitionResult {
@@ -181,7 +171,9 @@ mod tests {
     use coloc_linalg::Mat;
 
     fn linear_noisy_dataset(n: usize) -> Dataset {
-        let x = Mat::from_fn(n, 2, |i, j| ((i * (j + 2)) as f64 * 0.17).sin() * 5.0 + 10.0);
+        let x = Mat::from_fn(n, 2, |i, j| {
+            ((i * (j + 2)) as f64 * 0.17).sin() * 5.0 + 10.0
+        });
         let y = (0..n)
             .map(|i| {
                 let noise = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
@@ -194,7 +186,10 @@ mod tests {
     #[test]
     fn linear_validation_has_low_error_on_linear_data() {
         let ds = linear_noisy_dataset(200);
-        let cfg = ValidationConfig { partitions: 20, ..Default::default() };
+        let cfg = ValidationConfig {
+            partitions: 20,
+            ..Default::default()
+        };
         let report = validate(&ds, &cfg, |train, _| LinearRegression::fit(train)).unwrap();
         assert!(report.test_mpe < 1.0, "test MPE {}", report.test_mpe);
         assert!(report.train_mpe < 1.0);
@@ -204,23 +199,36 @@ mod tests {
     #[test]
     fn deterministic_across_runs_and_thread_counts() {
         let ds = linear_noisy_dataset(120);
-        let base = ValidationConfig { partitions: 12, seed: 9, threads: 1, ..Default::default() };
+        let base = ValidationConfig {
+            partitions: 12,
+            seed: 9,
+            threads: 1,
+            ..Default::default()
+        };
         let r1 = validate(&ds, &base, |t, _| LinearRegression::fit(t)).unwrap();
-        let r2 = validate(
-            &ds,
-            &ValidationConfig { threads: 4, ..base },
-            |t, _| LinearRegression::fit(t),
-        )
-        .unwrap();
-        assert_eq!(r1.test_mpe, r2.test_mpe);
-        assert_eq!(r1.train_nrmse, r2.train_nrmse);
+        for threads in [2, 4, 8] {
+            let r2 = validate(&ds, &ValidationConfig { threads, ..base }, |t, _| {
+                LinearRegression::fit(t)
+            })
+            .unwrap();
+            assert_eq!(r1.test_mpe, r2.test_mpe, "threads = {threads}");
+            assert_eq!(r1.train_nrmse, r2.train_nrmse, "threads = {threads}");
+            for (a, b) in r1.per_partition.iter().zip(&r2.per_partition) {
+                assert_eq!(a.test_mpe, b.test_mpe);
+                assert_eq!(a.train_mpe, b.train_mpe);
+            }
+        }
     }
 
     #[test]
     fn partition_seeds_differ() {
         let ds = linear_noisy_dataset(100);
         let seen = std::sync::Mutex::new(Vec::new());
-        let cfg = ValidationConfig { partitions: 5, threads: 1, ..Default::default() };
+        let cfg = ValidationConfig {
+            partitions: 5,
+            threads: 1,
+            ..Default::default()
+        };
         validate(&ds, &cfg, |t, seed| {
             seen.lock().unwrap().push(seed);
             LinearRegression::fit(t)
@@ -236,7 +244,10 @@ mod tests {
     #[test]
     fn training_error_propagates() {
         let ds = linear_noisy_dataset(50);
-        let cfg = ValidationConfig { partitions: 3, ..Default::default() };
+        let cfg = ValidationConfig {
+            partitions: 3,
+            ..Default::default()
+        };
         let out = validate(&ds, &cfg, |_, _| -> Result<LinearRegression> {
             Err(crate::MlError::BadDataset("boom".into()))
         });
@@ -246,10 +257,17 @@ mod tests {
     #[test]
     fn report_std_is_small_for_stable_model() {
         let ds = linear_noisy_dataset(300);
-        let cfg = ValidationConfig { partitions: 30, ..Default::default() };
+        let cfg = ValidationConfig {
+            partitions: 30,
+            ..Default::default()
+        };
         let report = validate(&ds, &cfg, |t, _| LinearRegression::fit(t)).unwrap();
         // The paper reports at most a quarter-percent spread across
         // partitions for its models; a clean linear fit is far tighter.
-        assert!(report.test_mpe_std() < 0.25, "std {}", report.test_mpe_std());
+        assert!(
+            report.test_mpe_std() < 0.25,
+            "std {}",
+            report.test_mpe_std()
+        );
     }
 }

@@ -12,12 +12,16 @@ pub struct EventSet {
 impl EventSet {
     /// An empty event set.
     pub fn new() -> EventSet {
-        EventSet { presets: Vec::new() }
+        EventSet {
+            presets: Vec::new(),
+        }
     }
 
     /// The standard four-counter set the methodology uses.
     pub fn methodology() -> EventSet {
-        EventSet { presets: Preset::METHODOLOGY_SET.to_vec() }
+        EventSet {
+            presets: Preset::METHODOLOGY_SET.to_vec(),
+        }
     }
 
     /// Add a preset; rejects duplicates (matching PAPI semantics).
@@ -78,7 +82,10 @@ mod tests {
     fn duplicates_rejected() {
         let mut es = EventSet::new();
         es.add(Preset::TotCyc).unwrap();
-        assert_eq!(es.add(Preset::TotCyc), Err(PerfmonError::DuplicatePreset(Preset::TotCyc)));
+        assert_eq!(
+            es.add(Preset::TotCyc),
+            Err(PerfmonError::DuplicatePreset(Preset::TotCyc))
+        );
     }
 
     #[test]

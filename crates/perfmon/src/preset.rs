@@ -22,8 +22,12 @@ pub enum Preset {
 
 impl Preset {
     /// The four presets the co-location methodology measures.
-    pub const METHODOLOGY_SET: [Preset; 4] =
-        [Preset::TotIns, Preset::TotCyc, Preset::LlcTca, Preset::LlcTcm];
+    pub const METHODOLOGY_SET: [Preset; 4] = [
+        Preset::TotIns,
+        Preset::TotCyc,
+        Preset::LlcTca,
+        Preset::LlcTcm,
+    ];
 
     /// PAPI-style symbolic name.
     pub fn papi_name(&self) -> &'static str {

@@ -101,7 +101,10 @@ impl<'a, B: CounterBackend> FlatProfiler<'a, B> {
             return Err(PerfmonError::NothingMeasured);
         }
         let (counts, wall_time_s) = self.backend.measure(workload, &self.events, opts)?;
-        Ok(FlatProfile { counts, wall_time_s })
+        Ok(FlatProfile {
+            counts,
+            wall_time_s,
+        })
     }
 
     /// Profile an application running alone — the paper's single baseline
@@ -140,7 +143,9 @@ mod tests {
     fn solo_profile_reads_all_methodology_counters() {
         let machine = Machine::new(presets::xeon_e5649());
         let profiler = FlatProfiler::new(&machine, EventSet::methodology());
-        let p = profiler.profile_solo(&test_app("a"), &RunOptions::default()).unwrap();
+        let p = profiler
+            .profile_solo(&test_app("a"), &RunOptions::default())
+            .unwrap();
         assert!(p.wall_time_s > 0.0);
         for preset in Preset::METHODOLOGY_SET {
             assert!(p.value(preset).unwrap() > 0.0, "{preset}");
@@ -156,7 +161,9 @@ mod tests {
         let mut es = EventSet::new();
         es.add(Preset::TotIns).unwrap();
         let profiler = FlatProfiler::new(&machine, es);
-        let p = profiler.profile_solo(&test_app("a"), &RunOptions::default()).unwrap();
+        let p = profiler
+            .profile_solo(&test_app("a"), &RunOptions::default())
+            .unwrap();
         assert!(p.value(Preset::TotIns).is_some());
         assert!(p.value(Preset::LlcTcm).is_none());
     }
@@ -173,17 +180,20 @@ mod tests {
     fn co_located_profile_shows_degradation() {
         let machine = Machine::new(presets::xeon_e5649());
         let profiler = FlatProfiler::new(&machine, EventSet::methodology());
-        let solo = profiler.profile_solo(&test_app("t"), &RunOptions::default()).unwrap();
+        let solo = profiler
+            .profile_solo(&test_app("t"), &RunOptions::default())
+            .unwrap();
         let wl = vec![
             RunnerGroup::solo(test_app("t")),
-            RunnerGroup { app: test_app("agg"), count: 5 },
+            RunnerGroup {
+                app: test_app("agg"),
+                count: 5,
+            },
         ];
         let shared = profiler.profile(&wl, &RunOptions::default()).unwrap();
         assert!(shared.wall_time_s > solo.wall_time_s);
         // More misses under contention, same instruction count.
-        assert!(
-            shared.value(Preset::LlcTcm).unwrap() > solo.value(Preset::LlcTcm).unwrap()
-        );
+        assert!(shared.value(Preset::LlcTcm).unwrap() > solo.value(Preset::LlcTcm).unwrap());
         assert!(
             (shared.value(Preset::TotIns).unwrap() - solo.value(Preset::TotIns).unwrap()).abs()
                 < 1.0
@@ -194,7 +204,10 @@ mod tests {
     fn machine_errors_surface() {
         let machine = Machine::new(presets::xeon_e5649());
         let profiler = FlatProfiler::new(&machine, EventSet::methodology());
-        let wl = vec![RunnerGroup { app: test_app("t"), count: 99 }];
+        let wl = vec![RunnerGroup {
+            app: test_app("t"),
+            count: 99,
+        }];
         assert!(matches!(
             profiler.profile(&wl, &RunOptions::default()),
             Err(PerfmonError::Machine(_))

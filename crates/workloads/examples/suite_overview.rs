@@ -15,7 +15,13 @@ fn main() {
         for b in standard() {
             let top = machine.run_solo(&b.app, &RunOptions::default()).unwrap();
             let low = machine
-                .run_solo(&b.app, &RunOptions { pstate: 5, ..Default::default() })
+                .run_solo(
+                    &b.app,
+                    &RunOptions {
+                        pstate: 5,
+                        ..Default::default()
+                    },
+                )
                 .unwrap();
             let c = &top.counters[0];
             println!(

@@ -44,7 +44,11 @@ impl WorkloadBuilder {
     /// Start a builder for an app named `name` retiring `instructions`
     /// total instructions.
     pub fn new(name: impl Into<String>, instructions: f64) -> WorkloadBuilder {
-        WorkloadBuilder { name: name.into(), instructions, phases: vec![(1.0, PhaseSpec::default())] }
+        WorkloadBuilder {
+            name: name.into(),
+            instructions,
+            phases: vec![(1.0, PhaseSpec::default())],
+        }
     }
 
     fn current(&mut self) -> &mut PhaseSpec {
@@ -105,7 +109,10 @@ impl WorkloadBuilder {
     /// non-positive weights…).
     pub fn build(mut self) -> AppProfile {
         // Final phase weight = remainder.
-        let assigned: f64 = self.phases[..self.phases.len() - 1].iter().map(|(w, _)| w).sum();
+        let assigned: f64 = self.phases[..self.phases.len() - 1]
+            .iter()
+            .map(|(w, _)| w)
+            .sum();
         self.phases.last_mut().expect("phase").0 = (1.0 - assigned).max(0.0);
         let phases = self
             .phases
@@ -123,8 +130,13 @@ impl WorkloadBuilder {
                 mlp: s.mlp,
             })
             .collect();
-        let app = AppProfile { name: self.name, instructions: self.instructions, phases };
-        app.validate().unwrap_or_else(|e| panic!("WorkloadBuilder produced invalid profile: {e}"));
+        let app = AppProfile {
+            name: self.name,
+            instructions: self.instructions,
+            phases,
+        };
+        app.validate()
+            .unwrap_or_else(|e| panic!("WorkloadBuilder produced invalid profile: {e}"));
         app
     }
 }

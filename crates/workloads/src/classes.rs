@@ -21,8 +21,12 @@ pub enum MemoryClass {
 
 impl MemoryClass {
     /// All classes, most to least intensive.
-    pub const ALL: [MemoryClass; 4] =
-        [MemoryClass::I, MemoryClass::II, MemoryClass::III, MemoryClass::IV];
+    pub const ALL: [MemoryClass; 4] = [
+        MemoryClass::I,
+        MemoryClass::II,
+        MemoryClass::III,
+        MemoryClass::IV,
+    ];
 
     /// Memory-intensity band `[lo, hi)` for this class. Bands tile the
     /// full range with order-of-magnitude separation between class centers,

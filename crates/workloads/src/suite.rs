@@ -63,7 +63,12 @@ fn single(
     instructions: f64,
     ph: AppPhase,
 ) -> Benchmark {
-    Benchmark { name, suite, class, app: AppProfile::single_phase(name, instructions, ph) }
+    Benchmark {
+        name,
+        suite,
+        class,
+        app: AppProfile::single_phase(name, instructions, ph),
+    }
 }
 
 /// The full eleven-application suite.
@@ -242,7 +247,15 @@ mod tests {
         let co = training_co_runners();
         assert_eq!(co.len(), 4);
         let classes: Vec<_> = co.iter().map(|b| b.class).collect();
-        assert_eq!(classes, vec![MemoryClass::I, MemoryClass::II, MemoryClass::III, MemoryClass::IV]);
+        assert_eq!(
+            classes,
+            vec![
+                MemoryClass::I,
+                MemoryClass::II,
+                MemoryClass::III,
+                MemoryClass::IV
+            ]
+        );
     }
 
     #[test]

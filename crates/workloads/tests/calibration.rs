@@ -30,9 +30,18 @@ fn baseline_times_span_the_papers_range() {
     let mut fastest = f64::INFINITY;
     let mut slowest = 0.0f64;
     for b in standard() {
-        let top = machine.run_solo(&b.app, &RunOptions::default()).unwrap().wall_time_s;
+        let top = machine
+            .run_solo(&b.app, &RunOptions::default())
+            .unwrap()
+            .wall_time_s;
         let low = machine
-            .run_solo(&b.app, &RunOptions { pstate: 5, ..Default::default() })
+            .run_solo(
+                &b.app,
+                &RunOptions {
+                    pstate: 5,
+                    ..Default::default()
+                },
+            )
             .unwrap()
             .wall_time_s;
         assert!(low > top, "{}: P5 should be slower", b.name);

@@ -24,8 +24,7 @@ fn main() {
         .thinned(2, 1);
         println!("== {name}: training on {} runs ==", plan.len());
         let samples = lab.collect(&plan).expect("sweep");
-        let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 9)
-            .expect("train");
+        let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 9).expect("train");
 
         // Exact featurization vs. class-average featurization on an unseen
         // heterogeneous scenario.

@@ -19,22 +19,38 @@ fn main() {
 
     // Degradation vs. P-state, measured.
     println!("measured slowdown of canneal under 5x cg, per P-state:");
-    let base = lab.baselines().get("canneal").expect("canneal").exec_time_s.clone();
+    let base = lab
+        .baselines()
+        .get("canneal")
+        .expect("canneal")
+        .exec_time_s
+        .clone();
     for (p, f) in spec_pstates.iter().enumerate() {
         let sc = Scenario::homogeneous("canneal", "cg", 5, p);
         let t = lab.run_scenario(&sc).expect("run");
-        println!("  P{p} ({f:.2} GHz): {:.0}s vs baseline {:.0}s = {:.3}x", t, base[p], t / base[p]);
+        println!(
+            "  P{p} ({f:.2} GHz): {:.0}s vs baseline {:.0}s = {:.3}x",
+            t,
+            base[p],
+            t / base[p]
+        );
     }
 
     // Train a predictor across all P-states and use it for energy planning.
-    let plan = TrainingPlan { counts: vec![1, 3, 5], ..lab.paper_plan() };
+    let plan = TrainingPlan {
+        counts: vec![1, 3, 5],
+        ..lab.paper_plan()
+    };
     println!("\ntraining on {} runs…", plan.len());
     let samples = lab.collect(&plan).expect("sweep");
     let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 5).expect("train");
     let energy = EnergyPredictor::new(&nn, PowerModel::default());
 
     println!("\npredicted time/power/energy for canneal+5x cg per P-state:");
-    println!("{:>4} {:>10} {:>10} {:>12}", "P", "time (s)", "power (W)", "energy (kJ)");
+    println!(
+        "{:>4} {:>10} {:>10} {:>12}",
+        "P", "time (s)", "power (W)", "energy (kJ)"
+    );
     let mut best = (0usize, f64::INFINITY);
     for p in 0..spec_pstates.len() {
         let sc = Scenario::homogeneous("canneal", "cg", 5, p);

@@ -37,14 +37,22 @@ fn main() {
     // Counters under co-location: canneal's misses inflate as cg neighbours
     // squeeze it out of the shared LLC.
     println!("\ncanneal LLC misses vs. number of co-located cg instances:");
-    let canneal = standard().into_iter().find(|b| b.name == "canneal").unwrap();
+    let canneal = standard()
+        .into_iter()
+        .find(|b| b.name == "canneal")
+        .unwrap();
     let cg = standard().into_iter().find(|b| b.name == "cg").unwrap();
     for n in [0usize, 2, 5, 8, 11] {
         let mut wl = vec![RunnerGroup::solo(canneal.app.clone())];
         if n > 0 {
-            wl.push(RunnerGroup { app: cg.app.clone(), count: n });
+            wl.push(RunnerGroup {
+                app: cg.app.clone(),
+                count: n,
+            });
         }
-        let p = profiler.profile(&wl, &RunOptions::default()).expect("profile");
+        let p = profiler
+            .profile(&wl, &RunOptions::default())
+            .expect("profile");
         println!(
             "  {n:>2} co-runners: {:>12.3e} misses, {:>6.1} s",
             p.value(Preset::LlcTcm).unwrap(),

@@ -15,7 +15,10 @@ fn main() {
     let lab = Lab::new(presets::xeon_e5649(), standard(), 42);
 
     // 1. Baselines: one solo profiling pass per application.
-    println!("collecting baselines for {} applications…", lab.suite().len());
+    println!(
+        "collecting baselines for {} applications…",
+        lab.suite().len()
+    );
     let db = lab.baselines();
     let canneal = db.get("canneal").expect("canneal in suite");
     println!(
@@ -25,7 +28,11 @@ fn main() {
 
     // 2. Training data: a thinned version of the paper's Table V sweep
     //    (use `lab.paper_plan()` for the full 1320-run sweep).
-    let plan = TrainingPlan { counts: vec![1, 3, 5], ..lab.paper_plan() }.thinned(2, 1);
+    let plan = TrainingPlan {
+        counts: vec![1, 3, 5],
+        ..lab.paper_plan()
+    }
+    .thinned(2, 1);
     println!("collecting {} training runs…", plan.len());
     let samples = lab.collect(&plan).expect("training sweep");
 
@@ -35,7 +42,10 @@ fn main() {
 
     // 4. Predict scenarios that were never measured (count 4 and a
     //    co-runner outside the training plan's counts).
-    println!("\n{:<34} {:>10} {:>10} {:>8}", "scenario", "actual(s)", "pred(s)", "err(%)");
+    println!(
+        "\n{:<34} {:>10} {:>10} {:>8}",
+        "scenario", "actual(s)", "pred(s)", "err(%)"
+    );
     for sc in [
         Scenario::homogeneous("canneal", "cg", 2, 0),
         Scenario::homogeneous("canneal", "cg", 4, 0),

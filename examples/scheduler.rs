@@ -21,13 +21,22 @@ fn main() {
     let plan = lab.paper_plan().thinned(3, 1);
     println!("training on {} runs…", plan.len());
     let samples = lab.collect(&plan).expect("sweep");
-    let model = Predictor::train(ModelKind::NeuralNet, FeatureSet::E, &samples, 3)
-        .expect("train");
+    let model = Predictor::train(ModelKind::NeuralNet, FeatureSet::E, &samples, 3).expect("train");
 
     // The batch: four memory hogs, four moderate, four compute-bound.
     let jobs: Vec<String> = [
-        "cg", "cg", "streamcluster", "mg", "canneal", "sp", "ft", "ua", "ep", "ep",
-        "blackscholes", "blackscholes",
+        "cg",
+        "cg",
+        "streamcluster",
+        "mg",
+        "canneal",
+        "sp",
+        "ft",
+        "ua",
+        "ep",
+        "ep",
+        "blackscholes",
+        "blackscholes",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -59,7 +68,11 @@ fn main() {
                         }
                     }
                 }
-                let sc = Scenario { target: job.clone(), co_located: co, pstate: 0 };
+                let sc = Scenario {
+                    target: job.clone(),
+                    co_located: co,
+                    pstate: 0,
+                };
                 let t = lab.run_scenario(&sc).expect("run");
                 let base = lab.baselines().get(job).expect("baseline").exec_time_s[0];
                 actual.push(t / base);

@@ -22,13 +22,28 @@ fn main() {
 
     // Socket power per P-state from the energy extension's model, scaled up
     // to a fully-loaded, poorly-cooled node so throttling actually occurs.
-    let pm = PowerModel { static_w: 80.0, core_dynamic_w: 25.0, exponent: 3.0 };
+    let pm = PowerModel {
+        static_w: 80.0,
+        core_dynamic_w: 25.0,
+        exponent: 3.0,
+    };
     let power = |p: usize| pm.socket_power_w(&spec, p, spec.cores);
 
-    let thermal = ThermalModel { theta_c_per_w: 0.35, tau_s: 12.0, ambient_c: 38.0 };
-    let gov = GovernorConfig { throttle_at_c: 85.0, hysteresis_c: 6.0, interval_s: 0.5 };
+    let thermal = ThermalModel {
+        theta_c_per_w: 0.35,
+        tau_s: 12.0,
+        ambient_c: 38.0,
+    };
+    let gov = GovernorConfig {
+        throttle_at_c: 85.0,
+        hysteresis_c: 6.0,
+        interval_s: 0.5,
+    };
 
-    println!("steady-state temperature per P-state (cap = {} degC):", gov.throttle_at_c);
+    println!(
+        "steady-state temperature per P-state (cap = {} degC):",
+        gov.throttle_at_c
+    );
     for p in 0..spec.num_pstates() {
         println!(
             "  P{p} ({:.2} GHz): {:>6.1} W -> {:>5.1} degC",
@@ -40,10 +55,14 @@ fn main() {
 
     let out = run_throttled(&machine, &app, power, &thermal, &gov).expect("throttled run");
     println!("\nthermally-governed run of {}:", app.name);
-    println!("  wall time: {:.1} s (P0-only would be {:.1} s)", out.wall_time_s, {
-        let p0 = machine.run_solo(&app, &RunOptions::default()).expect("p0");
-        p0.wall_time_s
-    });
+    println!(
+        "  wall time: {:.1} s (P0-only would be {:.1} s)",
+        out.wall_time_s,
+        {
+            let p0 = machine.run_solo(&app, &RunOptions::default()).expect("p0");
+            p0.wall_time_s
+        }
+    );
     println!("  peak temperature: {:.1} degC", out.peak_temp_c);
     println!("  governor transitions: {}", out.transitions());
     println!("  time per P-state:");

@@ -4,9 +4,9 @@
 
 use coloc::cachesim::{shared_occupancy, SharedApp};
 use coloc::machine::{presets, Machine, RunOptions, RunnerGroup};
-use coloc::perfmon::{EventSet, FlatProfiler, Preset};
 use coloc::model::{Feature, Lab, Scenario};
-use coloc::workloads::{standard, by_name};
+use coloc::perfmon::{EventSet, FlatProfiler, Preset};
+use coloc::workloads::{by_name, standard};
 
 #[test]
 fn profiler_counters_equal_engine_counters() {
@@ -18,11 +18,23 @@ fn profiler_counters_equal_engine_counters() {
     let profiler = FlatProfiler::new(&machine, EventSet::methodology());
     let profile = profiler.profile_solo(&app, &opts).unwrap();
 
-    assert_eq!(profile.value(Preset::TotIns).unwrap(), outcome.counters[0].instructions);
-    assert_eq!(profile.value(Preset::LlcTcm).unwrap(), outcome.counters[0].llc_misses);
-    assert_eq!(profile.value(Preset::LlcTca).unwrap(), outcome.counters[0].llc_accesses);
+    assert_eq!(
+        profile.value(Preset::TotIns).unwrap(),
+        outcome.counters[0].instructions
+    );
+    assert_eq!(
+        profile.value(Preset::LlcTcm).unwrap(),
+        outcome.counters[0].llc_misses
+    );
+    assert_eq!(
+        profile.value(Preset::LlcTca).unwrap(),
+        outcome.counters[0].llc_accesses
+    );
     assert_eq!(profile.wall_time_s, outcome.wall_time_s);
-    assert_eq!(profile.derived().memory_intensity, outcome.counters[0].memory_intensity());
+    assert_eq!(
+        profile.derived().memory_intensity,
+        outcome.counters[0].memory_intensity()
+    );
 }
 
 #[test]
@@ -45,7 +57,9 @@ fn featurized_num_coapp_matches_scenario_arithmetic() {
         let f = lab.featurize(&sc).unwrap();
         assert_eq!(f[Feature::NumCoApp.index()], n as f64);
         // coApp sums scale linearly in n for homogeneous co-location.
-        let f1 = lab.featurize(&Scenario::homogeneous("ft", "sp", 1, 0)).unwrap();
+        let f1 = lab
+            .featurize(&Scenario::homogeneous("ft", "sp", 1, 0))
+            .unwrap();
         let ratio = f[Feature::CoAppMem.index()] / f1[Feature::CoAppMem.index()];
         assert!((ratio - n as f64).abs() < 1e-9);
     }
@@ -65,7 +79,10 @@ fn engine_miss_rates_track_standalone_occupancy_model() {
         .run(
             &[
                 RunnerGroup::solo(canneal.clone()),
-                RunnerGroup { app: cg.clone(), count: 4 },
+                RunnerGroup {
+                    app: cg.clone(),
+                    count: 4,
+                },
             ],
             &RunOptions::default(),
         )

@@ -35,7 +35,10 @@ fn pipeline_trains_and_predicts_unseen_scenarios() {
     let predicted = nn.predict(&lab.featurize(&sc).unwrap());
     let actual = lab.run_scenario(&sc).unwrap();
     let err = (predicted - actual).abs() / actual;
-    assert!(err < 0.15, "interpolation error {err:.3} (pred {predicted}, actual {actual})");
+    assert!(
+        err < 0.15,
+        "interpolation error {err:.3} (pred {predicted}, actual {actual})"
+    );
 }
 
 #[test]
@@ -43,7 +46,10 @@ fn nn_f_beats_linear_a_under_validation() {
     // The paper's headline ordering at miniature scale.
     let lab = Lab::new(presets::xeon_e5649(), standard(), 99);
     let samples = lab.collect(&small_plan(&lab)).expect("sweep");
-    let cfg = ValidationConfig { partitions: 6, ..Default::default() };
+    let cfg = ValidationConfig {
+        partitions: 6,
+        ..Default::default()
+    };
     let lin_a = evaluate_model(&samples, ModelKind::Linear, FeatureSet::A, &cfg).unwrap();
     let nn_f = evaluate_model(&samples, ModelKind::NeuralNet, FeatureSet::F, &cfg).unwrap();
     assert!(
@@ -100,7 +106,10 @@ fn pca_ranks_baseline_time_first_on_real_sweep() {
     // baseExTime carries the dominant variance in the real data (times
     // range 150–700 s while ratios are ≤ O(1)) — PCA must notice.
     let lab = Lab::new(presets::xeon_e5649(), standard(), 31);
-    let plan = TrainingPlan { counts: vec![1, 5], ..small_plan(&lab) };
+    let plan = TrainingPlan {
+        counts: vec![1, 5],
+        ..small_plan(&lab)
+    };
     let samples = lab.collect(&plan).expect("sweep");
     let ranking = rank_features(&samples).unwrap();
     assert_eq!(ranking.len(), 8);

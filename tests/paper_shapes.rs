@@ -99,7 +99,9 @@ fn lower_frequency_reduces_relative_memory_pressure() {
     // baseExTime-per-P-state a necessary feature.
     let lab = lab12();
     let ratio_at = |p: usize| {
-        let solo = lab.run_scenario(&Scenario::solo("streamcluster", p)).unwrap();
+        let solo = lab
+            .run_scenario(&Scenario::solo("streamcluster", p))
+            .unwrap();
         let full = lab
             .run_scenario(&Scenario::homogeneous("streamcluster", "cg", 11, p))
             .unwrap();

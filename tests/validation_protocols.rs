@@ -12,7 +12,12 @@ fn sweep() -> coloc::ml::Dataset {
     let lab = Lab::new(presets::xeon_e5649(), standard(), 2024);
     let plan = TrainingPlan {
         pstates: vec![0, 3],
-        targets: vec!["cg".into(), "canneal".into(), "fluidanimate".into(), "ep".into()],
+        targets: vec![
+            "cg".into(),
+            "canneal".into(),
+            "fluidanimate".into(),
+            "ep".into(),
+        ],
         co_runners: vec!["cg".into(), "sp".into(), "ep".into()],
         counts: vec![1, 3, 5],
     };
@@ -26,7 +31,11 @@ fn kfold_and_subsampling_agree_for_linear_models() {
     let kf = kfold(&ds, 10, 5, |t, _| LinearRegression::fit(t)).unwrap();
     let rs = validate(
         &ds,
-        &ValidationConfig { partitions: 10, seed: 5, ..Default::default() },
+        &ValidationConfig {
+            partitions: 10,
+            seed: 5,
+            ..Default::default()
+        },
         |t, _| LinearRegression::fit(t),
     )
     .unwrap();
@@ -46,7 +55,11 @@ fn protocols_agree_on_the_nn_vs_linear_ordering() {
         Mlp::fit(t, &MlpConfig::for_features(8, seed))
     })
     .unwrap();
-    let cfg = ValidationConfig { partitions: 5, seed: 1, ..Default::default() };
+    let cfg = ValidationConfig {
+        partitions: 5,
+        seed: 1,
+        ..Default::default()
+    };
     let lin_rs = validate(&ds, &cfg, |t, _| LinearRegression::fit(t)).unwrap();
     let nn_rs = validate(&ds, &cfg, |t, seed| {
         Mlp::fit(t, &MlpConfig::for_features(8, seed))
@@ -79,7 +92,11 @@ fn partition_spread_is_tight() {
     let ds = sweep();
     let rs = validate(
         &ds,
-        &ValidationConfig { partitions: 20, seed: 9, ..Default::default() },
+        &ValidationConfig {
+            partitions: 20,
+            seed: 9,
+            ..Default::default()
+        },
         |t, _| LinearRegression::fit(t),
     )
     .unwrap();

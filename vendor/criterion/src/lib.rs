@@ -1,0 +1,286 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench-target API and the
+//! group configuration surface (`sample_size`, `warm_up_time`,
+//! `measurement_time`) but reports plain text to stdout: per benchmark, the
+//! mean, min, and max wall time per iteration. No statistics machinery, no
+//! HTML reports, no comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in times each routine
+/// call individually, so the variants only pick the batch count.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+pub mod measurement {
+    /// Wall-clock measurement marker; the only measurement this stand-in has.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Per-group (or global) measurement budget.
+#[derive(Clone, Copy, Debug)]
+struct Budget {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Passed to the closure of `bench_function`; drives the timing loop.
+pub struct Bencher<'a> {
+    budget: Budget,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly; one sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording until the budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.budget.warm_up {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.budget.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() > self.budget.measurement {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.budget.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.budget.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() > self.budget.measurement {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{id:<48} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Top-level harness handle, one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    budget: Budget,
+}
+
+impl Criterion {
+    /// Upstream reads CLI filters/baseline flags here; the stand-in accepts
+    /// and ignores them so `cargo bench -- <anything>` still runs.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.budget.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.budget.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.budget.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            budget: self.budget,
+            samples: &mut samples,
+        });
+        report(&id, &samples);
+        self
+    }
+
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a measurement budget.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    budget: Budget,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.budget.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.budget.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            budget: self.budget,
+            samples: &mut samples,
+        });
+        report(&full, &samples);
+        self
+    }
+
+    /// Upstream flushes the group's report here; nothing buffered to flush.
+    pub fn finish(self) {}
+}
+
+/// Build the registration function `criterion_group!` expects of each bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Build `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        g
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = quick(&mut c);
+        let mut calls = 0u64;
+        g.bench_function("iter", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut g = quick(&mut c);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn top_level_bench_function() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function(format!("fmt_{}", 1), |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API this workspace uses is provided:
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); ... })`. Since Rust
+//! 1.63 the standard library has structured scoped threads, so this is a
+//! thin signature-compatibility bridge onto [`std::thread::scope`].
+//!
+//! One semantic difference from upstream: if a spawned thread panics and
+//! its handle is never joined, `std::thread::scope` re-raises the panic at
+//! the end of the scope instead of surfacing it through the returned
+//! `Result`. Callers here always either join handles or `.expect()` the
+//! scope result, so a worker panic still fails loudly either way.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A fork-join scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // A plain reborrowable reference wrapper.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reborrow = *self;
+            self.inner.spawn(move || f(&reborrow))
+        }
+    }
+
+    /// Create a fork-join scope: all threads spawned inside are joined
+    /// before `scope` returns. Returns `Ok(result)` on clean completion,
+    /// matching the upstream signature (`.unwrap()`/`.expect()` at call
+    /// sites keep working).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let hits = AtomicUsize::new(0);
+        let out = crate::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            41 + 1
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        let vals = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * i)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(vals, vec![0, 1, 4, 9]);
+    }
+}

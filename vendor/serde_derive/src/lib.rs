@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `impl serde::Serialize` / `impl serde::Deserialize` for the
+//! shapes this workspace actually derives on: non-generic structs with
+//! named fields, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple, or struct-like. Parsing is done directly over
+//! `proc_macro::TokenStream` (no `syn`/`quote` available offline); code
+//! generation builds a source string and re-parses it.
+//!
+//! The representation mirrors upstream serde's externally-tagged default,
+//! so JSON produced by real serde round-trips through these impls:
+//! structs → objects, newtype structs → transparent, unit variants →
+//! `"Name"`, data variants → `{"Name": payload}`.
+//!
+//! Unsupported inputs (generic types, `#[serde(...)]` attributes) panic at
+//! expansion time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input looks like after parsing.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+
+    Input { name, shape }
+}
+
+/// Split the token stream of a braced field list into field names. Commas
+/// inside `<...>` generic arguments and nested groups do not split.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde_derive: expected field name, got {tree:?}");
+        };
+        fields.push(field.to_string());
+        // Expect ':', then consume the type up to a top-level comma.
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for tree in toks.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Count comma-separated fields at the top level of a tuple field list.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tree else {
+            panic!("serde_derive: expected variant name, got {tree:?}");
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: vname.to_string(),
+            kind,
+        });
+        // Consume an optional discriminant and the separating comma.
+        let mut angle_depth = 0i32;
+        while let Some(tree) = toks.peek() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            toks.next();
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\", serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("serde::Value::Object(m)");
+            s
+        }
+        Shape::TupleStruct(1) => {
+            // Newtype structs are transparent, as in upstream serde.
+            "serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut m = serde::Map::new();\n\
+                             m.insert(\"{vn}\", {payload});\n\
+                             serde::Value::Object(m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut inner = serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{f}\", serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut m = serde::Map::new();\n\
+                             m.insert(\"{vn}\", serde::Value::Object(inner));\n\
+                             serde::Value::Object(m)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = match __value {{\n\
+                 serde::Value::Object(m) => m,\n\
+                 __other => return Err(serde::DeError::msg(format!(\n\
+                 \"expected object for struct {name}, found {{__other:?}}\"))),\n}};\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "let {f} = serde::Deserialize::from_value(\n\
+                     __obj.get(\"{f}\").unwrap_or(&serde::Value::Null))\n\
+                     .map_err(|e| serde::DeError::msg(format!(\"{name}.{f}: {{e}}\")))?;\n"
+                ));
+            }
+            s.push_str(&format!("Ok({name} {{ {} }})", fields.join(", ")));
+            s
+        }
+        Shape::TupleStruct(1) => format!(
+            "Ok({name}(serde::Deserialize::from_value(__value)\n\
+             .map_err(|e| serde::DeError::msg(format!(\"{name}: {{e}}\")))?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut s = format!(
+                "let __items = match __value {{\n\
+                 serde::Value::Array(__items) if __items.len() == {n} => __items,\n\
+                 __other => return Err(serde::DeError::msg(format!(\n\
+                 \"expected {n}-element array for {name}, found {{__other:?}}\"))),\n}};\n"
+            );
+            let fields: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", fields.join(", ")));
+            s
+        }
+        Shape::UnitStruct => format!("let _ = __value; Ok({name})"),
+        Shape::Enum(variants) => {
+            // Unit variants arrive as strings; data variants as
+            // single-entry objects.
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(\n\
+                             serde::Deserialize::from_value(__payload)\n\
+                             .map_err(|e| serde::DeError::msg(format!(\"{name}::{vn}: {{e}}\")))?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let fields: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = match __payload {{\n\
+                             serde::Value::Array(__items) if __items.len() == {n} => __items,\n\
+                             __other => return Err(serde::DeError::msg(format!(\n\
+                             \"{name}::{vn}: expected {n}-element array, found {{__other:?}}\"))),\n}};\n\
+                             return Ok({name}::{vn}({}));\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = format!(
+                            "let __obj = match __payload {{\n\
+                             serde::Value::Object(m) => m,\n\
+                             __other => return Err(serde::DeError::msg(format!(\n\
+                             \"{name}::{vn}: expected object, found {{__other:?}}\"))),\n}};\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "let {f} = serde::Deserialize::from_value(\n\
+                                 __obj.get(\"{f}\").unwrap_or(&serde::Value::Null))\n\
+                                 .map_err(|e| serde::DeError::msg(format!(\"{name}::{vn}.{f}: {{e}}\")))?;\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n{inner}return Ok({name}::{vn} {{ {} }});\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let serde::Value::Str(__s) = __value {{\n\
+                 match __s.as_str() {{\n{unit_arms}\
+                 __other => return Err(serde::DeError::msg(format!(\n\
+                 \"unknown unit variant `{{__other}}` for enum {name}\"))),\n}}\n}}\n\
+                 if let serde::Value::Object(__obj2) = __value {{\n\
+                 if __obj2.len() == 1 {{\n\
+                 let (__tag, __payload) = __obj2.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => return Err(serde::DeError::msg(format!(\n\
+                 \"unknown variant `{{__other}}` for enum {name}\"))),\n}}\n}}\n}}\n\
+                 Err(serde::DeError::msg(format!(\n\
+                 \"expected variant of enum {name}, found {{__value:?}}\")))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &serde::Value) -> ::std::result::Result<{name}, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

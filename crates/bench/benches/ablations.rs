@@ -61,7 +61,7 @@ fn nn_cost_vs_training_size(c: &mut Criterion) {
 fn engine_cost_vs_co_runner_count(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_width");
     tighten(&mut g);
-    let m = Machine::new(presets::xeon_e5_2697v2());
+    let m = Machine::new(presets::xeon_e5_2697v2()).expect("valid preset");
     let canneal = by_name("canneal").unwrap().app;
     let cg = by_name("cg").unwrap().app;
     for n in [1usize, 5, 11] {
@@ -82,7 +82,7 @@ fn engine_cost_vs_co_runner_count(c: &mut Criterion) {
 fn engine_cost_vs_phases(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_phases");
     tighten(&mut g);
-    let m = Machine::new(presets::xeon_e5649());
+    let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
     for phases in [1usize, 4, 16] {
         let mut b = WorkloadBuilder::new(format!("phased{phases}"), 100e9)
             .working_set_bytes(64 << 20)

@@ -20,8 +20,8 @@ fn tighten(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTim
 fn engine_runs(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     tighten(&mut g);
-    let m6 = Machine::new(presets::xeon_e5649());
-    let m12 = Machine::new(presets::xeon_e5_2697v2());
+    let m6 = Machine::new(presets::xeon_e5649()).expect("valid preset");
+    let m12 = Machine::new(presets::xeon_e5_2697v2()).expect("valid preset");
     let canneal = by_name("canneal").unwrap().app;
     let cg = by_name("cg").unwrap().app;
 

@@ -76,6 +76,7 @@ pub fn noise() -> Vec<AblationRow> {
                 coloc_workloads::standard(),
                 crate::SEED,
             )
+            .expect("valid preset")
             .with_noise(sigma);
             let plan = TrainingPlan {
                 counts: vec![1, 3, 5],
@@ -199,7 +200,7 @@ pub fn quadratic() -> Vec<AblationRow> {
 /// LLC accounts for a large share of interference.
 pub fn partitioning() -> Vec<AblationRow> {
     use coloc_machine::{presets, Machine, RunOptions, RunnerGroup};
-    let machine = Machine::new(presets::xeon_e5649());
+    let machine = Machine::new(presets::xeon_e5649()).expect("valid preset");
     let canneal = coloc_workloads::by_name("canneal").expect("canneal").app;
     let cg = coloc_workloads::by_name("cg").expect("cg").app;
     let solo = machine

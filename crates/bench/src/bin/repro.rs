@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure from the paper.
 //!
 //! Usage: `repro <artifact>` where artifact is one of
-//! `table1..table6`, `fig1..fig5b`, `pca`, `sweep`, or `all`.
+//! `table1..table6`, `fig1..fig5b`, `pca`, `sweep`, `chaos`, or `all`.
 //!
 //! Expensive intermediates (training sweeps, model-grid validations) are
 //! cached as JSON under `repro-out/`; delete that directory to force a full
@@ -51,6 +51,7 @@ fn main() {
         ),
         "importance" => importance(),
         "sweep" => sweep(),
+        "chaos" => coloc_bench::chaos::run_chaos(),
         "ablations" => {
             ablation("Training-set size", coloc_bench::ablations::train_size());
             ablation("Measurement noise", coloc_bench::ablations::noise());
@@ -95,7 +96,7 @@ fn main() {
         other => {
             eprintln!("unknown artifact `{other}`");
             eprintln!(
-                "expected: table1..table6, fig1..fig5b, pca, importance, sweep, all, \
+                "expected: table1..table6, fig1..fig5b, pca, importance, sweep, chaos, all, \
                  ablations, \
                  ablation-{{size,noise,hidden,hetero,classavg,quad,partition,phases}}"
             );

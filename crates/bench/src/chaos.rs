@@ -1,0 +1,165 @@
+//! `repro chaos` — the fault-injection chaos lab, end to end.
+//!
+//! One seeded, deterministic demonstration of every degradation path the
+//! pipeline supports, asserting the tentpole acceptance criteria as it
+//! goes: zero panics, faults quarantined and reported, a killed-and-resumed
+//! collect bit-identical to the uninterrupted one, and forced training
+//! divergence landing on the linear fallback with a full report.
+
+use crate::cache;
+use coloc_machine::{presets, Convergence, FaultPlan, Machine, RunOptions, RunnerGroup};
+use coloc_model::lab::CheckpointConfig;
+use coloc_model::{
+    sanitize_samples, train_robust, ColocError, FeatureSet, Lab, ModelKind, SanitizePolicy,
+    TrainPolicy, TrainingPlan,
+};
+
+fn chaos_plan() -> TrainingPlan {
+    TrainingPlan {
+        pstates: vec![0, 3],
+        targets: coloc_workloads::standard()
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect(),
+        co_runners: vec!["cg".into(), "ep".into()],
+        counts: vec![1, 3, 5],
+    }
+}
+
+fn chaotic_lab() -> Lab {
+    crate::lab_6core()
+        .with_faults(FaultPlan::heavy(crate::SEED))
+        .expect("heavy preset is a valid plan")
+}
+
+/// Run the whole chaos-lab demonstration, printing each stage's evidence.
+pub fn run_chaos() {
+    let plan = chaos_plan();
+    let scenarios = plan.scenarios();
+    println!(
+        "chaos lab: {} scenarios on the 6-core E5649, heavy fault plan (seed {})",
+        scenarios.len(),
+        crate::SEED
+    );
+
+    // ---- Stage 1: faulted sweep, then kill it and resume ----------------
+    let reference = chaotic_lab()
+        .collect_scenarios(&scenarios)
+        .expect("faulted collect must degrade, not fail");
+
+    let dir = cache::cache_dir().join("chaos");
+    std::fs::create_dir_all(&dir).expect("create chaos checkpoint dir");
+    let path = dir.join("checkpoint.json");
+    let _ = std::fs::remove_file(&path);
+
+    let crash_at = scenarios.len() / 3;
+    let mut cfg = CheckpointConfig::new(&path, 16);
+    cfg.crash_after = Some(crash_at);
+    match chaotic_lab().collect_resumable(&scenarios, &cfg) {
+        Err(ColocError::Interrupted { completed }) => {
+            println!("stage 1: killed the sweep after {completed} samples (checkpointed)");
+        }
+        other => panic!("expected a simulated crash, got {:?}", other.err()),
+    }
+    cfg.crash_after = None;
+    let resumed = chaotic_lab()
+        .collect_resumable(&scenarios, &cfg)
+        .expect("resume must complete the sweep");
+    assert_eq!(resumed.len(), reference.len());
+    let mut mismatches = 0usize;
+    for (a, b) in resumed.iter().zip(&reference) {
+        if a.actual_time_s.to_bits() != b.actual_time_s.to_bits() {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(
+        mismatches, 0,
+        "resumed sweep must be bit-identical to the uninterrupted one"
+    );
+    println!(
+        "stage 1: resumed and finished; {} samples bit-identical to the uninterrupted run",
+        resumed.len()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // ---- Stage 2: quarantine the damage ---------------------------------
+    let (kept, report) = sanitize_samples(&reference, &SanitizePolicy::default());
+    assert!(
+        !report.is_clean(),
+        "a heavy plan over {} runs must damage something",
+        reference.len()
+    );
+    println!("stage 2: sanitizer: {report}");
+
+    // ---- Stage 3: robust training on the damaged sweep ------------------
+    let (model, treport) = train_robust(
+        ModelKind::NeuralNet,
+        FeatureSet::F,
+        &reference,
+        crate::SEED,
+        &TrainPolicy::default(),
+    )
+    .expect("robust training must produce a model from a faulted sweep");
+    assert!(kept.iter().all(|s| model.predict(&s.features).is_finite()));
+    println!("stage 3: robust training: {treport}");
+
+    // ---- Stage 4: forced divergence walks the ladder to linear ----------
+    let policy = TrainPolicy {
+        loss_ceiling: 0.0, // unreachable: every SCG attempt is rejected
+        ..Default::default()
+    };
+    let (fallback, freport) = train_robust(
+        ModelKind::NeuralNet,
+        FeatureSet::F,
+        &reference,
+        crate::SEED,
+        &policy,
+    )
+    .expect("the linear fallback must absorb total SCG failure");
+    assert!(freport.fell_back && !freport.attempts.is_empty());
+    assert_eq!(fallback.kind(), ModelKind::Linear);
+    println!("stage 4: forced divergence: {freport}");
+
+    // ---- Stage 5: iteration-budgeted solver degrades gracefully ---------
+    let machine = Machine::new(presets::xeon_e5649()).expect("valid preset");
+    let apps = coloc_workloads::standard();
+    let cg = &apps.iter().find(|b| b.name == "cg").expect("cg").app;
+    let workload = vec![
+        RunnerGroup::solo(cg.clone()),
+        RunnerGroup {
+            app: cg.clone(),
+            count: 5,
+        },
+    ];
+    let full = machine
+        .run(&workload, &RunOptions::default())
+        .expect("unbudgeted run");
+    let budget = (full.fp_iterations / 2).max(1);
+    let budgeted = machine
+        .run(
+            &workload,
+            &RunOptions {
+                fp_budget: budget,
+                ..RunOptions::default()
+            },
+        )
+        .expect("budgeted run must terminate, not spin");
+    match budgeted.convergence {
+        Convergence::Degraded {
+            fp_iterations,
+            residual,
+        } => {
+            let err = 100.0 * (budgeted.wall_time_s - full.wall_time_s).abs() / full.wall_time_s;
+            println!(
+                "stage 5: fp budget {} vs {} full iters: degraded, residual {residual:.2e}, \
+                 wall-time error {err:.2}% vs converged",
+                fp_iterations, full.fp_iterations
+            );
+        }
+        Convergence::Converged => {
+            panic!("a half-iteration budget must degrade the solve")
+        }
+    }
+
+    println!("chaos lab: all stages passed");
+}

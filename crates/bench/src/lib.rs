@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod cache;
+pub mod chaos;
 pub mod figures;
 pub mod synth;
 pub mod tables;
@@ -25,12 +26,12 @@ pub const SEED: u64 = 2015;
 
 /// The lab for the 6-core Xeon E5649.
 pub fn lab_6core() -> Lab {
-    Lab::new(presets::xeon_e5649(), standard(), SEED)
+    Lab::new(presets::xeon_e5649(), standard(), SEED).expect("valid preset")
 }
 
 /// The lab for the 12-core Xeon E5-2697 v2.
 pub fn lab_12core() -> Lab {
-    Lab::new(presets::xeon_e5_2697v2(), standard(), SEED)
+    Lab::new(presets::xeon_e5_2697v2(), standard(), SEED).expect("valid preset")
 }
 
 /// Both labs, in paper order, with short identifiers used in cache keys.

@@ -1,10 +1,11 @@
 //! Command implementations.
 
 use crate::args::ArgMap;
-use coloc_machine::MachineSpec;
+use coloc_machine::{FaultPlan, MachineSpec};
+use coloc_model::lab::CheckpointConfig;
 use coloc_model::persist;
 use coloc_model::scheduler::{Policy, Scheduler};
-use coloc_model::{FeatureSet, Lab, ModelKind, Predictor, Scenario};
+use coloc_model::{train_robust, FeatureSet, Lab, ModelKind, Predictor, Scenario, TrainPolicy};
 
 type CmdResult = Result<(), String>;
 
@@ -22,7 +23,29 @@ fn lab_from(args: &ArgMap) -> Result<Lab, String> {
     let spec = machine_by_key(args.get("machine").unwrap_or("e5649"))?;
     let seed = args.get_parsed_or("seed", 2015u64)?;
     let threads = args.get_parsed_or("threads", 0usize)?;
-    Ok(Lab::new(spec, coloc_workloads::standard(), seed).with_threads(threads))
+    let lab = Lab::new(spec, coloc_workloads::standard(), seed).map_err(|e| e.to_string())?;
+    let mut lab = lab.with_threads(threads);
+    if let Some(spec) = args.get("faults") {
+        lab = lab
+            .with_faults(parse_fault_plan(spec, seed)?)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(lab)
+}
+
+/// Parse a `--faults` spec: the built-in `light`/`heavy` presets (seeded
+/// from the lab seed) or a path to a JSON-serialized [`FaultPlan`].
+fn parse_fault_plan(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+    match spec {
+        "light" => Ok(FaultPlan::light(seed)),
+        "heavy" => Ok(FaultPlan::heavy(seed)),
+        path => {
+            let bytes = std::fs::read(path).map_err(|e| {
+                format!("--faults `{path}` is neither light|heavy nor a readable file: {e}")
+            })?;
+            serde_json::from_slice(&bytes).map_err(|e| format!("bad fault plan `{path}`: {e}"))
+        }
+    }
 }
 
 fn parse_kind(s: &str) -> Result<ModelKind, String> {
@@ -84,7 +107,9 @@ pub fn collect(argv: &[String]) -> CmdResult {
     if args.has_flag("help") {
         println!(
             "coloc collect --machine <key> [--paper-plan] [--counts 1,3,5] \
-             [--pstates 0,3] [--seed N] [--threads N] --out <file>"
+             [--pstates 0,3] [--seed N] [--threads N] \
+             [--faults light|heavy|<plan.json>] [--checkpoint <file>] \
+             [--checkpoint-every N] [--crash-after N] --out <file>"
         );
         return Ok(());
     }
@@ -100,7 +125,23 @@ pub fn collect(argv: &[String]) -> CmdResult {
         }
     }
     eprintln!("collecting {} runs…", plan.len());
-    let samples = lab.collect(&plan).map_err(|e| e.to_string())?;
+    let samples = if let Some(cp) = args.get("checkpoint") {
+        let cfg = CheckpointConfig {
+            path: cp.into(),
+            every: args.get_parsed_or("checkpoint-every", 25usize)?,
+            crash_after: match args.get("crash-after") {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|e| format!("invalid value for --crash-after: {e}"))?,
+                ),
+                None => None,
+            },
+        };
+        lab.collect_resumable(&plan.scenarios(), &cfg)
+            .map_err(|e| e.to_string())?
+    } else {
+        lab.collect(&plan).map_err(|e| e.to_string())?
+    };
     eprintln!("sweep: {}", lab.sweep_stats());
     persist::save_samples(&samples, out).map_err(|e| e.to_string())?;
     println!("wrote {} samples to {out}", samples.len());
@@ -123,7 +164,7 @@ pub fn train(argv: &[String]) -> CmdResult {
     if args.has_flag("help") {
         println!(
             "coloc train --samples <file> [--kind linear|nn|quadratic] \
-             [--set A..F] [--seed N] --out <file>"
+             [--set A..F] [--seed N] [--robust] [--retries N] --out <file>"
         );
         return Ok(());
     }
@@ -132,11 +173,22 @@ pub fn train(argv: &[String]) -> CmdResult {
     let set = parse_set(args.get("set").unwrap_or("F"))?;
     let seed = args.get_parsed_or("seed", 2015u64)?;
     let out = args.require("out")?;
-    let model = Predictor::train(kind, set, &samples, seed).map_err(|e| e.to_string())?;
+    let model = if args.has_flag("robust") || args.get("retries").is_some() {
+        let policy = TrainPolicy {
+            retries: args.get_parsed_or("retries", TrainPolicy::default().retries)?,
+            ..Default::default()
+        };
+        let (model, report) =
+            train_robust(kind, set, &samples, seed, &policy).map_err(|e| e.to_string())?;
+        eprintln!("robust training: {report}");
+        model
+    } else {
+        Predictor::train(kind, set, &samples, seed).map_err(|e| e.to_string())?
+    };
     model.save(out).map_err(|e| e.to_string())?;
     println!(
         "trained {} model on feature set {} ({} samples) -> {out}",
-        kind.label(),
+        model.kind().label(),
         set.label(),
         samples.len()
     );
@@ -319,6 +371,60 @@ mod tests {
             "2",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn chaotic_workflow_with_faults_checkpoint_and_robust_training() {
+        let samples_path = tmp("chaos_samples.json");
+        let model_path = tmp("chaos_model.json");
+        let checkpoint_path = tmp("chaos_checkpoint.json");
+        let _ = std::fs::remove_file(&checkpoint_path);
+
+        // A crash-after collect is interrupted but leaves a checkpoint…
+        let collect_args = |crash: Option<&str>| {
+            let mut v = argv(&[
+                "--machine",
+                "e5649",
+                "--counts",
+                "1,3",
+                "--pstates",
+                "0",
+                "--faults",
+                "heavy",
+                "--checkpoint",
+                &checkpoint_path,
+                "--checkpoint-every",
+                "3",
+                "--out",
+                &samples_path,
+            ]);
+            if let Some(n) = crash {
+                v.extend(argv(&["--crash-after", n]));
+            }
+            v
+        };
+        let err = collect(&collect_args(Some("4"))).unwrap_err();
+        assert!(err.contains("interrupted after 4"), "{err}");
+        // …and a rerun resumes from it and completes.
+        collect(&collect_args(None)).unwrap();
+
+        train(&argv(&[
+            "--samples",
+            &samples_path,
+            "--kind",
+            "nn",
+            "--set",
+            "C",
+            "--robust",
+            "--out",
+            &model_path,
+        ]))
+        .unwrap();
+        assert!(Predictor::load(&model_path).is_ok());
+
+        assert!(parse_fault_plan("light", 1).is_ok());
+        assert!(parse_fault_plan("/nonexistent/plan.json", 1).is_err());
+        let _ = std::fs::remove_file(&checkpoint_path);
     }
 
     #[test]

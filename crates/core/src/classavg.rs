@@ -130,7 +130,7 @@ mod tests {
     use coloc_machine::presets;
 
     fn lab() -> Lab {
-        Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 42)
+        Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 42).unwrap()
     }
 
     #[test]

@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn energy_estimate_composes_time_and_power() {
         use crate::{FeatureSet, ModelKind, Predictor, TrainingPlan};
-        let lab = crate::Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 7);
+        let lab = crate::Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 7).unwrap();
         let plan = TrainingPlan {
             pstates: vec![0, 3],
             targets: vec!["canneal".into(), "cg".into(), "ep".into()],

@@ -10,11 +10,12 @@ use crate::features::Feature;
 use crate::plan::TrainingPlan;
 use crate::sample::Sample;
 use crate::scenario::Scenario;
-use crate::{ModelError, Result};
-use coloc_machine::{Machine, MachineSpec, RunCache, RunOptions, RunnerGroup};
+use crate::{ColocError, ModelError, Result};
+use coloc_machine::{FaultPlan, Machine, MachineSpec, RunCache, RunOptions, RunnerGroup};
 use coloc_ml::rng::{derive_seed, derive_seed_str};
 use coloc_perfmon::{EventSet, FlatProfiler};
 use coloc_workloads::Benchmark;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -41,6 +42,9 @@ pub struct SweepStats {
     pub segments_simulated: u64,
     /// Fixed-point solver iterations actually spent (misses only).
     pub fp_iterations: u64,
+    /// Measurement faults injected by the lab's [`FaultPlan`] (fresh runs
+    /// only; memoized replays of a faulted run do not re-count).
+    pub faults_injected: u64,
     /// Wall time spent inside parallel sweeps ([`Lab::collect`] /
     /// [`Lab::collect_scenarios`]), seconds.
     pub sweep_wall_time_s: f64,
@@ -51,13 +55,15 @@ impl std::fmt::Display for SweepStats {
         write!(
             f,
             "{} scenarios ({} cache hits, {} misses, {} evictions), \
-             {} segments, {} fixed-point iters, {:.2}s sweep wall time",
+             {} segments, {} fixed-point iters, {} faults injected, \
+             {:.2}s sweep wall time",
             self.scenarios_run,
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
             self.segments_simulated,
             self.fp_iterations,
+            self.faults_injected,
             self.sweep_wall_time_s,
         )
     }
@@ -71,11 +77,14 @@ pub struct Lab {
     noise_sigma: f64,
     /// Worker threads for sweeps; 0 = one per available CPU.
     threads: usize,
+    /// Measurement-fault injection plan; `None` = healthy lab.
+    faults: Option<FaultPlan>,
     baselines: OnceLock<BaselineDb>,
     run_cache: RunCache,
     segments_simulated: AtomicU64,
     fp_iterations: AtomicU64,
     scenarios_run: AtomicU64,
+    faults_injected: AtomicU64,
     /// Nanoseconds spent inside parallel sweeps.
     sweep_nanos: AtomicU64,
 }
@@ -83,21 +92,24 @@ pub struct Lab {
 impl Lab {
     /// Create a lab for `spec` over `suite`, seeding all measurement noise
     /// from `seed`. Uses [`DEFAULT_NOISE_SIGMA`]; adjust with
-    /// [`Lab::with_noise`].
-    pub fn new(spec: MachineSpec, suite: Vec<Benchmark>, seed: u64) -> Lab {
-        Lab {
-            machine: Machine::new(spec),
+    /// [`Lab::with_noise`]. Fails with [`ColocError::InvalidSpec`] when the
+    /// machine spec does not validate.
+    pub fn new(spec: MachineSpec, suite: Vec<Benchmark>, seed: u64) -> Result<Lab> {
+        Ok(Lab {
+            machine: Machine::new(spec)?,
             suite,
             seed,
             noise_sigma: DEFAULT_NOISE_SIGMA,
             threads: 0,
+            faults: None,
             baselines: OnceLock::new(),
             run_cache: RunCache::default(),
             segments_simulated: AtomicU64::new(0),
             fp_iterations: AtomicU64::new(0),
             scenarios_run: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             sweep_nanos: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Override the measurement-noise σ (0 = noiseless). Resets cached
@@ -109,6 +121,28 @@ impl Lab {
         self.baselines = OnceLock::new();
         self.run_cache.clear();
         self
+    }
+
+    /// Inject measurement faults into every subsequent co-location run
+    /// according to `plan`. Baselines stay clean — they are measured
+    /// through the flat profiler, below the fault layer, matching the
+    /// paper's assumption that the one-off solo characterization is
+    /// curated while sweep measurements are exposed to flakiness.
+    ///
+    /// The run cache is cleared because the plan changes every cache key;
+    /// fails with [`ColocError::InvalidSpec`] when `plan` has nonsensical
+    /// rates.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Result<Lab> {
+        plan.validate()
+            .map_err(coloc_machine::MachineError::InvalidFaultPlan)?;
+        self.faults = Some(plan);
+        self.run_cache.clear();
+        Ok(self)
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Set the worker-thread count for parallel sweeps (0 = one per
@@ -205,13 +239,17 @@ impl Lab {
         let wl = self.workload(scenario)?;
         let mut opts = self.run_options(&scenario.label(), 1);
         opts.pstate = scenario.pstate;
-        let (outcome, hit) = self.run_cache.run_with_status(&self.machine, &wl, &opts)?;
+        let (outcome, hit) =
+            self.run_cache
+                .run_with_faults(&self.machine, &wl, &opts, self.faults.as_ref())?;
         self.scenarios_run.fetch_add(1, Ordering::Relaxed);
         if !hit {
             self.segments_simulated
                 .fetch_add(outcome.segments as u64, Ordering::Relaxed);
             self.fp_iterations
                 .fetch_add(outcome.fp_iterations, Ordering::Relaxed);
+            self.faults_injected
+                .fetch_add(outcome.faults.len() as u64, Ordering::Relaxed);
         }
         Ok(outcome.wall_time_s)
     }
@@ -226,6 +264,7 @@ impl Lab {
             cache_evictions: cache.evictions,
             segments_simulated: self.segments_simulated.load(Ordering::Relaxed),
             fp_iterations: self.fp_iterations.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             sweep_wall_time_s: self.sweep_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
         }
     }
@@ -322,6 +361,144 @@ impl Lab {
                 .collect(),
         )
     }
+
+    /// 64-bit FNV-1a digest binding a checkpoint to this lab's
+    /// configuration and an exact scenario list. Any change to the seed,
+    /// the noise σ, the fault plan, the machine spec, or the scenarios
+    /// changes the digest — which is exactly when resuming would splice
+    /// incompatible samples together.
+    pub fn plan_digest(&self, scenarios: &[Scenario]) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&self.seed.to_le_bytes());
+        eat(&self.noise_sigma.to_bits().to_le_bytes());
+        eat(&self
+            .faults
+            .as_ref()
+            .map_or(0, FaultPlan::digest)
+            .to_le_bytes());
+        eat(self.machine.spec().name.as_bytes());
+        eat(&(scenarios.len() as u64).to_le_bytes());
+        for sc in scenarios {
+            eat(sc.label().as_bytes());
+            eat(&[0]);
+        }
+        h
+    }
+
+    /// Execute a scenario list with periodic crash-safe checkpointing,
+    /// resuming from `cfg.path` when a compatible checkpoint exists.
+    ///
+    /// On entry, an existing checkpoint is loaded (a corrupt one is a
+    /// [`ColocError::CorruptArtifact`]; one written by a different
+    /// lab/plan is a [`ColocError::CheckpointMismatch`]) and its samples
+    /// are reused verbatim — determinism makes them bit-identical to what
+    /// re-running would produce. Progress is flushed atomically every
+    /// `cfg.every` samples and once at the end.
+    ///
+    /// `cfg.crash_after` simulates a crash: after that many *new* samples
+    /// the collect checkpoints and returns [`ColocError::Interrupted`],
+    /// letting tests and the chaos artifact kill a sweep mid-flight
+    /// without process gymnastics.
+    pub fn collect_resumable(
+        &self,
+        scenarios: &[Scenario],
+        cfg: &CheckpointConfig,
+    ) -> Result<Vec<Sample>> {
+        let digest = self.plan_digest(scenarios);
+        let mut samples: Vec<Sample> = match crate::persist::load_json::<SweepCheckpoint>(&cfg.path)
+        {
+            Ok(cp) => {
+                if cp.plan_digest != digest {
+                    return Err(ColocError::CheckpointMismatch {
+                        expected: digest,
+                        found: cp.plan_digest,
+                    });
+                }
+                cp.samples
+            }
+            Err(ColocError::ArtifactIo { .. }) => Vec::new(), // no checkpoint yet
+            Err(e) => return Err(e),
+        };
+        if samples.len() > scenarios.len() {
+            return Err(ColocError::CheckpointMismatch {
+                expected: digest,
+                found: digest, // right plan, impossible length ⇒ tampered
+            });
+        }
+
+        let every = cfg.every.max(1);
+        let mut new_since_start = 0usize;
+        while samples.len() < scenarios.len() {
+            let mut chunk = every.min(scenarios.len() - samples.len());
+            let mut crash = false;
+            if let Some(limit) = cfg.crash_after {
+                let budget = limit.saturating_sub(new_since_start);
+                if budget <= chunk {
+                    chunk = budget;
+                    crash = true;
+                }
+            }
+            if chunk > 0 {
+                let next = &scenarios[samples.len()..samples.len() + chunk];
+                samples.extend(self.collect_scenarios(next)?);
+                new_since_start += chunk;
+            }
+            crate::persist::save_json_atomic(
+                &SweepCheckpoint {
+                    plan_digest: digest,
+                    samples: samples.clone(),
+                },
+                &cfg.path,
+            )?;
+            if crash {
+                return Err(ColocError::Interrupted {
+                    completed: samples.len(),
+                });
+            }
+        }
+        Ok(samples)
+    }
+}
+
+/// Durable partial progress of a resumable sweep (see
+/// [`Lab::collect_resumable`]). The digest pins the checkpoint to one
+/// exact (lab, scenario list) pair.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SweepCheckpoint {
+    /// [`Lab::plan_digest`] of the sweep this progress belongs to.
+    pub plan_digest: u64,
+    /// Samples collected so far, in plan order.
+    pub samples: Vec<Sample>,
+}
+
+/// Where and how often [`Lab::collect_resumable`] checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint file (written atomically via a `.tmp` sibling).
+    pub path: PathBuf,
+    /// Flush after every this many newly collected samples.
+    pub every: usize,
+    /// Simulate a crash after this many new samples (tests/chaos only).
+    pub crash_after: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path` every `every` samples, no simulated crash.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> CheckpointConfig {
+        CheckpointConfig {
+            path: path.into(),
+            every,
+            crash_after: None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -330,7 +507,7 @@ mod tests {
     use coloc_machine::presets;
 
     fn small_lab() -> Lab {
-        Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 42)
+        Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 42).unwrap()
     }
 
     #[test]
@@ -423,7 +600,7 @@ mod tests {
         let lab = small_lab();
         let plan = lab.paper_plan();
         assert_eq!(plan.len(), 6 * 11 * 4 * 5);
-        let lab12 = Lab::new(presets::xeon_e5_2697v2(), coloc_workloads::standard(), 1);
+        let lab12 = Lab::new(presets::xeon_e5_2697v2(), coloc_workloads::standard(), 1).unwrap();
         assert_eq!(lab12.paper_plan().len(), 6 * 11 * 4 * 11);
     }
 
@@ -514,11 +691,121 @@ mod tests {
             cache_evictions: 0,
             segments_simulated: 120,
             fp_iterations: 900,
+            faults_injected: 3,
             sweep_wall_time_s: 1.25,
         };
         let text = format!("{s}");
         assert!(text.contains("10 scenarios"), "{text}");
         assert!(text.contains("4 cache hits"), "{text}");
+        assert!(text.contains("3 faults injected"), "{text}");
         assert!(text.contains("1.25s"), "{text}");
+    }
+
+    fn chaos_tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("coloc-lab-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn faulty_lab_injects_deterministically_and_keeps_baselines_clean() {
+        let plan = small_plan();
+        let clean = small_lab().collect(&plan).unwrap();
+        let faulty = || small_lab().with_faults(FaultPlan::heavy(5)).unwrap();
+        let a = faulty().collect(&plan).unwrap();
+        let b = faulty().collect(&plan).unwrap();
+        let lab = faulty();
+        lab.collect(&plan).unwrap();
+        assert!(
+            lab.sweep_stats().faults_injected > 0,
+            "heavy plan must fire on a {}-scenario sweep",
+            plan.len()
+        );
+        // Deterministic: two labs with the same plan agree bit-for-bit.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.actual_time_s.to_bits(), y.actual_time_s.to_bits());
+        }
+        // Different from the clean sweep somewhere.
+        assert!(a
+            .iter()
+            .zip(&clean)
+            .any(|(x, y)| x.actual_time_s.to_bits() != y.actual_time_s.to_bits()));
+        // Baselines are measured below the fault layer: identical.
+        assert_eq!(small_lab().baselines(), faulty().baselines());
+        // Features come from baselines, so they stay finite even when the
+        // measured time is NaN.
+        for s in &a {
+            assert!(s.features.iter().all(|f| f.is_finite()));
+        }
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected() {
+        let plan = FaultPlan {
+            nan_reading_rate: 1.5,
+            ..FaultPlan::default()
+        };
+        match small_lab().with_faults(plan) {
+            Err(ModelError::InvalidSpec(msg)) => assert!(msg.contains("nan"), "{msg}"),
+            other => panic!("expected InvalidSpec, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn crashed_collect_resumes_bit_identical() {
+        let plan = small_plan();
+        let scenarios = plan.scenarios();
+        let reference = small_lab().collect(&plan).unwrap();
+
+        let path = chaos_tmp("resume.json");
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = CheckpointConfig::new(&path, 4);
+        cfg.crash_after = Some(7);
+        match small_lab().collect_resumable(&scenarios, &cfg) {
+            Err(ModelError::Interrupted { completed }) => assert_eq!(completed, 7),
+            other => panic!("expected Interrupted, got {:?}", other.err()),
+        }
+        // A fresh lab (simulating a restarted process) finishes the sweep.
+        cfg.crash_after = None;
+        let resumed = small_lab().collect_resumable(&scenarios, &cfg).unwrap();
+        assert_eq!(resumed.len(), reference.len());
+        for (a, b) in resumed.iter().zip(&reference) {
+            assert_eq!(a.scenario.label(), b.scenario.label());
+            assert_eq!(a.actual_time_s.to_bits(), b.actual_time_s.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_lab_is_rejected() {
+        let plan = small_plan();
+        let scenarios = plan.scenarios();
+        let path = chaos_tmp("mismatch.json");
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = CheckpointConfig::new(&path, 4);
+        cfg.crash_after = Some(5);
+        let _ = small_lab().collect_resumable(&scenarios, &cfg);
+        cfg.crash_after = None;
+        // Same plan, different lab seed ⇒ different digest ⇒ rejected.
+        let other = Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 43).unwrap();
+        assert!(matches!(
+            other.collect_resumable(&scenarios, &cfg),
+            Err(ModelError::CheckpointMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let plan = small_plan();
+        let scenarios = plan.scenarios();
+        let path = chaos_tmp("corrupt.json");
+        std::fs::write(&path, b"{\"plan_digest\": 12, \"samples\": [{").unwrap();
+        let cfg = CheckpointConfig::new(&path, 4);
+        assert!(matches!(
+            small_lab().collect_resumable(&scenarios, &cfg),
+            Err(ModelError::CorruptArtifact { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -37,64 +37,112 @@ pub mod lab;
 pub mod persist;
 pub mod plan;
 pub mod predictor;
+pub mod robust;
 pub mod sample;
+pub mod sanitize;
 pub mod scenario;
 pub mod scheduler;
 
 pub use baseline::{AppBaseline, BaselineDb};
 pub use experiment::{evaluate_model, ModelEvaluation};
 pub use features::{Feature, FeatureSet};
-pub use lab::{Lab, SweepStats};
+pub use lab::{Lab, SweepCheckpoint, SweepStats};
 pub use plan::TrainingPlan;
 pub use predictor::{ModelKind, Predictor};
+pub use robust::{train_robust, AttemptOutcome, TrainAttempt, TrainPolicy, TrainingReport};
 pub use sample::{samples_to_dataset, Sample};
+pub use sanitize::{sanitize_samples, QuarantineReason, SanitizePolicy, SanitizeReport};
 pub use scenario::Scenario;
 
-/// Errors from the modeling pipeline.
+/// Typed error taxonomy of the whole pipeline. Every failure mode the
+/// chaos lab exercises — bad specs, flaky measurements, corrupt artifacts,
+/// degenerate datasets, interrupted sweeps — has its own variant, so
+/// callers can degrade gracefully instead of unwinding.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ModelError {
+pub enum ColocError {
     /// Scenario references an application absent from the lab's suite.
     UnknownApp(String),
     /// The machine simulator rejected a run.
     Machine(String),
+    /// A machine or fault-plan spec failed validation.
+    InvalidSpec(String),
     /// The underlying learner failed.
     Ml(String),
     /// A predictor was asked about a feature set it was not trained for.
     FeatureMismatch { expected: usize, got: usize },
     /// Not enough data for the requested operation.
     InsufficientData(String),
+    /// A dataset survived sanitization with too little usable signal to
+    /// train anything.
+    DegenerateDataset(String),
+    /// A persisted artifact exists but cannot be parsed (corrupt or
+    /// truncated JSON, wrong shape). Carries the offending path.
+    CorruptArtifact { path: String, detail: String },
+    /// A persisted artifact could not be read or written at the I/O layer.
+    ArtifactIo { path: String, detail: String },
+    /// A sweep checkpoint belongs to a different plan/lab configuration
+    /// than the resume attempt.
+    CheckpointMismatch { expected: u64, found: u64 },
+    /// A collect was interrupted (simulated crash) after `completed`
+    /// samples; a checkpoint holds the partial progress.
+    Interrupted { completed: usize },
 }
 
-impl std::fmt::Display for ModelError {
+/// Historical name of [`ColocError`]; the taxonomy grew, the alias stays.
+pub type ModelError = ColocError;
+
+impl std::fmt::Display for ColocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ModelError::UnknownApp(n) => write!(f, "unknown application `{n}`"),
-            ModelError::Machine(s) => write!(f, "machine error: {s}"),
-            ModelError::Ml(s) => write!(f, "learner error: {s}"),
-            ModelError::FeatureMismatch { expected, got } => {
+            ColocError::UnknownApp(n) => write!(f, "unknown application `{n}`"),
+            ColocError::Machine(s) => write!(f, "machine error: {s}"),
+            ColocError::InvalidSpec(s) => write!(f, "invalid spec: {s}"),
+            ColocError::Ml(s) => write!(f, "learner error: {s}"),
+            ColocError::FeatureMismatch { expected, got } => {
                 write!(
                     f,
                     "feature arity mismatch: model expects {expected}, got {got}"
                 )
             }
-            ModelError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
+            ColocError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
+            ColocError::DegenerateDataset(s) => write!(f, "degenerate dataset: {s}"),
+            ColocError::CorruptArtifact { path, detail } => {
+                write!(f, "corrupt artifact `{path}`: {detail}")
+            }
+            ColocError::ArtifactIo { path, detail } => {
+                write!(f, "artifact I/O error `{path}`: {detail}")
+            }
+            ColocError::CheckpointMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint belongs to a different sweep \
+                     (expected plan digest {expected:#x}, found {found:#x})"
+                )
+            }
+            ColocError::Interrupted { completed } => {
+                write!(f, "collect interrupted after {completed} samples")
+            }
         }
     }
 }
 
-impl std::error::Error for ModelError {}
+impl std::error::Error for ColocError {}
 
-impl From<coloc_machine::MachineError> for ModelError {
+impl From<coloc_machine::MachineError> for ColocError {
     fn from(e: coloc_machine::MachineError) -> Self {
-        ModelError::Machine(e.to_string())
+        match e {
+            coloc_machine::MachineError::InvalidSpec(s) => ColocError::InvalidSpec(s),
+            coloc_machine::MachineError::InvalidFaultPlan(s) => ColocError::InvalidSpec(s),
+            other => ColocError::Machine(other.to_string()),
+        }
     }
 }
 
-impl From<coloc_ml::MlError> for ModelError {
+impl From<coloc_ml::MlError> for ColocError {
     fn from(e: coloc_ml::MlError) -> Self {
-        ModelError::Ml(e.to_string())
+        ColocError::Ml(e.to_string())
     }
 }
 
 /// Convenience result alias.
-pub type Result<T> = std::result::Result<T, ModelError>;
+pub type Result<T> = std::result::Result<T, ColocError>;

@@ -9,23 +9,53 @@
 use crate::baseline::BaselineDb;
 use crate::predictor::Predictor;
 use crate::sample::Sample;
-use crate::{ModelError, Result};
+use crate::{ColocError, Result};
 use std::path::Path;
 
-fn io_err(e: impl std::fmt::Display) -> ModelError {
-    ModelError::Ml(format!("persistence error: {e}"))
+fn io_err(path: &Path, e: impl std::fmt::Display) -> ColocError {
+    ColocError::ArtifactIo {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+fn corrupt_err(path: &Path, e: impl std::fmt::Display) -> ColocError {
+    ColocError::CorruptArtifact {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
 }
 
 /// Serialize any supported artifact to pretty JSON at `path`.
 pub fn save_json<T: serde::Serialize>(value: &T, path: impl AsRef<Path>) -> Result<()> {
-    let bytes = serde_json::to_vec_pretty(value).map_err(io_err)?;
-    std::fs::write(path, bytes).map_err(io_err)
+    let path = path.as_ref();
+    let bytes = serde_json::to_vec_pretty(value).map_err(|e| io_err(path, e))?;
+    std::fs::write(path, bytes).map_err(|e| io_err(path, e))
+}
+
+/// Like [`save_json`], but crash-safe: writes to a sibling temp file and
+/// renames into place, so a process dying mid-write can never leave a
+/// truncated artifact at `path` — the invariant sweep checkpoints rely on.
+pub fn save_json_atomic<T: serde::Serialize>(value: &T, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let bytes = serde_json::to_vec_pretty(value).map_err(|e| io_err(path, e))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
 }
 
 /// Load an artifact previously written by [`save_json`].
+///
+/// I/O failures (missing file, permissions) come back as
+/// [`ColocError::ArtifactIo`]; a file that reads fine but does not parse —
+/// truncated, hand-edited, or written by a different type — comes back as
+/// [`ColocError::CorruptArtifact`]. Both carry the path.
 pub fn load_json<T: serde::de::DeserializeOwned>(path: impl AsRef<Path>) -> Result<T> {
-    let bytes = std::fs::read(path).map_err(io_err)?;
-    serde_json::from_slice(&bytes).map_err(io_err)
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    serde_json::from_slice(&bytes).map_err(|e| corrupt_err(path, e))
 }
 
 impl Predictor {
@@ -139,15 +169,71 @@ mod tests {
     }
 
     #[test]
-    fn load_missing_file_is_error() {
-        assert!(Predictor::load(tmp("nope.json")).is_err());
+    fn load_missing_file_is_io_error_with_path() {
+        match Predictor::load(tmp("nope.json")) {
+            Err(ColocError::ArtifactIo { path, .. }) => {
+                assert!(path.ends_with("nope.json"), "{path}")
+            }
+            other => panic!("expected ArtifactIo, got {other:?}"),
+        }
         assert!(BaselineDb::load(tmp("nope.json")).is_err());
     }
 
     #[test]
-    fn load_wrong_shape_is_error() {
+    fn load_wrong_shape_is_corrupt_artifact_with_path() {
         let path = tmp("garbage.json");
         std::fs::write(&path, b"{\"not\": \"a predictor\"}").unwrap();
-        assert!(Predictor::load(&path).is_err());
+        match Predictor::load(&path) {
+            Err(ColocError::CorruptArtifact { path: p, .. }) => {
+                assert!(p.ends_with("garbage.json"), "{p}")
+            }
+            other => panic!("expected CorruptArtifact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_samples_file_is_corrupt_artifact() {
+        // Write a valid sample set, then chop it mid-stream — the shape a
+        // crash during a non-atomic write leaves behind.
+        let s = samples(25);
+        let path = tmp("truncated.json");
+        save_samples(&s, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match load_samples(&path) {
+            Err(ColocError::CorruptArtifact { path: p, detail }) => {
+                assert!(p.ends_with("truncated.json"), "{p}");
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected CorruptArtifact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_samples_roundtrip_after_rewrite() {
+        // A corrupt file is not sticky: rewriting the artifact recovers.
+        let path = tmp("rewrite.json");
+        std::fs::write(&path, b"[{\"scenario\":").unwrap();
+        assert!(load_samples(&path).is_err());
+        let s = samples(10);
+        save_samples(&s, &path).unwrap();
+        let loaded = load_samples(&path).unwrap();
+        assert_eq!(loaded.len(), 10);
+        assert_eq!(loaded[3].scenario, s[3].scenario);
+    }
+
+    #[test]
+    fn atomic_save_replaces_and_leaves_no_temp() {
+        let path = tmp("atomic.json");
+        let s = samples(5);
+        save_json_atomic(&s, &path).unwrap();
+        let first = load_samples(&path).unwrap();
+        assert_eq!(first.len(), 5);
+        let s2 = samples(9);
+        save_json_atomic(&s2, &path).unwrap();
+        assert_eq!(load_samples(&path).unwrap().len(), 9);
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(!std::path::Path::new(&tmp_name).exists());
     }
 }

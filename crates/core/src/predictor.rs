@@ -133,6 +133,17 @@ impl Predictor {
         }
     }
 
+    /// Final training loss of the underlying learner, when it exposes one
+    /// (the SCG-trained network, in standardized units). `None` for the
+    /// closed-form linear fits. [`crate::robust::train_robust`] uses this
+    /// as its divergence signal.
+    pub fn train_loss(&self) -> Option<f64> {
+        match &self.model {
+            ModelImpl::Nn(m) => Some(m.train_loss()),
+            _ => None,
+        }
+    }
+
     /// For linear models: the raw-space coefficients `(coeffs, constant)`
     /// of paper Eq. 1 over this feature set's columns. `None` for neural
     /// networks.

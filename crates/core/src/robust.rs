@@ -1,0 +1,403 @@
+//! Graceful-degradation training: sanitize → retry → fall back.
+//!
+//! [`train_robust`] is the hardened front door to [`Predictor::train`].
+//! The degradation ladder, in order:
+//!
+//! 1. **Sanitize** — [`crate::sanitize::sanitize_samples`] quarantines
+//!    non-finite and outlier samples; too few survivors is a
+//!    [`ColocError::DegenerateDataset`], reported before any training.
+//! 2. **Train + health check** — an attempt is *unhealthy* if training
+//!    errors, the final training loss is non-finite or above the policy's
+//!    ceiling, or any in-sample prediction is non-finite.
+//! 3. **Re-seeded retries** — unhealthy SCG attempts restart from fresh
+//!    deterministic seeds (divergence is initialization-sensitive), up to
+//!    `retries` times.
+//! 4. **Linear fallback** — if every attempt at the requested kind fails
+//!    and the policy allows, fall back to the closed-form linear model of
+//!    paper Eq. 1, which cannot diverge.
+//!
+//! Every rung is recorded in a [`TrainingReport`] so chaos sweeps (and
+//! operators) can see exactly what degraded and why.
+
+use crate::predictor::{ModelKind, Predictor};
+use crate::sample::Sample;
+use crate::sanitize::{sanitize_samples, SanitizePolicy, SanitizeReport};
+use crate::{ColocError, FeatureSet, Result};
+use coloc_ml::rng::derive_seed;
+
+/// Tunables for [`train_robust`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainPolicy {
+    /// Re-seeded attempts after the first (0 = single attempt).
+    pub retries: usize,
+    /// Accept an attempt only if its training loss (standardized units,
+    /// when the learner reports one) is at or below this. `INFINITY`
+    /// accepts any finite loss.
+    pub loss_ceiling: f64,
+    /// Fall back to [`ModelKind::Linear`] when every attempt at the
+    /// requested kind fails.
+    pub fallback_to_linear: bool,
+    /// Sanitization applied before training.
+    pub sanitize: SanitizePolicy,
+}
+
+impl Default for TrainPolicy {
+    fn default() -> TrainPolicy {
+        TrainPolicy {
+            retries: 2,
+            loss_ceiling: f64::INFINITY,
+            fallback_to_linear: true,
+            sanitize: SanitizePolicy::default(),
+        }
+    }
+}
+
+/// How one training attempt ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Healthy: this attempt's model was accepted.
+    Accepted,
+    /// The learner returned an error.
+    TrainError,
+    /// The final training loss was NaN or infinite.
+    NonFiniteLoss,
+    /// The loss exceeded [`TrainPolicy::loss_ceiling`].
+    LossAboveCeiling,
+    /// An in-sample prediction came back non-finite.
+    NonFinitePrediction,
+}
+
+/// One rung of the ladder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainAttempt {
+    /// Model kind attempted.
+    pub kind: ModelKind,
+    /// Seed used.
+    pub seed: u64,
+    /// How it ended.
+    pub outcome: AttemptOutcome,
+    /// Final training loss, when the learner reported one.
+    pub loss: Option<f64>,
+    /// Learner error message, when training failed outright.
+    pub error: Option<String>,
+}
+
+/// Everything [`train_robust`] did to produce (or fail to produce) a model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainingReport {
+    /// Kind the caller asked for.
+    pub requested_kind: ModelKind,
+    /// Kind actually trained (differs from `requested_kind` on fallback).
+    pub final_kind: ModelKind,
+    /// What sanitization quarantined.
+    pub sanitize: SanitizeReport,
+    /// Every attempt, in order.
+    pub attempts: Vec<TrainAttempt>,
+    /// True when the linear fallback produced the final model.
+    pub fell_back: bool,
+}
+
+impl TrainingReport {
+    /// True if the requested kind was trained first try on clean data.
+    pub fn was_uneventful(&self) -> bool {
+        !self.fell_back && self.attempts.len() == 1 && self.sanitize.is_clean()
+    }
+}
+
+impl std::fmt::Display for TrainingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested {} -> trained {} ({} attempt(s){}); sanitize: {}",
+            self.requested_kind,
+            self.final_kind,
+            self.attempts.len(),
+            if self.fell_back {
+                ", fell back to linear"
+            } else {
+                ""
+            },
+            self.sanitize,
+        )
+    }
+}
+
+/// Judge one trained model's health on its own training data.
+fn health_check(
+    predictor: &Predictor,
+    samples: &[Sample],
+    loss_ceiling: f64,
+) -> (AttemptOutcome, Option<f64>) {
+    let loss = predictor.train_loss();
+    if let Some(l) = loss {
+        if !l.is_finite() {
+            return (AttemptOutcome::NonFiniteLoss, loss);
+        }
+        if l > loss_ceiling {
+            return (AttemptOutcome::LossAboveCeiling, loss);
+        }
+    }
+    if samples
+        .iter()
+        .any(|s| !predictor.predict(&s.features).is_finite())
+    {
+        return (AttemptOutcome::NonFinitePrediction, loss);
+    }
+    (AttemptOutcome::Accepted, loss)
+}
+
+/// Train `kind` over `set` with the full degradation ladder. Returns the
+/// final predictor and the report of how it was obtained; errors only when
+/// the sanitized dataset is degenerate or even the fallback fails.
+pub fn train_robust(
+    kind: ModelKind,
+    set: FeatureSet,
+    samples: &[Sample],
+    seed: u64,
+    policy: &TrainPolicy,
+) -> Result<(Predictor, TrainingReport)> {
+    let (kept, sanitize) = sanitize_samples(samples, &policy.sanitize);
+    if kept.len() < policy.sanitize.min_kept.max(2) {
+        return Err(ColocError::DegenerateDataset(format!(
+            "{} of {} samples survived sanitization (need {}): {}",
+            kept.len(),
+            samples.len(),
+            policy.sanitize.min_kept.max(2),
+            sanitize,
+        )));
+    }
+
+    let mut report = TrainingReport {
+        requested_kind: kind,
+        final_kind: kind,
+        sanitize,
+        attempts: Vec::new(),
+        fell_back: false,
+    };
+
+    // Rung 2–3: requested kind, re-seeded on failure. Retrying a
+    // closed-form fit cannot change the answer, so only the NN retries.
+    let attempts_for = |k: ModelKind| -> usize {
+        match k {
+            ModelKind::NeuralNet => policy.retries + 1,
+            _ => 1,
+        }
+    };
+    for attempt in 0..attempts_for(kind) {
+        // Attempt 0 uses the caller's seed unchanged, preserving
+        // bit-compatibility with a plain Predictor::train on clean data.
+        let attempt_seed = if attempt == 0 {
+            seed
+        } else {
+            derive_seed(seed, 1000 + attempt as u64)
+        };
+        match Predictor::train(kind, set, &kept, attempt_seed) {
+            Ok(p) => {
+                let (outcome, loss) = health_check(&p, &kept, policy.loss_ceiling);
+                report.attempts.push(TrainAttempt {
+                    kind,
+                    seed: attempt_seed,
+                    outcome,
+                    loss,
+                    error: None,
+                });
+                if outcome == AttemptOutcome::Accepted {
+                    return Ok((p, report));
+                }
+            }
+            Err(e) => report.attempts.push(TrainAttempt {
+                kind,
+                seed: attempt_seed,
+                outcome: AttemptOutcome::TrainError,
+                loss: None,
+                error: Some(e.to_string()),
+            }),
+        }
+    }
+
+    // Rung 4: the linear fallback. No loss ceiling — it is the floor of
+    // the ladder, judged only on producing finite predictions.
+    if policy.fallback_to_linear && kind != ModelKind::Linear {
+        match Predictor::train(ModelKind::Linear, set, &kept, seed) {
+            Ok(p) => {
+                let (outcome, loss) = health_check(&p, &kept, f64::INFINITY);
+                report.attempts.push(TrainAttempt {
+                    kind: ModelKind::Linear,
+                    seed,
+                    outcome,
+                    loss,
+                    error: None,
+                });
+                if outcome == AttemptOutcome::Accepted {
+                    report.final_kind = ModelKind::Linear;
+                    report.fell_back = true;
+                    return Ok((p, report));
+                }
+            }
+            Err(e) => report.attempts.push(TrainAttempt {
+                kind: ModelKind::Linear,
+                seed,
+                outcome: AttemptOutcome::TrainError,
+                loss: None,
+                error: Some(e.to_string()),
+            }),
+        }
+    }
+
+    Err(ColocError::Ml(format!(
+        "training exhausted the degradation ladder: {report}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn synthetic(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let base = 150.0 + (i % 7) as f64 * 50.0;
+                let ncoapp = (i % 5) as f64;
+                let co_mem = ncoapp * 0.01 * (1.0 + (i % 3) as f64);
+                let slowdown = 1.0 + 4.0 * co_mem;
+                Sample {
+                    scenario: Scenario::homogeneous("t", "c", ncoapp as usize, 0),
+                    features: [
+                        base,
+                        ncoapp,
+                        co_mem,
+                        1e-3,
+                        ncoapp * 0.4,
+                        ncoapp * 0.03,
+                        0.1,
+                        0.02,
+                    ],
+                    actual_time_s: base * slowdown,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_data_trains_first_try_bit_compatible() {
+        let s = synthetic(80);
+        let (p, report) = train_robust(
+            ModelKind::NeuralNet,
+            FeatureSet::D,
+            &s,
+            7,
+            &TrainPolicy::default(),
+        )
+        .unwrap();
+        assert!(report.was_uneventful(), "{report}");
+        assert_eq!(report.final_kind, ModelKind::NeuralNet);
+        // Same model a direct train would have produced.
+        let direct = Predictor::train(ModelKind::NeuralNet, FeatureSet::D, &s, 7).unwrap();
+        assert_eq!(
+            p.predict(&s[5].features).to_bits(),
+            direct.predict(&s[5].features).to_bits()
+        );
+    }
+
+    #[test]
+    fn faulty_samples_are_quarantined_before_training() {
+        let mut s = synthetic(80);
+        s[10].actual_time_s = f64::NAN;
+        s[20].actual_time_s = 0.0;
+        let (p, report) = train_robust(
+            ModelKind::Linear,
+            FeatureSet::C,
+            &s,
+            1,
+            &TrainPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.sanitize.kept, 78);
+        assert!(!report.fell_back);
+        assert!(p.predict(&s[0].features).is_finite());
+    }
+
+    #[test]
+    fn impossible_ceiling_walks_the_ladder_to_linear() {
+        let s = synthetic(80);
+        let policy = TrainPolicy {
+            loss_ceiling: 0.0, // no SCG fit ever reaches exactly zero loss
+            ..Default::default()
+        };
+        let (p, report) =
+            train_robust(ModelKind::NeuralNet, FeatureSet::D, &s, 7, &policy).unwrap();
+        assert!(report.fell_back);
+        assert_eq!(report.final_kind, ModelKind::Linear);
+        assert_eq!(p.kind(), ModelKind::Linear);
+        // All NN attempts recorded, then the linear rung.
+        assert_eq!(report.attempts.len(), policy.retries + 2);
+        for a in &report.attempts[..policy.retries + 1] {
+            assert_eq!(a.kind, ModelKind::NeuralNet);
+            assert_eq!(a.outcome, AttemptOutcome::LossAboveCeiling);
+            assert!(a.loss.unwrap() > 0.0);
+        }
+        assert_eq!(report.attempts.last().unwrap().kind, ModelKind::Linear);
+    }
+
+    #[test]
+    fn fallback_disabled_surfaces_the_error() {
+        let s = synthetic(80);
+        let policy = TrainPolicy {
+            loss_ceiling: 0.0,
+            fallback_to_linear: false,
+            ..Default::default()
+        };
+        let err = train_robust(ModelKind::NeuralNet, FeatureSet::D, &s, 7, &policy).unwrap_err();
+        assert!(matches!(err, ColocError::Ml(_)), "{err}");
+    }
+
+    #[test]
+    fn all_faulty_data_is_degenerate() {
+        let mut s = synthetic(20);
+        for x in &mut s {
+            x.actual_time_s = f64::NAN;
+        }
+        let err = train_robust(
+            ModelKind::Linear,
+            FeatureSet::A,
+            &s,
+            0,
+            &TrainPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColocError::DegenerateDataset(_)), "{err}");
+    }
+
+    #[test]
+    fn retries_use_distinct_seeds() {
+        let s = synthetic(80);
+        let policy = TrainPolicy {
+            loss_ceiling: 0.0,
+            retries: 3,
+            ..Default::default()
+        };
+        let err = train_robust(
+            ModelKind::NeuralNet,
+            FeatureSet::D,
+            &s,
+            7,
+            &TrainPolicy {
+                fallback_to_linear: false,
+                ..policy
+            },
+        )
+        .unwrap_err();
+        drop(err);
+        // Inspect the seeds via a fallback run that records all attempts.
+        let (_, report) =
+            train_robust(ModelKind::NeuralNet, FeatureSet::D, &s, 7, &policy).unwrap();
+        let seeds: std::collections::HashSet<u64> = report
+            .attempts
+            .iter()
+            .filter(|a| a.kind == ModelKind::NeuralNet)
+            .map(|a| a.seed)
+            .collect();
+        assert_eq!(seeds.len(), policy.retries + 1, "{report}");
+    }
+}

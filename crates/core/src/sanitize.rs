@@ -1,0 +1,306 @@
+//! Dataset sanitization: quarantine fault-damaged samples before training.
+//!
+//! Fault-injected sweeps (and real PMU collections) produce samples the
+//! learners must never see: NaN wall times from failed timer reads, zeroed
+//! dropped samples, and noise-burst outliers whose measured time is wildly
+//! inconsistent with the run's baseline. [`sanitize_samples`] splits a
+//! sample set into a kept portion and a quarantine, reporting per-reason
+//! counts so chaos sweeps can assert that every injected fault was caught.
+//!
+//! Outlier detection works in log-slowdown space: `ln(actual / baseline)`
+//! is compared against the robust center (median) and spread (MAD) of the
+//! whole set. Slowdowns are physically bounded on a fixed machine — a
+//! sample claiming 50× or 0.1× the baseline is a measurement artifact, not
+//! contention — so a generous MAD multiplier quarantines only damage, not
+//! legitimately contended runs.
+
+use crate::features::Feature;
+use crate::sample::Sample;
+
+/// Why a sample was quarantined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum QuarantineReason {
+    /// The measured time is NaN or infinite (failed timer read).
+    NonFiniteTime,
+    /// The measured time is zero or negative (dropped sample).
+    NonPositiveTime,
+    /// A feature value is non-finite (corrupt baseline propagation).
+    NonFiniteFeature,
+    /// The log-slowdown is an extreme outlier against the set's robust
+    /// center (noise burst or stuck counter).
+    OutlierTime,
+}
+
+impl QuarantineReason {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuarantineReason::NonFiniteTime => "non-finite-time",
+            QuarantineReason::NonPositiveTime => "non-positive-time",
+            QuarantineReason::NonFiniteFeature => "non-finite-feature",
+            QuarantineReason::OutlierTime => "outlier-time",
+        }
+    }
+}
+
+/// One quarantined sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Quarantined {
+    /// Index into the original sample slice.
+    pub index: usize,
+    /// Scenario label, for human-readable reports.
+    pub scenario: String,
+    /// Why it was pulled.
+    pub reason: QuarantineReason,
+}
+
+/// Tunables for [`sanitize_samples`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SanitizePolicy {
+    /// Quarantine when `|ln(slowdown) − median|` exceeds this multiple of
+    /// the (floored) MAD. Large by design: real contention spreads
+    /// log-slowdowns far less than noise bursts do.
+    pub mad_threshold: f64,
+    /// Minimum kept samples for the result to be trainable; callers treat
+    /// fewer as a degenerate dataset.
+    pub min_kept: usize,
+}
+
+impl Default for SanitizePolicy {
+    fn default() -> SanitizePolicy {
+        SanitizePolicy {
+            mad_threshold: 8.0,
+            min_kept: 8,
+        }
+    }
+}
+
+/// What sanitization did to a sample set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SanitizeReport {
+    /// Samples inspected.
+    pub total: usize,
+    /// Samples kept.
+    pub kept: usize,
+    /// Everything pulled, in original-index order.
+    pub quarantined: Vec<Quarantined>,
+}
+
+impl SanitizeReport {
+    /// Number quarantined for `reason`.
+    pub fn count(&self, reason: QuarantineReason) -> usize {
+        self.quarantined
+            .iter()
+            .filter(|q| q.reason == reason)
+            .count()
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+impl std::fmt::Display for SanitizeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} samples: {} kept, {} quarantined \
+             ({} non-finite time, {} non-positive time, \
+             {} non-finite feature, {} outlier)",
+            self.total,
+            self.kept,
+            self.quarantined.len(),
+            self.count(QuarantineReason::NonFiniteTime),
+            self.count(QuarantineReason::NonPositiveTime),
+            self.count(QuarantineReason::NonFiniteFeature),
+            self.count(QuarantineReason::OutlierTime),
+        )
+    }
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Split `samples` into (kept, report). Deterministic: depends only on the
+/// input values, never on ordering tricks or randomness.
+pub fn sanitize_samples(
+    samples: &[Sample],
+    policy: &SanitizePolicy,
+) -> (Vec<Sample>, SanitizeReport) {
+    let mut report = SanitizeReport {
+        total: samples.len(),
+        ..Default::default()
+    };
+
+    // Pass 1: structural damage — values no learner can even look at.
+    let mut candidates: Vec<usize> = Vec::with_capacity(samples.len());
+    for (i, s) in samples.iter().enumerate() {
+        let reason = if s.features.iter().any(|f| !f.is_finite()) {
+            Some(QuarantineReason::NonFiniteFeature)
+        } else if !s.actual_time_s.is_finite() {
+            Some(QuarantineReason::NonFiniteTime)
+        } else if s.actual_time_s <= 0.0 {
+            Some(QuarantineReason::NonPositiveTime)
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => report.quarantined.push(Quarantined {
+                index: i,
+                scenario: s.scenario.label(),
+                reason,
+            }),
+            None => candidates.push(i),
+        }
+    }
+
+    // Pass 2: robust outlier rejection in log-slowdown space over the
+    // structurally sound remainder. Needs a handful of points for the
+    // median/MAD to mean anything.
+    let mut outliers: Vec<usize> = Vec::new();
+    if candidates.len() >= 4 {
+        let log_sd = |s: &Sample| -> Option<f64> {
+            let base = s.features[Feature::BaseExTime.index()];
+            if base > 0.0 {
+                Some((s.actual_time_s / base).ln())
+            } else {
+                None
+            }
+        };
+        let mut vals: Vec<f64> = candidates
+            .iter()
+            .filter_map(|&i| log_sd(&samples[i]))
+            .collect();
+        if vals.len() >= 4 {
+            vals.sort_by(f64::total_cmp);
+            let median = median_of(&vals);
+            let mut devs: Vec<f64> = vals.iter().map(|v| (v - median).abs()).collect();
+            devs.sort_by(f64::total_cmp);
+            // Floor the MAD: a near-noiseless sweep has MAD ≈ 0, which
+            // would flag everything; 0.05 ≈ a 5% slowdown band.
+            let mad = median_of(&devs).max(0.05);
+            for &i in &candidates {
+                if let Some(v) = log_sd(&samples[i]) {
+                    if (v - median).abs() > policy.mad_threshold * mad {
+                        outliers.push(i);
+                    }
+                }
+            }
+        }
+    }
+    for &i in &outliers {
+        report.quarantined.push(Quarantined {
+            index: i,
+            scenario: samples[i].scenario.label(),
+            reason: QuarantineReason::OutlierTime,
+        });
+    }
+    report
+        .quarantined
+        .sort_by_key(|q| (q.index, q.reason.label()));
+
+    let quarantined_idx: std::collections::HashSet<usize> =
+        report.quarantined.iter().map(|q| q.index).collect();
+    let kept: Vec<Sample> = samples
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !quarantined_idx.contains(i))
+        .map(|(_, s)| s.clone())
+        .collect();
+    report.kept = kept.len();
+    (kept, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn sample(i: usize, base: f64, actual: f64) -> Sample {
+        Sample {
+            scenario: Scenario::homogeneous("t", "c", i % 5, 0),
+            features: [base, 1.0, 0.01, 1e-3, 0.3, 0.02, 0.1, 0.02],
+            actual_time_s: actual,
+        }
+    }
+
+    fn healthy(n: usize) -> Vec<Sample> {
+        // Slowdowns 1.0–1.5: a realistic contention spread.
+        (0..n)
+            .map(|i| {
+                let base = 100.0 + (i % 7) as f64 * 30.0;
+                sample(i, base, base * (1.0 + 0.5 * (i % 10) as f64 / 10.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_data_passes_untouched() {
+        let s = healthy(40);
+        let (kept, report) = sanitize_samples(&s, &SanitizePolicy::default());
+        assert_eq!(kept.len(), 40);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.total, 40);
+    }
+
+    #[test]
+    fn structural_damage_is_quarantined_by_reason() {
+        let mut s = healthy(20);
+        s[3].actual_time_s = f64::NAN;
+        s[7].actual_time_s = 0.0;
+        s[11].features[2] = f64::INFINITY;
+        let (kept, report) = sanitize_samples(&s, &SanitizePolicy::default());
+        assert_eq!(kept.len(), 17);
+        assert_eq!(report.count(QuarantineReason::NonFiniteTime), 1);
+        assert_eq!(report.count(QuarantineReason::NonPositiveTime), 1);
+        assert_eq!(report.count(QuarantineReason::NonFiniteFeature), 1);
+        assert_eq!(report.quarantined[0].index, 3);
+    }
+
+    #[test]
+    fn extreme_outliers_are_quarantined_but_contention_is_not() {
+        let mut s = healthy(40);
+        // A 40× burst and a stuck-counter 0.02× collapse.
+        s[5].actual_time_s = s[5].features[0] * 40.0;
+        s[9].actual_time_s = s[9].features[0] * 0.02;
+        let (kept, report) = sanitize_samples(&s, &SanitizePolicy::default());
+        assert_eq!(kept.len(), 38, "{report}");
+        assert_eq!(report.count(QuarantineReason::OutlierTime), 2);
+        // A legitimate 2× contended sample survives the same policy.
+        let mut s = healthy(40);
+        s[5].actual_time_s = s[5].features[0] * 2.0;
+        let (kept, _) = sanitize_samples(&s, &SanitizePolicy::default());
+        assert_eq!(kept.len(), 40);
+    }
+
+    #[test]
+    fn tiny_sets_skip_outlier_detection() {
+        // 3 candidates: median/MAD are meaningless, pass 2 must not run.
+        let s = vec![
+            sample(0, 100.0, 100.0),
+            sample(1, 100.0, 5000.0),
+            sample(2, 100.0, 110.0),
+        ];
+        let (kept, report) = sanitize_samples(&s, &SanitizePolicy::default());
+        assert_eq!(kept.len(), 3);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let mut s = healthy(10);
+        s[2].actual_time_s = f64::NAN;
+        let (_, report) = sanitize_samples(&s, &SanitizePolicy::default());
+        let text = format!("{report}");
+        assert!(text.contains("10 samples"), "{text}");
+        assert!(text.contains("9 kept"), "{text}");
+        assert!(text.contains("1 non-finite time"), "{text}");
+    }
+}

@@ -192,7 +192,7 @@ mod tests {
     fn shared() -> &'static (Lab, Predictor) {
         static CELL: OnceLock<(Lab, Predictor)> = OnceLock::new();
         CELL.get_or_init(|| {
-            let lab = Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 5);
+            let lab = Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 5).unwrap();
             let plan = TrainingPlan {
                 pstates: vec![0],
                 targets: vec![

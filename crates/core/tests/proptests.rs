@@ -8,7 +8,9 @@ use std::sync::OnceLock;
 /// One shared lab: baselines are computed once across all proptest cases.
 fn lab() -> &'static Lab {
     static CELL: OnceLock<Lab> = OnceLock::new();
-    CELL.get_or_init(|| Lab::new(presets::xeon_e5_2697v2(), coloc_workloads::standard(), 77))
+    CELL.get_or_init(|| {
+        Lab::new(presets::xeon_e5_2697v2(), coloc_workloads::standard(), 77).unwrap()
+    })
 }
 
 fn app_name() -> impl Strategy<Value = String> {

@@ -20,6 +20,7 @@
 
 use crate::app::AppProfile;
 use crate::engine::{Machine, RunOptions, RunOutcome, RunnerGroup};
+use crate::faults::FaultPlan;
 use crate::Result;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -103,6 +104,18 @@ impl Digest {
 
 /// Canonical digest of one run's complete input set.
 pub fn run_digest(machine: &Machine, workload: &[RunnerGroup], opts: &RunOptions) -> u128 {
+    run_digest_faulted(machine, workload, opts, None)
+}
+
+/// Like [`run_digest`], additionally keyed by an optional [`FaultPlan`]:
+/// a faulted outcome must never be served for a clean request (or for a
+/// request under a different plan), so the plan is part of the memo key.
+pub fn run_digest_faulted(
+    machine: &Machine,
+    workload: &[RunnerGroup],
+    opts: &RunOptions,
+    faults: Option<&FaultPlan>,
+) -> u128 {
     let mut d = Digest::new();
     let spec = machine.spec();
     d.str(&spec.name);
@@ -131,6 +144,17 @@ pub fn run_digest(machine: &Machine, workload: &[RunnerGroup], opts: &RunOptions
     d.f64(opts.noise_sigma);
     d.usize(opts.max_segments);
     d.byte(opts.llc_partitioned as u8);
+    d.u64(opts.fp_budget);
+    match faults {
+        // A no-op plan keys like no plan at all: it cannot change any
+        // outcome, so clean sweeps and faultless "chaos" sweeps share
+        // cache entries.
+        Some(plan) if !plan.is_noop() => {
+            d.byte(1);
+            d.u64(plan.digest());
+        }
+        _ => d.byte(0),
+    }
     d.finish()
 }
 
@@ -209,7 +233,22 @@ impl RunCache {
         workload: &[RunnerGroup],
         opts: &RunOptions,
     ) -> Result<(RunOutcome, bool)> {
-        let key = run_digest(machine, workload, opts);
+        self.run_with_faults(machine, workload, opts, None)
+    }
+
+    /// Like [`RunCache::run_with_status`], with measurement faults from
+    /// `faults` injected into the outcome before it is stored. Faults are
+    /// applied exactly once, on the miss path, streamed by `opts.seed` —
+    /// so a hit replays the identical faulted outcome, and the plan is
+    /// part of the memo key (a clean request never sees a faulted entry).
+    pub fn run_with_faults(
+        &self,
+        machine: &Machine,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(RunOutcome, bool)> {
+        let key = run_digest_faulted(machine, workload, opts, faults);
         if let Some(hit) = self.inner.lock().expect("run cache poisoned").map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((hit.clone(), true));
@@ -218,7 +257,10 @@ impl RunCache {
         // key may both simulate, but they produce identical outcomes, so
         // the race is benign and the sweep never serializes on the cache.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let outcome = machine.run(workload, opts)?;
+        let mut outcome = machine.run(workload, opts)?;
+        if let Some(plan) = faults {
+            plan.apply(opts.seed, &mut outcome);
+        }
         let mut inner = self.inner.lock().expect("run cache poisoned");
         if let Entry::Vacant(slot) = inner.map.entry(key) {
             slot.insert(outcome.clone());
@@ -286,7 +328,7 @@ mod tests {
 
     #[test]
     fn hit_is_bit_identical_to_engine_output() {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
         let cache = RunCache::new(64);
         let opts = RunOptions {
             noise_sigma: 0.008,
@@ -317,7 +359,7 @@ mod tests {
 
     #[test]
     fn distinct_inputs_key_apart() {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
         let base = RunOptions::default();
         let k0 = run_digest(&m, &wl(800_000), &base);
         assert_eq!(k0, run_digest(&m, &wl(800_000), &base), "digest is stable");
@@ -356,13 +398,99 @@ mod tests {
             ),
             "partitioning matters"
         );
-        let m12 = Machine::new(presets::xeon_e5_2697v2());
+        let m12 = Machine::new(presets::xeon_e5_2697v2()).unwrap();
         assert_ne!(k0, run_digest(&m12, &wl(800_000), &base), "machine matters");
     }
 
     #[test]
+    fn fault_plan_changes_the_digest() {
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
+        let opts = RunOptions::default();
+        let clean = run_digest_faulted(&m, &wl(800_000), &opts, None);
+        assert_eq!(
+            clean,
+            run_digest(&m, &wl(800_000), &opts),
+            "no plan == plain digest"
+        );
+        assert_eq!(
+            clean,
+            run_digest_faulted(&m, &wl(800_000), &opts, Some(&FaultPlan::default())),
+            "a no-op plan keys like no plan"
+        );
+        let light = FaultPlan::light(3);
+        let keyed = run_digest_faulted(&m, &wl(800_000), &opts, Some(&light));
+        assert_ne!(clean, keyed, "an active plan must key apart from clean");
+        assert_ne!(
+            keyed,
+            run_digest_faulted(&m, &wl(800_000), &opts, Some(&FaultPlan::light(4))),
+            "plan seed matters"
+        );
+        assert_ne!(
+            keyed,
+            run_digest_faulted(&m, &wl(800_000), &opts, Some(&FaultPlan::heavy(3))),
+            "plan rates matter"
+        );
+        assert_ne!(
+            clean,
+            run_digest_faulted(
+                &m,
+                &wl(800_000),
+                &RunOptions {
+                    fp_budget: 100,
+                    ..opts
+                },
+                None
+            ),
+            "fp budget matters"
+        );
+    }
+
+    #[test]
+    fn changing_the_plan_invalidates_memoized_outcomes() {
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
+        let cache = RunCache::new(64);
+        let opts = RunOptions {
+            seed: 11,
+            ..Default::default()
+        };
+        // Nail a plan whose nan fault always fires so the faulted outcome
+        // is unmistakable.
+        let plan = FaultPlan {
+            seed: 5,
+            nan_reading_rate: 1.0,
+            ..Default::default()
+        };
+        let (clean, hit) = cache
+            .run_with_faults(&m, &wl(800_000), &opts, None)
+            .unwrap();
+        assert!(!hit);
+        assert!(clean.wall_time_s.is_finite());
+        // Same scenario under the plan: a fresh miss, faulted outcome.
+        let (faulted, hit) = cache
+            .run_with_faults(&m, &wl(800_000), &opts, Some(&plan))
+            .unwrap();
+        assert!(!hit, "plan change must miss, not reuse the clean entry");
+        assert!(faulted.wall_time_s.is_nan());
+        assert_eq!(faulted.faults.len(), 1);
+        // Replay under the plan: a hit, bit-identical faulted outcome.
+        let (replay, hit) = cache
+            .run_with_faults(&m, &wl(800_000), &opts, Some(&plan))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(replay.wall_time_s.to_bits(), faulted.wall_time_s.to_bits());
+        assert_eq!(replay.faults, faulted.faults);
+        // And the clean entry is still intact.
+        let (clean2, hit) = cache
+            .run_with_faults(&m, &wl(800_000), &opts, None)
+            .unwrap();
+        assert!(hit);
+        assert_eq!(clean2.wall_time_s.to_bits(), clean.wall_time_s.to_bits());
+        assert!(clean2.faults.is_empty());
+    }
+
+    #[test]
     fn capacity_bound_evicts_fifo() {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
         let cache = RunCache::new(2);
         let opts = RunOptions::default();
         for span in [100_000, 200_000, 300_000] {
@@ -382,7 +510,7 @@ mod tests {
 
     #[test]
     fn clear_empties_but_keeps_counters() {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
         let cache = RunCache::new(8);
         cache.run(&m, &wl(100_000), &RunOptions::default()).unwrap();
         cache.clear();

@@ -18,6 +18,7 @@
 //! depends on everyone's access rates.
 
 use crate::app::AppProfile;
+use crate::faults::FaultEvent;
 use crate::spec::MachineSpec;
 use crate::{MachineError, Result};
 use coloc_cachesim::{occupancy_step, MissRateCurve, SharedApp};
@@ -108,6 +109,12 @@ pub struct RunOptions {
     /// component (DRAM stays shared) — an ablation over the paper's premise
     /// that the *shared* LLC drives interference.
     pub llc_partitioned: bool,
+    /// Budget on total fixed-point iterations across the whole run
+    /// (0 = unlimited). Once exceeded, remaining segments solve under a
+    /// small per-segment iteration cap and the outcome is marked
+    /// [`Convergence::Degraded`] instead of spinning — the run always
+    /// terminates with its residual reported.
+    pub fp_budget: u64,
 }
 
 impl Default for RunOptions {
@@ -118,7 +125,30 @@ impl Default for RunOptions {
             noise_sigma: 0.0,
             max_segments: 200_000,
             llc_partitioned: false,
+            fp_budget: 0,
         }
+    }
+}
+
+/// Whether the contention solver converged within its budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Convergence {
+    /// Every segment's fixed point converged to tolerance.
+    Converged,
+    /// The run exhausted its fixed-point budget; later segments used a
+    /// truncated solve. The result is usable but approximate.
+    Degraded {
+        /// Total fixed-point iterations actually spent.
+        fp_iterations: u64,
+        /// Worst relative CPI residual among truncated segments.
+        residual: f64,
+    },
+}
+
+impl Convergence {
+    /// True when the solver hit its budget.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Convergence::Degraded { .. })
     }
 }
 
@@ -139,6 +169,12 @@ pub struct RunOutcome {
     pub avg_llc_share_bytes: Vec<f64>,
     /// Time-average DRAM latency seen by the target's misses, ns.
     pub avg_mem_latency_ns: f64,
+    /// Whether every segment's fixed point converged, or the run degraded
+    /// after exhausting [`RunOptions::fp_budget`].
+    pub convergence: Convergence,
+    /// Measurement faults injected into this outcome (empty for a clean
+    /// engine run; populated by [`crate::FaultPlan::apply`]).
+    pub faults: Vec<FaultEvent>,
 }
 
 /// The simulator: a machine spec plus its memory system.
@@ -231,17 +267,14 @@ impl RunScratch {
 }
 
 impl Machine {
-    /// Build a machine from a spec.
-    ///
-    /// # Panics
-    /// Panics if the spec fails validation — specs come from presets or
-    /// deliberate construction, so this is a programmer error.
-    pub fn new(spec: MachineSpec) -> Machine {
-        if let Err(e) = spec.validate() {
-            panic!("invalid machine spec: {e}");
-        }
+    /// Build a machine from a spec, validating it first. Malformed specs —
+    /// which reach this path from user-supplied configuration, not just
+    /// presets — come back as [`MachineError::InvalidSpec`] instead of a
+    /// panic.
+    pub fn new(spec: MachineSpec) -> Result<Machine> {
+        spec.validate().map_err(MachineError::InvalidSpec)?;
         let mem = MemorySystem::new(spec.dram);
-        Machine { spec, mem }
+        Ok(Machine { spec, mem })
     }
 
     /// The machine's spec.
@@ -293,6 +326,8 @@ impl Machine {
         let mut wall = 0.0f64;
         let mut segments = 0usize;
         let mut fp_iterations = 0u64;
+        let mut degraded = false;
+        let mut worst_residual = 0.0f64;
         // CPI warm start carried across segments for fast convergence.
         let mut cpi: Vec<f64> = workload.iter().map(|g| g.app.phases[0].cpi_base).collect();
         // All per-segment buffers live here; the loop below is allocation
@@ -314,14 +349,29 @@ impl Machine {
             }
             scratch.sync_phases(&mrcs);
 
-            let (latency_ns, iters) = self.solve_segment(
+            // Per-segment iteration cap. Under a budget, segments past the
+            // budget get a short truncated solve instead of spinning; the
+            // run still terminates, marked degraded below if any truncated
+            // segment missed tolerance.
+            let iter_cap = if opts.fp_budget == 0 {
+                MAX_FP_ITERS
+            } else {
+                let remaining = opts.fp_budget.saturating_sub(fp_iterations);
+                remaining.clamp(DEGRADED_FP_ITERS, MAX_FP_ITERS)
+            };
+            let (latency_ns, iters, residual) = self.solve_segment(
                 workload,
                 &mut scratch,
                 freq_hz,
                 opts.llc_partitioned,
                 &mut cpi,
+                iter_cap,
             );
             fp_iterations += iters;
+            if residual >= FP_TOLERANCE {
+                degraded = true;
+                worst_residual = worst_residual.max(residual);
+            }
 
             // Time until each group hits its next boundary.
             let mut dt = f64::INFINITY;
@@ -332,7 +382,11 @@ impl Machine {
                     dt = t;
                 }
             }
-            debug_assert!(dt.is_finite() && dt > 0.0, "degenerate segment dt = {dt}");
+            if !(dt.is_finite() && dt > 0.0) {
+                return Err(MachineError::Numeric(format!(
+                    "degenerate segment dt = {dt} at segment {segments}"
+                )));
+            }
 
             // Advance everyone by dt.
             for gi in 0..n_groups {
@@ -398,6 +452,15 @@ impl Machine {
             fp_iterations,
             avg_llc_share_bytes: share_time_acc.iter().map(|&s| s / wall).collect(),
             avg_mem_latency_ns: latency_time_acc / wall,
+            convergence: if degraded {
+                Convergence::Degraded {
+                    fp_iterations,
+                    residual: worst_residual,
+                }
+            } else {
+                Convergence::Converged
+            },
+            faults: Vec::new(),
         })
     }
 
@@ -411,8 +474,9 @@ impl Machine {
     /// Reads the current phases from `scratch.phase_info` (MRCs must
     /// already be synced via [`RunScratch::sync_phases`]); writes the
     /// converged per-group `ips`, `miss_rate`, and `occ_per_instance` back
-    /// into `scratch`. Returns the DRAM latency and the number of
-    /// fixed-point iterations consumed.
+    /// into `scratch`. Returns the DRAM latency, the number of fixed-point
+    /// iterations consumed, and the final relative CPI residual (0.0 when
+    /// converged below [`FP_TOLERANCE`]).
     #[allow(clippy::needless_range_loop)]
     fn solve_segment(
         &self,
@@ -421,7 +485,8 @@ impl Machine {
         freq_hz: f64,
         llc_partitioned: bool,
         cpi: &mut [f64],
-    ) -> (f64, u64) {
+        max_iters: u64,
+    ) -> (f64, u64, f64) {
         let n_groups = workload.len();
         let cap = self.spec.llc_bytes;
         let n_inst = scratch.instances.len();
@@ -435,9 +500,9 @@ impl Machine {
 
         let mut latency_ns = self.mem.spec().idle_latency_ns;
         let mut iters = 0u64;
+        let mut residual = 0.0f64;
 
-        const MAX_ITERS: usize = 250;
-        for _iter in 0..MAX_ITERS {
+        for _iter in 0..max_iters {
             iters += 1;
             // Rates from current CPI.
             for gi in 0..n_groups {
@@ -483,7 +548,9 @@ impl Machine {
                 max_rel = max_rel.max(((next - cpi[gi]) / cpi[gi]).abs());
                 cpi[gi] = next;
             }
-            if max_rel < 1e-9 {
+            residual = max_rel;
+            if max_rel < FP_TOLERANCE {
+                residual = 0.0;
                 break;
             }
         }
@@ -492,9 +559,17 @@ impl Machine {
             scratch.ips[gi] = freq_hz / cpi[gi];
             scratch.occ_per_instance[gi] = scratch.occ[scratch.group_first[gi]];
         }
-        (latency_ns, iters)
+        (latency_ns, iters, residual)
     }
 }
+
+/// Relative-CPI convergence tolerance of the segment fixed point.
+pub const FP_TOLERANCE: f64 = 1e-9;
+/// Per-segment iteration cap for a full (unbudgeted) solve.
+const MAX_FP_ITERS: u64 = 250;
+/// Per-segment floor once the run's fixed-point budget is exhausted: a
+/// short damped solve that keeps the run terminating and the state sane.
+const DEGRADED_FP_ITERS: u64 = 4;
 
 #[cfg(test)]
 mod tests {
@@ -534,7 +609,60 @@ mod tests {
     }
 
     fn m6() -> Machine {
-        Machine::new(presets::xeon_e5649())
+        Machine::new(presets::xeon_e5649()).unwrap()
+    }
+
+    #[test]
+    fn invalid_spec_is_a_typed_error_not_a_panic() {
+        let mut spec = presets::xeon_e5649();
+        spec.cores = 0;
+        match Machine::new(spec) {
+            Err(MachineError::InvalidSpec(msg)) => {
+                assert!(msg.contains("core"), "unexpected message: {msg}")
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        let mut spec = presets::xeon_e5649();
+        spec.pstates_ghz.clear();
+        assert!(matches!(
+            Machine::new(spec),
+            Err(MachineError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn fp_budget_degrades_instead_of_spinning() {
+        let m = m6();
+        let wl = vec![
+            RunnerGroup::solo(hungry("t", 100e9)),
+            RunnerGroup {
+                app: hungry("short", 10e9),
+                count: 2,
+            },
+        ];
+        let full = m.run(&wl, &RunOptions::default()).unwrap();
+        assert_eq!(full.convergence, Convergence::Converged);
+
+        let tight = RunOptions {
+            fp_budget: 1,
+            ..Default::default()
+        };
+        let out = m.run(&wl, &tight).unwrap();
+        match out.convergence {
+            Convergence::Degraded {
+                fp_iterations,
+                residual,
+            } => {
+                assert!(fp_iterations < full.fp_iterations);
+                assert!(residual > 0.0 && residual.is_finite(), "{residual}");
+            }
+            Convergence::Converged => panic!("budget of 1 iteration cannot converge"),
+        }
+        // Degraded, not garbage: the run completed with a finite time in
+        // the neighbourhood of the converged result.
+        assert!(out.wall_time_s.is_finite() && out.wall_time_s > 0.0);
+        let rel = (out.wall_time_s - full.wall_time_s).abs() / full.wall_time_s;
+        assert!(rel < 0.5, "degraded run drifted {rel} from converged");
     }
 
     #[test]
@@ -876,7 +1004,7 @@ mod tests {
 
     #[test]
     fn twelve_core_machine_hosts_eleven_co_runners() {
-        let m = Machine::new(presets::xeon_e5_2697v2());
+        let m = Machine::new(presets::xeon_e5_2697v2()).unwrap();
         let wl = vec![
             RunnerGroup::solo(hungry("t", 50e9)),
             RunnerGroup {

@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn cool_system_never_throttles() {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
         let out = run_throttled(
             &m,
             &compute_app(200e9),
@@ -255,7 +255,7 @@ mod tests {
 
     #[test]
     fn hot_system_throttles_and_respects_the_cap() {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
         let gov = GovernorConfig::default();
         let thermal = ThermalModel::default();
         // Steady state at P0 is 35 + 0.35*220 = 112 °C > 85 °C: must throttle.
@@ -291,7 +291,7 @@ mod tests {
 
     #[test]
     fn hysteresis_prevents_rapid_oscillation() {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
         let thermal = ThermalModel::default();
         let tight = GovernorConfig {
             hysteresis_c: 6.0,
@@ -310,7 +310,7 @@ mod tests {
 
     #[test]
     fn residencies_sum_to_wall_time() {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
         let out = run_throttled(
             &m,
             &compute_app(150e9),

@@ -29,13 +29,15 @@
 pub mod app;
 pub mod cache;
 pub mod engine;
+pub mod faults;
 pub mod governor;
 pub mod presets;
 pub mod spec;
 
 pub use app::{AppPhase, AppProfile};
-pub use cache::{run_digest, CacheStats, RunCache};
-pub use engine::{CounterBlock, Machine, RunOptions, RunOutcome, RunnerGroup};
+pub use cache::{run_digest, run_digest_faulted, CacheStats, RunCache};
+pub use engine::{Convergence, CounterBlock, Machine, RunOptions, RunOutcome, RunnerGroup};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use governor::{run_throttled, GovernorConfig, ThermalModel, ThrottledOutcome};
 pub use spec::MachineSpec;
 
@@ -54,6 +56,14 @@ pub enum MachineError {
     BadProfile(String),
     /// No workload was supplied.
     EmptyWorkload,
+    /// A machine spec failed validation (zero cores, empty or
+    /// non-descending P-state table…).
+    InvalidSpec(String),
+    /// The simulation hit a numerically degenerate state (non-finite or
+    /// non-positive segment time).
+    Numeric(String),
+    /// A fault plan failed validation (rate outside [0, 1]…).
+    InvalidFaultPlan(String),
 }
 
 impl std::fmt::Display for MachineError {
@@ -73,6 +83,9 @@ impl std::fmt::Display for MachineError {
             }
             MachineError::BadProfile(s) => write!(f, "bad app profile: {s}"),
             MachineError::EmptyWorkload => write!(f, "workload is empty"),
+            MachineError::InvalidSpec(s) => write!(f, "invalid machine spec: {s}"),
+            MachineError::Numeric(s) => write!(f, "numeric degeneracy: {s}"),
+            MachineError::InvalidFaultPlan(s) => write!(f, "invalid fault plan: {s}"),
         }
     }
 }

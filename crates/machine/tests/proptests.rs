@@ -35,7 +35,7 @@ proptest! {
     /// Conservation and sanity of counters for arbitrary solo runs.
     #[test]
     fn solo_run_counters_are_consistent(app in app_strategy(), pstate in 0usize..6) {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
         let out = m.run_solo(&app, &RunOptions { pstate, ..Default::default() }).unwrap();
         let c = &out.counters[0];
         // All instructions retired, exactly one completion.
@@ -61,7 +61,7 @@ proptest! {
         co in app_strategy(),
         n in 1usize..6,
     ) {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
         let solo = m.run_solo(&target, &RunOptions::default()).unwrap();
         let wl = vec![
             RunnerGroup::solo(target.clone()),
@@ -84,7 +84,7 @@ proptest! {
     /// the slowdown never exceeds the frequency ratio.
     #[test]
     fn pstate_scaling_is_bounded(app in app_strategy()) {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
         let fast = m.run_solo(&app, &RunOptions::default()).unwrap();
         let slow = m.run_solo(&app, &RunOptions { pstate: 5, ..Default::default() }).unwrap();
         let ratio = slow.wall_time_s / fast.wall_time_s;
@@ -96,7 +96,7 @@ proptest! {
     /// Partitioned-LLC runs conserve the same instruction totals.
     #[test]
     fn partitioning_preserves_work(target in app_strategy(), n in 1usize..5) {
-        let m = Machine::new(presets::xeon_e5649());
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
         let wl = vec![
             RunnerGroup::solo(target.clone()),
             RunnerGroup { app: target.clone(), count: n },

@@ -201,7 +201,7 @@ impl Mlp {
         for restart in 0..cfg.restarts.max(1) {
             let mut w = init_params(inputs, cfg.hidden, derive_seed(cfg.seed, restart as u64));
             let report = scg::minimize(&obj, &mut w, &scg_cfg);
-            if !report.value.is_finite() {
+            if report.diverged || !report.value.is_finite() {
                 continue;
             }
             if best.as_ref().is_none_or(|(v, _)| report.value < *v) {

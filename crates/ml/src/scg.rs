@@ -58,6 +58,9 @@ pub struct ScgReport {
     pub iterations: usize,
     /// True if a tolerance (rather than the iteration cap) stopped the run.
     pub converged: bool,
+    /// True if the run ended in a non-finite objective or gradient — the
+    /// optimizer state is poisoned and the weights must not be used.
+    pub diverged: bool,
 }
 
 /// Minimize `obj` starting from `w` (updated in place). Returns a report;
@@ -66,11 +69,13 @@ pub fn minimize(obj: &impl Objective, w: &mut [f64], cfg: &ScgConfig) -> ScgRepo
     let n = obj.dim();
     assert_eq!(w.len(), n, "parameter vector has wrong length");
     if n == 0 {
+        let value = obj.value(w);
         return ScgReport {
-            value: obj.value(w),
+            value,
             grad_norm: 0.0,
             iterations: 0,
-            converged: true,
+            converged: value.is_finite(),
+            diverged: !value.is_finite(),
         };
     }
 
@@ -82,6 +87,17 @@ pub fn minimize(obj: &impl Objective, w: &mut [f64], cfg: &ScgConfig) -> ScgRepo
     let mut fw = obj.value(w);
     let mut grad = vec![0.0; n];
     obj.gradient(w, &mut grad);
+    // A non-finite objective at the starting point cannot recover (every
+    // comparison against it is false); bail out as diverged immediately.
+    if !fw.is_finite() || grad.iter().any(|g| !g.is_finite()) {
+        return ScgReport {
+            value: fw,
+            grad_norm: grad.iter().fold(0.0f64, |m, g| m.max(g.abs())),
+            iterations: 0,
+            converged: false,
+            diverged: true,
+        };
+    }
     let mut r: Vec<f64> = grad.iter().map(|g| -g).collect();
     let mut p = r.clone();
     let mut delta = 0.0f64;
@@ -199,6 +215,7 @@ pub fn minimize(obj: &impl Objective, w: &mut [f64], cfg: &ScgConfig) -> ScgRepo
         grad_norm,
         iterations,
         converged,
+        diverged: !fw.is_finite() || !grad_norm.is_finite(),
     }
 }
 
@@ -317,6 +334,44 @@ mod tests {
         let mut w = vec![];
         let report = minimize(&obj, &mut w, &ScgConfig::default());
         assert!(report.converged);
+    }
+
+    /// An objective poisoned with NaN everywhere — a model trained on
+    /// fault-injected data whose loss is non-finite from the start.
+    struct Poisoned;
+
+    impl Objective for Poisoned {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, _w: &[f64]) -> f64 {
+            f64::NAN
+        }
+        fn gradient(&self, _w: &[f64], grad: &mut [f64]) {
+            grad.fill(f64::NAN);
+        }
+    }
+
+    #[test]
+    fn non_finite_objective_reports_divergence_immediately() {
+        let mut w = vec![0.5, -0.5];
+        let report = minimize(&Poisoned, &mut w, &ScgConfig::default());
+        assert!(report.diverged);
+        assert!(!report.converged);
+        assert_eq!(report.iterations, 0, "must not spin on a poisoned loss");
+        // Weights are untouched, so a caller can restart from a new seed.
+        assert_eq!(w, vec![0.5, -0.5]);
+    }
+
+    #[test]
+    fn healthy_runs_never_report_divergence() {
+        let obj = Quadratic {
+            target: vec![1.0, -2.0],
+            curv: vec![1.0, 2.0],
+        };
+        let mut w = vec![0.0; 2];
+        let report = minimize(&obj, &mut w, &ScgConfig::default());
+        assert!(!report.diverged);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use coloc_workloads::standard;
 
 fn main() {
     for spec in [presets::xeon_e5649(), presets::xeon_e5_2697v2()] {
-        let machine = Machine::new(spec);
+        let machine = Machine::new(spec).expect("valid preset");
         println!("== {} ==", machine.spec().name);
         println!(
             "{:<14} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9}",

@@ -9,7 +9,7 @@ use coloc_workloads::{standard, MemoryClass};
 
 #[test]
 fn each_app_lands_in_its_documented_class_band() {
-    let machine = Machine::new(presets::xeon_e5649());
+    let machine = Machine::new(presets::xeon_e5649()).expect("valid preset");
     for b in standard() {
         let out = machine.run_solo(&b.app, &RunOptions::default()).unwrap();
         let mi = out.counters[0].memory_intensity();
@@ -26,7 +26,7 @@ fn each_app_lands_in_its_documented_class_band() {
 fn baseline_times_span_the_papers_range() {
     // Paper §III-E: actual values range from ~150 s to over 1000 s across
     // apps and P-states. Check the suite spreads over that kind of range.
-    let machine = Machine::new(presets::xeon_e5649());
+    let machine = Machine::new(presets::xeon_e5649()).expect("valid preset");
     let mut fastest = f64::INFINITY;
     let mut slowest = 0.0f64;
     for b in standard() {
@@ -59,7 +59,7 @@ fn baseline_times_span_the_papers_range() {
 
 #[test]
 fn classes_are_ordered_by_measured_intensity() {
-    let machine = Machine::new(presets::xeon_e5649());
+    let machine = Machine::new(presets::xeon_e5649()).expect("valid preset");
     let mut by_class: Vec<(MemoryClass, f64)> = standard()
         .iter()
         .map(|b| {
@@ -86,8 +86,8 @@ fn classes_are_ordered_by_measured_intensity() {
 fn memory_intensity_is_portable_across_machines() {
     // Paper §IV-B1: "memory intensity values do not vary widely between
     // the machines we tested" — class membership must be machine-invariant.
-    let small = Machine::new(presets::xeon_e5649());
-    let big = Machine::new(presets::xeon_e5_2697v2());
+    let small = Machine::new(presets::xeon_e5649()).expect("valid preset");
+    let big = Machine::new(presets::xeon_e5_2697v2()).expect("valid preset");
     for b in standard() {
         let mi_small = small
             .run_solo(&b.app, &RunOptions::default())

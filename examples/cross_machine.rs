@@ -16,7 +16,7 @@ use coloc::workloads::standard;
 fn main() {
     for spec in [presets::xeon_e5649(), presets::xeon_e5_2697v2()] {
         let name = spec.name.clone();
-        let lab = Lab::new(spec, standard(), 33);
+        let lab = Lab::new(spec, standard(), 33).expect("valid preset");
         let plan = TrainingPlan {
             counts: lab.paper_plan().counts.iter().copied().step_by(2).collect(),
             ..lab.paper_plan()

@@ -14,7 +14,7 @@ use coloc::model::{FeatureSet, Lab, ModelKind, Predictor, Scenario, TrainingPlan
 use coloc::workloads::standard;
 
 fn main() {
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 21);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 21).expect("valid preset");
     let spec_pstates = lab.machine().spec().pstates_ghz.clone();
 
     // Degradation vs. P-state, measured.

@@ -11,7 +11,7 @@ use coloc::perfmon::{EventSet, FlatProfiler, Preset};
 use coloc::workloads::{standard, MemoryClass};
 
 fn main() {
-    let machine = Machine::new(presets::xeon_e5_2697v2());
+    let machine = Machine::new(presets::xeon_e5_2697v2()).expect("valid preset");
     let profiler = FlatProfiler::new(&machine, EventSet::methodology());
 
     println!(

@@ -12,7 +12,7 @@ use coloc::workloads::standard;
 
 fn main() {
     // A lab = a machine + a benchmark suite + a seed for measurement noise.
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 42);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 42).expect("valid preset");
 
     // 1. Baselines: one solo profiling pass per application.
     println!(

@@ -15,7 +15,7 @@ use coloc::model::{FeatureSet, Lab, ModelKind, Predictor, Scenario};
 use coloc::workloads::standard;
 
 fn main() {
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 11);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 11).expect("valid preset");
 
     // Train on the paper's sweep (thinned for example runtime).
     let plan = lab.paper_plan().thinned(3, 1);

@@ -16,7 +16,7 @@ use coloc::model::energy::PowerModel;
 use coloc::workloads::by_name;
 
 fn main() {
-    let machine = Machine::new(presets::xeon_e5649());
+    let machine = Machine::new(presets::xeon_e5649()).expect("valid preset");
     let spec = machine.spec().clone();
     let app = by_name("blackscholes").expect("in suite").app;
 

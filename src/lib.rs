@@ -27,7 +27,7 @@
 //! use coloc::machine::presets;
 //! use coloc::workloads::standard;
 //!
-//! let lab = Lab::new(presets::xeon_e5649(), standard(), 42);
+//! let lab = Lab::new(presets::xeon_e5649(), standard(), 42).expect("valid preset");
 //! // A thinned sweep keeps the doctest quick; use `lab.paper_plan()` for
 //! // the paper's full Table-V sweep.
 //! let plan = TrainingPlan {

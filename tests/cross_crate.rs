@@ -10,7 +10,7 @@ use coloc::workloads::{by_name, standard};
 
 #[test]
 fn profiler_counters_equal_engine_counters() {
-    let machine = Machine::new(presets::xeon_e5649());
+    let machine = Machine::new(presets::xeon_e5649()).expect("valid preset");
     let app = by_name("canneal").unwrap().app;
     let opts = RunOptions::default();
 
@@ -39,7 +39,7 @@ fn profiler_counters_equal_engine_counters() {
 
 #[test]
 fn lab_baselines_equal_direct_profiling() {
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 42);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 42).expect("valid preset");
     let db = lab.baselines();
     let sp = db.get("sp").unwrap();
     // Re-measure through the lab's scenario path at P0 — must match the
@@ -51,7 +51,7 @@ fn lab_baselines_equal_direct_profiling() {
 
 #[test]
 fn featurized_num_coapp_matches_scenario_arithmetic() {
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 42);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 42).expect("valid preset");
     for n in 1..=5 {
         let sc = Scenario::homogeneous("ft", "sp", n, 0);
         let f = lab.featurize(&sc).unwrap();
@@ -70,7 +70,7 @@ fn engine_miss_rates_track_standalone_occupancy_model() {
     // The engine's internal contention solver and the cachesim occupancy
     // model must agree on who suffers: run canneal+4cg on the engine and
     // compare the *direction* with a direct shared_occupancy solve.
-    let machine = Machine::new(presets::xeon_e5649());
+    let machine = Machine::new(presets::xeon_e5649()).expect("valid preset");
     let canneal = by_name("canneal").unwrap().app;
     let cg = by_name("cg").unwrap().app;
 

@@ -24,7 +24,7 @@ fn small_plan(_lab: &Lab) -> TrainingPlan {
 
 #[test]
 fn pipeline_trains_and_predicts_unseen_scenarios() {
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 1234);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 1234).expect("valid preset");
     let samples = lab.collect(&small_plan(&lab)).expect("sweep");
     assert_eq!(samples.len(), 2 * 5 * 3 * 3);
 
@@ -44,7 +44,7 @@ fn pipeline_trains_and_predicts_unseen_scenarios() {
 #[test]
 fn nn_f_beats_linear_a_under_validation() {
     // The paper's headline ordering at miniature scale.
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 99);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 99).expect("valid preset");
     let samples = lab.collect(&small_plan(&lab)).expect("sweep");
     let cfg = ValidationConfig {
         partitions: 6,
@@ -65,7 +65,7 @@ fn homogeneous_training_generalizes_to_heterogeneous_mixes() {
     // §IV-B3: training data is homogeneous by design, but is "able to …
     // extend beyond the set of four co-location applications" — check the
     // features generalize to mixed co-runner scenarios.
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 7);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 7).expect("valid preset");
     let samples = lab.collect(&small_plan(&lab)).expect("sweep");
     let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 3).expect("train");
 
@@ -87,7 +87,7 @@ fn homogeneous_training_generalizes_to_heterogeneous_mixes() {
 fn predictions_extend_to_co_runners_outside_training_set() {
     // Train with cg/sp/ep as co-runners, predict streamcluster co-location
     // (never seen as a co-runner; only its baseline features are used).
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 55);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 55).expect("valid preset");
     let samples = lab.collect(&small_plan(&lab)).expect("sweep");
     let nn = Predictor::train(ModelKind::NeuralNet, FeatureSet::F, &samples, 4).expect("train");
 
@@ -105,7 +105,7 @@ fn predictions_extend_to_co_runners_outside_training_set() {
 fn pca_ranks_baseline_time_first_on_real_sweep() {
     // baseExTime carries the dominant variance in the real data (times
     // range 150–700 s while ratios are ≤ O(1)) — PCA must notice.
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 31);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 31).expect("valid preset");
     let plan = TrainingPlan {
         counts: vec![1, 5],
         ..small_plan(&lab)

@@ -6,7 +6,7 @@ use coloc::model::{Lab, Scenario};
 use coloc::workloads::{standard, MemoryClass};
 
 fn lab12() -> Lab {
-    Lab::new(presets::xeon_e5_2697v2(), standard(), 6)
+    Lab::new(presets::xeon_e5_2697v2(), standard(), 6).expect("valid preset")
 }
 
 #[test]

@@ -9,7 +9,7 @@ use coloc::model::{samples_to_dataset, FeatureSet, Lab, TrainingPlan};
 use coloc::workloads::standard;
 
 fn sweep() -> coloc::ml::Dataset {
-    let lab = Lab::new(presets::xeon_e5649(), standard(), 2024);
+    let lab = Lab::new(presets::xeon_e5649(), standard(), 2024).expect("valid preset");
     let plan = TrainingPlan {
         pstates: vec![0, 3],
         targets: vec![

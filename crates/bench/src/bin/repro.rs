@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure from the paper.
 //!
 //! Usage: `repro <artifact>` where artifact is one of
-//! `table1..table6`, `fig1..fig5b`, `pca`, `sweep`, `chaos`, or `all`.
+//! `table1..table6`, `fig1..fig5b`, `pca`, `sweep`, `chaos`, `conformance`,
+//! or `all`.
 //!
 //! Expensive intermediates (training sweeps, model-grid validations) are
 //! cached as JSON under `repro-out/`; delete that directory to force a full
@@ -52,6 +53,7 @@ fn main() {
         "importance" => importance(),
         "sweep" => sweep(),
         "chaos" => coloc_bench::chaos::run_chaos(),
+        "conformance" => coloc_bench::conformance::run_conformance(),
         "ablations" => {
             ablation("Training-set size", coloc_bench::ablations::train_size());
             ablation("Measurement noise", coloc_bench::ablations::noise());
@@ -96,7 +98,8 @@ fn main() {
         other => {
             eprintln!("unknown artifact `{other}`");
             eprintln!(
-                "expected: table1..table6, fig1..fig5b, pca, importance, sweep, chaos, all, \
+                "expected: table1..table6, fig1..fig5b, pca, importance, sweep, chaos, \
+                 conformance, all, \
                  ablations, \
                  ablation-{{size,noise,hidden,hetero,classavg,quad,partition,phases}}"
             );

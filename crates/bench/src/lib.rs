@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod cache;
 pub mod chaos;
+pub mod conformance;
 pub mod figures;
 pub mod synth;
 pub mod tables;

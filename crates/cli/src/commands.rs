@@ -304,6 +304,68 @@ pub fn machines(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `coloc verify [--corpus <dir>] [--spot N] [--seed N]`
+pub fn verify(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc verify [--corpus <dir>] [--spot N] [--seed N]\n\n\
+             Replays the checked-in conformance corpus (differential cases\n\
+             through the naive reference engine, law-tagged cases through\n\
+             their metamorphic law), then differential-spot-checks N freshly\n\
+             generated scenarios. Exits non-zero on any divergence."
+        );
+        return Ok(());
+    }
+    let dir = match args.get("corpus") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => coloc_conformance::default_corpus_dir(),
+    };
+    let spot = args.get_parsed_or("spot", 16usize)?;
+    let seed = args.get_parsed_or("seed", 0xC0_10Cu64)?;
+
+    let report = coloc_conformance::verify_dir(&dir)?;
+    println!(
+        "corpus {} — {} cases replayed ({} differential, {} law)",
+        dir.display(),
+        report.total(),
+        report.differential,
+        report.law_checks
+    );
+    for failure in &report.failures {
+        println!("  FAIL {failure}");
+    }
+
+    let mut spot_failures = 0usize;
+    if spot > 0 {
+        match coloc_conformance::differential_sweep(seed, spot) {
+            Ok(summary) => println!(
+                "spot-check — {} generated scenarios agree (max slowdown gap {:.2e})",
+                summary.cases, summary.max_slowdown_gap
+            ),
+            Err(failure) => {
+                spot_failures = 1;
+                println!(
+                    "  FAIL spot-check (shrunk): {}\n       {}",
+                    failure.case.describe(),
+                    failure.detail
+                );
+            }
+        }
+    }
+
+    if report.is_clean() && spot_failures == 0 {
+        println!("verify: OK");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} corpus failure(s), {} spot-check failure(s)",
+            report.failures.len(),
+            spot_failures
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,5 +509,30 @@ mod tests {
     fn info_commands_run() {
         suite(&[]).unwrap();
         machines(&[]).unwrap();
+    }
+
+    #[test]
+    fn verify_replays_corpus_and_spot_checks() {
+        // Default corpus, tiny spot-check: must come back clean.
+        verify(&argv(&["--spot", "2", "--seed", "11"])).unwrap();
+        // An empty corpus directory is vacuously clean.
+        let dir = tmp("empty-corpus");
+        std::fs::create_dir_all(&dir).unwrap();
+        verify(&argv(&["--corpus", &dir, "--spot", "0"])).unwrap();
+    }
+
+    #[test]
+    fn verify_fails_on_a_poisoned_corpus_case() {
+        let dir = std::env::temp_dir()
+            .join("coloc-cli-tests")
+            .join("bad-corpus");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut case =
+            coloc_conformance::gen_case(7, &coloc_conformance::GenConstraints::default());
+        case.law = Some("not-a-law".into());
+        coloc_conformance::corpus::save_case(&dir.join("bad.json"), &case).unwrap();
+        let err = verify(&argv(&["--corpus", &dir.to_string_lossy(), "--spot", "0"])).unwrap_err();
+        assert!(err.contains("1 corpus failure"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -34,6 +34,8 @@ COMMANDS:
     schedule    place jobs on sockets with a trained model
     suite       list the benchmark suite and its memory-intensity classes
     machines    list available machine presets
+    verify      replay the conformance corpus and spot-check the engine
+                against the naive reference implementation
     help        show this message
 
 Run `coloc <command> --help` for per-command options.";
@@ -52,6 +54,7 @@ fn main() -> ExitCode {
         "schedule" => commands::schedule(rest),
         "suite" => commands::suite(rest),
         "machines" => commands::machines(rest),
+        "verify" => commands::verify(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,503 @@
+//! Conformance scenarios: a serializable case description, a seeded
+//! generator, and a deterministic shrinker.
+//!
+//! A [`CorpusCase`] names everything a differential or metamorphic check
+//! needs — machine, target, co-runner groups, P-state, run options, fault
+//! preset — in terms of the standard workload suite, so a case is a small
+//! JSON document rather than a dump of profile tables. Cases materialize
+//! into engine inputs via [`CorpusCase::build`].
+//!
+//! Apps are scaled by a shared `instr_scale` so a case simulates in
+//! milliseconds; one scale for every app in the case preserves the
+//! duration *ratios* that determine segment structure, so scaled cases
+//! exercise the same code paths as paper-sized runs.
+
+use coloc_machine::{presets, FaultPlan, MachineSpec, RunOptions, RunnerGroup};
+use coloc_workloads::suite;
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use rand::SeedableRng as _;
+use serde::{Deserialize, Serialize};
+
+/// One co-runner group of a case.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoGroup {
+    /// Suite application name.
+    pub app: String,
+    /// Instances (one core each).
+    pub count: usize,
+}
+
+/// A named fault-plan preset, serializable without embedding rate tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// A plan that can never fire (exercises the no-op fast path and the
+    /// cache-key canonicalization of no-op plans).
+    Noop {
+        /// Plan seed.
+        seed: u64,
+    },
+    /// [`FaultPlan::light`].
+    Light {
+        /// Plan seed.
+        seed: u64,
+    },
+    /// [`FaultPlan::heavy`].
+    Heavy {
+        /// Plan seed.
+        seed: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Materialize the preset.
+    pub fn plan(&self) -> FaultPlan {
+        match *self {
+            FaultSpec::Noop { seed } => FaultPlan {
+                seed,
+                ..FaultPlan::default()
+            },
+            FaultSpec::Light { seed } => FaultPlan::light(seed),
+            FaultSpec::Heavy { seed } => FaultPlan::heavy(seed),
+        }
+    }
+}
+
+/// One conformance scenario, the unit the corpus persists and replays.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorpusCase {
+    /// Case name (generator index or counterexample tag).
+    pub name: String,
+    /// Machine key: `"e5649"` or `"e5_2697v2"`.
+    pub machine: String,
+    /// Target application (suite name).
+    pub target: String,
+    /// Co-runner groups (may be empty: a solo case).
+    pub co: Vec<CoGroup>,
+    /// P-state index.
+    pub pstate: usize,
+    /// Run seed (noise + fault stream).
+    pub seed: u64,
+    /// Lognormal noise σ (0 = noiseless).
+    pub noise_sigma: f64,
+    /// Shared instruction-count scale applied to every app in the case.
+    pub instr_scale: f64,
+    /// Statically way-partition the LLC.
+    pub llc_partitioned: bool,
+    /// Fixed-point iteration budget (0 = unlimited).
+    pub fp_budget: u64,
+    /// Optional fault-plan preset.
+    pub faults: Option<FaultSpec>,
+    /// When set, replay re-checks this metamorphic law instead of the
+    /// differential oracle (shrunk law counterexamples carry their law).
+    pub law: Option<String>,
+}
+
+/// Engine-ready inputs materialized from a case.
+#[derive(Clone, Debug)]
+pub struct BuiltCase {
+    /// The machine spec.
+    pub spec: MachineSpec,
+    /// Group 0 = target, then the co groups.
+    pub workload: Vec<RunnerGroup>,
+    /// Run options.
+    pub opts: RunOptions,
+    /// Fault plan, if any.
+    pub plan: Option<FaultPlan>,
+}
+
+/// Resolve a machine key to its Table IV spec.
+pub fn machine_spec(key: &str) -> Result<MachineSpec, String> {
+    match key {
+        "e5649" => Ok(presets::xeon_e5649()),
+        "e5_2697v2" => Ok(presets::xeon_e5_2697v2()),
+        other => Err(format!(
+            "unknown machine key {other:?} (expected \"e5649\" or \"e5_2697v2\")"
+        )),
+    }
+}
+
+fn scaled_app(name: &str, scale: f64) -> Result<coloc_machine::AppProfile, String> {
+    let mut app = suite::by_name(name)
+        .ok_or_else(|| format!("unknown suite app {name:?}"))?
+        .app;
+    if !(scale > 0.0 && scale.is_finite()) {
+        return Err(format!(
+            "instr_scale must be positive and finite, got {scale}"
+        ));
+    }
+    app.instructions *= scale;
+    Ok(app)
+}
+
+impl CorpusCase {
+    /// Materialize the case into engine inputs. Fails on unknown machine
+    /// or app names and degenerate scales; over-subscription and similar
+    /// workload problems are left for the engines (both must reject them
+    /// identically — that, too, is conformance surface).
+    pub fn build(&self) -> Result<BuiltCase, String> {
+        let spec = machine_spec(&self.machine)?;
+        let mut workload = vec![RunnerGroup::solo(scaled_app(
+            &self.target,
+            self.instr_scale,
+        )?)];
+        for g in &self.co {
+            workload.push(RunnerGroup {
+                app: scaled_app(&g.app, self.instr_scale)?,
+                count: g.count,
+            });
+        }
+        let opts = RunOptions {
+            pstate: self.pstate,
+            seed: self.seed,
+            noise_sigma: self.noise_sigma,
+            llc_partitioned: self.llc_partitioned,
+            fp_budget: self.fp_budget,
+            ..Default::default()
+        };
+        Ok(BuiltCase {
+            spec,
+            workload,
+            opts,
+            plan: self.faults.as_ref().map(FaultSpec::plan),
+        })
+    }
+
+    /// Total co-runner instances.
+    pub fn co_instances(&self) -> usize {
+        self.co.iter().map(|g| g.count).sum()
+    }
+
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        let co = if self.co.is_empty() {
+            "solo".to_string()
+        } else {
+            self.co
+                .iter()
+                .map(|g| format!("{}x{}", g.count, g.app))
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        let mut extras = Vec::new();
+        if self.noise_sigma > 0.0 {
+            extras.push("noise".to_string());
+        }
+        if self.llc_partitioned {
+            extras.push("partitioned".to_string());
+        }
+        if self.fp_budget > 0 {
+            extras.push(format!("budget={}", self.fp_budget));
+        }
+        if let Some(f) = &self.faults {
+            extras.push(format!("{f:?}").to_lowercase());
+        }
+        let extras = if extras.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", extras.join(", "))
+        };
+        format!(
+            "{}: {} vs {} @P{} on {}{}",
+            self.name, self.target, co, self.pstate, self.machine, extras
+        )
+    }
+}
+
+const APP_NAMES: [&str; 11] = [
+    "cg",
+    "streamcluster",
+    "mg",
+    "sp",
+    "canneal",
+    "ft",
+    "fluidanimate",
+    "bodytrack",
+    "ua",
+    "blackscholes",
+    "ep",
+];
+
+const SCALES: [f64; 3] = [0.01, 0.02, 0.05];
+
+/// Constraints a law imposes on generated cases (the differential sweep
+/// uses the permissive default).
+#[derive(Clone, Copy, Debug)]
+pub struct GenConstraints {
+    /// Permit fault presets.
+    pub allow_faults: bool,
+    /// Permit measurement noise.
+    pub allow_noise: bool,
+    /// Permit a finite fixed-point budget.
+    pub allow_fp_budget: bool,
+    /// Cores to leave unused (a law that *adds* a co-runner needs one).
+    pub reserve_cores: usize,
+    /// Minimum number of co-runner groups.
+    pub min_co_groups: usize,
+}
+
+impl Default for GenConstraints {
+    fn default() -> GenConstraints {
+        GenConstraints {
+            allow_faults: true,
+            allow_noise: true,
+            allow_fp_budget: true,
+            reserve_cores: 0,
+            min_co_groups: 0,
+        }
+    }
+}
+
+/// Generate one case from a seed, deterministically. The same `(seed,
+/// constraints)` always yields the same case, independent of everything
+/// else the process has done — cases are addressable by seed alone, which
+/// is what makes shrunk counterexamples and corpus replay stable.
+pub fn gen_case(seed: u64, cons: &GenConstraints) -> CorpusCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let machine = if rng.gen_bool(0.5) {
+        "e5649"
+    } else {
+        "e5_2697v2"
+    };
+    let cores = if machine == "e5649" { 6 } else { 12 };
+    let target = APP_NAMES[rng.gen_range(0..APP_NAMES.len())];
+
+    let free = cores - 1 - cons.reserve_cores.min(cores - 1);
+    let n_groups = if free == 0 {
+        0
+    } else {
+        let roll = rng.gen_range(0..10u32);
+        let wish = if roll < 2 {
+            0
+        } else if roll < 7 || free < 2 {
+            1
+        } else {
+            2
+        };
+        wish.max(cons.min_co_groups)
+    };
+
+    let mut co = Vec::new();
+    let mut used = 0usize;
+    for g in 0..n_groups {
+        let remaining = free - used;
+        if remaining == 0 {
+            break;
+        }
+        // Later groups must leave at least one core per group still to come.
+        let still_to_come = n_groups - g - 1;
+        let max_here = remaining.saturating_sub(still_to_come).max(1);
+        let count = rng.gen_range(1..=max_here);
+        let mut app = APP_NAMES[rng.gen_range(0..APP_NAMES.len())];
+        // Distinct apps per group keep permutation checks meaningful.
+        while co.iter().any(|c: &CoGroup| c.app == app) {
+            app = APP_NAMES[rng.gen_range(0..APP_NAMES.len())];
+        }
+        co.push(CoGroup {
+            app: app.to_string(),
+            count,
+        });
+        used += count;
+    }
+
+    let pstate = rng.gen_range(0..6usize);
+    let noise_sigma = if cons.allow_noise && rng.gen_bool(0.5) {
+        0.008
+    } else {
+        0.0
+    };
+    let instr_scale = SCALES[rng.gen_range(0..SCALES.len())];
+    let llc_partitioned = rng.gen_bool(0.1);
+    let fp_budget = if cons.allow_fp_budget && rng.gen_bool(0.15) {
+        [32u64, 200, 1000][rng.gen_range(0..3usize)]
+    } else {
+        0
+    };
+    let faults = if cons.allow_faults {
+        match rng.gen_range(0..10u32) {
+            7 => Some(FaultSpec::Noop { seed: rng.gen() }),
+            8 => Some(FaultSpec::Light { seed: rng.gen() }),
+            9 => Some(FaultSpec::Heavy { seed: rng.gen() }),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    CorpusCase {
+        name: format!("gen-{seed:016x}"),
+        machine: machine.to_string(),
+        target: target.to_string(),
+        co,
+        pstate,
+        seed: rng.gen(),
+        noise_sigma,
+        instr_scale,
+        llc_partitioned,
+        fp_budget,
+        faults,
+        law: None,
+    }
+}
+
+/// Generate `n` cases from a base seed (case `i` uses `base_seed + i`,
+/// so any failing case can be regenerated from its index alone).
+pub fn gen_cases(base_seed: u64, n: usize) -> Vec<CorpusCase> {
+    (0..n)
+        .map(|i| gen_case(base_seed.wrapping_add(i as u64), &GenConstraints::default()))
+        .collect()
+}
+
+/// Deterministically shrink a failing case: repeatedly apply the first
+/// simplifying transform under which `still_fails` holds, until none
+/// applies. Transform order prefers structural deletions (drop a co
+/// group) over parameter simplifications (noise off, faults off, P0), so
+/// the minimum is small in the ways that matter for debugging.
+pub fn shrink<F: Fn(&CorpusCase) -> bool>(case: &CorpusCase, still_fails: F) -> CorpusCase {
+    let mut current = case.clone();
+    loop {
+        let mut candidates: Vec<CorpusCase> = Vec::new();
+        for i in 0..current.co.len() {
+            let mut c = current.clone();
+            c.co.remove(i);
+            candidates.push(c);
+        }
+        for i in 0..current.co.len() {
+            if current.co[i].count >= 2 {
+                let mut c = current.clone();
+                c.co[i].count /= 2;
+                candidates.push(c);
+                let mut c = current.clone();
+                c.co[i].count = 1;
+                candidates.push(c);
+            }
+        }
+        if current.faults.is_some() {
+            let mut c = current.clone();
+            c.faults = None;
+            candidates.push(c);
+        }
+        if current.noise_sigma > 0.0 {
+            let mut c = current.clone();
+            c.noise_sigma = 0.0;
+            candidates.push(c);
+        }
+        if current.fp_budget > 0 {
+            let mut c = current.clone();
+            c.fp_budget = 0;
+            candidates.push(c);
+        }
+        if current.llc_partitioned {
+            let mut c = current.clone();
+            c.llc_partitioned = false;
+            candidates.push(c);
+        }
+        if current.pstate != 0 {
+            let mut c = current.clone();
+            c.pstate = 0;
+            candidates.push(c);
+        }
+
+        let next = candidates.into_iter().find(|c| still_fails(c));
+        match next {
+            Some(c) => current = c,
+            None => break,
+        }
+    }
+    current.name = format!("shrunk-{}", current.name);
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_buildable() {
+        let a = gen_cases(42, 50);
+        let b = gen_cases(42, 50);
+        assert_eq!(a, b);
+        for case in &a {
+            let built = case.build().expect("generated cases build");
+            let total: usize = built.workload.iter().map(|g| g.count).sum();
+            assert!(total <= built.spec.cores, "{}", case.describe());
+            assert!(built.opts.pstate < built.spec.num_pstates());
+        }
+    }
+
+    #[test]
+    fn generator_covers_the_interesting_axes() {
+        let cases = gen_cases(7, 300);
+        assert!(cases.iter().any(|c| c.machine == "e5649"));
+        assert!(cases.iter().any(|c| c.machine == "e5_2697v2"));
+        assert!(cases.iter().any(|c| c.co.is_empty()));
+        assert!(cases.iter().any(|c| c.co.len() == 2));
+        assert!(cases.iter().any(|c| c.noise_sigma > 0.0));
+        assert!(cases.iter().any(|c| c.llc_partitioned));
+        assert!(cases.iter().any(|c| c.fp_budget > 0));
+        assert!(cases
+            .iter()
+            .any(|c| matches!(c.faults, Some(FaultSpec::Heavy { .. }))));
+        assert!(cases
+            .iter()
+            .any(|c| matches!(c.faults, Some(FaultSpec::Noop { .. }))));
+    }
+
+    #[test]
+    fn constraints_are_honoured() {
+        let cons = GenConstraints {
+            allow_faults: false,
+            allow_noise: false,
+            allow_fp_budget: false,
+            reserve_cores: 1,
+            min_co_groups: 1,
+        };
+        for i in 0..200 {
+            let c = gen_case(1000 + i, &cons);
+            assert!(c.faults.is_none());
+            assert_eq!(c.noise_sigma, 0.0);
+            assert_eq!(c.fp_budget, 0);
+            assert!(!c.co.is_empty());
+            let cores = if c.machine == "e5649" { 6 } else { 12 };
+            assert!(c.co_instances() + 2 <= cores, "{}", c.describe());
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_local_minimum() {
+        let case = gen_case(99, &GenConstraints::default());
+        // Predicate: "fails whenever there are any co-runner instances or
+        // noise" — the shrinker must strip everything else away.
+        let shrunk = shrink(&case, |c| c.co_instances() > 0 || c.noise_sigma > 0.0);
+        if case.co_instances() > 0 || case.noise_sigma > 0.0 {
+            assert!(shrunk.faults.is_none());
+            assert_eq!(shrunk.fp_budget, 0);
+            assert_eq!(shrunk.pstate, 0);
+            assert!(!shrunk.llc_partitioned);
+        }
+        // Shrinking something that "always fails" strips it bare.
+        let bare = shrink(&case, |_| true);
+        assert!(bare.co.is_empty());
+        assert_eq!(bare.noise_sigma, 0.0);
+        assert!(bare.faults.is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        for case in gen_cases(5, 20) {
+            let json = serde_json::to_string_pretty(&case).unwrap();
+            let back: CorpusCase = serde_json::from_str(&json).unwrap();
+            assert_eq!(case, back);
+        }
+    }
+
+    #[test]
+    fn unknown_names_fail_cleanly() {
+        let mut case = gen_case(1, &GenConstraints::default());
+        case.machine = "cray-1".into();
+        assert!(case.build().is_err());
+        let mut case = gen_case(1, &GenConstraints::default());
+        case.target = "doom".into();
+        assert!(case.build().is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! The differential oracle: optimized engine vs [`RefEngine`], field by
+//! field.
+//!
+//! For every case the harness runs the full optimized stack —
+//! [`RunCache::run_with_faults`] over [`coloc_machine::Machine`], twice,
+//! so both the cold engine path and the memoized hit path are exercised —
+//! and the naive [`RefEngine`]. Outcomes must agree on every field to
+//! [`REL_TOL`] relative (bit-equality always passes, which also handles
+//! NaN wall times from injected faults), and the derived *slowdown*
+//! (co-located wall time over solo wall time, both sides computed by
+//! their own engine) must agree to [`SLOWDOWN_REL_TOL`].
+
+use crate::case::{gen_case, shrink, CorpusCase, GenConstraints};
+use crate::refengine::RefEngine;
+use coloc_machine::{Convergence, Machine, RunCache, RunOutcome, RunnerGroup};
+
+/// Relative tolerance for per-field outcome comparison.
+pub const REL_TOL: f64 = 1e-9;
+/// Relative tolerance for the derived slowdown (the acceptance bound).
+pub const SLOWDOWN_REL_TOL: f64 = 1e-9;
+
+/// Two floats agree when bit-identical (covers NaN, ±0, infinities) or
+/// within `tol` relative of the larger magnitude.
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a - b).abs() <= tol * a.abs().max(b.abs())
+}
+
+fn field(errors: &mut Vec<String>, name: &str, a: f64, b: f64) {
+    if !close(a, b, REL_TOL) {
+        errors.push(format!("{name}: engine {a:?} vs reference {b:?}"));
+    }
+}
+
+/// Compare two outcomes field by field; returns the list of mismatches
+/// (empty = conformant).
+pub fn compare_outcomes(engine: &RunOutcome, reference: &RunOutcome) -> Vec<String> {
+    let mut errors = Vec::new();
+    field(
+        &mut errors,
+        "wall_time_s",
+        engine.wall_time_s,
+        reference.wall_time_s,
+    );
+    if engine.segments != reference.segments {
+        errors.push(format!(
+            "segments: {} vs {}",
+            engine.segments, reference.segments
+        ));
+    }
+    if engine.fp_iterations != reference.fp_iterations {
+        errors.push(format!(
+            "fp_iterations: {} vs {}",
+            engine.fp_iterations, reference.fp_iterations
+        ));
+    }
+    if engine.counters.len() != reference.counters.len() {
+        errors.push(format!(
+            "counters length: {} vs {}",
+            engine.counters.len(),
+            reference.counters.len()
+        ));
+        return errors;
+    }
+    for (gi, (ca, cb)) in engine.counters.iter().zip(&reference.counters).enumerate() {
+        field(
+            &mut errors,
+            &format!("counters[{gi}].instructions"),
+            ca.instructions,
+            cb.instructions,
+        );
+        field(
+            &mut errors,
+            &format!("counters[{gi}].cycles"),
+            ca.cycles,
+            cb.cycles,
+        );
+        field(
+            &mut errors,
+            &format!("counters[{gi}].llc_accesses"),
+            ca.llc_accesses,
+            cb.llc_accesses,
+        );
+        field(
+            &mut errors,
+            &format!("counters[{gi}].llc_misses"),
+            ca.llc_misses,
+            cb.llc_misses,
+        );
+        if ca.completed_runs != cb.completed_runs {
+            errors.push(format!(
+                "counters[{gi}].completed_runs: {} vs {}",
+                ca.completed_runs, cb.completed_runs
+            ));
+        }
+    }
+    for (gi, (&sa, &sb)) in engine
+        .avg_llc_share_bytes
+        .iter()
+        .zip(&reference.avg_llc_share_bytes)
+        .enumerate()
+    {
+        field(&mut errors, &format!("avg_llc_share_bytes[{gi}]"), sa, sb);
+    }
+    field(
+        &mut errors,
+        "avg_mem_latency_ns",
+        engine.avg_mem_latency_ns,
+        reference.avg_mem_latency_ns,
+    );
+    match (engine.convergence, reference.convergence) {
+        (Convergence::Converged, Convergence::Converged) => {}
+        (
+            Convergence::Degraded {
+                fp_iterations: ia,
+                residual: ra,
+            },
+            Convergence::Degraded {
+                fp_iterations: ib,
+                residual: rb,
+            },
+        ) => {
+            if ia != ib || !close(ra, rb, REL_TOL) {
+                errors.push(format!(
+                    "degraded convergence: ({ia}, {ra}) vs ({ib}, {rb})"
+                ));
+            }
+        }
+        (a, b) => errors.push(format!("convergence: {a:?} vs {b:?}")),
+    }
+    if engine.faults != reference.faults {
+        errors.push(format!(
+            "faults: {:?} vs {:?}",
+            engine.faults, reference.faults
+        ));
+    }
+    errors
+}
+
+/// True when every f64 field matches bit for bit (the cache-hit check).
+pub fn outcomes_bit_identical(a: &RunOutcome, b: &RunOutcome) -> bool {
+    a.wall_time_s.to_bits() == b.wall_time_s.to_bits()
+        && a.segments == b.segments
+        && a.fp_iterations == b.fp_iterations
+        && a.counters.len() == b.counters.len()
+        && a.counters.iter().zip(&b.counters).all(|(x, y)| {
+            x.instructions.to_bits() == y.instructions.to_bits()
+                && x.cycles.to_bits() == y.cycles.to_bits()
+                && x.llc_accesses.to_bits() == y.llc_accesses.to_bits()
+                && x.llc_misses.to_bits() == y.llc_misses.to_bits()
+                && x.completed_runs == y.completed_runs
+        })
+        && a.avg_llc_share_bytes.len() == b.avg_llc_share_bytes.len()
+        && a.avg_llc_share_bytes
+            .iter()
+            .zip(&b.avg_llc_share_bytes)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.avg_mem_latency_ns.to_bits() == b.avg_mem_latency_ns.to_bits()
+        && a.faults == b.faults
+}
+
+/// What one differential check observed.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Case description.
+    pub case: String,
+    /// Target slowdown from the optimized stack (NaN when faulted away).
+    pub slowdown_engine: f64,
+    /// Target slowdown from the reference engine.
+    pub slowdown_ref: f64,
+    /// Both engines rejected the workload (with the same error).
+    pub rejected: bool,
+}
+
+/// Run the differential oracle on one case.
+///
+/// Errors describe the first divergence found: a field mismatch, a
+/// slowdown gap beyond tolerance, a cache hit that is not bit-identical
+/// to the cold run, or the two engines disagreeing about whether the
+/// workload is even valid.
+pub fn check_case(case: &CorpusCase) -> Result<DiffReport, String> {
+    let built = case.build()?;
+    let machine =
+        Machine::new(built.spec.clone()).map_err(|e| format!("machine rejected spec: {e}"))?;
+    let reference =
+        RefEngine::new(built.spec.clone()).map_err(|e| format!("reference rejected spec: {e}"))?;
+    let cache = RunCache::new(64);
+
+    let engine_result =
+        cache.run_with_faults(&machine, &built.workload, &built.opts, built.plan.as_ref());
+    let ref_result = reference.run_faulted(&built.workload, &built.opts, built.plan.as_ref());
+
+    let (engine_out, _) = match (engine_result, ref_result) {
+        (Err(ea), Err(eb)) => {
+            if ea == eb {
+                return Ok(DiffReport {
+                    case: case.describe(),
+                    slowdown_engine: f64::NAN,
+                    slowdown_ref: f64::NAN,
+                    rejected: true,
+                });
+            }
+            return Err(format!(
+                "divergent errors: engine {ea:?} vs reference {eb:?}"
+            ));
+        }
+        (Ok(_), Err(e)) => return Err(format!("reference errored, engine did not: {e:?}")),
+        (Err(e), Ok(_)) => return Err(format!("engine errored, reference did not: {e:?}")),
+        (Ok(pair), Ok(ref_out)) => {
+            let errors = compare_outcomes(&pair.0, &ref_out);
+            if !errors.is_empty() {
+                return Err(format!(
+                    "outcome mismatch on {}:\n  {}",
+                    case.describe(),
+                    errors.join("\n  ")
+                ));
+            }
+            (pair.0, ref_out)
+        }
+    };
+
+    // The memoized path must replay the cold outcome bit for bit.
+    let (hit_out, was_hit) = cache
+        .run_with_faults(&machine, &built.workload, &built.opts, built.plan.as_ref())
+        .map_err(|e| format!("cache replay errored: {e}"))?;
+    if !was_hit {
+        return Err("second identical run missed the cache".into());
+    }
+    if !outcomes_bit_identical(&engine_out, &hit_out) {
+        return Err("cache hit is not bit-identical to the cold run".into());
+    }
+
+    // Derived slowdown: each side computes its own solo baseline (clean —
+    // baselines sit below the fault layer, as in `Lab`).
+    let solo_wl: Vec<RunnerGroup> = built.workload[..1].to_vec();
+    let engine_solo = machine
+        .run(&solo_wl, &built.opts)
+        .map_err(|e| format!("engine solo baseline failed: {e}"))?;
+    let ref_solo = reference
+        .run(&solo_wl, &built.opts)
+        .map_err(|e| format!("reference solo baseline failed: {e}"))?;
+    let slowdown_engine = engine_out.wall_time_s / engine_solo.wall_time_s;
+    let slowdown_ref = hit_out.wall_time_s / ref_solo.wall_time_s;
+    if !close(slowdown_engine, slowdown_ref, SLOWDOWN_REL_TOL) {
+        return Err(format!(
+            "slowdown diverged on {}: engine {slowdown_engine:?} vs reference {slowdown_ref:?}",
+            case.describe()
+        ));
+    }
+
+    Ok(DiffReport {
+        case: case.describe(),
+        slowdown_engine,
+        slowdown_ref,
+        rejected: false,
+    })
+}
+
+/// Aggregate results of a differential sweep.
+#[derive(Clone, Debug, Default)]
+pub struct DiffSummary {
+    /// Cases checked.
+    pub cases: usize,
+    /// Cases whose outcome carried at least one injected fault.
+    pub faulted: usize,
+    /// Cases that ran with a finite fixed-point budget.
+    pub budgeted: usize,
+    /// Solo cases (slowdown ≈ 1 expected).
+    pub solo: usize,
+    /// Largest observed |slowdown_engine − slowdown_ref| / slowdown.
+    pub max_slowdown_gap: f64,
+}
+
+/// A differential failure, already shrunk to a local minimum.
+#[derive(Clone, Debug)]
+pub struct DiffFailure {
+    /// The shrunk failing case.
+    pub case: CorpusCase,
+    /// The divergence the shrunk case exhibits.
+    pub detail: String,
+}
+
+/// Sweep `n` generated cases from `base_seed`; the first failure is
+/// shrunk and returned.
+pub fn differential_sweep(base_seed: u64, n: usize) -> Result<DiffSummary, Box<DiffFailure>> {
+    let mut summary = DiffSummary::default();
+    for i in 0..n {
+        let case = gen_case(base_seed.wrapping_add(i as u64), &GenConstraints::default());
+        match check_case(&case) {
+            Ok(report) => {
+                summary.cases += 1;
+                if case.faults.is_some() {
+                    summary.faulted += 1;
+                }
+                if case.fp_budget > 0 {
+                    summary.budgeted += 1;
+                }
+                if case.co.is_empty() {
+                    summary.solo += 1;
+                }
+                if report.slowdown_engine.is_finite() && report.slowdown_ref.is_finite() {
+                    let denom = report.slowdown_engine.abs().max(report.slowdown_ref.abs());
+                    if denom > 0.0 {
+                        let gap = (report.slowdown_engine - report.slowdown_ref).abs() / denom;
+                        summary.max_slowdown_gap = summary.max_slowdown_gap.max(gap);
+                    }
+                }
+            }
+            Err(_) => {
+                let shrunk = shrink(&case, |c| check_case(c).is_err());
+                let detail = check_case(&shrunk)
+                    .err()
+                    .unwrap_or_else(|| "shrunk case no longer fails (flaky check?)".into());
+                return Err(Box::new(DiffFailure {
+                    case: shrunk,
+                    detail,
+                }));
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_handles_special_values() {
+        assert!(close(f64::NAN, f64::NAN, 0.0));
+        assert!(close(0.0, 0.0, 0.0));
+        assert!(close(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!close(1.0, 1.01, 1e-9));
+        assert!(close(f64::INFINITY, f64::INFINITY, 0.0));
+    }
+
+    #[test]
+    fn a_single_case_passes_end_to_end() {
+        let case = gen_case(12345, &GenConstraints::default());
+        let report = check_case(&case).expect("differential check passes");
+        assert!(report.rejected || report.slowdown_ref.is_nan() || report.slowdown_ref > 0.0);
+    }
+
+    #[test]
+    fn detects_a_tampered_reference() {
+        // Sanity-check that the comparator actually bites: compare an
+        // outcome against a perturbed copy of itself.
+        let case = gen_case(7, &GenConstraints::default());
+        let built = case.build().unwrap();
+        let machine = Machine::new(built.spec.clone()).unwrap();
+        let out = machine.run(&built.workload, &built.opts).unwrap();
+        let mut bad = out.clone();
+        bad.wall_time_s *= 1.0 + 1e-6;
+        let errors = compare_outcomes(&out, &bad);
+        assert!(
+            errors.iter().any(|e| e.contains("wall_time_s")),
+            "{errors:?}"
+        );
+        assert!(compare_outcomes(&out, &out).is_empty());
+    }
+}

@@ -1,0 +1,527 @@
+//! Metamorphic laws: paper-derived invariants every optimization must
+//! preserve.
+//!
+//! A differential oracle catches divergence between two implementations;
+//! a metamorphic law catches both implementations being wrong the same
+//! way. Each [`Law`] encodes a relation the paper's methodology takes
+//! for granted:
+//!
+//! 1. **Monotone interference** (§IV-A, Table VI): adding a
+//!    memory-intensive co-runner never *reduces* target slowdown.
+//! 2. **Solo unity** (§III-A): a solo run's slowdown against its own
+//!    baseline is exactly 1.
+//! 3. **Permutation invariance**: co-runner *sets* determine contention;
+//!    the order groups are listed in is presentation, not physics.
+//! 4. **Scale invariance of MPE/NRMSE** (Eq. 2–3): both metrics are
+//!    dimensionless, so uniformly rescaling times (the engine's
+//!    multiplicative noise does exactly this) must not move them.
+//! 5. **Feature-set nesting** (Table II): A ⊂ B ⊂ … ⊂ F, so the linear
+//!    model's *train-set* fit never strictly worsens as features are
+//!    added — least squares over a superset of columns cannot lose.
+//!
+//! Scenario-based laws derive their case from the seed via the shared
+//! generator, so a violation is addressable (and shrinkable) as a
+//! [`CorpusCase`]; the two ML laws synthesize their inputs directly.
+
+// Bounds are checked as `!(x <= tol)` on purpose: a NaN must *fail* the
+// law, and the direct comparison would silently pass it.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+use crate::case::{gen_case, CoGroup, CorpusCase, GenConstraints};
+use coloc_machine::{Machine, RunnerGroup};
+use coloc_model::{FeatureSet, Lab, ModelKind, Predictor, Scenario};
+use coloc_workloads::suite;
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use rand::SeedableRng as _;
+
+/// A law violation: what broke, on which scenario (when scenario-based).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Violated law's name.
+    pub law: &'static str,
+    /// Human-readable account of the violation.
+    pub detail: String,
+    /// The offending scenario, for shrinking and corpus persistence
+    /// (boxed: a case is much larger than the rest of the violation).
+    pub case: Option<Box<CorpusCase>>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "law `{}` violated: {}", self.law, self.detail)?;
+        if let Some(case) = &self.case {
+            write!(f, " (case {})", case.describe())?;
+        }
+        Ok(())
+    }
+}
+
+/// One metamorphic invariant, checkable from a seed.
+pub trait Law: Sync {
+    /// Stable kebab-case identifier (used in corpus file names and the
+    /// `law` field of persisted counterexamples).
+    fn name(&self) -> &'static str;
+
+    /// Where in the paper (or pipeline) the invariant comes from.
+    fn provenance(&self) -> &'static str;
+
+    /// Seeds to check per `cargo test` run (cheap laws afford more).
+    fn cases_per_run(&self) -> usize;
+
+    /// The scenario this law derives from `seed`, when scenario-based
+    /// (enables shrinking); `None` for laws over synthesized inputs.
+    fn case_for_seed(&self, seed: u64) -> Option<CorpusCase>;
+
+    /// Check one scenario. Only meaningful for scenario-based laws; the
+    /// default accepts everything.
+    fn check_case(&self, _case: &CorpusCase) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Check the law at `seed`.
+    fn check_seed(&self, seed: u64) -> Result<(), Violation> {
+        match self.case_for_seed(seed) {
+            Some(case) => self.check_case(&case).map_err(|detail| Violation {
+                law: self.name(),
+                detail,
+                case: Some(Box::new(case)),
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+fn run_wall(machine: &Machine, built: &crate::case::BuiltCase) -> Result<f64, String> {
+    machine
+        .run(&built.workload, &built.opts)
+        .map(|o| o.wall_time_s)
+        .map_err(|e| format!("engine rejected law workload: {e}"))
+}
+
+fn solo_wall(machine: &Machine, built: &crate::case::BuiltCase) -> Result<f64, String> {
+    machine
+        .run(&built.workload[..1], &built.opts)
+        .map(|o| o.wall_time_s)
+        .map_err(|e| format!("engine rejected solo baseline: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Law 1: adding a memory-intensive co-runner never reduces slowdown.
+// ---------------------------------------------------------------------
+
+/// See module docs, law 1.
+pub struct MonotoneCoRunner;
+
+/// The aggressor appended by [`MonotoneCoRunner`]: `cg`, the suite's
+/// class-I streamer.
+pub const AGGRESSOR: &str = "cg";
+
+impl Law for MonotoneCoRunner {
+    fn name(&self) -> &'static str {
+        "monotone-co-runner"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "paper §IV-A / Table VI: degradation grows with co-runner pressure"
+    }
+
+    fn cases_per_run(&self) -> usize {
+        24
+    }
+
+    fn case_for_seed(&self, seed: u64) -> Option<CorpusCase> {
+        // Reserve a core for the added aggressor; faults would break
+        // monotonicity by corrupting one arm, and a truncated fixed point
+        // is only approximately monotone, so both are excluded. Noise is
+        // fine: the same seed scales both arms identically, so it cancels
+        // in the slowdown ratio.
+        Some(gen_case(
+            seed,
+            &GenConstraints {
+                allow_faults: false,
+                allow_fp_budget: false,
+                reserve_cores: 1,
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn check_case(&self, case: &CorpusCase) -> Result<(), String> {
+        let built = case.build()?;
+        let machine = Machine::new(built.spec.clone()).map_err(|e| e.to_string())?;
+        let base = solo_wall(&machine, &built)?;
+        let before = run_wall(&machine, &built)? / base;
+
+        let mut more = built.clone();
+        let mut aggressor = suite::by_name(AGGRESSOR).expect("aggressor in suite").app;
+        aggressor.instructions *= case.instr_scale;
+        more.workload.push(RunnerGroup {
+            app: aggressor,
+            count: 1,
+        });
+        let after = run_wall(&machine, &more)? / base;
+
+        if after < before - 1e-9 {
+            return Err(format!(
+                "slowdown fell from {before} to {after} after adding 1x {AGGRESSOR}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Law 2: solo slowdown is exactly 1.
+// ---------------------------------------------------------------------
+
+/// See module docs, law 2.
+pub struct SoloUnity;
+
+impl Law for SoloUnity {
+    fn name(&self) -> &'static str {
+        "solo-unity"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "paper §III-A: slowdown is defined against the solo baseline, so a solo run scores 1"
+    }
+
+    fn cases_per_run(&self) -> usize {
+        24
+    }
+
+    fn case_for_seed(&self, seed: u64) -> Option<CorpusCase> {
+        let mut case = gen_case(
+            seed,
+            &GenConstraints {
+                allow_faults: false,
+                ..Default::default()
+            },
+        );
+        case.co.clear();
+        Some(case)
+    }
+
+    fn check_case(&self, case: &CorpusCase) -> Result<(), String> {
+        let built = case.build()?;
+        let machine = Machine::new(built.spec.clone()).map_err(|e| e.to_string())?;
+        // Two independent runs of the same inputs: determinism makes the
+        // ratio exactly 1.0, not merely close.
+        let a = run_wall(&machine, &built)?;
+        let b = solo_wall(&machine, &built)?;
+        let slowdown = a / b;
+        if !((slowdown - 1.0).abs() <= 1e-12) {
+            return Err(format!("solo slowdown is {slowdown}, expected exactly 1"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Law 3: permuting co-runner groups is identity.
+// ---------------------------------------------------------------------
+
+/// See module docs, law 3.
+pub struct PermutationInvariance;
+
+/// Group-order permutation only reassociates floating-point reductions
+/// (bandwidth sums, occupancy renormalization), so agreement is to a
+/// small multiple of the fixed-point tolerance rather than bit-exact.
+pub const PERMUTATION_REL_TOL: f64 = 1e-7;
+
+impl Law for PermutationInvariance {
+    fn name(&self) -> &'static str {
+        "permutation-invariance"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "contention is a function of the co-runner *set*; listing order is presentation"
+    }
+
+    fn cases_per_run(&self) -> usize {
+        16
+    }
+
+    fn case_for_seed(&self, seed: u64) -> Option<CorpusCase> {
+        let mut case = gen_case(
+            seed,
+            &GenConstraints {
+                allow_faults: false, // fault rolls index groups by position
+                allow_fp_budget: false,
+                min_co_groups: 2,
+                ..Default::default()
+            },
+        );
+        if case.co.len() < 2 {
+            // Small machines can run out of cores for two groups; make
+            // room deterministically instead of discarding the seed.
+            case.machine = "e5_2697v2".into();
+            while case.co.len() < 2 {
+                let app = if case.co.iter().any(|g| g.app == "ep") {
+                    "canneal"
+                } else {
+                    "ep"
+                };
+                case.co.push(CoGroup {
+                    app: app.into(),
+                    count: 1,
+                });
+            }
+        }
+        Some(case)
+    }
+
+    fn check_case(&self, case: &CorpusCase) -> Result<(), String> {
+        let built = case.build()?;
+        let machine = Machine::new(built.spec.clone()).map_err(|e| e.to_string())?;
+        let forward = machine
+            .run(&built.workload, &built.opts)
+            .map_err(|e| e.to_string())?;
+
+        let mut reversed = vec![built.workload[0].clone()];
+        reversed.extend(built.workload[1..].iter().rev().cloned());
+        let backward = machine
+            .run(&reversed, &built.opts)
+            .map_err(|e| e.to_string())?;
+
+        let rel = (forward.wall_time_s - backward.wall_time_s).abs()
+            / forward.wall_time_s.abs().max(backward.wall_time_s.abs());
+        if !(rel <= PERMUTATION_REL_TOL) {
+            return Err(format!(
+                "target wall time moved {rel:e} relative under group permutation ({} vs {})",
+                forward.wall_time_s, backward.wall_time_s
+            ));
+        }
+        let ta = &forward.counters[0];
+        let tb = &backward.counters[0];
+        for (name, a, b) in [
+            ("instructions", ta.instructions, tb.instructions),
+            ("cycles", ta.cycles, tb.cycles),
+            ("llc_misses", ta.llc_misses, tb.llc_misses),
+        ] {
+            let rel = (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+            if !(rel <= PERMUTATION_REL_TOL) {
+                return Err(format!(
+                    "target {name} moved {rel:e} under group permutation"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Law 4: MPE and NRMSE are scale-invariant.
+// ---------------------------------------------------------------------
+
+/// See module docs, law 4.
+pub struct MetricScaleInvariance;
+
+impl Law for MetricScaleInvariance {
+    fn name(&self) -> &'static str {
+        "metric-scale-invariance"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "paper Eq. 2–3: MPE and NRMSE are dimensionless; uniform cycle/time scaling cancels"
+    }
+
+    fn cases_per_run(&self) -> usize {
+        48
+    }
+
+    fn case_for_seed(&self, _seed: u64) -> Option<CorpusCase> {
+        None
+    }
+
+    fn check_seed(&self, seed: u64) -> Result<(), Violation> {
+        let fail = |detail: String| Violation {
+            law: self.name(),
+            detail,
+            case: None,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(4..40usize);
+        let actual: Vec<f64> = (0..n).map(|_| rng.gen_range(50.0..1000.0)).collect();
+        let predicted: Vec<f64> = actual
+            .iter()
+            .map(|&a| a * rng.gen_range(0.7..1.4))
+            .collect();
+
+        let mpe0 = coloc_ml::mpe(&predicted, &actual);
+        let nrmse0 = coloc_ml::nrmse(&predicted, &actual);
+        if !mpe0.is_finite() || !nrmse0.is_finite() {
+            return Err(fail(format!(
+                "metrics non-finite on clean inputs: mpe={mpe0}, nrmse={nrmse0}"
+            )));
+        }
+
+        for k in [1e-3, 0.37, 1.0, 42.0, 1e4] {
+            let sp: Vec<f64> = predicted.iter().map(|&v| v * k).collect();
+            let sa: Vec<f64> = actual.iter().map(|&v| v * k).collect();
+            let mpe_k = coloc_ml::mpe(&sp, &sa);
+            let nrmse_k = coloc_ml::nrmse(&sp, &sa);
+            let mpe_gap = (mpe_k - mpe0).abs() / mpe0.abs().max(1e-30);
+            let nrmse_gap = (nrmse_k - nrmse0).abs() / nrmse0.abs().max(1e-30);
+            if !(mpe_gap <= 1e-9) {
+                return Err(fail(format!("MPE moved {mpe_gap:e} relative at scale {k}")));
+            }
+            if !(nrmse_gap <= 1e-9) {
+                return Err(fail(format!(
+                    "NRMSE moved {nrmse_gap:e} relative at scale {k}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Law 5: nested feature sets never worsen the linear train-set fit.
+// ---------------------------------------------------------------------
+
+/// See module docs, law 5.
+pub struct FeatureNesting;
+
+impl Law for FeatureNesting {
+    fn name(&self) -> &'static str {
+        "feature-nesting"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "paper Table II: A ⊂ B ⊂ … ⊂ F; OLS train RSS is non-increasing in added columns"
+    }
+
+    fn cases_per_run(&self) -> usize {
+        3
+    }
+
+    fn case_for_seed(&self, _seed: u64) -> Option<CorpusCase> {
+        None
+    }
+
+    fn check_seed(&self, seed: u64) -> Result<(), Violation> {
+        let fail = |detail: String| Violation {
+            law: self.name(),
+            detail,
+            case: None,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let suite = suite::standard();
+        let lab = Lab::new(coloc_machine::presets::xeon_e5649(), suite, rng.gen())
+            .map_err(|e| fail(format!("lab construction failed: {e}")))?;
+
+        // A small but well-conditioned plan: four targets across the
+        // intensity classes × two co-runners × two counts × two P-states.
+        let targets = ["cg", "canneal", "fluidanimate", "ep"];
+        let mut scenarios = Vec::new();
+        for target in targets {
+            for co in ["cg", "ep"] {
+                for n in [1usize, 3] {
+                    for p in [0usize, 4] {
+                        scenarios.push(Scenario::homogeneous(target, co, n, p));
+                    }
+                }
+            }
+        }
+        let samples = lab
+            .collect_scenarios(&scenarios)
+            .map_err(|e| fail(format!("collection failed: {e}")))?;
+        let actual: Vec<f64> = samples.iter().map(|s| s.actual_time_s).collect();
+
+        let mut prev: Option<(FeatureSet, f64)> = None;
+        for set in FeatureSet::ALL {
+            let model = Predictor::train(ModelKind::Linear, set, &samples, 0)
+                .map_err(|e| fail(format!("training {set} failed: {e}")))?;
+            let rmse = coloc_ml::rmse(&model.predict_samples(&samples), &actual);
+            if let Some((prev_set, prev_rmse)) = prev {
+                if !(rmse <= prev_rmse * (1.0 + 1e-8) + 1e-9) {
+                    return Err(fail(format!(
+                        "train RMSE rose from {prev_rmse} ({prev_set}) to {rmse} ({set})"
+                    )));
+                }
+            }
+            prev = Some((set, rmse));
+        }
+        Ok(())
+    }
+}
+
+/// All laws, in documentation order.
+pub fn all_laws() -> Vec<Box<dyn Law>> {
+    vec![
+        Box::new(MonotoneCoRunner),
+        Box::new(SoloUnity),
+        Box::new(PermutationInvariance),
+        Box::new(MetricScaleInvariance),
+        Box::new(FeatureNesting),
+    ]
+}
+
+/// Look up a law by its stable name.
+pub fn law_by_name(name: &str) -> Option<Box<dyn Law>> {
+    all_laws().into_iter().find(|l| l.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn law_names_are_stable_and_unique() {
+        let laws = all_laws();
+        let mut names: Vec<_> = laws.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        for law in &laws {
+            assert!(law_by_name(law.name()).is_some());
+            assert!(!law.provenance().is_empty());
+            assert!(law.cases_per_run() > 0);
+        }
+        assert!(law_by_name("no-such-law").is_none());
+    }
+
+    #[test]
+    fn scenario_laws_produce_buildable_cases() {
+        for law in [
+            &MonotoneCoRunner as &dyn Law,
+            &SoloUnity,
+            &PermutationInvariance,
+        ] {
+            for seed in 0..20u64 {
+                let case = law.case_for_seed(seed).expect("scenario-based");
+                case.build().expect("case builds");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_cases_always_have_two_groups() {
+        for seed in 0..50u64 {
+            let case = PermutationInvariance.case_for_seed(seed).unwrap();
+            assert!(case.co.len() >= 2, "{}", case.describe());
+            let built = case.build().unwrap();
+            let total: usize = built.workload.iter().map(|g| g.count).sum();
+            assert!(total <= built.spec.cores);
+        }
+    }
+
+    #[test]
+    fn metric_law_rejects_a_broken_metric() {
+        // The law must bite: feed it a deliberately scale-dependent
+        // "metric" by checking that plain MAE (not scale-free) would fail
+        // the same bound MPE passes.
+        let actual = [100.0, 200.0];
+        let predicted = [110.0, 180.0];
+        let mae0 = coloc_ml::mae(&predicted, &actual);
+        let sa: Vec<f64> = actual.iter().map(|v| v * 10.0).collect();
+        let sp: Vec<f64> = predicted.iter().map(|v| v * 10.0).collect();
+        let mae_k = coloc_ml::mae(&sp, &sa);
+        assert!((mae_k - mae0).abs() / mae0 > 1e-9, "MAE is scale-dependent");
+        // ...while the real law holds on the same data.
+        MetricScaleInvariance.check_seed(11).unwrap();
+    }
+}

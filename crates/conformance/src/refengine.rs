@@ -1,0 +1,504 @@
+//! The reference engine: a deliberately naive re-implementation of
+//! [`coloc_machine::engine::Machine::run`].
+//!
+//! The optimized engine earns its speed through data-structure tricks —
+//! a per-run [`RunScratch`] so the segment loop allocates nothing, MRCs
+//! cloned into instance slots only when a group's phase changes, a
+//! `group_first` index replacing owner scans, and a memoizing `RunCache`
+//! in front of the whole thing. None of those tricks may change a single
+//! bit of the answer: within a segment the contention fixed point is a
+//! pure function of the phase parameters, and across segments the only
+//! carried state is per-group progress, the CPI warm start, and the
+//! accumulated counters.
+//!
+//! `RefEngine` re-derives everything from first principles every segment:
+//!
+//! * fresh allocations for every per-segment vector (occupancy, rates,
+//!   instance tables) — no scratch reuse;
+//! * miss-rate curves recomputed from the stack-distance distribution at
+//!   the top of every segment — no incremental MRC caching;
+//! * owner lookups by linear `position()` scans — O(groups × instances);
+//! * the DRAM latency and LLC occupancy formulas written out inline from
+//!   their definitions rather than through `MemorySystem` /
+//!   `occupancy_step`, so a regression in either substrate crate is also
+//!   caught;
+//! * no memoization anywhere.
+//!
+//! Because both engines evaluate the same real-number formulas in the
+//! same order, their outcomes agree *bit for bit*; the differential
+//! harness in this crate's tests asserts agreement to 1e-9 relative on
+//! every field and on derived slowdowns, which the bit-identity satisfies
+//! with the entire tolerance left as headroom for future refactors that
+//! legitimately reassociate arithmetic.
+//!
+//! [`RunScratch`]: coloc_machine::engine::Machine
+
+use coloc_cachesim::MissRateCurve;
+use coloc_machine::engine::FP_TOLERANCE;
+use coloc_machine::{
+    Convergence, CounterBlock, FaultPlan, MachineError, MachineSpec, Result, RunOptions,
+    RunOutcome, RunnerGroup,
+};
+use rand::Rng as _;
+use rand::SeedableRng as _;
+
+/// Per-segment iteration cap for a full solve. Mirrors the optimized
+/// engine's private constant; if the engine's cap ever drifts, the
+/// differential suite fails on any scenario whose fixed point is still
+/// moving at iteration 250 — exactly the alarm we want.
+const MAX_FP_ITERS: u64 = 250;
+/// Per-segment floor once the fixed-point budget is exhausted (mirrors
+/// the engine's private `DEGRADED_FP_ITERS`).
+const DEGRADED_FP_ITERS: u64 = 4;
+
+/// Bytes transferred per LLC miss (mirrors `coloc_memsys::MISS_BYTES`,
+/// spelled out here so the oracle does not read the optimized constant).
+const MISS_BYTES: f64 = 64.0;
+
+/// The naive oracle. Holds only the static machine description.
+#[derive(Clone, Debug)]
+pub struct RefEngine {
+    spec: MachineSpec,
+}
+
+impl RefEngine {
+    /// Build a reference engine over a validated spec.
+    pub fn new(spec: MachineSpec) -> Result<RefEngine> {
+        spec.validate().map_err(MachineError::InvalidSpec)?;
+        if spec.dram.peak_bw_bytes_per_sec <= 0.0 || spec.dram.idle_latency_ns <= 0.0 {
+            return Err(MachineError::InvalidSpec(
+                "DRAM peak bandwidth and idle latency must be positive".into(),
+            ));
+        }
+        Ok(RefEngine { spec })
+    }
+
+    /// The machine's spec.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Run `workload` (group 0 = target) exactly as the optimized engine
+    /// would, recomputing all derived state from scratch each segment.
+    pub fn run(&self, workload: &[RunnerGroup], opts: &RunOptions) -> Result<RunOutcome> {
+        if workload.is_empty() {
+            return Err(MachineError::EmptyWorkload);
+        }
+        let requested: usize = workload.iter().map(|g| g.count).sum();
+        if requested > self.spec.cores {
+            return Err(MachineError::NotEnoughCores {
+                requested,
+                available: self.spec.cores,
+            });
+        }
+        let freq_hz = self
+            .spec
+            .freq_hz(opts.pstate)
+            .ok_or(MachineError::BadPState {
+                index: opts.pstate,
+                available: self.spec.num_pstates(),
+            })?;
+        for g in workload {
+            if g.count == 0 {
+                return Err(MachineError::BadProfile(format!(
+                    "{}: group count is zero",
+                    g.app.name
+                )));
+            }
+            g.app.validate().map_err(MachineError::BadProfile)?;
+        }
+
+        let n_groups = workload.len();
+        let mut progress = vec![0.0f64; n_groups];
+        let mut counters = vec![CounterBlock::default(); n_groups];
+        let mut share_time_acc = vec![0.0f64; n_groups];
+        let mut latency_time_acc = 0.0f64;
+        let mut wall = 0.0f64;
+        let mut segments = 0usize;
+        let mut fp_iterations = 0u64;
+        let mut degraded = false;
+        let mut worst_residual = 0.0f64;
+        // The CPI warm start is semantics, not an optimization: segment N's
+        // solve starts from segment N−1's converged CPI, so the oracle must
+        // carry it too.
+        let mut cpi: Vec<f64> = workload.iter().map(|g| g.app.phases[0].cpi_base).collect();
+
+        loop {
+            segments += 1;
+            if segments > opts.max_segments {
+                return Err(MachineError::BadProfile(format!(
+                    "run exceeded {} segments; co-runner far shorter than target?",
+                    opts.max_segments
+                )));
+            }
+
+            // Everything below is rebuilt from scratch: phases, MRCs,
+            // instance tables, occupancy.
+            let phase_info: Vec<(usize, f64)> = workload
+                .iter()
+                .zip(&progress)
+                .map(|(g, &p)| g.app.phase_at(p))
+                .collect();
+            let mrcs: Vec<MissRateCurve> = workload
+                .iter()
+                .enumerate()
+                .map(|(gi, g)| g.app.phases[phase_info[gi].0].dist.miss_rate_curve())
+                .collect();
+            // One entry per core-resident instance: its owning group.
+            let owner: Vec<usize> = workload
+                .iter()
+                .enumerate()
+                .flat_map(|(gi, g)| std::iter::repeat_n(gi, g.count))
+                .collect();
+
+            let iter_cap = if opts.fp_budget == 0 {
+                MAX_FP_ITERS
+            } else {
+                let remaining = opts.fp_budget.saturating_sub(fp_iterations);
+                remaining.clamp(DEGRADED_FP_ITERS, MAX_FP_ITERS)
+            };
+            let (ips, miss_rate, occ_per_instance, latency_ns, iters, residual) = self
+                .solve_segment_naive(
+                    workload,
+                    &phase_info,
+                    &mrcs,
+                    &owner,
+                    freq_hz,
+                    opts.llc_partitioned,
+                    &mut cpi,
+                    iter_cap,
+                );
+            fp_iterations += iters;
+            if residual >= FP_TOLERANCE {
+                degraded = true;
+                worst_residual = worst_residual.max(residual);
+            }
+
+            let mut dt = f64::INFINITY;
+            for (gi, p) in progress.iter().enumerate() {
+                let remaining = phase_info[gi].1 - p;
+                let t = remaining / ips[gi];
+                if t < dt {
+                    dt = t;
+                }
+            }
+            if !(dt.is_finite() && dt > 0.0) {
+                return Err(MachineError::Numeric(format!(
+                    "degenerate segment dt = {dt} at segment {segments}"
+                )));
+            }
+
+            for gi in 0..n_groups {
+                let instr = ips[gi] * dt;
+                progress[gi] += instr;
+                let acc = instr * workload[gi].app.phases[phase_info[gi].0].accesses_per_instr;
+                counters[gi].instructions += instr;
+                counters[gi].cycles += freq_hz * dt;
+                counters[gi].llc_accesses += acc;
+                counters[gi].llc_misses += acc * miss_rate[gi];
+                share_time_acc[gi] += occ_per_instance[gi] * dt;
+            }
+            latency_time_acc += latency_ns * dt;
+            wall += dt;
+
+            let mut target_done = false;
+            for gi in 0..n_groups {
+                let boundary = phase_info[gi].1;
+                if progress[gi] >= boundary - 1e-6 * workload[gi].app.instructions.max(1.0) {
+                    progress[gi] = boundary;
+                    if (boundary - workload[gi].app.instructions).abs()
+                        < 1e-9 * workload[gi].app.instructions
+                    {
+                        counters[gi].completed_runs += 1;
+                        if gi == 0 {
+                            target_done = true;
+                        } else {
+                            progress[gi] = 0.0;
+                        }
+                    }
+                }
+            }
+            if target_done {
+                break;
+            }
+        }
+
+        let mut wall_measured = wall;
+        if opts.noise_sigma > 0.0 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let scale = (opts.noise_sigma * z).exp();
+            wall_measured *= scale;
+            for c in counters.iter_mut() {
+                c.cycles *= scale;
+            }
+        }
+
+        Ok(RunOutcome {
+            wall_time_s: wall_measured,
+            counters,
+            segments,
+            fp_iterations,
+            avg_llc_share_bytes: share_time_acc.iter().map(|&s| s / wall).collect(),
+            avg_mem_latency_ns: latency_time_acc / wall,
+            convergence: if degraded {
+                Convergence::Degraded {
+                    fp_iterations,
+                    residual: worst_residual,
+                }
+            } else {
+                Convergence::Converged
+            },
+            faults: Vec::new(),
+        })
+    }
+
+    /// Run and then inject faults, mirroring `RunCache::run_with_faults`
+    /// (which applies the plan with the run's noise seed as the stream).
+    pub fn run_faulted(
+        &self,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+        plan: Option<&FaultPlan>,
+    ) -> Result<RunOutcome> {
+        let mut outcome = self.run(workload, opts)?;
+        if let Some(plan) = plan {
+            plan.apply(opts.seed, &mut outcome);
+        }
+        Ok(outcome)
+    }
+
+    /// Solve one segment's contention fixed point with per-call
+    /// allocations and linear scans. Returns
+    /// `(ips, miss_rate, occ_per_instance, latency_ns, iters, residual)`,
+    /// the first three indexed per group.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn solve_segment_naive(
+        &self,
+        workload: &[RunnerGroup],
+        phase_info: &[(usize, f64)],
+        mrcs: &[MissRateCurve],
+        owner: &[usize],
+        freq_hz: f64,
+        llc_partitioned: bool,
+        cpi: &mut [f64],
+        max_iters: u64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>, f64, u64, f64) {
+        let n_groups = workload.len();
+        let cap = self.spec.llc_bytes;
+        let n_inst = owner.len();
+
+        let mut occ: Vec<f64> = vec![cap as f64 / n_inst as f64; n_inst];
+        let mut access_rate = vec![0.0f64; n_groups];
+        let mut miss_rate = vec![0.0f64; n_groups];
+        let mut latency_ns = self.spec.dram.idle_latency_ns;
+        let mut iters = 0u64;
+        let mut residual = 0.0f64;
+
+        for _iter in 0..max_iters {
+            iters += 1;
+            for gi in 0..n_groups {
+                let ph = &workload[gi].app.phases[phase_info[gi].0];
+                access_rate[gi] = freq_hz / cpi[gi] * ph.accesses_per_instr;
+            }
+            // Per-instance access rates, owner resolved by scan.
+            let inst_rate: Vec<f64> = (0..n_inst).map(|ii| access_rate[owner[ii]]).collect();
+
+            if !llc_partitioned {
+                naive_occupancy_step(cap, &inst_rate, owner, mrcs, &mut occ);
+            }
+            for gi in 0..n_groups {
+                // First instance of the group, found the slow way.
+                let ii = owner
+                    .iter()
+                    .position(|&o| o == gi)
+                    .expect("every group has at least one instance");
+                miss_rate[gi] = mrcs[gi].miss_rate(occ[ii] as u64);
+            }
+
+            let mut bw = 0.0;
+            let mut streams = 0usize;
+            for gi in 0..n_groups {
+                let miss_per_sec = access_rate[gi] * miss_rate[gi];
+                bw += workload[gi].count as f64 * miss_per_sec * MISS_BYTES;
+                if miss_per_sec > 1e5 {
+                    streams += workload[gi].count;
+                }
+            }
+            latency_ns = self.dram_latency_ns(bw, streams);
+
+            let mut max_rel = 0.0f64;
+            for gi in 0..n_groups {
+                let ph = &workload[gi].app.phases[phase_info[gi].0];
+                let stall_cycles_per_instr =
+                    ph.accesses_per_instr * miss_rate[gi] * (latency_ns * 1e-9 * freq_hz) / ph.mlp;
+                let target = ph.cpi_base + stall_cycles_per_instr;
+                let next = 0.5 * cpi[gi] + 0.5 * target;
+                max_rel = max_rel.max(((next - cpi[gi]) / cpi[gi]).abs());
+                cpi[gi] = next;
+            }
+            residual = max_rel;
+            if max_rel < FP_TOLERANCE {
+                residual = 0.0;
+                break;
+            }
+        }
+
+        let mut ips = vec![0.0f64; n_groups];
+        let mut occ_per_instance = vec![0.0f64; n_groups];
+        for gi in 0..n_groups {
+            ips[gi] = freq_hz / cpi[gi];
+            let ii = owner
+                .iter()
+                .position(|&o| o == gi)
+                .expect("every group has at least one instance");
+            occ_per_instance[gi] = occ[ii];
+        }
+        (
+            ips,
+            miss_rate,
+            occ_per_instance,
+            latency_ns,
+            iters,
+            residual,
+        )
+    }
+
+    /// DRAM latency from the spec's queueing model, written out from its
+    /// definition: `L_idle + min(L_queue·ρ/(1−ρ), L_max) + bank(s)` with
+    /// `ρ = clamp(offered/peak, 0, 0.99)` and a saturating-exponential
+    /// bank-conflict term.
+    fn dram_latency_ns(&self, offered_bytes_per_sec: f64, streams: usize) -> f64 {
+        let d = &self.spec.dram;
+        let rho = (offered_bytes_per_sec.max(0.0) / d.peak_bw_bytes_per_sec).clamp(0.0, 0.99);
+        let queue = (d.queue_latency_ns * rho / (1.0 - rho)).min(d.max_queue_ns);
+        let bank = if streams <= 1 {
+            0.0
+        } else {
+            let x = (streams - 1) as f64 / d.banks as f64;
+            d.bank_penalty_ns * d.banks as f64 * 0.5 * (1.0 - (-2.0 * x).exp())
+        };
+        d.idle_latency_ns + queue + bank
+    }
+}
+
+/// One damped LLC-occupancy update, written out from its definition:
+/// insertion rates at current shares, shares moved halfway toward
+/// insertion-proportional targets (floored), then renormalized to fill
+/// the cache exactly. Instance `ii`'s MRC is its owner group's.
+fn naive_occupancy_step(
+    capacity_bytes: u64,
+    inst_rate: &[f64],
+    owner: &[usize],
+    mrcs: &[MissRateCurve],
+    occ: &mut [f64],
+) -> f64 {
+    let n = inst_rate.len();
+    let cap = capacity_bytes as f64;
+    const DAMPING: f64 = 0.5;
+    let floor = (cap * 1e-4).min(cap / (4.0 * n as f64));
+
+    let ins: Vec<f64> = inst_rate
+        .iter()
+        .zip(occ.iter())
+        .enumerate()
+        .map(|(ii, (r, &o))| r.max(0.0) * mrcs[owner[ii]].miss_rate(o as u64).max(1e-9))
+        .collect();
+    let ins_total: f64 = ins.iter().sum();
+    if ins_total <= 0.0 {
+        return 0.0;
+    }
+    let mut max_delta = 0.0f64;
+    for i in 0..n {
+        let target = (cap * ins[i] / ins_total).max(floor);
+        let next = occ[i] + DAMPING * (target - occ[i]);
+        max_delta = max_delta.max((next - occ[i]).abs());
+        occ[i] = next;
+    }
+    let sum: f64 = occ.iter().sum();
+    for o in occ.iter_mut() {
+        *o *= cap / sum;
+    }
+    max_delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coloc_machine::{presets, Machine};
+    use coloc_workloads::suite;
+
+    fn workload(target: &str, co: &[(&str, usize)]) -> Vec<RunnerGroup> {
+        let mut wl = vec![RunnerGroup::solo(scaled(target))];
+        for &(name, count) in co {
+            wl.push(RunnerGroup {
+                app: scaled(name),
+                count,
+            });
+        }
+        wl
+    }
+
+    fn scaled(name: &str) -> coloc_machine::AppProfile {
+        let mut app = suite::by_name(name).expect("app in suite").app;
+        app.instructions *= 0.01;
+        app
+    }
+
+    #[test]
+    fn matches_engine_bit_for_bit_on_a_contended_mix() {
+        let spec = presets::xeon_e5649();
+        let m = Machine::new(spec.clone()).unwrap();
+        let r = RefEngine::new(spec).unwrap();
+        let wl = workload("canneal", &[("cg", 3)]);
+        let opts = RunOptions {
+            pstate: 2,
+            seed: 11,
+            noise_sigma: 0.008,
+            ..Default::default()
+        };
+        let a = m.run(&wl, &opts).unwrap();
+        let b = r.run(&wl, &opts).unwrap();
+        assert_eq!(a.wall_time_s.to_bits(), b.wall_time_s.to_bits());
+        assert_eq!(a.segments, b.segments);
+        assert_eq!(a.fp_iterations, b.fp_iterations);
+        for (ca, cb) in a.counters.iter().zip(&b.counters) {
+            assert_eq!(ca.cycles.to_bits(), cb.cycles.to_bits());
+            assert_eq!(ca.llc_misses.to_bits(), cb.llc_misses.to_bits());
+        }
+    }
+
+    #[test]
+    fn mirrors_engine_errors() {
+        let spec = presets::xeon_e5649();
+        let m = Machine::new(spec.clone()).unwrap();
+        let r = RefEngine::new(spec).unwrap();
+        let wl = workload("ep", &[("cg", 9)]);
+        let opts = RunOptions::default();
+        assert_eq!(
+            m.run(&wl, &opts).unwrap_err(),
+            r.run(&wl, &opts).unwrap_err()
+        );
+        let wl = workload("ep", &[]);
+        let opts = RunOptions {
+            pstate: 17,
+            ..Default::default()
+        };
+        assert_eq!(
+            m.run(&wl, &opts).unwrap_err(),
+            r.run(&wl, &opts).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        let mut spec = presets::xeon_e5649();
+        spec.cores = 0;
+        assert!(matches!(
+            RefEngine::new(spec),
+            Err(MachineError::InvalidSpec(_))
+        ));
+    }
+}

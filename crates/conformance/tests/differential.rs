@@ -1,0 +1,73 @@
+//! The differential conformance suite: ≥ 200 seeded scenarios through
+//! the optimized stack and the naive reference engine, plus corpus
+//! replay. A failure is shrunk and persisted under `corpus/` before the
+//! test panics, so the regression is replayed by every future run (and
+//! uploaded as a CI artifact).
+
+use coloc_conformance::{corpus, differential_sweep, seed_corpus, verify_dir};
+
+/// Base seed of the generated sweep. Changing it trades one slice of
+/// scenario space for another; the corpus keeps old discoveries alive.
+const SWEEP_SEED: u64 = 0xC0_10C;
+const SWEEP_CASES: usize = 220;
+
+#[test]
+fn optimized_engine_matches_reference_on_generated_scenarios() {
+    match differential_sweep(SWEEP_SEED, SWEEP_CASES) {
+        Ok(summary) => {
+            assert_eq!(summary.cases, SWEEP_CASES);
+            // The sweep must actually exercise the interesting axes, not
+            // just happy-path mixes.
+            assert!(summary.faulted > 0, "no faulted case generated");
+            assert!(summary.budgeted > 0, "no fp-budget case generated");
+            assert!(summary.solo > 0, "no solo case generated");
+            assert!(
+                summary.max_slowdown_gap <= coloc_conformance::SLOWDOWN_REL_TOL,
+                "slowdown gap {} exceeds tolerance",
+                summary.max_slowdown_gap
+            );
+        }
+        Err(failure) => {
+            let dir = corpus::default_corpus_dir();
+            let path = corpus::write_counterexample(&dir, None, &failure.case)
+                .unwrap_or_else(|e| panic!("failed to persist counterexample: {e}"));
+            panic!(
+                "differential divergence (shrunk case persisted to {}):\n{}\n{}",
+                path.display(),
+                failure.case.describe(),
+                failure.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn checked_in_corpus_replays_clean() {
+    let report = verify_dir(&corpus::default_corpus_dir()).expect("corpus readable");
+    assert!(
+        report.total() >= seed_corpus().len(),
+        "corpus on disk ({}) is smaller than the seed set ({}) — run \
+         COLOC_REGEN_CORPUS=1 cargo test -p coloc-conformance seed_corpus",
+        report.total(),
+        seed_corpus().len()
+    );
+    assert!(
+        report.is_clean(),
+        "corpus replay failures:\n{}",
+        report.failures.join("\n")
+    );
+}
+
+/// Regenerates the checked-in seed corpus when `COLOC_REGEN_CORPUS=1`.
+/// A no-op otherwise, so normal runs never write to the source tree.
+#[test]
+fn seed_corpus_files_regenerate_on_request() {
+    if std::env::var("COLOC_REGEN_CORPUS").is_err() {
+        return;
+    }
+    let dir = corpus::default_corpus_dir();
+    for case in seed_corpus() {
+        let path = dir.join(format!("{}.json", case.name));
+        corpus::save_case(&path, &case).expect("write seed case");
+    }
+}

@@ -1,0 +1,94 @@
+//! Run every metamorphic law over its budget of generated seeds. A
+//! scenario-based violation is shrunk and persisted to the corpus before
+//! the test panics.
+
+use coloc_conformance::{all_laws, corpus, shrink, Law};
+
+/// Base seed for law sweeps; each law's case `i` uses `LAW_SEED + i`.
+const LAW_SEED: u64 = 0x1A55;
+
+fn run_law(law: &dyn Law) {
+    for i in 0..law.cases_per_run() as u64 {
+        let seed = LAW_SEED + i;
+        if let Err(violation) = law.check_seed(seed) {
+            if let Some(case) = &violation.case {
+                let shrunk = shrink(case, |c| law.check_case(c).is_err());
+                let detail = law
+                    .check_case(&shrunk)
+                    .err()
+                    .unwrap_or_else(|| violation.detail.clone());
+                let dir = corpus::default_corpus_dir();
+                let path = corpus::write_counterexample(&dir, Some(law.name()), &shrunk)
+                    .unwrap_or_else(|e| panic!("failed to persist counterexample: {e}"));
+                panic!(
+                    "law `{}` violated at seed {seed} (shrunk case persisted to {}):\n{}\n{detail}",
+                    law.name(),
+                    path.display(),
+                    shrunk.describe()
+                );
+            }
+            panic!("{violation}");
+        }
+    }
+}
+
+#[test]
+fn monotone_co_runner_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("monotone-co-runner")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
+fn solo_unity_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("solo-unity")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
+fn permutation_invariance_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("permutation-invariance")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
+fn metric_scale_invariance_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("metric-scale-invariance")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
+fn feature_nesting_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("feature-nesting")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
+fn every_law_is_covered_by_a_named_test_above() {
+    // If a new law lands in `all_laws`, this forces a matching test.
+    let names: Vec<_> = all_laws().iter().map(|l| l.name()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "monotone-co-runner",
+            "solo-unity",
+            "permutation-invariance",
+            "metric-scale-invariance",
+            "feature-nesting",
+        ]
+    );
+}

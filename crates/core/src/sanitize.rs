@@ -162,37 +162,46 @@ pub fn sanitize_samples(
     }
 
     // Pass 2: robust outlier rejection in log-slowdown space over the
-    // structurally sound remainder. Needs a handful of points for the
-    // median/MAD to mean anything.
+    // structurally sound remainder, iterated to a fixed point. A single
+    // median/MAD pass is not enough: an extreme burst inflates the MAD
+    // and masks milder damage, so re-sanitizing the kept set would flag
+    // more — the statistics are re-derived after each round of ejections
+    // until nothing new is flagged, which makes sanitization idempotent.
+    // Each round needs a handful of points for the median/MAD to mean
+    // anything.
     let mut outliers: Vec<usize> = Vec::new();
-    if candidates.len() >= 4 {
-        let log_sd = |s: &Sample| -> Option<f64> {
-            let base = s.features[Feature::BaseExTime.index()];
-            if base > 0.0 {
-                Some((s.actual_time_s / base).ln())
+    let log_sd = |s: &Sample| -> Option<f64> {
+        let base = s.features[Feature::BaseExTime.index()];
+        if base > 0.0 {
+            Some((s.actual_time_s / base).ln())
+        } else {
+            None
+        }
+    };
+    let mut active: Vec<(usize, f64)> = candidates
+        .iter()
+        .filter_map(|&i| log_sd(&samples[i]).map(|v| (i, v)))
+        .collect();
+    while active.len() >= 4 {
+        let mut vals: Vec<f64> = active.iter().map(|&(_, v)| v).collect();
+        vals.sort_by(f64::total_cmp);
+        let median = median_of(&vals);
+        let mut devs: Vec<f64> = vals.iter().map(|v| (v - median).abs()).collect();
+        devs.sort_by(f64::total_cmp);
+        // Floor the MAD: a near-noiseless sweep has MAD ≈ 0, which
+        // would flag everything; 0.05 ≈ a 5% slowdown band.
+        let mad = median_of(&devs).max(0.05);
+        let before = active.len();
+        active.retain(|&(i, v)| {
+            if (v - median).abs() > policy.mad_threshold * mad {
+                outliers.push(i);
+                false
             } else {
-                None
+                true
             }
-        };
-        let mut vals: Vec<f64> = candidates
-            .iter()
-            .filter_map(|&i| log_sd(&samples[i]))
-            .collect();
-        if vals.len() >= 4 {
-            vals.sort_by(f64::total_cmp);
-            let median = median_of(&vals);
-            let mut devs: Vec<f64> = vals.iter().map(|v| (v - median).abs()).collect();
-            devs.sort_by(f64::total_cmp);
-            // Floor the MAD: a near-noiseless sweep has MAD ≈ 0, which
-            // would flag everything; 0.05 ≈ a 5% slowdown band.
-            let mad = median_of(&devs).max(0.05);
-            for &i in &candidates {
-                if let Some(v) = log_sd(&samples[i]) {
-                    if (v - median).abs() > policy.mad_threshold * mad {
-                        outliers.push(i);
-                    }
-                }
-            }
+        });
+        if active.len() == before {
+            break;
         }
     }
     for &i in &outliers {

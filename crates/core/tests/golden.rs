@@ -1,0 +1,132 @@
+//! Golden-fixture round-trips for the persistence layer.
+//!
+//! Each checked-in fixture under `tests/fixtures/` is a deployment
+//! artifact (sweep checkpoint, sample dataset, baseline database,
+//! trained predictor) written by `persist::save_json`. The tests assert
+//! two things: the fixture still parses into today's types, and
+//! re-serializing the parsed value reproduces the file **byte for
+//! byte** — so any silent change to the on-disk schema or JSON shape
+//! shows up as a diff here instead of as a corrupt artifact in a
+//! deployed resource manager. Regenerate after an intentional schema
+//! change with `COLOC_REGEN_FIXTURES=1 cargo test -p coloc-model --test golden`.
+
+use coloc_model::persist::{load_json, save_json};
+use coloc_model::{
+    AppBaseline, BaselineDb, FeatureSet, ModelKind, Predictor, Sample, Scenario, SweepCheckpoint,
+};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn regen() -> bool {
+    std::env::var("COLOC_REGEN_FIXTURES").is_ok()
+}
+
+/// Deterministic sample set, same shape the persist unit tests use.
+fn samples(n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|i| Sample {
+            scenario: Scenario::homogeneous("t", "c", i % 5, 0),
+            features: [
+                100.0 + i as f64,
+                (i % 5) as f64,
+                (i % 5) as f64 * 0.01,
+                1e-3,
+                (i % 5) as f64 * 0.3,
+                (i % 5) as f64 * 0.02,
+                0.1,
+                0.02,
+            ],
+            actual_time_s: (100.0 + i as f64) * (1.0 + (i % 5) as f64 * 0.05),
+        })
+        .collect()
+}
+
+/// Write the fixture when regenerating, then assert the load →
+/// re-serialize round trip is byte-identical. Returns the parsed value
+/// for semantic checks.
+fn check_golden<T>(name: &str, value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let path = fixture_path(name);
+    if regen() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        save_json(value, &path).unwrap();
+    }
+    let on_disk = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (run with COLOC_REGEN_FIXTURES=1)", path.display()));
+    let loaded: T = load_json(&path).unwrap();
+    let reserialized = serde_json::to_vec_pretty(&loaded).unwrap();
+    assert_eq!(
+        on_disk, reserialized,
+        "{name}: re-serialization is not byte-identical to the fixture"
+    );
+    loaded
+}
+
+#[test]
+fn checkpoint_fixture_round_trips_byte_identical() {
+    let checkpoint = SweepCheckpoint {
+        plan_digest: 0xDEAD_BEEF_1234_5678,
+        samples: samples(12),
+    };
+    let loaded = check_golden("checkpoint.json", &checkpoint);
+    assert_eq!(loaded.plan_digest, checkpoint.plan_digest);
+    assert_eq!(loaded.samples.len(), 12);
+    for (a, b) in loaded.samples.iter().zip(&checkpoint.samples) {
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.actual_time_s.to_bits(), b.actual_time_s.to_bits());
+    }
+}
+
+#[test]
+fn samples_fixture_round_trips_byte_identical() {
+    let dataset = samples(25);
+    let loaded = check_golden("samples.json", &dataset);
+    assert_eq!(loaded.len(), 25);
+    assert_eq!(loaded[7].scenario, dataset[7].scenario);
+    assert_eq!(loaded[7].features, dataset[7].features);
+}
+
+#[test]
+fn baselines_fixture_round_trips_byte_identical() {
+    let mut db = BaselineDb::new();
+    db.insert(AppBaseline {
+        name: "cg".into(),
+        exec_time_s: vec![100.0, 120.0, 140.0, 160.0, 180.0, 200.0],
+        memory_intensity: 1.8e-2,
+        cm_ca: 0.5,
+        ca_ins: 0.036,
+    });
+    db.insert(AppBaseline {
+        name: "ep".into(),
+        exec_time_s: vec![90.0, 105.0, 121.0, 140.0, 161.0, 185.0],
+        memory_intensity: 1.1e-5,
+        cm_ca: 0.02,
+        ca_ins: 0.004,
+    });
+    let loaded = check_golden("baselines.json", &db);
+    assert_eq!(loaded, db);
+}
+
+#[test]
+fn linear_predictor_fixture_round_trips_byte_identical() {
+    let train = samples(80);
+    let predictor = Predictor::train(ModelKind::Linear, FeatureSet::D, &train, 3).unwrap();
+    let loaded = check_golden("predictor_linear.json", &predictor);
+    assert_eq!(loaded.kind(), ModelKind::Linear);
+    assert_eq!(loaded.feature_set(), FeatureSet::D);
+    // The persisted model must predict bit-identically to the trained one.
+    for s in &train[..10] {
+        assert_eq!(
+            predictor.predict(&s.features).to_bits(),
+            loaded.predict(&s.features).to_bits()
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for dataset sanitization and the paper's error metrics.
+//!
+//! The load-bearing property is idempotence: re-sanitizing a kept set
+//! must quarantine nothing. A single median/MAD pass fails this — an
+//! extreme burst inflates the MAD and masks milder damage that only
+//! surfaces once the burst is gone — which is why `sanitize_samples`
+//! iterates its outlier pass to a fixed point.
+
+use coloc_ml::{mpe, nrmse};
+use coloc_model::{sanitize_samples, Sample, SanitizePolicy, Scenario};
+use proptest::prelude::*;
+
+fn sample(i: usize, base: f64, actual: f64) -> Sample {
+    Sample {
+        scenario: Scenario::homogeneous("t", "c", i % 5, 0),
+        features: [base, 1.0, 0.01, 1e-3, 0.3, 0.02, 0.1, 0.02],
+        actual_time_s: actual,
+    }
+}
+
+/// Samples over a wide mix of regimes: clean contention (most of the
+/// mass), noise bursts, stuck-counter collapses, and structural damage
+/// (NaN / zero times).
+fn any_sample() -> impl Strategy<Value = Sample> {
+    (
+        0usize..64,
+        50.0f64..500.0,
+        0usize..6,
+        0.0f64..1.0,
+        0usize..10,
+    )
+        .prop_map(|(i, base, regime, u, damage)| {
+            let slowdown = match regime {
+                0..=3 => f64::exp(0.69 * u), // contention ≤ 2×
+                4 => 5.0 + 95.0 * u,         // noise burst
+                _ => 0.001 + 0.199 * u,      // stuck counter
+            };
+            let damage = match damage {
+                0..=7 => 1.0,
+                8 => f64::NAN,
+                _ => 0.0,
+            };
+            sample(i, base, base * slowdown * damage)
+        })
+}
+
+fn same_samples(a: &[Sample], b: &[Sample]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.scenario.label() == y.scenario.label()
+                && x.actual_time_s.to_bits() == y.actual_time_s.to_bits()
+                && x.features
+                    .iter()
+                    .zip(&y.features)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+/// Uniform scale factors spanning seven orders of magnitude.
+fn scale_factor() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![1e-3, 0.37, 42.0, 1e4])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// sanitize(sanitize(x)) == sanitize(x): the kept set is a fixed point.
+    #[test]
+    fn sanitize_is_idempotent(samples in prop::collection::vec(any_sample(), 0..48)) {
+        let policy = SanitizePolicy::default();
+        let (kept, report) = sanitize_samples(&samples, &policy);
+        let (kept2, report2) = sanitize_samples(&kept, &policy);
+        prop_assert!(
+            report2.is_clean(),
+            "second pass quarantined {} of {} (first pass: {report})",
+            report2.quarantined.len(),
+            kept.len()
+        );
+        prop_assert!(same_samples(&kept2, &kept));
+    }
+
+    /// The report partitions the input: kept + quarantined == total, and
+    /// the quarantine never exceeds the input length.
+    #[test]
+    fn sanitize_partitions_the_input(samples in prop::collection::vec(any_sample(), 0..48)) {
+        let (kept, report) = sanitize_samples(&samples, &SanitizePolicy::default());
+        prop_assert_eq!(report.total, samples.len());
+        prop_assert_eq!(report.kept, kept.len());
+        prop_assert!(report.quarantined.len() <= samples.len());
+        prop_assert_eq!(kept.len() + report.quarantined.len(), samples.len());
+        // Quarantine indices are unique, in-range, and in order.
+        let idx: Vec<usize> = report.quarantined.iter().map(|q| q.index).collect();
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "{:?}", idx);
+        prop_assert!(idx.iter().all(|&i| i < samples.len()));
+    }
+
+    /// Everything kept is structurally sound.
+    #[test]
+    fn kept_samples_are_finite_and_positive(samples in prop::collection::vec(any_sample(), 0..48)) {
+        let (kept, _) = sanitize_samples(&samples, &SanitizePolicy::default());
+        for s in &kept {
+            prop_assert!(s.actual_time_s.is_finite() && s.actual_time_s > 0.0);
+            prop_assert!(s.features.iter().all(|f| f.is_finite()));
+        }
+    }
+
+    /// MPE is invariant under uniform scaling of both predictions and
+    /// actuals (paper Eq. 2 is magnitude-independent by construction).
+    #[test]
+    fn mpe_is_scale_invariant(
+        pairs in prop::collection::vec((1.0f64..1e3, 1.0f64..1e3), 1..40),
+        k in scale_factor(),
+    ) {
+        let (pred, actual): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let base = mpe(&pred, &actual);
+        let scaled = mpe(
+            &pred.iter().map(|p| p * k).collect::<Vec<_>>(),
+            &actual.iter().map(|a| a * k).collect::<Vec<_>>(),
+        );
+        prop_assert!((scaled - base).abs() <= 1e-9 * base.abs().max(1.0), "{} vs {}", base, scaled);
+    }
+
+    /// NRMSE is likewise scale-invariant: RMSE and the actual-range scale
+    /// by the same factor (paper Eq. 3).
+    #[test]
+    fn nrmse_is_scale_invariant(
+        pairs in prop::collection::vec((1.0f64..1e3, 1.0f64..1e3), 2..40),
+        k in scale_factor(),
+    ) {
+        let (pred, actual): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let base = nrmse(&pred, &actual);
+        let scaled = nrmse(
+            &pred.iter().map(|p| p * k).collect::<Vec<_>>(),
+            &actual.iter().map(|a| a * k).collect::<Vec<_>>(),
+        );
+        // Zero range (all actuals equal) is NaN on both sides.
+        if base.is_nan() {
+            prop_assert!(scaled.is_nan());
+        } else {
+            prop_assert!((scaled - base).abs() <= 1e-9 * base.abs().max(1.0), "{} vs {}", base, scaled);
+        }
+    }
+
+    /// Both metrics are finite and non-negative on sound inputs.
+    #[test]
+    fn metrics_are_finite_on_sound_inputs(
+        pairs in prop::collection::vec((1.0f64..1e3, 1.0f64..1e3), 1..40),
+    ) {
+        let (pred, actual): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let m = mpe(&pred, &actual);
+        prop_assert!(m.is_finite() && m >= 0.0);
+        let n = nrmse(&pred, &actual);
+        prop_assert!(n.is_nan() || n >= 0.0);
+    }
+}
+
+/// The concrete masking counterexample that motivated the fixed-point
+/// pass: five clean samples, one mild 1.57× outlier, four extreme
+/// e^10 ≈ 22000× bursts. One median/MAD round flags only the bursts; the
+/// mild outlier surfaces once they are gone.
+#[test]
+fn masked_outlier_is_caught() {
+    let log_sds = [0.0, 0.0, 0.0, 0.0, 0.0, 0.45, 10.0, 10.0, 10.0, 10.0];
+    let samples: Vec<Sample> = log_sds
+        .iter()
+        .enumerate()
+        .map(|(i, &ln_sd)| sample(i, 100.0, 100.0 * f64::exp(ln_sd)))
+        .collect();
+    let policy = SanitizePolicy {
+        mad_threshold: 8.0,
+        min_kept: 4,
+    };
+    let (kept, report) = sanitize_samples(&samples, &policy);
+    assert_eq!(kept.len(), 5, "{report}");
+    let flagged: Vec<usize> = report.quarantined.iter().map(|q| q.index).collect();
+    assert_eq!(flagged, vec![5, 6, 7, 8, 9]);
+    let (_, second) = sanitize_samples(&kept, &policy);
+    assert!(second.is_clean(), "{second}");
+}

@@ -1,0 +1,106 @@
+//! Cross-thread bit-identity matrix: `Lab::collect` (and the faulted and
+//! checkpointed variants) must produce bit-for-bit identical sample sets
+//! at 1, 2, and 8 worker threads. The work-stealing sweep runtime may
+//! reorder *execution*, but results are keyed by scenario and every
+//! engine run is seeded per-scenario, so thread count must never leak
+//! into the data — including NaNs injected by fault plans, which is why
+//! all comparisons go through `to_bits`.
+
+use coloc_machine::{presets, FaultPlan};
+use coloc_model::{lab::CheckpointConfig, Lab, Sample, TrainingPlan};
+
+fn plan() -> TrainingPlan {
+    TrainingPlan {
+        pstates: vec![0, 3],
+        targets: vec![
+            "canneal".into(),
+            "cg".into(),
+            "ep".into(),
+            "sp".into(),
+            "blackscholes".into(),
+        ],
+        co_runners: vec!["cg".into(), "ep".into()],
+        counts: vec![1, 3, 5],
+    }
+}
+
+fn lab(threads: usize) -> Lab {
+    Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 2015)
+        .unwrap()
+        .with_noise(0.008)
+        .with_threads(threads)
+}
+
+fn assert_bit_identical(mode: &str, threads: usize, got: &[Sample], want: &[Sample]) {
+    assert_eq!(got.len(), want.len(), "{mode} @ {threads} threads");
+    for (a, b) in got.iter().zip(want) {
+        assert_eq!(
+            a.scenario.label(),
+            b.scenario.label(),
+            "{mode} @ {threads} threads: order drift"
+        );
+        assert_eq!(
+            a.actual_time_s.to_bits(),
+            b.actual_time_s.to_bits(),
+            "{mode} @ {threads} threads: {}",
+            a.scenario.label()
+        );
+        for (x, y) in a.features.iter().zip(&b.features) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{mode} @ {threads} threads: {}",
+                a.scenario.label()
+            );
+        }
+    }
+}
+
+/// One matrix: {clean, light-faulted, heavy-faulted + checkpointed} ×
+/// {1, 2, 8} threads, each cell bit-compared against its single-thread
+/// reference.
+#[test]
+fn collect_is_bit_identical_across_thread_counts() {
+    let scenarios = plan().scenarios();
+    let ckpt_dir = std::env::temp_dir().join("coloc-thread-matrix-tests");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+
+    let collect = |mode: &str, threads: usize| -> Vec<Sample> {
+        match mode {
+            "clean" => lab(threads).collect_scenarios(&scenarios).unwrap(),
+            "light-faulted" => lab(threads)
+                .with_faults(FaultPlan::light(41))
+                .unwrap()
+                .collect_scenarios(&scenarios)
+                .unwrap(),
+            "heavy-checkpointed" => {
+                let path = ckpt_dir.join(format!("ckpt_{threads}.json"));
+                let _ = std::fs::remove_file(&path);
+                let samples = lab(threads)
+                    .with_faults(FaultPlan::heavy(99))
+                    .unwrap()
+                    .collect_resumable(&scenarios, &CheckpointConfig::new(&path, 7))
+                    .unwrap();
+                let _ = std::fs::remove_file(&path);
+                samples
+            }
+            other => panic!("unknown mode {other}"),
+        }
+    };
+
+    for mode in ["clean", "light-faulted", "heavy-checkpointed"] {
+        let reference = collect(mode, 1);
+        // The heavy plan must actually fire on this sweep, or the faulted
+        // cells silently degenerate into a rerun of the clean ones.
+        if mode == "heavy-checkpointed" {
+            assert!(
+                reference.iter().any(|s| !s.actual_time_s.is_finite()),
+                "heavy plan fired no NaN faults — plan or seed changed?"
+            );
+        }
+        for threads in [2, 8] {
+            let got = collect(mode, threads);
+            assert_bit_identical(mode, threads, &got, &reference);
+        }
+    }
+}

@@ -267,7 +267,9 @@ fn sweep() {
     );
     let mut cold_1t = None;
     for threads in [1usize, 4, 8] {
-        let lab = coloc_bench::lab_6core().with_threads(threads);
+        let lab = coloc_bench::lab_6core()
+            .with_threads(threads)
+            .with_stage_stats(true);
         let plan = lab.paper_plan();
         let start = std::time::Instant::now();
         let cold = lab.collect(&plan).expect("cold sweep");
@@ -282,7 +284,11 @@ fn sweep() {
              warm (memoized) {warm_s:.3} s",
             *speedup / cold_s
         );
-        println!("  {}", lab.sweep_stats());
+        let stats = lab.sweep_stats();
+        println!("  {stats}");
+        if let Some(stages) = stats.stage_summary() {
+            println!("  stage breakdown (engine misses only):\n{stages}");
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Command implementations.
 
 use crate::args::ArgMap;
-use coloc_machine::{FaultPlan, MachineSpec};
+use coloc_machine::{FaultPlan, MachineSpec, StageId, StageProfile};
 use coloc_model::lab::CheckpointConfig;
 use coloc_model::persist;
 use coloc_model::scheduler::{Policy, Scheduler};
@@ -107,13 +107,16 @@ pub fn collect(argv: &[String]) -> CmdResult {
     if args.has_flag("help") {
         println!(
             "coloc collect --machine <key> [--paper-plan] [--counts 1,3,5] \
-             [--pstates 0,3] [--seed N] [--threads N] \
+             [--pstates 0,3] [--seed N] [--threads N] [--stage-stats] \
              [--faults light|heavy|<plan.json>] [--checkpoint <file>] \
              [--checkpoint-every N] [--crash-after N] --out <file>"
         );
         return Ok(());
     }
-    let lab = lab_from(&args)?;
+    let mut lab = lab_from(&args)?;
+    if args.has_flag("stage-stats") {
+        lab = lab.with_stage_stats(true);
+    }
     let out = args.require("out")?;
     let mut plan = lab.paper_plan();
     if !args.has_flag("paper-plan") {
@@ -142,7 +145,11 @@ pub fn collect(argv: &[String]) -> CmdResult {
     } else {
         lab.collect(&plan).map_err(|e| e.to_string())?
     };
-    eprintln!("sweep: {}", lab.sweep_stats());
+    let stats = lab.sweep_stats();
+    eprintln!("sweep: {stats}");
+    if let Some(stages) = stats.stage_summary() {
+        eprintln!("stage breakdown (engine misses only):\n{stages}");
+    }
     persist::save_samples(&samples, out).map_err(|e| e.to_string())?;
     println!("wrote {} samples to {out}", samples.len());
     Ok(())
@@ -304,16 +311,92 @@ pub fn machines(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
-/// `coloc verify [--corpus <dir>] [--spot N] [--seed N]`
+/// `coloc trace --machine <key> --target <app> [--co name:count]… [--pstate N]`
+///
+/// Runs one scenario through the staged engine with the segment trace
+/// ring attached and dumps the most recent segments: per-segment dt,
+/// converged DRAM latency, fixed-point iteration count and final
+/// residual. `--stage-stats` adds the per-stage pipeline breakdown.
+pub fn trace(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc trace --machine <key> --target <app> [--co name:count]… \
+             [--pstate N] [--seed N] [--last N] [--stage-stats]\n\n\
+             Replays one scenario with the engine's segment trace ring\n\
+             attached and dumps the last N segments (default 32), plus the\n\
+             per-stage pipeline breakdown with --stage-stats."
+        );
+        return Ok(());
+    }
+    let lab = lab_from(&args)?;
+    let scenario = Scenario {
+        target: args.require("target")?.to_string(),
+        co_located: parse_co(args.get_all("co"))?,
+        pstate: args.get_parsed_or("pstate", 0usize)?,
+    };
+    let last = args.get_parsed_or("last", 32usize)?;
+    let ir = lab.scenario_ir(&scenario).map_err(|e| e.to_string())?;
+    let machine = ir.machine().map_err(|e| e.to_string())?;
+    let (outcome, trace) = machine
+        .run_traced(&ir.workload, &ir.opts, last)
+        .map_err(|e| e.to_string())?;
+
+    println!("scenario: {scenario}");
+    println!("ir digest: {:#034x}", ir.digest());
+    println!(
+        "{} segments, {} fixed-point iters, wall {:.3}s",
+        outcome.segments, outcome.fp_iterations, outcome.wall_time_s
+    );
+    if trace.dropped() > 0 {
+        println!(
+            "… {} earlier segments dropped (ring capacity {})",
+            trace.dropped(),
+            trace.capacity()
+        );
+    }
+    println!(
+        "{:>9}  {:>13}  {:>12}  {:>4}  {:>10}",
+        "segment", "dt (s)", "latency (ns)", "fp", "residual"
+    );
+    for r in trace.records() {
+        println!(
+            "{:>9}  {:>13.6}  {:>12.2}  {:>4}  {:>10.3e}",
+            r.segment, r.dt, r.latency_ns, r.fp_iters, r.residual
+        );
+    }
+
+    if args.has_flag("stage-stats") {
+        let mut profile = StageProfile::new();
+        machine
+            .run_instrumented(&ir.workload, &ir.opts, &mut profile)
+            .map_err(|e| e.to_string())?;
+        println!("stage breakdown:");
+        for id in StageId::ALL {
+            let s = profile.get(id);
+            println!(
+                "  {:<17} {:>9} calls  {:>10.3} ms",
+                id.label(),
+                s.invocations,
+                s.nanos as f64 * 1e-6
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `coloc verify [--corpus <dir>] [--spot N] [--seed N] [--threads N]`
 pub fn verify(argv: &[String]) -> CmdResult {
     let args = ArgMap::parse(argv)?;
     if args.has_flag("help") {
         println!(
-            "coloc verify [--corpus <dir>] [--spot N] [--seed N]\n\n\
+            "coloc verify [--corpus <dir>] [--spot N] [--seed N] [--threads N]\n\n\
              Replays the checked-in conformance corpus (differential cases\n\
              through the naive reference engine, law-tagged cases through\n\
              their metamorphic law), then differential-spot-checks N freshly\n\
-             generated scenarios. Exits non-zero on any divergence."
+             generated scenarios. Cases fan out across --threads workers\n\
+             (0 = one per core); the report is identical at any setting.\n\
+             Exits non-zero on any divergence."
         );
         return Ok(());
     }
@@ -323,8 +406,9 @@ pub fn verify(argv: &[String]) -> CmdResult {
     };
     let spot = args.get_parsed_or("spot", 16usize)?;
     let seed = args.get_parsed_or("seed", 0xC0_10Cu64)?;
+    let threads = args.get_parsed_or("threads", 0usize)?;
 
-    let report = coloc_conformance::verify_dir(&dir)?;
+    let report = coloc_conformance::verify_dir_threaded(&dir, threads)?;
     println!(
         "corpus {} — {} cases replayed ({} differential, {} law)",
         dir.display(),
@@ -338,7 +422,7 @@ pub fn verify(argv: &[String]) -> CmdResult {
 
     let mut spot_failures = 0usize;
     if spot > 0 {
-        match coloc_conformance::differential_sweep(seed, spot) {
+        match coloc_conformance::differential_sweep_threaded(seed, spot, threads) {
             Ok(summary) => println!(
                 "spot-check — {} generated scenarios agree (max slowdown gap {:.2e})",
                 summary.cases, summary.max_slowdown_gap
@@ -509,6 +593,50 @@ mod tests {
     fn info_commands_run() {
         suite(&[]).unwrap();
         machines(&[]).unwrap();
+    }
+
+    #[test]
+    fn trace_dumps_segment_telemetry() {
+        trace(&argv(&[
+            "--machine",
+            "e5649",
+            "--target",
+            "canneal",
+            "--co",
+            "cg:3",
+            "--last",
+            "8",
+            "--stage-stats",
+        ]))
+        .unwrap();
+        assert!(trace(&argv(&["--machine", "e5649", "--target", "doom"])).is_err());
+    }
+
+    #[test]
+    fn collect_with_stage_stats_writes_the_same_samples() {
+        let plain_path = tmp("stageless_samples.json");
+        let staged_path = tmp("staged_samples.json");
+        let base = [
+            "--machine",
+            "e5649",
+            "--counts",
+            "1",
+            "--pstates",
+            "0",
+            "--out",
+        ];
+        let mut plain = argv(&base);
+        plain.push(plain_path.clone());
+        collect(&plain).unwrap();
+        let mut staged = argv(&base);
+        staged.push(staged_path.clone());
+        staged.push("--stage-stats".into());
+        collect(&staged).unwrap();
+        // Instrumentation is observation only: identical artifacts.
+        assert_eq!(
+            std::fs::read(&plain_path).unwrap(),
+            std::fs::read(&staged_path).unwrap()
+        );
     }
 
     #[test]

@@ -34,6 +34,8 @@ COMMANDS:
     schedule    place jobs on sockets with a trained model
     suite       list the benchmark suite and its memory-intensity classes
     machines    list available machine presets
+    trace       replay one scenario with the segment trace ring attached
+                and dump per-segment solver telemetry
     verify      replay the conformance corpus and spot-check the engine
                 against the naive reference implementation
     help        show this message
@@ -54,6 +56,7 @@ fn main() -> ExitCode {
         "schedule" => commands::schedule(rest),
         "suite" => commands::suite(rest),
         "machines" => commands::machines(rest),
+        "trace" => commands::trace(rest),
         "verify" => commands::verify(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

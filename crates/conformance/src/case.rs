@@ -12,7 +12,7 @@
 //! duration *ratios* that determine segment structure, so scaled cases
 //! exercise the same code paths as paper-sized runs.
 
-use coloc_machine::{presets, FaultPlan, MachineSpec, RunOptions, RunnerGroup};
+use coloc_machine::{presets, FaultPlan, MachineSpec, RunOptions, RunnerGroup, ScenarioIr};
 use coloc_workloads::suite;
 use rand::rngs::StdRng;
 use rand::Rng as _;
@@ -94,6 +94,10 @@ pub struct CorpusCase {
 }
 
 /// Engine-ready inputs materialized from a case.
+///
+/// The fields are views into [`BuiltCase::ir`], the canonical
+/// [`ScenarioIr`] the case lowers to — kept as owned copies so existing
+/// call sites (the differential oracle, law checks) stay untouched.
 #[derive(Clone, Debug)]
 pub struct BuiltCase {
     /// The machine spec.
@@ -104,6 +108,8 @@ pub struct BuiltCase {
     pub opts: RunOptions,
     /// Fault plan, if any.
     pub plan: Option<FaultPlan>,
+    /// The canonical scenario IR the fields above were derived from.
+    pub ir: ScenarioIr,
 }
 
 /// Resolve a machine key to its Table IV spec.
@@ -131,11 +137,11 @@ fn scaled_app(name: &str, scale: f64) -> Result<coloc_machine::AppProfile, Strin
 }
 
 impl CorpusCase {
-    /// Materialize the case into engine inputs. Fails on unknown machine
-    /// or app names and degenerate scales; over-subscription and similar
-    /// workload problems are left for the engines (both must reject them
-    /// identically — that, too, is conformance surface).
-    pub fn build(&self) -> Result<BuiltCase, String> {
+    /// Lower the case to the canonical [`ScenarioIr`]. Fails on unknown
+    /// machine or app names and degenerate scales; over-subscription and
+    /// similar workload problems are left for the engines (both must
+    /// reject them identically — that, too, is conformance surface).
+    pub fn to_ir(&self) -> Result<ScenarioIr, String> {
         let spec = machine_spec(&self.machine)?;
         let mut workload = vec![RunnerGroup::solo(scaled_app(
             &self.target,
@@ -155,11 +161,22 @@ impl CorpusCase {
             fp_budget: self.fp_budget,
             ..Default::default()
         };
+        let mut ir = ScenarioIr::new(spec, workload, opts);
+        if let Some(f) = &self.faults {
+            ir = ir.with_faults(f.plan());
+        }
+        Ok(ir)
+    }
+
+    /// Materialize the case into engine inputs, via [`CorpusCase::to_ir`].
+    pub fn build(&self) -> Result<BuiltCase, String> {
+        let ir = self.to_ir()?;
         Ok(BuiltCase {
-            spec,
-            workload,
-            opts,
-            plan: self.faults.as_ref().map(FaultSpec::plan),
+            spec: ir.machine.clone(),
+            workload: ir.workload.clone(),
+            opts: ir.opts,
+            plan: ir.faults,
+            ir,
         })
     }
 
@@ -480,6 +497,19 @@ mod tests {
         assert!(bare.co.is_empty());
         assert_eq!(bare.noise_sigma, 0.0);
         assert!(bare.faults.is_none());
+    }
+
+    #[test]
+    fn build_is_a_view_of_the_ir() {
+        for case in gen_cases(11, 30) {
+            let built = case.build().expect("generated cases build");
+            let ir = case.to_ir().expect("generated cases lower");
+            assert_eq!(built.ir.digest(), ir.digest(), "{}", case.describe());
+            // The convenience fields mirror the IR exactly.
+            assert_eq!(built.workload.len(), built.ir.workload.len());
+            assert_eq!(built.spec.name, built.ir.machine.name);
+            assert_eq!(built.plan.is_some(), built.ir.faults.is_some());
+        }
     }
 
     #[test]

@@ -92,33 +92,53 @@ impl VerifyReport {
     }
 }
 
-/// Replay every case in `dir`: law-tagged cases re-check their law,
-/// everything else goes through the differential oracle.
+/// Replay every case in `dir` on one thread: law-tagged cases re-check
+/// their law, everything else goes through the differential oracle.
+/// Equivalent to [`verify_dir_threaded`] with `threads = 1`.
 pub fn verify_dir(dir: &Path) -> Result<VerifyReport, String> {
-    let mut report = VerifyReport::default();
-    for (path, case) in load_dir(dir)? {
+    verify_dir_threaded(dir, 1)
+}
+
+/// Replay every case in `dir` across `threads` workers (0 = one per
+/// core, capped at the case count). Cases are independent, so replay
+/// fans out over the work-stealing pool; results aggregate in the
+/// sorted-by-file-name order, making the report identical to a
+/// sequential replay.
+pub fn verify_dir_threaded(dir: &Path, threads: usize) -> Result<VerifyReport, String> {
+    let cases = load_dir(dir)?;
+    // (counted-as-law, counted-as-differential, failure) per case; an
+    // unknown law counts as neither, matching the sequential replay.
+    let outcomes = coloc_ml::parallel::run_indexed(cases.len(), threads, |i| {
+        let (path, case) = &cases[i];
         match &case.law {
             Some(name) => match laws::law_by_name(name) {
-                Some(law) => {
-                    report.law_checks += 1;
-                    if let Err(detail) = law.check_case(&case) {
-                        report
-                            .failures
-                            .push(format!("{}: {detail}", path.display()));
-                    }
-                }
-                None => report
-                    .failures
-                    .push(format!("{}: unknown law {name:?}", path.display())),
+                Some(law) => match law.check_case(case) {
+                    Ok(()) => (true, false, None),
+                    Err(detail) => (true, false, Some(format!("{}: {detail}", path.display()))),
+                },
+                None => (
+                    false,
+                    false,
+                    Some(format!("{}: unknown law {name:?}", path.display())),
+                ),
             },
-            None => {
-                report.differential += 1;
-                if let Err(detail) = diff::check_case(&case) {
-                    report
-                        .failures
-                        .push(format!("{}: {detail}", path.display()));
-                }
-            }
+            None => match diff::check_case(case) {
+                Ok(_) => (false, true, None),
+                Err(detail) => (false, true, Some(format!("{}: {detail}", path.display()))),
+            },
+        }
+    });
+
+    let mut report = VerifyReport::default();
+    for (is_law, is_diff, failure) in outcomes {
+        if is_law {
+            report.law_checks += 1;
+        }
+        if is_diff {
+            report.differential += 1;
+        }
+        if let Some(detail) = failure {
+            report.failures.push(detail);
         }
     }
     Ok(report)

@@ -279,13 +279,35 @@ pub struct DiffFailure {
     pub detail: String,
 }
 
-/// Sweep `n` generated cases from `base_seed`; the first failure is
-/// shrunk and returned.
+/// Sweep `n` generated cases from `base_seed` on one thread; the first
+/// failure is shrunk and returned. Equivalent to
+/// [`differential_sweep_threaded`] with `threads = 1`.
 pub fn differential_sweep(base_seed: u64, n: usize) -> Result<DiffSummary, Box<DiffFailure>> {
-    let mut summary = DiffSummary::default();
-    for i in 0..n {
+    differential_sweep_threaded(base_seed, n, 1)
+}
+
+/// Sweep `n` generated cases from `base_seed` across `threads` workers
+/// (0 = one per core, capped at `n`).
+///
+/// Each case is independent, so the sweep fans out over the
+/// work-stealing pool and aggregates in index order — the summary and
+/// the chosen failure are identical to a sequential sweep. On failure
+/// the lowest-index failing case is shrunk (sequentially; shrinking is
+/// a chain of dependent re-checks) and returned.
+pub fn differential_sweep_threaded(
+    base_seed: u64,
+    n: usize,
+    threads: usize,
+) -> Result<DiffSummary, Box<DiffFailure>> {
+    let results = coloc_ml::parallel::run_indexed(n, threads, |i| {
         let case = gen_case(base_seed.wrapping_add(i as u64), &GenConstraints::default());
-        match check_case(&case) {
+        let result = check_case(&case);
+        (case, result)
+    });
+
+    let mut summary = DiffSummary::default();
+    for (case, result) in results {
+        match result {
             Ok(report) => {
                 summary.cases += 1;
                 if case.faults.is_some() {
@@ -338,6 +360,43 @@ mod tests {
         let case = gen_case(12345, &GenConstraints::default());
         let report = check_case(&case).expect("differential check passes");
         assert!(report.rejected || report.slowdown_ref.is_nan() || report.slowdown_ref > 0.0);
+    }
+
+    #[test]
+    fn staged_driver_matches_the_reference_bit_for_bit_across_the_corpus() {
+        // The refactored engine is staged (explicit `EpochStage` passes);
+        // the reference still walks the pre-refactor monolithic loop.
+        // Across 220 generated scenarios — faults, noise, budgets,
+        // partitioning, both machines — every outcome (or rejection)
+        // must match bit for bit, not just within tolerance.
+        let cases = crate::case::gen_cases(0xD1FF, 220);
+        let failures: Vec<String> = coloc_ml::parallel::run_indexed(cases.len(), 0, |i| {
+            let case = &cases[i];
+            let built = case.build().expect("generated cases build");
+            let machine = Machine::new(built.spec.clone()).unwrap();
+            let reference = RefEngine::new(built.spec.clone()).unwrap();
+            let cache = RunCache::new(4);
+            let engine =
+                cache.run_with_faults(&machine, &built.workload, &built.opts, built.plan.as_ref());
+            let refd = reference.run_faulted(&built.workload, &built.opts, built.plan.as_ref());
+            match (engine, refd) {
+                (Ok((a, _)), Ok(b)) if outcomes_bit_identical(&a, &b) => None,
+                (Err(ea), Err(eb)) if ea == eb => None,
+                (a, b) => Some(format!(
+                    "{}: engine {a:?} vs reference {b:?}",
+                    case.describe()
+                )),
+            }
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        assert!(
+            failures.is_empty(),
+            "{} divergences:\n{}",
+            failures.len(),
+            failures.join("\n")
+        );
     }
 
     #[test]

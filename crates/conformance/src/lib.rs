@@ -37,9 +37,10 @@ pub mod refengine;
 pub use case::{
     gen_case, gen_cases, shrink, BuiltCase, CoGroup, CorpusCase, FaultSpec, GenConstraints,
 };
-pub use corpus::{default_corpus_dir, seed_corpus, verify_dir, VerifyReport};
+pub use corpus::{default_corpus_dir, seed_corpus, verify_dir, verify_dir_threaded, VerifyReport};
 pub use diff::{
-    check_case, differential_sweep, DiffReport, DiffSummary, REL_TOL, SLOWDOWN_REL_TOL,
+    check_case, differential_sweep, differential_sweep_threaded, DiffReport, DiffSummary, REL_TOL,
+    SLOWDOWN_REL_TOL,
 };
 pub use laws::{all_laws, law_by_name, Law, Violation};
 pub use refengine::RefEngine;

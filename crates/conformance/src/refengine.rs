@@ -126,10 +126,12 @@ impl RefEngine {
         loop {
             segments += 1;
             if segments > opts.max_segments {
-                return Err(MachineError::BadProfile(format!(
-                    "run exceeded {} segments; co-runner far shorter than target?",
-                    opts.max_segments
-                )));
+                // Typed in lockstep with the engine: the differential suite
+                // requires errors, not just outcomes, to match exactly.
+                return Err(MachineError::SegmentOverflow {
+                    segments,
+                    cap: opts.max_segments,
+                });
             }
 
             // Everything below is rebuilt from scratch: phases, MRCs,

@@ -11,13 +11,16 @@ use crate::plan::TrainingPlan;
 use crate::sample::Sample;
 use crate::scenario::Scenario;
 use crate::{ColocError, ModelError, Result};
-use coloc_machine::{FaultPlan, Machine, MachineSpec, RunCache, RunOptions, RunnerGroup};
+use coloc_machine::{
+    FaultPlan, IrWriter, Machine, MachineSpec, RunCache, RunOptions, RunnerGroup, ScenarioIr,
+    StageId, StageProfile,
+};
 use coloc_ml::rng::{derive_seed, derive_seed_str};
 use coloc_perfmon::{EventSet, FlatProfiler};
 use coloc_workloads::Benchmark;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Default measurement-noise σ: the paper's per-partition error spread is
@@ -48,6 +51,37 @@ pub struct SweepStats {
     /// Wall time spent inside parallel sweeps ([`Lab::collect`] /
     /// [`Lab::collect_scenarios`]), seconds.
     pub sweep_wall_time_s: f64,
+    /// Per-stage pipeline invocation counts, indexed by
+    /// [`StageId::index`]. All zero unless [`Lab::with_stage_stats`]
+    /// enabled instrumentation (the un-instrumented engine path pays no
+    /// timing cost).
+    pub stage_invocations: [u64; 5],
+    /// Per-stage pipeline wall nanoseconds, indexed like
+    /// [`SweepStats::stage_invocations`].
+    pub stage_nanos: [u64; 5],
+}
+
+impl SweepStats {
+    /// Multi-line per-stage breakdown (one line per [`StageId`]), or
+    /// `None` when no stage instrumentation was collected.
+    pub fn stage_summary(&self) -> Option<String> {
+        if self.stage_invocations.iter().all(|&n| n == 0) {
+            return None;
+        }
+        let lines: Vec<String> = StageId::ALL
+            .iter()
+            .map(|id| {
+                let i = id.index();
+                format!(
+                    "  {:<17} {:>9} calls  {:>10.3} ms",
+                    id.label(),
+                    self.stage_invocations[i],
+                    self.stage_nanos[i] as f64 * 1e-6,
+                )
+            })
+            .collect();
+        Some(lines.join("\n"))
+    }
 }
 
 impl std::fmt::Display for SweepStats {
@@ -81,6 +115,9 @@ pub struct Lab {
     faults: Option<FaultPlan>,
     baselines: OnceLock<BaselineDb>,
     run_cache: RunCache,
+    /// Per-stage engine instrumentation, merged across all runs when
+    /// enabled via [`Lab::with_stage_stats`]; `None` = uninstrumented.
+    stage_profile: Option<Mutex<StageProfile>>,
     segments_simulated: AtomicU64,
     fp_iterations: AtomicU64,
     scenarios_run: AtomicU64,
@@ -104,6 +141,7 @@ impl Lab {
             faults: None,
             baselines: OnceLock::new(),
             run_cache: RunCache::default(),
+            stage_profile: None,
             segments_simulated: AtomicU64::new(0),
             fp_iterations: AtomicU64::new(0),
             scenarios_run: AtomicU64::new(0),
@@ -150,6 +188,16 @@ impl Lab {
     /// controls resources.
     pub fn with_threads(mut self, threads: usize) -> Lab {
         self.threads = threads;
+        self
+    }
+
+    /// Enable (or disable) per-stage engine instrumentation. When on,
+    /// every fresh (cache-missing) run is timed stage by stage and the
+    /// counters surface through [`SweepStats::stage_invocations`] /
+    /// [`SweepStats::stage_nanos`]. Outcomes are bit-identical either
+    /// way; only the timing bookkeeping toggles.
+    pub fn with_stage_stats(mut self, enabled: bool) -> Lab {
+        self.stage_profile = enabled.then(|| Mutex::new(StageProfile::new()));
         self
     }
 
@@ -231,17 +279,49 @@ impl Lab {
         Ok(wl)
     }
 
+    /// Lower a [`Scenario`] to the canonical [`ScenarioIr`] this lab
+    /// would execute it as: the resolved workload, the derived run
+    /// options (seed stream, noise σ, P-state), and the lab's fault
+    /// plan. [`Lab::run_scenario`] runs exactly this IR, and
+    /// [`Lab::plan_digest`] keys checkpoints on its digest — one
+    /// encoding for what runs, what is cached, and what is resumable.
+    pub fn scenario_ir(&self, scenario: &Scenario) -> Result<ScenarioIr> {
+        let workload = self.workload(scenario)?;
+        let mut opts = self.run_options(&scenario.label(), 1);
+        opts.pstate = scenario.pstate;
+        let ir = ScenarioIr::new(self.machine.spec().clone(), workload, opts);
+        Ok(match &self.faults {
+            Some(plan) => ir.with_faults(*plan),
+            None => ir,
+        })
+    }
+
     /// Execute one scenario and return the target's measured wall time.
     /// Identical `(workload, options)` pairs are answered from the run
     /// cache; determinism makes the memoized outcome bit-identical to a
     /// fresh simulation.
     pub fn run_scenario(&self, scenario: &Scenario) -> Result<f64> {
-        let wl = self.workload(scenario)?;
-        let mut opts = self.run_options(&scenario.label(), 1);
-        opts.pstate = scenario.pstate;
-        let (outcome, hit) =
-            self.run_cache
-                .run_with_faults(&self.machine, &wl, &opts, self.faults.as_ref())?;
+        let ir = self.scenario_ir(scenario)?;
+        let (outcome, hit) = match &self.stage_profile {
+            Some(shared) => {
+                let mut local = StageProfile::new();
+                let pair = self.run_cache.run_observed(
+                    &self.machine,
+                    &ir.workload,
+                    &ir.opts,
+                    ir.faults.as_ref(),
+                    Some(&mut local),
+                )?;
+                shared.lock().expect("stage profile lock").merge(&local);
+                pair
+            }
+            None => self.run_cache.run_with_faults(
+                &self.machine,
+                &ir.workload,
+                &ir.opts,
+                ir.faults.as_ref(),
+            )?,
+        };
         self.scenarios_run.fetch_add(1, Ordering::Relaxed);
         if !hit {
             self.segments_simulated
@@ -257,6 +337,11 @@ impl Lab {
     /// Snapshot the sweep-runtime telemetry accumulated so far.
     pub fn sweep_stats(&self) -> SweepStats {
         let cache = self.run_cache.stats();
+        let profile = self
+            .stage_profile
+            .as_ref()
+            .map(|m| *m.lock().expect("stage profile lock"))
+            .unwrap_or_default();
         SweepStats {
             scenarios_run: self.scenarios_run.load(Ordering::Relaxed),
             cache_hits: cache.hits,
@@ -266,6 +351,8 @@ impl Lab {
             fp_iterations: self.fp_iterations.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             sweep_wall_time_s: self.sweep_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            stage_invocations: profile.invocations(),
+            stage_nanos: profile.nanos(),
         }
     }
 
@@ -362,35 +449,35 @@ impl Lab {
         )
     }
 
-    /// 64-bit FNV-1a digest binding a checkpoint to this lab's
-    /// configuration and an exact scenario list. Any change to the seed,
-    /// the noise σ, the fault plan, the machine spec, or the scenarios
-    /// changes the digest — which is exactly when resuming would splice
-    /// incompatible samples together.
+    /// 64-bit digest binding a checkpoint to this lab's configuration and
+    /// an exact scenario list, built on the canonical [`ScenarioIr`]
+    /// encoding: each scenario contributes the digest of the exact IR the
+    /// lab would run it as. Any change to the seed, the noise σ, the
+    /// fault plan, the machine spec, or the scenarios changes the digest
+    /// — which is exactly when resuming would splice incompatible samples
+    /// together. A scenario that no longer lowers (e.g. an app renamed
+    /// out of the suite) still contributes its label, keeping the digest
+    /// total and the mismatch detectable.
     pub fn plan_digest(&self, scenarios: &[Scenario]) -> u64 {
-        const OFFSET: u64 = 0xcbf29ce484222325;
-        const PRIME: u64 = 0x100000001b3;
-        let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        eat(&self.seed.to_le_bytes());
-        eat(&self.noise_sigma.to_bits().to_le_bytes());
-        eat(&self
-            .faults
-            .as_ref()
-            .map_or(0, FaultPlan::digest)
-            .to_le_bytes());
-        eat(self.machine.spec().name.as_bytes());
-        eat(&(scenarios.len() as u64).to_le_bytes());
+        let mut d = IrWriter::new();
+        d.u64(self.seed);
+        d.f64(self.noise_sigma);
+        d.u64(self.faults.as_ref().map_or(0, FaultPlan::digest));
+        d.str(&self.machine.spec().name);
+        d.usize(scenarios.len());
         for sc in scenarios {
-            eat(sc.label().as_bytes());
-            eat(&[0]);
+            match self.scenario_ir(sc) {
+                Ok(ir) => {
+                    d.byte(1);
+                    d.u64(ir.digest64());
+                }
+                Err(_) => {
+                    d.byte(0);
+                    d.str(&sc.label());
+                }
+            }
         }
-        h
+        d.finish64()
     }
 
     /// Execute a scenario list with periodic crash-safe checkpointing,
@@ -693,12 +780,105 @@ mod tests {
             fp_iterations: 900,
             faults_injected: 3,
             sweep_wall_time_s: 1.25,
+            stage_invocations: [0; 5],
+            stage_nanos: [0; 5],
         };
         let text = format!("{s}");
         assert!(text.contains("10 scenarios"), "{text}");
         assert!(text.contains("4 cache hits"), "{text}");
         assert!(text.contains("3 faults injected"), "{text}");
         assert!(text.contains("1.25s"), "{text}");
+        assert!(s.stage_summary().is_none(), "no stage data collected");
+        let mut with_stages = s;
+        with_stages.stage_invocations = [10, 10, 40, 40, 10];
+        with_stages.stage_nanos = [1_000, 2_000, 3_000, 4_000, 5_000];
+        let stages = with_stages.stage_summary().expect("stage data present");
+        for label in ["pstate", "phase-sync", "llc-share", "dram-fixed-point"] {
+            assert!(stages.contains(label), "{stages}");
+        }
+        assert!(stages.contains("40 calls"), "{stages}");
+    }
+
+    #[test]
+    fn stage_stats_flow_through_the_lab() {
+        let plan = small_plan();
+        let plain = small_lab();
+        let instrumented = small_lab().with_stage_stats(true);
+        let a = plain.collect(&plan).unwrap();
+        let b = instrumented.collect(&plan).unwrap();
+        // Instrumentation must not perturb the simulation.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.actual_time_s.to_bits(), y.actual_time_s.to_bits());
+        }
+        let off = plain.sweep_stats();
+        let on = instrumented.sweep_stats();
+        assert_eq!(off.stage_invocations, [0; 5], "off by default");
+        assert!(off.stage_summary().is_none());
+        // Driver stages run once per segment; solver stages once per
+        // fixed-point iteration. The lab's aggregate counters pin both.
+        let seg = on.segments_simulated;
+        let fp = on.fp_iterations;
+        assert_eq!(on.stage_invocations[StageId::PState.index()], seg);
+        assert_eq!(on.stage_invocations[StageId::PhaseSync.index()], seg);
+        assert_eq!(on.stage_invocations[StageId::LlcShare.index()], fp);
+        assert_eq!(on.stage_invocations[StageId::DramFixedPoint.index()], fp);
+        assert_eq!(on.stage_invocations[StageId::CounterAccrual.index()], seg);
+        assert!(on.stage_summary().is_some());
+
+        // Cache hits do no stage work: a warm pass leaves counters flat.
+        instrumented.collect(&plan).unwrap();
+        assert_eq!(
+            instrumented.sweep_stats().stage_invocations,
+            on.stage_invocations
+        );
+    }
+
+    #[test]
+    fn plan_digest_tracks_the_scenario_ir() {
+        let plan = small_plan();
+        let scenarios = plan.scenarios();
+        let base = small_lab().plan_digest(&scenarios);
+        // Stable across lab instances and thread settings.
+        assert_eq!(base, small_lab().with_threads(8).plan_digest(&scenarios));
+        // Every configuration axis moves it.
+        let reseeded = Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), 43).unwrap();
+        assert_ne!(base, reseeded.plan_digest(&scenarios));
+        assert_ne!(base, small_lab().with_noise(0.0).plan_digest(&scenarios));
+        assert_ne!(
+            base,
+            small_lab()
+                .with_faults(FaultPlan::heavy(5))
+                .unwrap()
+                .plan_digest(&scenarios)
+        );
+        let other_machine =
+            Lab::new(presets::xeon_e5_2697v2(), coloc_workloads::standard(), 42).unwrap();
+        assert_ne!(base, other_machine.plan_digest(&scenarios));
+        assert_ne!(base, small_lab().plan_digest(&scenarios[1..]));
+        // An unresolvable scenario still digests (totality), distinctly.
+        let mut broken = scenarios.clone();
+        broken[0].target = "doom".into();
+        assert_ne!(base, small_lab().plan_digest(&broken));
+    }
+
+    #[test]
+    fn scenario_ir_is_what_run_scenario_executes() {
+        let lab = small_lab();
+        let sc = Scenario::homogeneous("canneal", "cg", 3, 2);
+        let ir = lab.scenario_ir(&sc).unwrap();
+        assert_eq!(ir.workload.len(), 2);
+        assert_eq!(ir.workload[0].count, 1);
+        assert_eq!(ir.workload[1].count, 3);
+        assert_eq!(ir.opts.pstate, 2);
+        assert!(ir.faults.is_none());
+        // Running the IR's machine directly reproduces the lab run
+        // (modulo the cache, which is keyed on the same encoding).
+        let direct = ir.machine().unwrap().run(&ir.workload, &ir.opts).unwrap();
+        let via_lab = lab.run_scenario(&sc).unwrap();
+        assert_eq!(direct.wall_time_s.to_bits(), via_lab.to_bits());
+        // The faulted lab threads its plan into the IR.
+        let faulty = small_lab().with_faults(FaultPlan::heavy(5)).unwrap();
+        assert!(faulty.scenario_ir(&sc).unwrap().faults.is_some());
     }
 
     fn chaos_tmp(name: &str) -> std::path::PathBuf {

@@ -18,91 +18,17 @@
 //! single cache can sit behind a work-stealing sweep with no locking
 //! beyond the map itself.
 
-use crate::app::AppProfile;
-use crate::engine::{Machine, RunOptions, RunOutcome, RunnerGroup};
+use crate::engine::{Machine, RunOptions, RunOutcome, RunnerGroup, StageProfile};
 use crate::faults::FaultPlan;
+use crate::ir;
 use crate::Result;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// 128-bit FNV-1a style digest writer. Not cryptographic — it only needs
-/// to make accidental collisions between distinct run inputs negligible.
-struct Digest {
-    state: u128,
-}
-
-const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
-const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
-
-impl Digest {
-    fn new() -> Digest {
-        Digest {
-            state: FNV128_OFFSET,
-        }
-    }
-
-    fn byte(&mut self, b: u8) {
-        self.state ^= b as u128;
-        self.state = self.state.wrapping_mul(FNV128_PRIME);
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-
-    fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-
-    /// Hash the bit pattern: distinguishes -0.0 from 0.0 and every NaN
-    /// payload, which is exactly right for a memo key (bit-identical
-    /// inputs ⇒ bit-identical outputs).
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    fn str(&mut self, s: &str) {
-        self.usize(s.len());
-        for b in s.bytes() {
-            self.byte(b);
-        }
-    }
-
-    fn app(&mut self, app: &AppProfile) {
-        self.str(&app.name);
-        self.f64(app.instructions);
-        self.usize(app.phases.len());
-        for ph in &app.phases {
-            self.f64(ph.weight);
-            self.f64(ph.accesses_per_instr);
-            self.f64(ph.cpi_base);
-            self.f64(ph.mlp);
-            // The locality model: scalar parameters plus the actual
-            // distribution tables, so two dists with equal parameters but
-            // different construction (power-law vs uniform) key apart.
-            self.f64(ph.dist.p_new);
-            self.usize(ph.dist.reuse_span);
-            self.f64(ph.dist.alpha);
-            self.usize(ph.dist.representatives().len());
-            for &r in ph.dist.representatives() {
-                self.usize(r);
-            }
-            for &c in ph.dist.cdf() {
-                self.f64(c);
-            }
-        }
-    }
-
-    fn finish(self) -> u128 {
-        self.state
-    }
-}
-
-/// Canonical digest of one run's complete input set.
+/// Canonical digest of one run's complete input set — the
+/// [`crate::ScenarioIr`] encoding of `(machine, workload, opts)`.
 pub fn run_digest(machine: &Machine, workload: &[RunnerGroup], opts: &RunOptions) -> u128 {
     run_digest_faulted(machine, workload, opts, None)
 }
@@ -110,52 +36,14 @@ pub fn run_digest(machine: &Machine, workload: &[RunnerGroup], opts: &RunOptions
 /// Like [`run_digest`], additionally keyed by an optional [`FaultPlan`]:
 /// a faulted outcome must never be served for a clean request (or for a
 /// request under a different plan), so the plan is part of the memo key.
+/// Delegates to the one canonical scenario encoding in [`crate::ir`].
 pub fn run_digest_faulted(
     machine: &Machine,
     workload: &[RunnerGroup],
     opts: &RunOptions,
     faults: Option<&FaultPlan>,
 ) -> u128 {
-    let mut d = Digest::new();
-    let spec = machine.spec();
-    d.str(&spec.name);
-    d.usize(spec.cores);
-    d.u64(spec.llc_bytes);
-    d.usize(spec.llc_ways);
-    d.usize(spec.pstates_ghz.len());
-    for &p in &spec.pstates_ghz {
-        d.f64(p);
-    }
-    d.f64(spec.dram.peak_bw_bytes_per_sec);
-    d.f64(spec.dram.idle_latency_ns);
-    d.f64(spec.dram.queue_latency_ns);
-    d.f64(spec.dram.max_queue_ns);
-    d.f64(spec.dram.bank_penalty_ns);
-    d.usize(spec.dram.banks);
-
-    d.usize(workload.len());
-    for g in workload {
-        d.usize(g.count);
-        d.app(&g.app);
-    }
-
-    d.usize(opts.pstate);
-    d.u64(opts.seed);
-    d.f64(opts.noise_sigma);
-    d.usize(opts.max_segments);
-    d.byte(opts.llc_partitioned as u8);
-    d.u64(opts.fp_budget);
-    match faults {
-        // A no-op plan keys like no plan at all: it cannot change any
-        // outcome, so clean sweeps and faultless "chaos" sweeps share
-        // cache entries.
-        Some(plan) if !plan.is_noop() => {
-            d.byte(1);
-            d.u64(plan.digest());
-        }
-        _ => d.byte(0),
-    }
-    d.finish()
+    ir::scenario_digest(machine.spec(), workload, opts, faults)
 }
 
 /// Counter snapshot for telemetry.
@@ -248,6 +136,20 @@ impl RunCache {
         opts: &RunOptions,
         faults: Option<&FaultPlan>,
     ) -> Result<(RunOutcome, bool)> {
+        self.run_observed(machine, workload, opts, faults, None)
+    }
+
+    /// Like [`RunCache::run_with_faults`], timing pipeline stages into
+    /// `profile` when one is attached. Stage costs accrue only on the miss
+    /// path — a hit does no simulation work, so there is nothing to time.
+    pub fn run_observed(
+        &self,
+        machine: &Machine,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+        faults: Option<&FaultPlan>,
+        profile: Option<&mut StageProfile>,
+    ) -> Result<(RunOutcome, bool)> {
         let key = run_digest_faulted(machine, workload, opts, faults);
         if let Some(hit) = self.inner.lock().expect("run cache poisoned").map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -257,7 +159,10 @@ impl RunCache {
         // key may both simulate, but they produce identical outcomes, so
         // the race is benign and the sweep never serializes on the cache.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut outcome = machine.run(workload, opts)?;
+        let mut outcome = match profile {
+            Some(p) => machine.run_instrumented(workload, opts, p)?,
+            None => machine.run(workload, opts)?,
+        };
         if let Some(plan) = faults {
             plan.apply(opts.seed, &mut outcome);
         }
@@ -298,7 +203,7 @@ impl RunCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::app::AppPhase;
+    use crate::app::{AppPhase, AppProfile};
     use crate::presets;
     use coloc_cachesim::StackDistanceDist;
 

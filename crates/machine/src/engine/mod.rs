@@ -16,19 +16,38 @@
 //! access *rate* depends on its CPI, its CPI depends on memory latency and
 //! its miss rate, its miss rate depends on its LLC share, and its LLC share
 //! depends on everyone's access rates.
+//!
+//! Structurally, the per-segment work is a staged pipeline: explicit
+//! [`EpochStage`] implementations for governor/P-state
+//! application, phase sync, LLC share solving, DRAM latency/fixed-point
+//! convergence, and counter accrual, composed by the thin driver in
+//! [`Machine::run`]. The driver can time each stage into a
+//! [`StageProfile`] ([`Machine::run_instrumented`]) or record per-segment
+//! history into a [`SegmentTrace`] ([`Machine::run_traced`]) at zero cost
+//! to plain runs.
+
+mod scratch;
+mod stages;
+
+pub use stages::{
+    CounterAccrualStage, DramFixedPointStage, EpochStage, EpochState, LlcShareStage, PStateStage,
+    PhaseSyncStage, SegmentEnv, SegmentRecord, SegmentTrace, StageFlow, StageId, StageProfile,
+    StageStats,
+};
 
 use crate::app::AppProfile;
 use crate::faults::FaultEvent;
 use crate::spec::MachineSpec;
 use crate::{MachineError, Result};
-use coloc_cachesim::{occupancy_step, MissRateCurve, SharedApp};
-use coloc_memsys::{MemorySystem, MISS_BYTES};
+use coloc_cachesim::MissRateCurve;
+use coloc_memsys::MemorySystem;
 use rand::Rng as _;
 use rand::SeedableRng as _;
 
 /// A group of `count` identical co-located application instances. Instances
 /// in a group start together and advance in lockstep.
 #[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunnerGroup {
     /// Profile shared by every instance in the group.
     pub app: AppProfile,
@@ -92,6 +111,7 @@ impl CounterBlock {
 
 /// Options for one run.
 #[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunOptions {
     /// P-state index into the machine's frequency table (0 = fastest).
     pub pstate: usize,
@@ -184,85 +204,16 @@ pub struct Machine {
     mem: MemorySystem,
 }
 
-/// Reusable per-run buffers for the segment solver. Built once per run;
-/// every per-segment quantity lives here so the hot loop allocates
-/// nothing. `instances` holds one [`SharedApp`] per core-resident app
-/// instance; its MRC is re-cloned only when that group's phase changes,
-/// not every segment.
-struct RunScratch {
-    /// One entry per instance, grouped contiguously by workload group.
-    instances: Vec<SharedApp>,
-    /// Owning group of each instance.
-    owner_group: Vec<usize>,
-    /// Index of the first instance of each group (instances within a group
-    /// are symmetric, so reading the first suffices — this replaces the
-    /// O(groups × instances) `position()` scans).
-    group_first: Vec<usize>,
-    /// Phase currently loaded into each group's instance MRCs.
-    loaded_phase: Vec<usize>,
-    /// LLC occupancy per instance, bytes; refilled to the equal split at
-    /// the start of each segment (same numerics as a fresh allocation).
-    occ: Vec<f64>,
-    /// Current phase index and end boundary per group.
-    phase_info: Vec<(usize, f64)>,
-    /// Per-group stationary rates for the segment being solved.
-    ips: Vec<f64>,
-    miss_rate: Vec<f64>,
-    access_rate: Vec<f64>,
-    occ_per_instance: Vec<f64>,
-}
-
-impl RunScratch {
-    fn new(workload: &[RunnerGroup], mrcs: &[Vec<MissRateCurve>]) -> RunScratch {
-        let n_groups = workload.len();
-        let mut instances = Vec::new();
-        let mut owner_group = Vec::new();
-        let mut group_first = Vec::with_capacity(n_groups);
-        for (gi, g) in workload.iter().enumerate() {
-            group_first.push(instances.len());
-            let mrc = &mrcs[gi][0];
-            for _ in 0..g.count {
-                instances.push(SharedApp {
-                    access_rate: 0.0,
-                    mrc: mrc.clone(),
-                });
-                owner_group.push(gi);
-            }
-        }
-        let n_inst = instances.len();
-        RunScratch {
-            instances,
-            owner_group,
-            group_first,
-            loaded_phase: vec![0; n_groups],
-            occ: vec![0.0; n_inst],
-            phase_info: vec![(0, 0.0); n_groups],
-            ips: vec![0.0; n_groups],
-            miss_rate: vec![0.0; n_groups],
-            access_rate: vec![0.0; n_groups],
-            occ_per_instance: vec![0.0; n_groups],
-        }
-    }
-
-    /// Load each group's current-phase MRC into its instances, cloning
-    /// only for groups whose phase actually changed.
-    fn sync_phases(&mut self, mrcs: &[Vec<MissRateCurve>]) {
-        for (gi, group_mrcs) in mrcs.iter().enumerate() {
-            let phase = self.phase_info[gi].0;
-            if self.loaded_phase[gi] != phase {
-                self.loaded_phase[gi] = phase;
-                let mrc = &group_mrcs[phase];
-                let start = self.group_first[gi];
-                let end = self
-                    .group_first
-                    .get(gi + 1)
-                    .copied()
-                    .unwrap_or(self.instances.len());
-                for inst in &mut self.instances[start..end] {
-                    inst.mrc = mrc.clone();
-                }
-            }
-        }
+/// Run `f`, attributing its wall time to `id` when a profile is attached.
+/// The un-instrumented path never reads a clock.
+fn timed<T>(profile: &mut Option<&mut StageProfile>, id: StageId, f: impl FnOnce() -> T) -> T {
+    if let Some(p) = profile {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        p.record(id, t0.elapsed());
+        out
+    } else {
+        f()
     }
 }
 
@@ -282,9 +233,54 @@ impl Machine {
         &self.spec
     }
 
+    /// The machine's memory system (stage-test access).
+    #[cfg(test)]
+    pub(crate) fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
     /// Run `workload` (group 0 = target) at the given options until the
     /// target completes. Returns the measured outcome.
     pub fn run(&self, workload: &[RunnerGroup], opts: &RunOptions) -> Result<RunOutcome> {
+        self.run_observed(workload, opts, None, None)
+    }
+
+    /// Like [`Machine::run`], timing every pipeline stage into `profile`.
+    /// The outcome is bit-identical to the plain run; only observation is
+    /// added.
+    pub fn run_instrumented(
+        &self,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+        profile: &mut StageProfile,
+    ) -> Result<RunOutcome> {
+        self.run_observed(workload, opts, Some(profile), None)
+    }
+
+    /// Like [`Machine::run`], additionally recording the most recent
+    /// `capacity` segments into a [`SegmentTrace`] ring buffer. The
+    /// outcome is bit-identical to the plain run.
+    pub fn run_traced(
+        &self,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+        capacity: usize,
+    ) -> Result<(RunOutcome, SegmentTrace)> {
+        let mut trace = SegmentTrace::new(capacity);
+        let outcome = self.run_observed(workload, opts, None, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+
+    /// The staged driver behind every run variant: validate, then advance
+    /// the pipeline segment by segment. `profile` and `trace` attach
+    /// observation without perturbing the simulation.
+    fn run_observed(
+        &self,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+        mut profile: Option<&mut StageProfile>,
+        mut trace: Option<&mut SegmentTrace>,
+    ) -> Result<RunOutcome> {
         if workload.is_empty() {
             return Err(MachineError::EmptyWorkload);
         }
@@ -318,110 +314,65 @@ impl Machine {
             .map(|g| g.app.phases.iter().map(|p| p.mrc()).collect())
             .collect();
 
-        let n_groups = workload.len();
-        let mut progress = vec![0.0f64; n_groups];
-        let mut counters = vec![CounterBlock::default(); n_groups];
-        let mut share_time_acc = vec![0.0f64; n_groups];
-        let mut latency_time_acc = 0.0f64;
-        let mut wall = 0.0f64;
-        let mut segments = 0usize;
-        let mut fp_iterations = 0u64;
-        let mut degraded = false;
-        let mut worst_residual = 0.0f64;
-        // CPI warm start carried across segments for fast convergence.
-        let mut cpi: Vec<f64> = workload.iter().map(|g| g.app.phases[0].cpi_base).collect();
-        // All per-segment buffers live here; the loop below is allocation
-        // free no matter how many segments the run takes.
-        let mut scratch = RunScratch::new(workload, &mrcs);
+        let env = SegmentEnv {
+            spec: &self.spec,
+            mem: &self.mem,
+            workload,
+            opts,
+            mrcs: &mrcs,
+        };
+        // All per-segment buffers live in the state; the loop below is
+        // allocation free no matter how many segments the run takes.
+        let mut st = EpochState::new(workload, &mrcs, freq_hz);
 
         loop {
-            segments += 1;
-            if segments > opts.max_segments {
-                return Err(MachineError::BadProfile(format!(
-                    "run exceeded {} segments; co-runner far shorter than target?",
-                    opts.max_segments
-                )));
+            st.segments += 1;
+            if st.segments > opts.max_segments {
+                return Err(MachineError::SegmentOverflow {
+                    segments: st.segments,
+                    cap: opts.max_segments,
+                });
             }
 
-            // Current phase and its end boundary for each group.
-            for (gi, (g, &p)) in workload.iter().zip(&progress).enumerate() {
-                scratch.phase_info[gi] = g.app.phase_at(p);
-            }
-            scratch.sync_phases(&mrcs);
+            timed(&mut profile, StageId::PState, || {
+                PStateStage.run(&env, &mut st)
+            })?;
+            timed(&mut profile, StageId::PhaseSync, || {
+                PhaseSyncStage.run(&env, &mut st)
+            })?;
 
-            // Per-segment iteration cap. Under a budget, segments past the
-            // budget get a short truncated solve instead of spinning; the
-            // run still terminates, marked degraded below if any truncated
-            // segment missed tolerance.
-            let iter_cap = if opts.fp_budget == 0 {
-                MAX_FP_ITERS
-            } else {
-                let remaining = opts.fp_budget.saturating_sub(fp_iterations);
-                remaining.clamp(DEGRADED_FP_ITERS, MAX_FP_ITERS)
-            };
-            let (latency_ns, iters, residual) = self.solve_segment(
-                workload,
-                &mut scratch,
-                freq_hz,
-                opts.llc_partitioned,
-                &mut cpi,
-                iter_cap,
-            );
-            fp_iterations += iters;
-            if residual >= FP_TOLERANCE {
-                degraded = true;
-                worst_residual = worst_residual.max(residual);
-            }
-
-            // Time until each group hits its next boundary.
-            let mut dt = f64::INFINITY;
-            for (gi, p) in progress.iter().enumerate() {
-                let remaining = scratch.phase_info[gi].1 - p;
-                let t = remaining / scratch.ips[gi];
-                if t < dt {
-                    dt = t;
+            st.begin_solve(&env);
+            loop {
+                st.seg_iters += 1;
+                timed(&mut profile, StageId::LlcShare, || {
+                    LlcShareStage.run(&env, &mut st)
+                })?;
+                let flow = timed(&mut profile, StageId::DramFixedPoint, || {
+                    DramFixedPointStage.run(&env, &mut st)
+                })?;
+                if flow == StageFlow::SolverDone {
+                    break;
                 }
             }
-            if !(dt.is_finite() && dt > 0.0) {
-                return Err(MachineError::Numeric(format!(
-                    "degenerate segment dt = {dt} at segment {segments}"
-                )));
+            st.fp_iterations += st.seg_iters;
+            if st.seg_residual >= FP_TOLERANCE {
+                st.degraded = true;
+                st.worst_residual = st.worst_residual.max(st.seg_residual);
             }
 
-            // Advance everyone by dt.
-            for gi in 0..n_groups {
-                let instr = scratch.ips[gi] * dt;
-                progress[gi] += instr;
-                let acc =
-                    instr * workload[gi].app.phases[scratch.phase_info[gi].0].accesses_per_instr;
-                counters[gi].instructions += instr;
-                counters[gi].cycles += freq_hz * dt;
-                counters[gi].llc_accesses += acc;
-                counters[gi].llc_misses += acc * scratch.miss_rate[gi];
-                share_time_acc[gi] += scratch.occ_per_instance[gi] * dt;
+            let flow = timed(&mut profile, StageId::CounterAccrual, || {
+                CounterAccrualStage.run(&env, &mut st)
+            })?;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(SegmentRecord {
+                    segment: st.segments,
+                    dt: st.dt,
+                    latency_ns: st.latency_ns,
+                    fp_iters: st.seg_iters,
+                    residual: st.seg_residual,
+                });
             }
-            latency_time_acc += latency_ns * dt;
-            wall += dt;
-
-            // Snap boundary crossings and handle completions.
-            let mut target_done = false;
-            for gi in 0..n_groups {
-                let boundary = scratch.phase_info[gi].1;
-                if progress[gi] >= boundary - 1e-6 * workload[gi].app.instructions.max(1.0) {
-                    progress[gi] = boundary;
-                    if (boundary - workload[gi].app.instructions).abs()
-                        < 1e-9 * workload[gi].app.instructions
-                    {
-                        counters[gi].completed_runs += 1;
-                        if gi == 0 {
-                            target_done = true;
-                        } else {
-                            progress[gi] = 0.0; // co-runner restarts
-                        }
-                    }
-                }
-            }
-            if target_done {
+            if flow == StageFlow::TargetDone {
                 break;
             }
         }
@@ -430,7 +381,7 @@ impl Machine {
         // The scale applies uniformly to every group's cycle counter — a
         // slow (or fast) measured run is slow for everyone sharing the
         // machine, not just the target.
-        let mut wall_measured = wall;
+        let mut wall_measured = st.wall;
         if opts.noise_sigma > 0.0 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
             // Box–Muller from two uniforms (StdRng has no normal sampler
@@ -440,22 +391,22 @@ impl Machine {
             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             let scale = (opts.noise_sigma * z).exp();
             wall_measured *= scale;
-            for c in counters.iter_mut() {
+            for c in st.counters.iter_mut() {
                 c.cycles *= scale;
             }
         }
 
         Ok(RunOutcome {
             wall_time_s: wall_measured,
-            counters,
-            segments,
-            fp_iterations,
-            avg_llc_share_bytes: share_time_acc.iter().map(|&s| s / wall).collect(),
-            avg_mem_latency_ns: latency_time_acc / wall,
-            convergence: if degraded {
+            counters: st.counters,
+            segments: st.segments,
+            fp_iterations: st.fp_iterations,
+            avg_llc_share_bytes: st.share_time_acc.iter().map(|&s| s / st.wall).collect(),
+            avg_mem_latency_ns: st.latency_time_acc / st.wall,
+            convergence: if st.degraded {
                 Convergence::Degraded {
-                    fp_iterations,
-                    residual: worst_residual,
+                    fp_iterations: st.fp_iterations,
+                    residual: st.worst_residual,
                 }
             } else {
                 Convergence::Converged
@@ -467,99 +418,6 @@ impl Machine {
     /// Convenience: run an app alone (the paper's baseline measurement).
     pub fn run_solo(&self, app: &AppProfile, opts: &RunOptions) -> Result<RunOutcome> {
         self.run(&[RunnerGroup::solo(app.clone())], opts)
-    }
-
-    /// Find the stationary contention state for the current phases.
-    ///
-    /// Reads the current phases from `scratch.phase_info` (MRCs must
-    /// already be synced via [`RunScratch::sync_phases`]); writes the
-    /// converged per-group `ips`, `miss_rate`, and `occ_per_instance` back
-    /// into `scratch`. Returns the DRAM latency, the number of fixed-point
-    /// iterations consumed, and the final relative CPI residual (0.0 when
-    /// converged below [`FP_TOLERANCE`]).
-    #[allow(clippy::needless_range_loop)]
-    fn solve_segment(
-        &self,
-        workload: &[RunnerGroup],
-        scratch: &mut RunScratch,
-        freq_hz: f64,
-        llc_partitioned: bool,
-        cpi: &mut [f64],
-        max_iters: u64,
-    ) -> (f64, u64, f64) {
-        let n_groups = workload.len();
-        let cap = self.spec.llc_bytes;
-        let n_inst = scratch.instances.len();
-
-        // Fresh equal split every segment — same starting point a newly
-        // allocated occupancy vector had, without the allocation.
-        scratch
-            .occ
-            .iter_mut()
-            .for_each(|o| *o = cap as f64 / n_inst as f64);
-
-        let mut latency_ns = self.mem.spec().idle_latency_ns;
-        let mut iters = 0u64;
-        let mut residual = 0.0f64;
-
-        for _iter in 0..max_iters {
-            iters += 1;
-            // Rates from current CPI.
-            for gi in 0..n_groups {
-                let ph = &workload[gi].app.phases[scratch.phase_info[gi].0];
-                scratch.access_rate[gi] = freq_hz / cpi[gi] * ph.accesses_per_instr;
-            }
-            for ii in 0..n_inst {
-                scratch.instances[ii].access_rate = scratch.access_rate[scratch.owner_group[ii]];
-            }
-
-            // One occupancy step at these rates (skipped when the LLC is
-            // statically partitioned: shares are fixed equal slices).
-            if !llc_partitioned {
-                occupancy_step(cap, &scratch.instances, &mut scratch.occ);
-            }
-            for gi in 0..n_groups {
-                // All instances of a group are symmetric; read the first.
-                let ii = scratch.group_first[gi];
-                scratch.miss_rate[gi] = scratch.instances[ii].mrc.miss_rate(scratch.occ[ii] as u64);
-            }
-
-            // DRAM latency at the aggregate miss bandwidth.
-            let mut bw = 0.0;
-            let mut streams = 0usize;
-            for gi in 0..n_groups {
-                let miss_per_sec = scratch.access_rate[gi] * scratch.miss_rate[gi];
-                bw += workload[gi].count as f64 * miss_per_sec * MISS_BYTES;
-                if miss_per_sec > 1e5 {
-                    streams += workload[gi].count;
-                }
-            }
-            latency_ns = self.mem.access_latency_ns(bw, streams);
-
-            // CPI update with damping.
-            let mut max_rel = 0.0f64;
-            for gi in 0..n_groups {
-                let ph = &workload[gi].app.phases[scratch.phase_info[gi].0];
-                let stall_cycles_per_instr =
-                    ph.accesses_per_instr * scratch.miss_rate[gi] * (latency_ns * 1e-9 * freq_hz)
-                        / ph.mlp;
-                let target = ph.cpi_base + stall_cycles_per_instr;
-                let next = 0.5 * cpi[gi] + 0.5 * target;
-                max_rel = max_rel.max(((next - cpi[gi]) / cpi[gi]).abs());
-                cpi[gi] = next;
-            }
-            residual = max_rel;
-            if max_rel < FP_TOLERANCE {
-                residual = 0.0;
-                break;
-            }
-        }
-
-        for gi in 0..n_groups {
-            scratch.ips[gi] = freq_hz / cpi[gi];
-            scratch.occ_per_instance[gi] = scratch.occ[scratch.group_first[gi]];
-        }
-        (latency_ns, iters, residual)
     }
 }
 
@@ -890,6 +748,30 @@ mod tests {
     }
 
     #[test]
+    fn segment_overflow_is_a_typed_error() {
+        let m = m6();
+        // Short co-runner, long target: restarts force many segments.
+        let wl = vec![
+            RunnerGroup::solo(hungry("t", 100e9)),
+            RunnerGroup {
+                app: hungry("short", 10e9),
+                count: 2,
+            },
+        ];
+        let opts = RunOptions {
+            max_segments: 3,
+            ..Default::default()
+        };
+        match m.run(&wl, &opts) {
+            Err(MachineError::SegmentOverflow { segments, cap }) => {
+                assert_eq!(cap, 3);
+                assert_eq!(segments, 4, "abandoned on the first segment past the cap");
+            }
+            other => panic!("expected SegmentOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn multi_phase_app_changes_behaviour_mid_run() {
         let m = m6();
         let app = AppProfile {
@@ -1015,5 +897,77 @@ mod tests {
         let out = m.run(&wl, &RunOptions::default()).unwrap();
         assert!(out.wall_time_s > 0.0);
         assert_eq!(out.counters.len(), 2);
+    }
+
+    #[test]
+    fn instrumented_run_is_bit_identical_and_counts_stage_work() {
+        let m = m6();
+        let wl = vec![
+            RunnerGroup::solo(hungry("t", 50e9)),
+            RunnerGroup {
+                app: hungry("short", 10e9),
+                count: 2,
+            },
+        ];
+        let opts = RunOptions {
+            noise_sigma: 0.008,
+            seed: 3,
+            ..Default::default()
+        };
+        let plain = m.run(&wl, &opts).unwrap();
+        let mut profile = StageProfile::new();
+        let out = m.run_instrumented(&wl, &opts, &mut profile).unwrap();
+        assert_eq!(out.wall_time_s.to_bits(), plain.wall_time_s.to_bits());
+        assert_eq!(out.segments, plain.segments);
+        assert_eq!(out.fp_iterations, plain.fp_iterations);
+        for (a, b) in out.counters.iter().zip(&plain.counters) {
+            assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+            assert_eq!(a.llc_misses.to_bits(), b.llc_misses.to_bits());
+        }
+        // Per-segment stages run once per segment; solver stages once per
+        // fixed-point iteration.
+        let segs = plain.segments as u64;
+        assert_eq!(profile.get(StageId::PState).invocations, segs);
+        assert_eq!(profile.get(StageId::PhaseSync).invocations, segs);
+        assert_eq!(profile.get(StageId::CounterAccrual).invocations, segs);
+        assert_eq!(
+            profile.get(StageId::LlcShare).invocations,
+            plain.fp_iterations
+        );
+        assert_eq!(
+            profile.get(StageId::DramFixedPoint).invocations,
+            plain.fp_iterations
+        );
+    }
+
+    #[test]
+    fn traced_run_records_recent_segments() {
+        let m = m6();
+        let wl = vec![
+            RunnerGroup::solo(hungry("t", 50e9)),
+            RunnerGroup {
+                app: hungry("short", 5e9),
+                count: 2,
+            },
+        ];
+        let (out, trace) = m.run_traced(&wl, &RunOptions::default(), 4).unwrap();
+        assert_eq!(trace.len() as u64 + trace.dropped(), out.segments as u64);
+        assert!(trace.len() <= 4);
+        let segs: Vec<usize> = trace.records().map(|r| r.segment).collect();
+        assert_eq!(
+            *segs.last().unwrap(),
+            out.segments,
+            "trace ends at the last segment"
+        );
+        assert!(
+            segs.windows(2).all(|w| w[1] == w[0] + 1),
+            "records are consecutive"
+        );
+        for r in trace.records() {
+            assert!(r.dt > 0.0 && r.fp_iters > 0 && r.latency_ns > 0.0);
+        }
+        // Observation does not perturb the run.
+        let plain = m.run(&wl, &RunOptions::default()).unwrap();
+        assert_eq!(out.wall_time_s.to_bits(), plain.wall_time_s.to_bits());
     }
 }

@@ -1,0 +1,86 @@
+//! Reusable per-run buffers for the segment solver.
+
+use super::RunnerGroup;
+use coloc_cachesim::{MissRateCurve, SharedApp};
+
+/// Reusable per-run buffers for the segment solver. Built once per run;
+/// every per-segment quantity lives here so the hot loop allocates
+/// nothing. `instances` holds one [`SharedApp`] per core-resident app
+/// instance; its MRC is re-cloned only when that group's phase changes,
+/// not every segment.
+pub(crate) struct RunScratch {
+    /// One entry per instance, grouped contiguously by workload group.
+    pub(crate) instances: Vec<SharedApp>,
+    /// Owning group of each instance.
+    pub(crate) owner_group: Vec<usize>,
+    /// Index of the first instance of each group (instances within a group
+    /// are symmetric, so reading the first suffices — this replaces the
+    /// O(groups × instances) `position()` scans).
+    pub(crate) group_first: Vec<usize>,
+    /// Phase currently loaded into each group's instance MRCs.
+    pub(crate) loaded_phase: Vec<usize>,
+    /// LLC occupancy per instance, bytes; refilled to the equal split at
+    /// the start of each segment (same numerics as a fresh allocation).
+    pub(crate) occ: Vec<f64>,
+    /// Current phase index and end boundary per group.
+    pub(crate) phase_info: Vec<(usize, f64)>,
+    /// Per-group stationary rates for the segment being solved.
+    pub(crate) ips: Vec<f64>,
+    pub(crate) miss_rate: Vec<f64>,
+    pub(crate) access_rate: Vec<f64>,
+    pub(crate) occ_per_instance: Vec<f64>,
+}
+
+impl RunScratch {
+    pub(crate) fn new(workload: &[RunnerGroup], mrcs: &[Vec<MissRateCurve>]) -> RunScratch {
+        let n_groups = workload.len();
+        let mut instances = Vec::new();
+        let mut owner_group = Vec::new();
+        let mut group_first = Vec::with_capacity(n_groups);
+        for (gi, g) in workload.iter().enumerate() {
+            group_first.push(instances.len());
+            let mrc = &mrcs[gi][0];
+            for _ in 0..g.count {
+                instances.push(SharedApp {
+                    access_rate: 0.0,
+                    mrc: mrc.clone(),
+                });
+                owner_group.push(gi);
+            }
+        }
+        let n_inst = instances.len();
+        RunScratch {
+            instances,
+            owner_group,
+            group_first,
+            loaded_phase: vec![0; n_groups],
+            occ: vec![0.0; n_inst],
+            phase_info: vec![(0, 0.0); n_groups],
+            ips: vec![0.0; n_groups],
+            miss_rate: vec![0.0; n_groups],
+            access_rate: vec![0.0; n_groups],
+            occ_per_instance: vec![0.0; n_groups],
+        }
+    }
+
+    /// Load each group's current-phase MRC into its instances, cloning
+    /// only for groups whose phase actually changed.
+    pub(crate) fn sync_phases(&mut self, mrcs: &[Vec<MissRateCurve>]) {
+        for (gi, group_mrcs) in mrcs.iter().enumerate() {
+            let phase = self.phase_info[gi].0;
+            if self.loaded_phase[gi] != phase {
+                self.loaded_phase[gi] = phase;
+                let mrc = &group_mrcs[phase];
+                let start = self.group_first[gi];
+                let end = self
+                    .group_first
+                    .get(gi + 1)
+                    .copied()
+                    .unwrap_or(self.instances.len());
+                for inst in &mut self.instances[start..end] {
+                    inst.mrc = mrc.clone();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,967 @@
+//! The staged segment pipeline.
+//!
+//! [`super::Machine::run`] advances a workload through piecewise-constant
+//! segments; this module decomposes the body of that loop into five
+//! explicit [`EpochStage`]s composed by a thin driver in the parent
+//! module:
+//!
+//! ```text
+//!   ┌────────────── per segment ───────────────────────────────────┐
+//!   │ PState ─► PhaseSync ─► ┌─ fixed-point loop ─────────┐        │
+//!   │ (governor:              │  LlcShare ─► DramFixedPoint │ ─►    │
+//!   │  frequency,             │  (occupancy,  (latency,     │  Counter
+//!   │  iteration budget)      │   miss rates)  damped CPI)  │  Accrual
+//!   │                         └── until converged/capped ──┘        │
+//!   └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The decomposition is pure code motion from the former monolithic
+//! `Machine::run`: the arithmetic, its ordering, and every early-exit
+//! condition are unchanged, so the staged driver is bit-identical to the
+//! pre-split engine (the conformance differential suite holds it to
+//! that). What the split buys is a seam: each stage is independently
+//! testable, and the driver can time every stage invocation into a
+//! [`StageProfile`] or record per-segment history into a [`SegmentTrace`]
+//! without touching the physics.
+
+use super::scratch::RunScratch;
+use super::{CounterBlock, RunOptions, RunnerGroup, DEGRADED_FP_ITERS, FP_TOLERANCE, MAX_FP_ITERS};
+use crate::spec::MachineSpec;
+use crate::{MachineError, Result};
+use coloc_cachesim::{occupancy_step, MissRateCurve};
+use coloc_memsys::{MemorySystem, MISS_BYTES};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Identity of one pipeline stage, in driver execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Governor / P-state application: per-segment operating frequency and
+    /// the fixed-point iteration budget for the upcoming solve.
+    PState,
+    /// Phase bookkeeping: locate each group's current phase and load its
+    /// miss-rate curves.
+    PhaseSync,
+    /// One LLC iteration: access rates from current CPI, an occupancy
+    /// step, per-group miss rates.
+    LlcShare,
+    /// One DRAM/CPI iteration: latency at the aggregate miss bandwidth,
+    /// damped CPI update, convergence decision.
+    DramFixedPoint,
+    /// Segment close-out: segment length, counter accrual, boundary
+    /// snapping, completion/restart handling.
+    CounterAccrual,
+}
+
+impl StageId {
+    /// Every stage, in driver execution order.
+    pub const ALL: [StageId; 5] = [
+        StageId::PState,
+        StageId::PhaseSync,
+        StageId::LlcShare,
+        StageId::DramFixedPoint,
+        StageId::CounterAccrual,
+    ];
+
+    /// Stable human-readable name (used by `--stage-stats` output).
+    pub fn label(self) -> &'static str {
+        match self {
+            StageId::PState => "pstate",
+            StageId::PhaseSync => "phase-sync",
+            StageId::LlcShare => "llc-share",
+            StageId::DramFixedPoint => "dram-fixed-point",
+            StageId::CounterAccrual => "counter-accrual",
+        }
+    }
+
+    /// Dense index into per-stage arrays (`0..5`, driver order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// What the driver should do after a stage returns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageFlow {
+    /// Proceed to the next stage (or next solver iteration).
+    Continue,
+    /// The fixed-point solve for this segment is finished (converged or
+    /// hit its iteration cap); leave the solver loop.
+    SolverDone,
+    /// The target application completed; the run is over.
+    TargetDone,
+}
+
+/// Read-only per-run context shared by every stage: the machine being
+/// simulated, the workload, the run options, and the pre-computed
+/// per-group, per-phase miss-rate curves.
+pub struct SegmentEnv<'a> {
+    pub(crate) spec: &'a MachineSpec,
+    pub(crate) mem: &'a MemorySystem,
+    pub(crate) workload: &'a [RunnerGroup],
+    pub(crate) opts: &'a RunOptions,
+    pub(crate) mrcs: &'a [Vec<MissRateCurve>],
+}
+
+impl<'a> SegmentEnv<'a> {
+    /// The machine spec being simulated.
+    pub fn spec(&self) -> &MachineSpec {
+        self.spec
+    }
+
+    /// The workload (group 0 = target).
+    pub fn workload(&self) -> &[RunnerGroup] {
+        self.workload
+    }
+
+    /// The run options.
+    pub fn opts(&self) -> &RunOptions {
+        self.opts
+    }
+}
+
+/// The mutable state a run threads through the pipeline: progress,
+/// counters, time accumulators, the CPI warm start, and the per-segment
+/// solver scratch. Stages communicate exclusively through this value;
+/// fields are crate-private so the contention physics stays sealed behind
+/// the stage seam.
+pub struct EpochState {
+    pub(crate) scratch: RunScratch,
+    pub(crate) progress: Vec<f64>,
+    pub(crate) counters: Vec<CounterBlock>,
+    pub(crate) share_time_acc: Vec<f64>,
+    pub(crate) latency_time_acc: f64,
+    pub(crate) wall: f64,
+    pub(crate) segments: usize,
+    pub(crate) fp_iterations: u64,
+    pub(crate) degraded: bool,
+    pub(crate) worst_residual: f64,
+    /// CPI warm start carried across segments for fast convergence.
+    pub(crate) cpi: Vec<f64>,
+    /// Operating frequency for the current segment (set by [`PStateStage`]).
+    pub(crate) freq_hz: f64,
+    /// Per-segment fixed-point iteration cap (set by [`PStateStage`]).
+    pub(crate) iter_cap: u64,
+    /// Iterations spent on the current segment's solve so far.
+    pub(crate) seg_iters: u64,
+    /// Final relative CPI residual of the current segment's solve (0.0
+    /// when converged below [`FP_TOLERANCE`]).
+    pub(crate) seg_residual: f64,
+    /// DRAM latency of the current segment, ns.
+    pub(crate) latency_ns: f64,
+    /// Length of the segment just closed, seconds.
+    pub(crate) dt: f64,
+    pub(crate) target_done: bool,
+}
+
+impl EpochState {
+    pub(crate) fn new(
+        workload: &[RunnerGroup],
+        mrcs: &[Vec<MissRateCurve>],
+        freq_hz: f64,
+    ) -> EpochState {
+        let n_groups = workload.len();
+        EpochState {
+            scratch: RunScratch::new(workload, mrcs),
+            progress: vec![0.0; n_groups],
+            counters: vec![CounterBlock::default(); n_groups],
+            share_time_acc: vec![0.0; n_groups],
+            latency_time_acc: 0.0,
+            wall: 0.0,
+            segments: 0,
+            fp_iterations: 0,
+            degraded: false,
+            worst_residual: 0.0,
+            cpi: workload.iter().map(|g| g.app.phases[0].cpi_base).collect(),
+            freq_hz,
+            iter_cap: 0,
+            seg_iters: 0,
+            seg_residual: 0.0,
+            latency_ns: 0.0,
+            dt: 0.0,
+            target_done: false,
+        }
+    }
+
+    /// Reset the solver state for a fresh segment: refill occupancies to
+    /// the equal split (same numerics as a fresh allocation) and start
+    /// latency from idle. Driver glue between [`PhaseSyncStage`] and the
+    /// solver loop.
+    pub(crate) fn begin_solve(&mut self, env: &SegmentEnv<'_>) {
+        let cap = env.spec.llc_bytes;
+        let n_inst = self.scratch.instances.len();
+        self.scratch
+            .occ
+            .iter_mut()
+            .for_each(|o| *o = cap as f64 / n_inst as f64);
+        self.latency_ns = env.mem.spec().idle_latency_ns;
+        self.seg_iters = 0;
+        self.seg_residual = 0.0;
+    }
+
+    /// Segments simulated so far (including the one in flight).
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Fixed-point iterations spent on *closed* segments so far.
+    pub fn fp_iterations(&self) -> u64 {
+        self.fp_iterations
+    }
+
+    /// Simulated wall time accumulated so far, seconds.
+    pub fn wall(&self) -> f64 {
+        self.wall
+    }
+}
+
+/// One stage of the segment pipeline. Stages are stateless; everything a
+/// stage reads or writes lives in [`SegmentEnv`] / [`EpochState`], which
+/// is what makes per-stage instrumentation and isolated testing possible.
+pub trait EpochStage {
+    /// Which stage this is (indexes [`StageProfile`] slots).
+    fn id(&self) -> StageId;
+
+    /// Execute the stage once against the current state.
+    fn run(&self, env: &SegmentEnv<'_>, st: &mut EpochState) -> Result<StageFlow>;
+}
+
+/// Governor seam: applies the segment's operating frequency from the
+/// P-state table and budgets the upcoming fixed-point solve. Under an
+/// [`RunOptions::fp_budget`], segments past the budget get a short
+/// truncated solve instead of spinning; the run still terminates, marked
+/// degraded by the driver if any truncated segment missed tolerance.
+pub struct PStateStage;
+
+impl EpochStage for PStateStage {
+    fn id(&self) -> StageId {
+        StageId::PState
+    }
+
+    fn run(&self, env: &SegmentEnv<'_>, st: &mut EpochState) -> Result<StageFlow> {
+        st.freq_hz = env
+            .spec
+            .freq_hz(env.opts.pstate)
+            .ok_or(MachineError::BadPState {
+                index: env.opts.pstate,
+                available: env.spec.num_pstates(),
+            })?;
+        st.iter_cap = if env.opts.fp_budget == 0 {
+            MAX_FP_ITERS
+        } else {
+            let remaining = env.opts.fp_budget.saturating_sub(st.fp_iterations);
+            remaining.clamp(DEGRADED_FP_ITERS, MAX_FP_ITERS)
+        };
+        Ok(StageFlow::Continue)
+    }
+}
+
+/// Phase bookkeeping: locates each group's current phase and its end
+/// boundary, then loads that phase's MRC into the group's instances
+/// (cloning only for groups whose phase actually changed).
+pub struct PhaseSyncStage;
+
+impl EpochStage for PhaseSyncStage {
+    fn id(&self) -> StageId {
+        StageId::PhaseSync
+    }
+
+    fn run(&self, env: &SegmentEnv<'_>, st: &mut EpochState) -> Result<StageFlow> {
+        for (gi, (g, &p)) in env.workload.iter().zip(&st.progress).enumerate() {
+            st.scratch.phase_info[gi] = g.app.phase_at(p);
+        }
+        st.scratch.sync_phases(env.mrcs);
+        Ok(StageFlow::Continue)
+    }
+}
+
+/// One LLC iteration of the segment fixed point: access rates from the
+/// current CPI estimate, one occupancy step at those rates (skipped when
+/// the LLC is statically partitioned: shares are fixed equal slices), and
+/// per-group miss rates at the resulting shares.
+pub struct LlcShareStage;
+
+impl EpochStage for LlcShareStage {
+    fn id(&self) -> StageId {
+        StageId::LlcShare
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn run(&self, env: &SegmentEnv<'_>, st: &mut EpochState) -> Result<StageFlow> {
+        let n_groups = env.workload.len();
+        let n_inst = st.scratch.instances.len();
+        // Rates from current CPI.
+        for gi in 0..n_groups {
+            let ph = &env.workload[gi].app.phases[st.scratch.phase_info[gi].0];
+            st.scratch.access_rate[gi] = st.freq_hz / st.cpi[gi] * ph.accesses_per_instr;
+        }
+        for ii in 0..n_inst {
+            st.scratch.instances[ii].access_rate =
+                st.scratch.access_rate[st.scratch.owner_group[ii]];
+        }
+
+        if !env.opts.llc_partitioned {
+            occupancy_step(
+                env.spec.llc_bytes,
+                &st.scratch.instances,
+                &mut st.scratch.occ,
+            );
+        }
+        for gi in 0..n_groups {
+            // All instances of a group are symmetric; read the first.
+            let ii = st.scratch.group_first[gi];
+            st.scratch.miss_rate[gi] = st.scratch.instances[ii]
+                .mrc
+                .miss_rate(st.scratch.occ[ii] as u64);
+        }
+        Ok(StageFlow::Continue)
+    }
+}
+
+/// One DRAM/CPI iteration of the segment fixed point: latency at the
+/// aggregate miss bandwidth, damped CPI update, and the convergence
+/// decision — [`StageFlow::SolverDone`] when the relative CPI residual
+/// drops below [`FP_TOLERANCE`] or the iteration cap is reached.
+pub struct DramFixedPointStage;
+
+impl EpochStage for DramFixedPointStage {
+    fn id(&self) -> StageId {
+        StageId::DramFixedPoint
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn run(&self, env: &SegmentEnv<'_>, st: &mut EpochState) -> Result<StageFlow> {
+        let n_groups = env.workload.len();
+
+        // DRAM latency at the aggregate miss bandwidth.
+        let mut bw = 0.0;
+        let mut streams = 0usize;
+        for gi in 0..n_groups {
+            let miss_per_sec = st.scratch.access_rate[gi] * st.scratch.miss_rate[gi];
+            bw += env.workload[gi].count as f64 * miss_per_sec * MISS_BYTES;
+            if miss_per_sec > 1e5 {
+                streams += env.workload[gi].count;
+            }
+        }
+        st.latency_ns = env.mem.access_latency_ns(bw, streams);
+
+        // CPI update with damping.
+        let mut max_rel = 0.0f64;
+        for gi in 0..n_groups {
+            let ph = &env.workload[gi].app.phases[st.scratch.phase_info[gi].0];
+            let stall_cycles_per_instr = ph.accesses_per_instr
+                * st.scratch.miss_rate[gi]
+                * (st.latency_ns * 1e-9 * st.freq_hz)
+                / ph.mlp;
+            let target = ph.cpi_base + stall_cycles_per_instr;
+            let next = 0.5 * st.cpi[gi] + 0.5 * target;
+            max_rel = max_rel.max(((next - st.cpi[gi]) / st.cpi[gi]).abs());
+            st.cpi[gi] = next;
+        }
+        st.seg_residual = max_rel;
+        if max_rel < FP_TOLERANCE {
+            st.seg_residual = 0.0;
+            return Ok(StageFlow::SolverDone);
+        }
+        if st.seg_iters >= st.iter_cap {
+            return Ok(StageFlow::SolverDone);
+        }
+        Ok(StageFlow::Continue)
+    }
+}
+
+/// Segment close-out: converts the converged CPIs into instruction rates,
+/// sizes the segment (time until the nearest phase boundary), accrues
+/// hardware counters and time-weighted telemetry, snaps boundary
+/// crossings, and handles completions — co-runners restart to keep
+/// contention pressure constant; target completion ends the run with
+/// [`StageFlow::TargetDone`].
+pub struct CounterAccrualStage;
+
+impl EpochStage for CounterAccrualStage {
+    fn id(&self) -> StageId {
+        StageId::CounterAccrual
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn run(&self, env: &SegmentEnv<'_>, st: &mut EpochState) -> Result<StageFlow> {
+        let n_groups = env.workload.len();
+
+        // Converged per-group rates and shares for this segment.
+        for gi in 0..n_groups {
+            st.scratch.ips[gi] = st.freq_hz / st.cpi[gi];
+            st.scratch.occ_per_instance[gi] = st.scratch.occ[st.scratch.group_first[gi]];
+        }
+
+        // Time until each group hits its next boundary.
+        let mut dt = f64::INFINITY;
+        for (gi, p) in st.progress.iter().enumerate() {
+            let remaining = st.scratch.phase_info[gi].1 - p;
+            let t = remaining / st.scratch.ips[gi];
+            if t < dt {
+                dt = t;
+            }
+        }
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(MachineError::Numeric(format!(
+                "degenerate segment dt = {dt} at segment {}",
+                st.segments
+            )));
+        }
+        st.dt = dt;
+
+        // Advance everyone by dt.
+        for gi in 0..n_groups {
+            let instr = st.scratch.ips[gi] * dt;
+            st.progress[gi] += instr;
+            let acc =
+                instr * env.workload[gi].app.phases[st.scratch.phase_info[gi].0].accesses_per_instr;
+            st.counters[gi].instructions += instr;
+            st.counters[gi].cycles += st.freq_hz * dt;
+            st.counters[gi].llc_accesses += acc;
+            st.counters[gi].llc_misses += acc * st.scratch.miss_rate[gi];
+            st.share_time_acc[gi] += st.scratch.occ_per_instance[gi] * dt;
+        }
+        st.latency_time_acc += st.latency_ns * dt;
+        st.wall += dt;
+
+        // Snap boundary crossings and handle completions.
+        let mut target_done = false;
+        for gi in 0..n_groups {
+            let boundary = st.scratch.phase_info[gi].1;
+            if st.progress[gi] >= boundary - 1e-6 * env.workload[gi].app.instructions.max(1.0) {
+                st.progress[gi] = boundary;
+                if (boundary - env.workload[gi].app.instructions).abs()
+                    < 1e-9 * env.workload[gi].app.instructions
+                {
+                    st.counters[gi].completed_runs += 1;
+                    if gi == 0 {
+                        target_done = true;
+                    } else {
+                        st.progress[gi] = 0.0; // co-runner restarts
+                    }
+                }
+            }
+        }
+        st.target_done = target_done;
+        Ok(if target_done {
+            StageFlow::TargetDone
+        } else {
+            StageFlow::Continue
+        })
+    }
+}
+
+/// Accumulated cost of one pipeline stage across a run (or a whole
+/// sweep, when profiles are merged).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Times the stage executed.
+    pub invocations: u64,
+    /// Total wall time spent inside the stage, nanoseconds.
+    pub nanos: u64,
+}
+
+/// Per-stage cost counters for an instrumented run: one [`StageStats`]
+/// slot per [`StageId`]. The un-instrumented path pays nothing — the
+/// driver only reads clocks when a profile is attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    stats: [StageStats; 5],
+}
+
+impl StageProfile {
+    /// An empty profile.
+    pub fn new() -> StageProfile {
+        StageProfile::default()
+    }
+
+    /// Record one invocation of `id` costing `elapsed`.
+    pub fn record(&mut self, id: StageId, elapsed: Duration) {
+        let slot = &mut self.stats[id.index()];
+        slot.invocations += 1;
+        slot.nanos += elapsed.as_nanos() as u64;
+    }
+
+    /// Counters for one stage.
+    pub fn get(&self, id: StageId) -> StageStats {
+        self.stats[id.index()]
+    }
+
+    /// Fold another profile into this one (sweep aggregation).
+    pub fn merge(&mut self, other: &StageProfile) {
+        for id in StageId::ALL {
+            self.stats[id.index()].invocations += other.stats[id.index()].invocations;
+            self.stats[id.index()].nanos += other.stats[id.index()].nanos;
+        }
+    }
+
+    /// All stages with their counters, in driver order.
+    pub fn iter(&self) -> impl Iterator<Item = (StageId, StageStats)> + '_ {
+        StageId::ALL.iter().map(|&id| (id, self.get(id)))
+    }
+
+    /// Per-stage invocation counts, indexed by [`StageId::index`].
+    pub fn invocations(&self) -> [u64; 5] {
+        let mut out = [0u64; 5];
+        for id in StageId::ALL {
+            out[id.index()] = self.stats[id.index()].invocations;
+        }
+        out
+    }
+
+    /// Per-stage nanoseconds, indexed by [`StageId::index`].
+    pub fn nanos(&self) -> [u64; 5] {
+        let mut out = [0u64; 5];
+        for id in StageId::ALL {
+            out[id.index()] = self.stats[id.index()].nanos;
+        }
+        out
+    }
+}
+
+/// One closed segment, as recorded by a traced run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SegmentRecord {
+    /// 1-based segment index.
+    pub segment: usize,
+    /// Segment length, seconds.
+    pub dt: f64,
+    /// DRAM latency over the segment, ns.
+    pub latency_ns: f64,
+    /// Fixed-point iterations the segment's solve took.
+    pub fp_iters: u64,
+    /// Final relative CPI residual (0.0 = converged).
+    pub residual: f64,
+}
+
+/// Bounded ring buffer of the most recent [`SegmentRecord`]s from a
+/// traced run. Capacity-bounded so tracing a million-segment run holds
+/// memory constant; `dropped` counts evicted records.
+#[derive(Clone, Debug)]
+pub struct SegmentTrace {
+    capacity: usize,
+    records: VecDeque<SegmentRecord>,
+    dropped: u64,
+}
+
+impl SegmentTrace {
+    /// A trace retaining at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> SegmentTrace {
+        SegmentTrace {
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&mut self, record: SegmentRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &SegmentRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Machine;
+    use super::*;
+    use crate::app::{AppPhase, AppProfile};
+    use crate::presets;
+    use coloc_cachesim::StackDistanceDist;
+
+    fn hungry(name: &str, instructions: f64) -> AppProfile {
+        AppProfile::single_phase(
+            name,
+            instructions,
+            AppPhase {
+                weight: 1.0,
+                dist: StackDistanceDist::power_law(1_000_000, 0.35, 0.02),
+                accesses_per_instr: 0.03,
+                cpi_base: 0.9,
+                mlp: 4.0,
+            },
+        )
+    }
+
+    /// Two-group fixture: a two-phase target plus two hungry co-runners,
+    /// with everything a stage needs (machine, MRCs, state) pre-built.
+    struct Fixture {
+        machine: Machine,
+        workload: Vec<RunnerGroup>,
+        opts: RunOptions,
+        mrcs: Vec<Vec<coloc_cachesim::MissRateCurve>>,
+    }
+
+    impl Fixture {
+        fn new(opts: RunOptions) -> Fixture {
+            let target = AppProfile {
+                name: "phased".into(),
+                instructions: 100e9,
+                phases: vec![
+                    AppPhase {
+                        weight: 0.5,
+                        dist: StackDistanceDist::power_law(1_000_000, 0.35, 0.02),
+                        accesses_per_instr: 0.03,
+                        cpi_base: 0.9,
+                        mlp: 4.0,
+                    },
+                    AppPhase {
+                        weight: 0.5,
+                        dist: StackDistanceDist::power_law(2_000, 2.0, 1e-6),
+                        accesses_per_instr: 0.001,
+                        cpi_base: 0.7,
+                        mlp: 2.0,
+                    },
+                ],
+            };
+            let workload = vec![
+                RunnerGroup::solo(target),
+                RunnerGroup {
+                    app: hungry("co", 60e9),
+                    count: 2,
+                },
+            ];
+            let mrcs = workload
+                .iter()
+                .map(|g| g.app.phases.iter().map(|p| p.mrc()).collect())
+                .collect();
+            Fixture {
+                machine: Machine::new(presets::xeon_e5649()).unwrap(),
+                workload,
+                opts,
+                mrcs,
+            }
+        }
+
+        fn env(&self) -> SegmentEnv<'_> {
+            SegmentEnv {
+                spec: self.machine.spec(),
+                mem: self.machine.mem(),
+                workload: &self.workload,
+                opts: &self.opts,
+                mrcs: &self.mrcs,
+            }
+        }
+
+        fn state(&self) -> EpochState {
+            // 0.0 for an out-of-range pstate: PStateStage re-derives (and
+            // rejects) it anyway.
+            let freq = self.machine.spec().freq_hz(self.opts.pstate).unwrap_or(0.0);
+            EpochState::new(&self.workload, &self.mrcs, freq)
+        }
+    }
+
+    #[test]
+    fn pstate_stage_sets_frequency_and_budget() {
+        let fx = Fixture::new(RunOptions::default());
+        let mut st = fx.state();
+        st.freq_hz = 0.0;
+        assert_eq!(
+            PStateStage.run(&fx.env(), &mut st).unwrap(),
+            StageFlow::Continue
+        );
+        assert_eq!(st.freq_hz, 2.53e9);
+        assert_eq!(st.iter_cap, 250, "unbudgeted runs get the full cap");
+
+        // Under a budget the cap shrinks with spent iterations, floored at
+        // the degraded minimum.
+        let fx = Fixture::new(RunOptions {
+            fp_budget: 100,
+            ..Default::default()
+        });
+        let mut st = fx.state();
+        st.fp_iterations = 90;
+        PStateStage.run(&fx.env(), &mut st).unwrap();
+        assert_eq!(st.iter_cap, 10);
+        st.fp_iterations = 100_000;
+        PStateStage.run(&fx.env(), &mut st).unwrap();
+        assert_eq!(
+            st.iter_cap, 4,
+            "exhausted budget floors at the degraded cap"
+        );
+    }
+
+    #[test]
+    fn pstate_stage_reports_bad_pstates() {
+        let fx = Fixture::new(RunOptions {
+            pstate: 99,
+            ..Default::default()
+        });
+        let mut st = fx.state();
+        assert!(matches!(
+            PStateStage.run(&fx.env(), &mut st),
+            Err(MachineError::BadPState {
+                index: 99,
+                available: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn phase_sync_stage_tracks_phase_boundaries() {
+        let fx = Fixture::new(RunOptions::default());
+        let mut st = fx.state();
+        PhaseSyncStage.run(&fx.env(), &mut st).unwrap();
+        assert_eq!(st.scratch.phase_info[0], (0, 50e9), "phase 0 ends halfway");
+        assert_eq!(st.scratch.phase_info[1], (0, 60e9));
+
+        // Push the target past its phase boundary: the stage must flip its
+        // phase and reload the instance MRC to the compute-phase curve.
+        let miss_before = st.scratch.instances[0].mrc.miss_rate(1 << 20);
+        st.progress[0] = 60e9;
+        PhaseSyncStage.run(&fx.env(), &mut st).unwrap();
+        assert_eq!(st.scratch.phase_info[0], (1, 100e9));
+        let miss_after = st.scratch.instances[0].mrc.miss_rate(1 << 20);
+        assert!(
+            miss_after < miss_before,
+            "compute phase must miss less: {miss_after} !< {miss_before}"
+        );
+    }
+
+    #[test]
+    fn llc_share_stage_computes_rates_shares_and_misses() {
+        let fx = Fixture::new(RunOptions::default());
+        let mut st = fx.state();
+        PStateStage.run(&fx.env(), &mut st).unwrap();
+        PhaseSyncStage.run(&fx.env(), &mut st).unwrap();
+        st.begin_solve(&fx.env());
+        st.seg_iters = 1;
+        assert_eq!(
+            LlcShareStage.run(&fx.env(), &mut st).unwrap(),
+            StageFlow::Continue
+        );
+
+        // Access rates follow directly from frequency, CPI, and the phase.
+        let expect = st.freq_hz / st.cpi[0] * 0.03;
+        assert_eq!(st.scratch.access_rate[0], expect);
+        // Occupancies stay a partition of the LLC.
+        let total: f64 = st.scratch.occ.iter().sum();
+        let cap = fx.machine.spec().llc_bytes as f64;
+        assert!(
+            (total - cap).abs() < 1.0,
+            "occupancy leaked: {total} vs {cap}"
+        );
+        for gi in 0..2 {
+            assert!((0.0..=1.0).contains(&st.scratch.miss_rate[gi]));
+        }
+
+        // Partitioned mode pins every instance at the equal slice.
+        let fx_part = Fixture::new(RunOptions {
+            llc_partitioned: true,
+            ..Default::default()
+        });
+        let mut stp = fx_part.state();
+        PStateStage.run(&fx_part.env(), &mut stp).unwrap();
+        PhaseSyncStage.run(&fx_part.env(), &mut stp).unwrap();
+        stp.begin_solve(&fx_part.env());
+        LlcShareStage.run(&fx_part.env(), &mut stp).unwrap();
+        let slice = cap / 3.0;
+        for &o in &stp.scratch.occ {
+            assert_eq!(o, slice);
+        }
+    }
+
+    #[test]
+    fn dram_stage_converges_the_damped_fixed_point() {
+        let fx = Fixture::new(RunOptions::default());
+        let mut st = fx.state();
+        PStateStage.run(&fx.env(), &mut st).unwrap();
+        PhaseSyncStage.run(&fx.env(), &mut st).unwrap();
+        st.begin_solve(&fx.env());
+
+        let idle = fx.machine.mem().spec().idle_latency_ns;
+        let mut iters = 0u64;
+        loop {
+            st.seg_iters += 1;
+            iters += 1;
+            LlcShareStage.run(&fx.env(), &mut st).unwrap();
+            match DramFixedPointStage.run(&fx.env(), &mut st).unwrap() {
+                StageFlow::SolverDone => break,
+                _ => assert!(iters < 250, "solver failed to converge"),
+            }
+        }
+        assert_eq!(
+            st.seg_residual, 0.0,
+            "converged solve reports zero residual"
+        );
+        assert!(st.latency_ns >= idle, "contended latency below idle");
+        // Contention must raise CPI above the base for the hungry phase.
+        assert!(st.cpi[0] > 0.9 && st.cpi[0].is_finite());
+    }
+
+    #[test]
+    fn dram_stage_respects_the_iteration_cap() {
+        let fx = Fixture::new(RunOptions::default());
+        let mut st = fx.state();
+        PStateStage.run(&fx.env(), &mut st).unwrap();
+        PhaseSyncStage.run(&fx.env(), &mut st).unwrap();
+        st.begin_solve(&fx.env());
+        st.iter_cap = 1;
+        st.seg_iters = 1;
+        LlcShareStage.run(&fx.env(), &mut st).unwrap();
+        assert_eq!(
+            DramFixedPointStage.run(&fx.env(), &mut st).unwrap(),
+            StageFlow::SolverDone,
+            "cap of 1 ends the solve after one iteration"
+        );
+        assert!(
+            st.seg_residual > 0.0,
+            "truncated solve reports its residual"
+        );
+    }
+
+    #[test]
+    fn counter_accrual_stage_advances_and_completes() {
+        let fx = Fixture::new(RunOptions::default());
+        let mut st = fx.state();
+        PStateStage.run(&fx.env(), &mut st).unwrap();
+        st.segments = 1;
+        PhaseSyncStage.run(&fx.env(), &mut st).unwrap();
+        st.begin_solve(&fx.env());
+        loop {
+            st.seg_iters += 1;
+            LlcShareStage.run(&fx.env(), &mut st).unwrap();
+            if DramFixedPointStage.run(&fx.env(), &mut st).unwrap() == StageFlow::SolverDone {
+                break;
+            }
+        }
+        let flow = CounterAccrualStage.run(&fx.env(), &mut st).unwrap();
+        assert_eq!(
+            flow,
+            StageFlow::Continue,
+            "first segment cannot finish the run"
+        );
+        assert!(st.dt > 0.0 && st.wall == st.dt);
+        let c = &st.counters[0];
+        assert!((c.instructions - st.scratch.ips[0] * st.dt).abs() < 1e-3);
+        assert_eq!(c.cycles, st.freq_hz * st.dt);
+        assert!(c.llc_misses <= c.llc_accesses);
+
+        // Drop the target at the brink of completion: the stage must snap
+        // the boundary, count the completion, and end the run.
+        let mut st2 = fx.state();
+        PStateStage.run(&fx.env(), &mut st2).unwrap();
+        st2.segments = 1;
+        st2.progress[0] = 100e9 - 1.0;
+        st2.progress[1] = 1.0;
+        PhaseSyncStage.run(&fx.env(), &mut st2).unwrap();
+        st2.begin_solve(&fx.env());
+        loop {
+            st2.seg_iters += 1;
+            LlcShareStage.run(&fx.env(), &mut st2).unwrap();
+            if DramFixedPointStage.run(&fx.env(), &mut st2).unwrap() == StageFlow::SolverDone {
+                break;
+            }
+        }
+        assert_eq!(
+            CounterAccrualStage.run(&fx.env(), &mut st2).unwrap(),
+            StageFlow::TargetDone
+        );
+        assert_eq!(st2.counters[0].completed_runs, 1);
+        assert_eq!(st2.progress[0], 100e9);
+    }
+
+    #[test]
+    fn counter_accrual_rejects_degenerate_segments() {
+        let fx = Fixture::new(RunOptions::default());
+        let mut st = fx.state();
+        PStateStage.run(&fx.env(), &mut st).unwrap();
+        st.segments = 7;
+        PhaseSyncStage.run(&fx.env(), &mut st).unwrap();
+        // A non-finite rate forces dt = inf/NaN, which must surface as a
+        // typed numeric error naming the segment.
+        st.scratch.ips = vec![0.0, 0.0];
+        st.scratch.phase_info[0].1 = st.progress[0]; // remaining = 0
+        match CounterAccrualStage.run(&fx.env(), &mut st) {
+            Err(MachineError::Numeric(msg)) => {
+                assert!(msg.contains("segment 7"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Numeric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_profile_records_and_merges() {
+        let mut a = StageProfile::new();
+        a.record(StageId::LlcShare, Duration::from_nanos(50));
+        a.record(StageId::LlcShare, Duration::from_nanos(25));
+        a.record(StageId::PState, Duration::from_nanos(5));
+        let mut b = StageProfile::new();
+        b.record(StageId::LlcShare, Duration::from_nanos(100));
+        a.merge(&b);
+        assert_eq!(
+            a.get(StageId::LlcShare),
+            StageStats {
+                invocations: 3,
+                nanos: 175
+            }
+        );
+        assert_eq!(a.get(StageId::PState).invocations, 1);
+        assert_eq!(a.get(StageId::CounterAccrual), StageStats::default());
+        assert_eq!(a.invocations(), [1, 0, 3, 0, 0]);
+        assert_eq!(a.nanos(), [5, 0, 175, 0, 0]);
+        assert_eq!(a.iter().count(), 5);
+    }
+
+    #[test]
+    fn segment_trace_is_a_bounded_ring() {
+        let mut t = SegmentTrace::new(3);
+        for i in 1..=5 {
+            t.push(SegmentRecord {
+                segment: i,
+                dt: i as f64,
+                latency_ns: 60.0,
+                fp_iters: 2,
+                residual: 0.0,
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let kept: Vec<usize> = t.records().map(|r| r.segment).collect();
+        assert_eq!(kept, vec![3, 4, 5], "ring keeps the most recent records");
+        assert!(!t.is_empty());
+        assert_eq!(t.capacity(), 3);
+        assert_eq!(SegmentTrace::new(0).capacity(), 1, "capacity floors at 1");
+    }
+
+    #[test]
+    fn stage_ids_are_dense_and_labelled() {
+        for (i, id) in StageId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert!(!id.label().is_empty());
+        }
+        let labels: std::collections::HashSet<_> =
+            StageId::ALL.iter().map(|id| id.label()).collect();
+        assert_eq!(labels.len(), 5, "labels are unique");
+    }
+}

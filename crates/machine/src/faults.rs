@@ -169,23 +169,19 @@ impl FaultPlan {
     }
 
     /// Stable 64-bit digest of the plan, folded into run digests and sweep
-    /// checkpoint headers so a changed plan invalidates both.
+    /// checkpoint headers so a changed plan invalidates both. Uses the
+    /// canonical [`crate::IrWriter`] encoding (fields in declaration
+    /// order, floats by bit pattern).
     pub fn digest(&self) -> u64 {
-        let mut h = 0xcbf29ce484222325u64; // FNV-1a 64 offset
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        };
-        mix(self.seed);
-        mix(self.dropped_sample_rate.to_bits());
-        mix(self.nan_reading_rate.to_bits());
-        mix(self.stuck_counter_rate.to_bits());
-        mix(self.saturated_counter_rate.to_bits());
-        mix(self.noise_burst_rate.to_bits());
-        mix(self.noise_burst_sigma.to_bits());
-        h
+        let mut d = crate::ir::IrWriter::new();
+        d.u64(self.seed);
+        d.f64(self.dropped_sample_rate);
+        d.f64(self.nan_reading_rate);
+        d.f64(self.stuck_counter_rate);
+        d.f64(self.saturated_counter_rate);
+        d.f64(self.noise_burst_rate);
+        d.f64(self.noise_burst_sigma);
+        d.finish64()
     }
 
     /// Inject this plan's faults into a run outcome, in place.

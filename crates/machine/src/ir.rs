@@ -1,0 +1,349 @@
+//! The canonical scenario intermediate representation.
+//!
+//! Before this module existed, "a scenario" was re-described independently
+//! in four places: `coloc_core::Scenario` (suite names + counts), the
+//! conformance corpus' `CorpusCase` (names + run axes), the `RunCache`
+//! digest (a private byte encoding), and `Lab::plan_digest` (another
+//! private byte encoding). [`ScenarioIr`] is the one representation they
+//! all converge on: a serializable, digestable value holding everything
+//! the engine reads — machine spec, workload groups, run options, and the
+//! optional fault plan.
+//!
+//! ## Digest canonicalization rules
+//!
+//! Every digest in the workspace is produced by [`IrWriter`], a 128-bit
+//! FNV-1a writer, over one canonical byte encoding:
+//!
+//! * integers are hashed as little-endian `u64` bytes (`usize` widens);
+//! * floats are hashed by **bit pattern** (`f64::to_bits`), so `-0.0`,
+//!   `0.0`, and every NaN payload key apart — exactly right for memo keys,
+//!   where bit-identical inputs imply bit-identical outputs;
+//! * strings are length-prefixed, then raw UTF-8 bytes;
+//! * locality distributions hash their scalar parameters **and** their
+//!   representative/CDF tables, so two distributions with equal parameters
+//!   but different construction key apart;
+//! * a fault plan contributes a `1` tag byte plus its digest only when it
+//!   can actually fire; a no-op plan encodes as the `0` tag, identical to
+//!   no plan at all (it cannot change any outcome, so clean sweeps and
+//!   faultless chaos sweeps share cache entries).
+//!
+//! The encoding is append-only by convention: the digest-stability fixture
+//! under `crates/machine/tests/` pins digests of known scenarios, so any
+//! accidental change to this encoding — which would silently invalidate
+//! run caches and sweep checkpoints — fails CI instead.
+
+use crate::app::AppProfile;
+use crate::engine::{Machine, RunOptions, RunnerGroup};
+use crate::faults::FaultPlan;
+use crate::spec::MachineSpec;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a style digest writer: the single hashing primitive
+/// behind every scenario digest (run-cache keys, checkpoint headers,
+/// fault-plan digests). Not cryptographic — it only needs to make
+/// accidental collisions between distinct inputs negligible.
+#[derive(Clone, Debug)]
+pub struct IrWriter {
+    state: u128,
+}
+
+impl Default for IrWriter {
+    fn default() -> IrWriter {
+        IrWriter::new()
+    }
+}
+
+impl IrWriter {
+    /// A writer at the FNV-128 offset basis.
+    pub fn new() -> IrWriter {
+        IrWriter {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorb one byte.
+    pub fn byte(&mut self, b: u8) {
+        self.state ^= b as u128;
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    /// Absorb a `u64` as little-endian bytes.
+    pub fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Absorb a `usize`, widened to `u64` for a platform-stable encoding.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Absorb a float by bit pattern: distinguishes `-0.0` from `0.0` and
+    /// every NaN payload, which is exactly right for a memo key
+    /// (bit-identical inputs ⇒ bit-identical outputs).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Absorb a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(self) -> u128 {
+        self.state
+    }
+
+    /// The digest folded to 64 bits (high half XOR low half) for callers
+    /// that persist a `u64` — checkpoint headers, fault-plan digests.
+    pub fn finish64(self) -> u64 {
+        let d = self.finish();
+        (d >> 64) as u64 ^ d as u64
+    }
+}
+
+/// Canonical encoding of an application profile, down to its per-phase
+/// locality tables.
+fn encode_app(d: &mut IrWriter, app: &AppProfile) {
+    d.str(&app.name);
+    d.f64(app.instructions);
+    d.usize(app.phases.len());
+    for ph in &app.phases {
+        d.f64(ph.weight);
+        d.f64(ph.accesses_per_instr);
+        d.f64(ph.cpi_base);
+        d.f64(ph.mlp);
+        // The locality model: scalar parameters plus the actual
+        // distribution tables, so two dists with equal parameters but
+        // different construction (power-law vs uniform) key apart.
+        d.f64(ph.dist.p_new);
+        d.usize(ph.dist.reuse_span);
+        d.f64(ph.dist.alpha);
+        d.usize(ph.dist.representatives().len());
+        for &r in ph.dist.representatives() {
+            d.usize(r);
+        }
+        for &c in ph.dist.cdf() {
+            d.f64(c);
+        }
+    }
+}
+
+/// Canonical encoding of a complete scenario — machine spec, workload,
+/// run options, optional fault plan — into `d`. This is **the** scenario
+/// byte encoding: [`ScenarioIr::digest`], the run-cache key, and the
+/// sweep-checkpoint digest all read these exact bytes.
+pub fn encode_scenario(
+    d: &mut IrWriter,
+    spec: &MachineSpec,
+    workload: &[RunnerGroup],
+    opts: &RunOptions,
+    faults: Option<&FaultPlan>,
+) {
+    d.str(&spec.name);
+    d.usize(spec.cores);
+    d.u64(spec.llc_bytes);
+    d.usize(spec.llc_ways);
+    d.usize(spec.pstates_ghz.len());
+    for &p in &spec.pstates_ghz {
+        d.f64(p);
+    }
+    d.f64(spec.dram.peak_bw_bytes_per_sec);
+    d.f64(spec.dram.idle_latency_ns);
+    d.f64(spec.dram.queue_latency_ns);
+    d.f64(spec.dram.max_queue_ns);
+    d.f64(spec.dram.bank_penalty_ns);
+    d.usize(spec.dram.banks);
+
+    d.usize(workload.len());
+    for g in workload {
+        d.usize(g.count);
+        encode_app(d, &g.app);
+    }
+
+    d.usize(opts.pstate);
+    d.u64(opts.seed);
+    d.f64(opts.noise_sigma);
+    d.usize(opts.max_segments);
+    d.byte(opts.llc_partitioned as u8);
+    d.u64(opts.fp_budget);
+    match faults {
+        // A no-op plan keys like no plan at all: it cannot change any
+        // outcome, so clean sweeps and faultless "chaos" sweeps share
+        // cache entries.
+        Some(plan) if !plan.is_noop() => {
+            d.byte(1);
+            d.u64(plan.digest());
+        }
+        _ => d.byte(0),
+    }
+}
+
+/// Digest of a complete scenario from borrowed parts (no [`ScenarioIr`]
+/// allocation) — the run-cache key computation.
+pub fn scenario_digest(
+    spec: &MachineSpec,
+    workload: &[RunnerGroup],
+    opts: &RunOptions,
+    faults: Option<&FaultPlan>,
+) -> u128 {
+    let mut d = IrWriter::new();
+    encode_scenario(&mut d, spec, workload, opts, faults);
+    d.finish()
+}
+
+/// One serializable, digestable description of everything a run reads:
+/// machine preset, workload groups, run options, and fault plan.
+///
+/// Higher layers lower their own scenario notions onto this type —
+/// `coloc_core::Scenario` through `Lab::scenario_ir`, the conformance
+/// corpus through `CorpusCase::to_ir` — so one canonical encoding backs
+/// every cache key and checkpoint digest in the workspace.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScenarioIr {
+    /// The machine the workload runs on.
+    pub machine: MachineSpec,
+    /// Workload groups; group 0 is the target.
+    pub workload: Vec<RunnerGroup>,
+    /// Run options (P-state, seed, noise, caps).
+    pub opts: RunOptions,
+    /// Optional measurement-fault plan.
+    pub faults: Option<FaultPlan>,
+}
+
+impl ScenarioIr {
+    /// Build an IR without faults.
+    pub fn new(machine: MachineSpec, workload: Vec<RunnerGroup>, opts: RunOptions) -> ScenarioIr {
+        ScenarioIr {
+            machine,
+            workload,
+            opts,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ScenarioIr {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The canonical 128-bit digest of this scenario (see the module docs
+    /// for the encoding rules). Equal to the run-cache key of the same
+    /// `(machine, workload, opts, faults)`.
+    pub fn digest(&self) -> u128 {
+        scenario_digest(
+            &self.machine,
+            &self.workload,
+            &self.opts,
+            self.faults.as_ref(),
+        )
+    }
+
+    /// [`ScenarioIr::digest`] folded to 64 bits for persisted headers.
+    pub fn digest64(&self) -> u64 {
+        let mut d = IrWriter::new();
+        encode_scenario(
+            &mut d,
+            &self.machine,
+            &self.workload,
+            &self.opts,
+            self.faults.as_ref(),
+        );
+        d.finish64()
+    }
+
+    /// Validate and instantiate the machine this IR describes.
+    pub fn machine(&self) -> crate::Result<Machine> {
+        Machine::new(self.machine.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppPhase;
+    use crate::presets;
+    use coloc_cachesim::StackDistanceDist;
+
+    fn app(name: &str, span: usize) -> AppProfile {
+        AppProfile::single_phase(
+            name,
+            30e9,
+            AppPhase {
+                weight: 1.0,
+                dist: StackDistanceDist::power_law(span, 0.35, 0.02),
+                accesses_per_instr: 0.03,
+                cpi_base: 0.9,
+                mlp: 4.0,
+            },
+        )
+    }
+
+    fn ir(span: usize) -> ScenarioIr {
+        ScenarioIr::new(
+            presets::xeon_e5649(),
+            vec![
+                RunnerGroup::solo(app("t", span)),
+                RunnerGroup {
+                    app: app("c", span / 2),
+                    count: 2,
+                },
+            ],
+            RunOptions::default(),
+        )
+    }
+
+    #[test]
+    fn digest_matches_the_run_cache_key() {
+        let base = ir(800_000);
+        let m = Machine::new(base.machine.clone()).unwrap();
+        assert_eq!(
+            base.digest(),
+            crate::cache::run_digest(&m, &base.workload, &base.opts)
+        );
+        let faulted = ir(800_000).with_faults(FaultPlan::light(3));
+        assert_eq!(
+            faulted.digest(),
+            crate::cache::run_digest_faulted(
+                &m,
+                &faulted.workload,
+                &faulted.opts,
+                faulted.faults.as_ref()
+            )
+        );
+    }
+
+    #[test]
+    fn every_axis_moves_the_digest() {
+        let d0 = ir(800_000).digest();
+        assert_eq!(d0, ir(800_000).digest(), "digest is a pure function");
+        assert_ne!(d0, ir(400_000).digest(), "workload matters");
+        let mut other_machine = ir(800_000);
+        other_machine.machine = presets::xeon_e5_2697v2();
+        assert_ne!(d0, other_machine.digest(), "machine matters");
+        let mut other_opts = ir(800_000);
+        other_opts.opts.pstate = 2;
+        assert_ne!(d0, other_opts.digest(), "options matter");
+        let noop = ir(800_000).with_faults(FaultPlan::default());
+        assert_eq!(d0, noop.digest(), "a no-op plan keys like no plan");
+        let faulted = ir(800_000).with_faults(FaultPlan::heavy(1));
+        assert_ne!(d0, faulted.digest(), "an active plan keys apart");
+    }
+
+    #[test]
+    fn digest64_folds_the_full_digest() {
+        let a = ir(800_000);
+        let d = a.digest();
+        assert_eq!(a.digest64(), (d >> 64) as u64 ^ d as u64);
+        assert_ne!(a.digest64(), ir(400_000).digest64());
+    }
+}

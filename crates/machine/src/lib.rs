@@ -31,14 +31,19 @@ pub mod cache;
 pub mod engine;
 pub mod faults;
 pub mod governor;
+pub mod ir;
 pub mod presets;
 pub mod spec;
 
 pub use app::{AppPhase, AppProfile};
 pub use cache::{run_digest, run_digest_faulted, CacheStats, RunCache};
-pub use engine::{Convergence, CounterBlock, Machine, RunOptions, RunOutcome, RunnerGroup};
+pub use engine::{
+    Convergence, CounterBlock, EpochStage, Machine, RunOptions, RunOutcome, RunnerGroup,
+    SegmentRecord, SegmentTrace, StageFlow, StageId, StageProfile, StageStats,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use governor::{run_throttled, GovernorConfig, ThermalModel, ThrottledOutcome};
+pub use ir::{IrWriter, ScenarioIr};
 pub use spec::MachineSpec;
 
 // Re-export the cache substrate: app profiles embed locality models, so
@@ -54,6 +59,15 @@ pub enum MachineError {
     BadPState { index: usize, available: usize },
     /// An app profile is malformed (empty phases, non-positive counts…).
     BadProfile(String),
+    /// The run crossed the [`engine::RunOptions::max_segments`] safety cap
+    /// — typically a co-runner far shorter than the target, restarting so
+    /// often the segment count explodes.
+    SegmentOverflow {
+        /// Segment count at which the run was abandoned.
+        segments: usize,
+        /// The configured cap it exceeded.
+        cap: usize,
+    },
     /// No workload was supplied.
     EmptyWorkload,
     /// A machine spec failed validation (zero cores, empty or
@@ -82,6 +96,11 @@ impl std::fmt::Display for MachineError {
                 write!(f, "P-state {index} out of range (machine has {available})")
             }
             MachineError::BadProfile(s) => write!(f, "bad app profile: {s}"),
+            MachineError::SegmentOverflow { segments, cap } => write!(
+                f,
+                "run exceeded {cap} segments (abandoned at {segments}); \
+                 co-runner far shorter than target?"
+            ),
             MachineError::EmptyWorkload => write!(f, "workload is empty"),
             MachineError::InvalidSpec(s) => write!(f, "invalid machine spec: {s}"),
             MachineError::Numeric(s) => write!(f, "numeric degeneracy: {s}"),

@@ -1,0 +1,190 @@
+//! Digest-stability fixture for the canonical [`ScenarioIr`] encoding.
+//!
+//! `RunCache` keys, `Lab::plan_digest` checkpoints, and the conformance
+//! corpus all hash scenarios through one implementation:
+//! [`ScenarioIr::digest`]. That makes the digest a *persistence format* —
+//! an accidental change to the canonical encoding silently invalidates
+//! every memo entry and orphans every sweep checkpoint in the field. This
+//! test pins the digests of a fixed scenario set against a checked-in
+//! fixture; after an **intentional** encoding change, regenerate with
+//! `COLOC_REGEN_FIXTURES=1 cargo test -p coloc-machine --test digest_stability`.
+//!
+//! The fixture is plain text, one `name = 0x<32 hex>` line per scenario,
+//! so an encoding change reviews as a readable diff.
+
+use coloc_cachesim::StackDistanceDist;
+use coloc_machine::{
+    presets, AppPhase, AppProfile, FaultPlan, RunOptions, RunnerGroup, ScenarioIr,
+};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/scenario_digests.txt")
+}
+
+fn hungry(name: &str, instructions: f64) -> AppProfile {
+    AppProfile::single_phase(
+        name,
+        instructions,
+        AppPhase {
+            weight: 1.0,
+            dist: StackDistanceDist::power_law(1_000_000, 0.35, 0.02),
+            accesses_per_instr: 0.03,
+            cpi_base: 0.9,
+            mlp: 4.0,
+        },
+    )
+}
+
+fn phased(name: &str, instructions: f64) -> AppProfile {
+    AppProfile {
+        name: name.into(),
+        instructions,
+        phases: vec![
+            AppPhase {
+                weight: 0.5,
+                dist: StackDistanceDist::power_law(1_000_000, 0.35, 0.02),
+                accesses_per_instr: 0.03,
+                cpi_base: 0.9,
+                mlp: 4.0,
+            },
+            AppPhase {
+                weight: 0.5,
+                dist: StackDistanceDist::power_law(2_000, 2.0, 1e-6),
+                accesses_per_instr: 0.001,
+                cpi_base: 0.7,
+                mlp: 2.0,
+            },
+        ],
+    }
+}
+
+/// The pinned scenario set: every encoding axis is exercised by at least
+/// one entry (machine preset, group counts, multi-phase apps, P-state,
+/// seed, noise, partitioning, budget, and fault plans — firing and no-op).
+fn pinned_scenarios() -> Vec<(&'static str, ScenarioIr)> {
+    let solo = ScenarioIr::new(
+        presets::xeon_e5649(),
+        vec![RunnerGroup::solo(hungry("streamer", 50e9))],
+        RunOptions::default(),
+    );
+
+    let contended = ScenarioIr::new(
+        presets::xeon_e5649(),
+        vec![
+            RunnerGroup::solo(phased("target", 100e9)),
+            RunnerGroup {
+                app: hungry("co", 60e9),
+                count: 3,
+            },
+        ],
+        RunOptions {
+            pstate: 2,
+            seed: 7,
+            noise_sigma: 0.008,
+            ..Default::default()
+        },
+    );
+
+    let partitioned_budgeted = ScenarioIr::new(
+        presets::xeon_e5_2697v2(),
+        vec![
+            RunnerGroup::solo(hungry("target", 80e9)),
+            RunnerGroup {
+                app: phased("co", 40e9),
+                count: 7,
+            },
+        ],
+        RunOptions {
+            pstate: 5,
+            seed: 99,
+            llc_partitioned: true,
+            fp_budget: 32,
+            max_segments: 50_000,
+            ..Default::default()
+        },
+    );
+
+    let faulted = ScenarioIr::new(
+        presets::xeon_e5649(),
+        vec![
+            RunnerGroup::solo(hungry("target", 80e9)),
+            RunnerGroup {
+                app: hungry("co", 60e9),
+                count: 2,
+            },
+        ],
+        RunOptions {
+            seed: 11,
+            noise_sigma: 0.008,
+            ..Default::default()
+        },
+    )
+    .with_faults(FaultPlan::heavy(123));
+
+    let noop_faulted = ScenarioIr::new(
+        presets::xeon_e5649(),
+        vec![RunnerGroup::solo(hungry("target", 80e9))],
+        RunOptions::default(),
+    )
+    .with_faults(FaultPlan::default());
+
+    vec![
+        ("solo", solo),
+        ("contended", contended),
+        ("partitioned-budgeted", partitioned_budgeted),
+        ("faulted-heavy", faulted),
+        ("faulted-noop", noop_faulted),
+    ]
+}
+
+fn render(scenarios: &[(&str, ScenarioIr)]) -> String {
+    let mut out = String::new();
+    for (name, ir) in scenarios {
+        out.push_str(&format!("{name} = {:#034x}\n", ir.digest()));
+    }
+    out
+}
+
+#[test]
+fn scenario_digests_match_the_checked_in_fixture() {
+    let scenarios = pinned_scenarios();
+    let rendered = render(&scenarios);
+    let path = fixture_path();
+    if std::env::var("COLOC_REGEN_FIXTURES").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+    }
+    let on_disk = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (run with COLOC_REGEN_FIXTURES=1)", path.display()));
+    assert_eq!(
+        on_disk, rendered,
+        "canonical ScenarioIr encoding changed: run-cache keys and sweep \
+         checkpoints in the field would be invalidated. If intentional, \
+         regenerate with COLOC_REGEN_FIXTURES=1."
+    );
+}
+
+#[test]
+fn pinned_digests_are_pairwise_distinct() {
+    let scenarios = pinned_scenarios();
+    for (i, (na, a)) in scenarios.iter().enumerate() {
+        for (nb, b) in &scenarios[i + 1..] {
+            assert_ne!(a.digest(), b.digest(), "{na} collides with {nb}");
+        }
+    }
+}
+
+#[test]
+fn digest64_is_stable_too() {
+    // `Lab::plan_digest` folds the 64-bit projection; pin its relation to
+    // the full digest rather than a second fixture.
+    for (name, ir) in pinned_scenarios() {
+        let d = ir.digest();
+        assert_eq!(
+            ir.digest64(),
+            (d >> 64) as u64 ^ d as u64,
+            "{name}: digest64 is no longer the folded 128-bit digest"
+        );
+    }
+}

@@ -268,7 +268,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bound for [`vec`]; half-open `[lo, hi)`.
+    /// Length bound for [`vec()`]; half-open `[lo, hi)`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,

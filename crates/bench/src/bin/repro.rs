@@ -2,7 +2,7 @@
 //!
 //! Usage: `repro <artifact>` where artifact is one of
 //! `table1..table6`, `fig1..fig5b`, `pca`, `sweep`, `chaos`, `conformance`,
-//! or `all`.
+//! `perf`, or `all`.
 //!
 //! Expensive intermediates (training sweeps, model-grid validations) are
 //! cached as JSON under `repro-out/`; delete that directory to force a full
@@ -54,6 +54,7 @@ fn main() {
         "sweep" => sweep(),
         "chaos" => coloc_bench::chaos::run_chaos(),
         "conformance" => coloc_bench::conformance::run_conformance(),
+        "perf" => coloc_bench::perf::run_perf(),
         "ablations" => {
             ablation("Training-set size", coloc_bench::ablations::train_size());
             ablation("Measurement noise", coloc_bench::ablations::noise());
@@ -99,7 +100,7 @@ fn main() {
             eprintln!("unknown artifact `{other}`");
             eprintln!(
                 "expected: table1..table6, fig1..fig5b, pca, importance, sweep, chaos, \
-                 conformance, all, \
+                 conformance, perf, all, \
                  ablations, \
                  ablation-{{size,noise,hidden,hetero,classavg,quad,partition,phases}}"
             );

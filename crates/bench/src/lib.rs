@@ -14,6 +14,7 @@ pub mod cache;
 pub mod chaos;
 pub mod conformance;
 pub mod figures;
+pub mod perf;
 pub mod synth;
 pub mod tables;
 

@@ -1,0 +1,231 @@
+//! `repro perf` — the tracked performance trajectory.
+//!
+//! Runs a pinned, seeded sweep on the 6-core lab and writes
+//! `BENCH_<pr>.json` at the workspace root: scenarios/sec cold (engine)
+//! and memoized (cache-served) at 1 and 8 worker threads, the per-stage
+//! nanosecond breakdown from [`coloc_model::SweepStats`], and run-cache
+//! traffic. The artifact is checked in, so every future PR regresses
+//! against the committed `baseline_cold_1t_scen_per_sec` field: the CI
+//! `perf` job fails when cold single-thread throughput drops more than
+//! [`REGRESSION_TOLERANCE`] below it.
+//!
+//! The plan is fixed (same seed, same scenarios) so numbers are comparable
+//! across commits on the same hardware; absolute values shift with the
+//! host, which is why the gate is a *relative* bound against the committed
+//! baseline rather than an absolute floor.
+
+use crate::SEED;
+use coloc_machine::StageId;
+use coloc_model::{Lab, SweepStats, TrainingPlan};
+use std::path::PathBuf;
+
+/// PR number stamped into the artifact name (`BENCH_6.json`).
+pub const PERF_PR: u32 = 6;
+
+/// Relative regression the gate tolerates on cold 1-thread scenarios/sec
+/// before failing (CI-runner jitter headroom).
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Per-stage cost line in the artifact.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct StageLine {
+    /// Stage label ([`StageId::label`]).
+    pub stage: String,
+    /// Invocations across the cold (engine) passes.
+    pub invocations: u64,
+    /// Wall nanoseconds across the cold (engine) passes.
+    pub nanos: u64,
+}
+
+/// Throughput measurements at one worker-thread count.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ThroughputLine {
+    /// Worker threads used for the sweep.
+    pub threads: usize,
+    /// Scenarios/sec with an empty run cache (every run hits the engine).
+    pub cold_scen_per_sec: f64,
+    /// Scenarios/sec on the immediate re-sweep (fully memoized).
+    pub memo_scen_per_sec: f64,
+}
+
+/// The `BENCH_<pr>.json` artifact.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PerfReport {
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// PR that produced this artifact.
+    pub pr: u32,
+    /// Master seed of the pinned plan.
+    pub seed: u64,
+    /// Machine preset the plan runs on.
+    pub machine: String,
+    /// Scenarios per sweep pass.
+    pub scenarios: usize,
+    /// Regression-gate reference: cold 1-thread scenarios/sec committed
+    /// with the artifact. Carried forward from the previous artifact on
+    /// re-generation so the gate always compares against the committed
+    /// trajectory, not the run that happens to regenerate the file.
+    pub baseline_cold_1t_scen_per_sec: f64,
+    /// Cold 1-thread scenarios/sec of the pre-SoA engine (PR 5), measured
+    /// by this same harness — the denominator of this PR's speedup claim.
+    pub pre_pr_cold_1t_scen_per_sec: f64,
+    /// Throughput at each measured thread count.
+    pub throughput: Vec<ThroughputLine>,
+    /// Per-stage engine cost over the cold passes.
+    pub stages: Vec<StageLine>,
+    /// Run-cache hits across all passes.
+    pub cache_hits: u64,
+    /// Run-cache misses across all passes.
+    pub cache_misses: u64,
+    /// Hit fraction across all passes.
+    pub cache_hit_rate: f64,
+}
+
+/// The pinned perf plan: both machines' shared 6-core lab, two P-states,
+/// every suite target, the four training co-runners, three counts —
+/// 2 × 11 × 4 × 3 = 264 distinct scenarios, all engine work on a cold
+/// cache.
+pub fn perf_plan() -> TrainingPlan {
+    TrainingPlan {
+        pstates: vec![0, 3],
+        targets: coloc_workloads::standard()
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect(),
+        co_runners: coloc_workloads::suite::training_co_runners()
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect(),
+        counts: vec![1, 3, 5],
+    }
+}
+
+/// One cold + one memoized timed pass at `threads` workers, on a fresh
+/// lab (empty run cache). Baselines are forced before timing so the
+/// sweep numbers measure sweep work only. Returns the throughput line
+/// and the lab's final sweep stats.
+fn measure(threads: usize) -> (ThroughputLine, SweepStats) {
+    let lab: Lab = crate::lab_6core()
+        .with_threads(threads)
+        .with_stage_stats(true);
+    let plan = perf_plan();
+    let n = plan.len();
+    lab.baselines();
+
+    let t0 = std::time::Instant::now();
+    let cold = lab.collect(&plan).expect("cold perf sweep");
+    let cold_s = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let warm = lab.collect(&plan).expect("memoized perf sweep");
+    let warm_s = t0.elapsed().as_secs_f64();
+    assert_eq!(cold.len(), n);
+    assert_eq!(warm.len(), n);
+
+    (
+        ThroughputLine {
+            threads,
+            cold_scen_per_sec: n as f64 / cold_s,
+            memo_scen_per_sec: n as f64 / warm_s,
+        },
+        lab.sweep_stats(),
+    )
+}
+
+/// Where the committed artifact lives: the workspace root (override with
+/// `COLOC_BENCH_DIR`).
+pub fn artifact_path() -> PathBuf {
+    let dir = std::env::var_os("COLOC_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+    dir.join(format!("BENCH_{PERF_PR}.json"))
+}
+
+/// Run the pinned perf sweep, write `BENCH_<pr>.json`, and gate against
+/// the committed baseline. Exits non-zero on regression.
+pub fn run_perf() {
+    let path = artifact_path();
+    let committed: Option<PerfReport> = std::fs::read(&path)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice(&bytes).ok());
+
+    println!("perf: pinned plan, {} scenarios/pass", perf_plan().len());
+    let mut throughput = Vec::new();
+    let mut stats_1t = None;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for threads in [1usize, 8] {
+        let (line, stats) = measure(threads);
+        println!(
+            "  {} thread(s): cold {:.1} scen/s, memoized {:.1} scen/s",
+            threads, line.cold_scen_per_sec, line.memo_scen_per_sec
+        );
+        hits += stats.cache_hits;
+        misses += stats.cache_misses;
+        if threads == 1 {
+            stats_1t = Some(stats);
+        }
+        throughput.push(line);
+    }
+    let stats = stats_1t.expect("1-thread pass ran");
+    if let Some(summary) = stats.stage_summary() {
+        println!("  1-thread stage breakdown (engine misses only):\n{summary}");
+    }
+
+    let cold_1t = throughput[0].cold_scen_per_sec;
+    // The committed baseline is the gate reference; regenerating the
+    // artifact carries it (and the pre-PR measurement) forward verbatim.
+    let baseline = committed
+        .as_ref()
+        .map(|c| c.baseline_cold_1t_scen_per_sec)
+        .filter(|&b| b > 0.0)
+        .unwrap_or(cold_1t);
+    let pre_pr = committed
+        .as_ref()
+        .map(|c| c.pre_pr_cold_1t_scen_per_sec)
+        .filter(|&b| b > 0.0)
+        .unwrap_or(0.0);
+
+    let report = PerfReport {
+        schema_version: 1,
+        pr: PERF_PR,
+        seed: SEED,
+        machine: "xeon_e5649".to_string(),
+        scenarios: perf_plan().len(),
+        baseline_cold_1t_scen_per_sec: baseline,
+        pre_pr_cold_1t_scen_per_sec: pre_pr,
+        throughput,
+        stages: StageId::ALL
+            .iter()
+            .map(|id| StageLine {
+                stage: id.label().to_string(),
+                invocations: stats.stage_invocations[id.index()],
+                nanos: stats.stage_nanos[id.index()],
+            })
+            .collect(),
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_rate: if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        },
+    };
+
+    let bytes = serde_json::to_vec_pretty(&report).expect("serialize perf report");
+    std::fs::write(&path, bytes).expect("write perf artifact");
+    println!("wrote {}", path.display());
+
+    let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+    if cold_1t < floor {
+        eprintln!(
+            "PERF REGRESSION: cold 1-thread {cold_1t:.1} scen/s is below \
+             {floor:.1} (committed baseline {baseline:.1} − {:.0}%)",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf gate: cold 1-thread {cold_1t:.1} scen/s vs committed baseline \
+         {baseline:.1} (floor {floor:.1}) — ok"
+    );
+}

@@ -37,7 +37,9 @@ pub use fenwick::FastStackAnalyzer;
 pub use mrc::MissRateCurve;
 pub use plru::PlruCache;
 pub use set_assoc::{AccessOutcome, CacheConfig, OwnerStats, SetAssocCache};
-pub use share::{occupancy_step, shared_occupancy, SharedApp, SharedCacheSolution};
+pub use share::{
+    occupancy_step, occupancy_step_rates, shared_occupancy, SharedApp, SharedCacheSolution,
+};
 pub use stack::StackAnalyzer;
 pub use stream::{StackDistanceDist, StreamGen};
 

@@ -68,6 +68,40 @@ impl MissRateCurve {
         m0 + t * (m1 - m0)
     }
 
+    /// Like [`MissRateCurve::miss_rate`], seeded with the bracketing
+    /// segment a previous probe found.
+    ///
+    /// `hint` is the upper index of the last bracketing segment (what
+    /// `partition_point` returned last time). When the query still falls
+    /// in that segment — the common case for a damped fixed point, where
+    /// successive occupancies move by ever-smaller steps — the binary
+    /// search is skipped entirely. A stale or out-of-range hint falls
+    /// back to the full search, so the result is *always* bit-identical
+    /// to [`MissRateCurve::miss_rate`]: the hint validity test
+    /// (`points[hint-1].0 <= bytes < points[hint].0`) is exactly the
+    /// `partition_point` postcondition on a strictly-increasing capacity
+    /// axis (duplicates are deduped at construction), hence both paths
+    /// select the same segment and evaluate the same interpolation.
+    /// `hint` is updated to the segment actually used.
+    pub fn miss_rate_hinted(&self, bytes: u64, hint: &mut usize) -> f64 {
+        let pts = &self.points;
+        if bytes <= pts[0].0 {
+            return pts[0].1;
+        }
+        if bytes >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let mut idx = *hint;
+        if !(idx >= 1 && idx < pts.len() && pts[idx - 1].0 <= bytes && bytes < pts[idx].0) {
+            idx = pts.partition_point(|&(c, _)| c <= bytes);
+        }
+        *hint = idx;
+        let (c0, m0) = pts[idx - 1];
+        let (c1, m1) = pts[idx];
+        let t = ((bytes as f64).ln() - (c0 as f64).ln()) / ((c1 as f64).ln() - (c0 as f64).ln());
+        m0 + t * (m1 - m0)
+    }
+
     /// The smallest sampled capacity at which the miss rate first drops to
     /// within `epsilon` of its minimum — a practical "working set size".
     pub fn working_set_bytes(&self, epsilon: f64) -> u64 {

@@ -45,18 +45,33 @@ pub struct SharedCacheSolution {
 /// updates between occupancy steps instead of nesting full solves.
 pub fn occupancy_step(capacity_bytes: u64, apps: &[SharedApp], occ: &mut [f64]) -> f64 {
     debug_assert_eq!(apps.len(), occ.len());
-    let n = apps.len();
+    let ins: Vec<f64> = apps
+        .iter()
+        .zip(occ.iter())
+        .map(|(a, &o)| a.access_rate.max(0.0) * a.mrc.miss_rate(o as u64).max(1e-9))
+        .collect();
+    occupancy_step_rates(capacity_bytes, &ins, occ)
+}
+
+/// The allocation-free core of [`occupancy_step`]: one damped update given
+/// per-app insertion rates `ins` the caller already computed (access rate ×
+/// miss rate at the current share, both floored as in [`occupancy_step`]).
+///
+/// Callers that keep their own flat per-instance state — the machine
+/// engine's struct-of-arrays solver scratch — fill a reusable `ins` buffer
+/// with incremental MRC probes and call this directly, so the hot
+/// fixed-point loop allocates nothing. [`occupancy_step`] is a thin
+/// wrapper over this function, which keeps both paths numerically
+/// identical by construction.
+pub fn occupancy_step_rates(capacity_bytes: u64, ins: &[f64], occ: &mut [f64]) -> f64 {
+    debug_assert_eq!(ins.len(), occ.len());
+    let n = ins.len();
     let cap = capacity_bytes as f64;
     const DAMPING: f64 = 0.5;
     // Floor keeps every app minimally resident, matching the observation
     // that even tiny-footprint apps retain their hot lines under LRU.
     let floor = (cap * 1e-4).min(cap / (4.0 * n as f64));
 
-    let ins: Vec<f64> = apps
-        .iter()
-        .zip(occ.iter())
-        .map(|(a, &o)| a.access_rate.max(0.0) * a.mrc.miss_rate(o as u64).max(1e-9))
-        .collect();
     let ins_total: f64 = ins.iter().sum();
     if ins_total <= 0.0 {
         return 0.0;

@@ -50,6 +50,35 @@ pub struct StackDistanceDist {
     reps: Vec<usize>,
     /// CDF over `reps`, conditioned on the access being a reuse.
     cdf: Vec<f64>,
+    /// Shared identity of the immutable `reps`/`cdf` tables: every clone of
+    /// this distribution carries the same `Arc`, so downstream memo tables
+    /// (digest transitions, derived miss-rate curves) can key on the token
+    /// address instead of re-reading hundreds of table entries. Serialized
+    /// as null and deserialized to a fresh identity, which only costs a
+    /// memo miss. The tables themselves are private and never mutated
+    /// after construction, so the identity is trustworthy.
+    table_token: TableToken,
+}
+
+/// Identity token for a distribution's table set (see
+/// [`StackDistanceDist::table_token`]). Carries no data — only the `Arc`
+/// allocation's address matters — so it serializes as null and
+/// deserializes to a fresh identity.
+#[derive(Clone, Debug, Default)]
+pub struct TableToken(std::sync::Arc<()>);
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for TableToken {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for TableToken {
+    fn from_value(_: &serde::Value) -> Result<TableToken, serde::DeError> {
+        Ok(TableToken::default())
+    }
 }
 
 impl StackDistanceDist {
@@ -132,6 +161,7 @@ impl StackDistanceDist {
             alpha,
             reps,
             cdf,
+            table_token: TableToken::default(),
         }
     }
 
@@ -143,6 +173,14 @@ impl StackDistanceDist {
     /// The quantized support (representative distances).
     pub fn representatives(&self) -> &[usize] {
         &self.reps
+    }
+
+    /// The shared identity token of the immutable `reps`/`cdf` tables.
+    /// Clones of a distribution share one token; independently constructed
+    /// distributions never do. Memo tables key on `Arc::as_ptr` of this and
+    /// hold a clone to pin the address for the entry's lifetime.
+    pub fn table_token(&self) -> &std::sync::Arc<()> {
+        &self.table_token.0
     }
 
     /// The CDF over the representatives.

@@ -147,6 +147,30 @@ proptest! {
         prop_assert!(c.occupancy_lines(0) + c.occupancy_lines(1) <= lines as u64);
     }
 
+    /// The hinted MRC lookup is bit-identical to the plain lookup for any
+    /// curve, any probe sequence, and any (possibly stale) starting hint —
+    /// including probes pinned to segment boundaries, where an off-by-one
+    /// in the hint-validity test would hide.
+    #[test]
+    fn mrc_hinted_equals_plain(
+        pts in prop::collection::vec((1u64..2_000_000, 0.0f64..1.0), 1..12),
+        queries in prop::collection::vec(0u64..3_000_000, 1..64),
+        stale_hint in 0usize..16,
+    ) {
+        let mrc = MissRateCurve::from_points(pts);
+        let boundary: Vec<u64> = mrc
+            .points()
+            .iter()
+            .flat_map(|&(c, _)| [c.saturating_sub(1), c, c + 1])
+            .collect();
+        let mut hint = stale_hint;
+        for q in queries.into_iter().chain(boundary) {
+            let plain = mrc.miss_rate(q);
+            let hinted = mrc.miss_rate_hinted(q, &mut hint);
+            prop_assert_eq!(plain.to_bits(), hinted.to_bits());
+        }
+    }
+
     /// MRC interpolation stays within the convex hull of sampled rates.
     #[test]
     fn mrc_interpolation_bounded(

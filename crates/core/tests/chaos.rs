@@ -71,6 +71,49 @@ fn metrics_nan_propagation_raw_vs_quarantined() {
     assert!(n.is_finite(), "quarantined NRMSE {n}");
 }
 
+/// Regression: a sweep whose entire first scenario is fault-damaged — so
+/// every one of its samples lands in quarantine — still produces finite
+/// aggregate statistics. The first scenario is the edge that matters:
+/// quarantining index 0 must not shift survivor indexing or leak a NaN
+/// through `mpe`/`nrmse`.
+#[test]
+fn fully_quarantined_first_scenario_keeps_aggregates_finite() {
+    let mut samples = clean_lab().collect(&plan()).unwrap();
+    let first = samples[0].scenario.clone();
+    let damaged = samples
+        .iter_mut()
+        .filter(|s| s.scenario == first)
+        .map(|s| s.actual_time_s = f64::NAN)
+        .count();
+    assert!(
+        damaged >= 1,
+        "plan produced no samples of its first scenario"
+    );
+
+    let (kept, report) = sanitize_samples(&samples, &SanitizePolicy::default());
+    assert!(
+        report.quarantined.len() >= damaged,
+        "the damaged scenario must be quarantined: {report}"
+    );
+    assert_eq!(report.quarantined[0].index, 0, "index 0 is quarantined");
+    assert!(kept.iter().all(|s| s.scenario != first));
+
+    let (predictor, treport) = train_robust(
+        ModelKind::Linear,
+        FeatureSet::C,
+        &samples,
+        1,
+        &TrainPolicy::default(),
+    )
+    .unwrap();
+    assert!(!treport.sanitize.is_clean());
+    let actual: Vec<f64> = kept.iter().map(|s| s.actual_time_s).collect();
+    let m = mpe(&predictor.predict_samples(&kept), &actual);
+    let n = nrmse(&predictor.predict_samples(&kept), &actual);
+    assert!(m.is_finite() && m >= 0.0, "aggregate MPE {m}");
+    assert!(n.is_finite() && n >= 0.0, "aggregate NRMSE {n}");
+}
+
 /// Degenerate metric inputs stay NaN rather than panicking or lying.
 #[test]
 fn metric_edge_cases_are_nan_not_panics() {

@@ -11,12 +11,14 @@
 //! CDF tables, access rates, CPIs, MLP), and the run options (P-state,
 //! noise seed and σ, segment cap, partitioning flag).
 //!
-//! A hit returns a clone of the stored [`RunOutcome`] — bit-identical to
-//! what the engine produced, including applied noise, because the noise
-//! seed is part of the key. The cache is bounded: beyond `capacity`
-//! entries, insertion evicts in FIFO order. All counters are atomic, so a
-//! single cache can sit behind a work-stealing sweep with no locking
-//! beyond the map itself.
+//! A hit returns a shared [`Arc`] handle to the stored [`RunOutcome`] —
+//! bit-identical to what the engine produced, including applied noise,
+//! because the noise seed is part of the key. Sharing instead of deep
+//! cloning matters on the hit path: an outcome owns per-group counter and
+//! telemetry vectors, and memoized sweeps hit thousands of times. The
+//! cache is bounded: beyond `capacity` entries, insertion evicts in FIFO
+//! order. All counters are atomic, so a single cache can sit behind a
+//! work-stealing sweep with no locking beyond the map itself.
 
 use crate::engine::{Machine, RunOptions, RunOutcome, RunnerGroup, StageProfile};
 use crate::faults::FaultPlan;
@@ -25,7 +27,7 @@ use crate::Result;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Canonical digest of one run's complete input set — the
 /// [`crate::ScenarioIr`] encoding of `(machine, workload, opts)`.
@@ -60,7 +62,7 @@ pub struct CacheStats {
 }
 
 struct CacheInner {
-    map: HashMap<u128, RunOutcome>,
+    map: HashMap<u128, Arc<RunOutcome>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<u128>,
 }
@@ -69,6 +71,9 @@ struct CacheInner {
 pub struct RunCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
+    /// Accelerates key computation: locality-table blocks hash as one
+    /// memoized multiply-add after first sight (bit-identical digests).
+    digest_memo: ir::DigestMemo,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -93,6 +98,7 @@ impl RunCache {
                 map: HashMap::new(),
                 order: VecDeque::new(),
             }),
+            digest_memo: ir::DigestMemo::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -107,7 +113,7 @@ impl RunCache {
         machine: &Machine,
         workload: &[RunnerGroup],
         opts: &RunOptions,
-    ) -> Result<RunOutcome> {
+    ) -> Result<Arc<RunOutcome>> {
         self.run_with_status(machine, workload, opts)
             .map(|(out, _)| out)
     }
@@ -120,7 +126,7 @@ impl RunCache {
         machine: &Machine,
         workload: &[RunnerGroup],
         opts: &RunOptions,
-    ) -> Result<(RunOutcome, bool)> {
+    ) -> Result<(Arc<RunOutcome>, bool)> {
         self.run_with_faults(machine, workload, opts, None)
     }
 
@@ -135,7 +141,7 @@ impl RunCache {
         workload: &[RunnerGroup],
         opts: &RunOptions,
         faults: Option<&FaultPlan>,
-    ) -> Result<(RunOutcome, bool)> {
+    ) -> Result<(Arc<RunOutcome>, bool)> {
         self.run_observed(machine, workload, opts, faults, None)
     }
 
@@ -149,11 +155,12 @@ impl RunCache {
         opts: &RunOptions,
         faults: Option<&FaultPlan>,
         profile: Option<&mut StageProfile>,
-    ) -> Result<(RunOutcome, bool)> {
-        let key = run_digest_faulted(machine, workload, opts, faults);
+    ) -> Result<(Arc<RunOutcome>, bool)> {
+        let key =
+            ir::scenario_digest_memo(&self.digest_memo, machine.spec(), workload, opts, faults);
         if let Some(hit) = self.inner.lock().expect("run cache poisoned").map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((hit.clone(), true));
+            return Ok((Arc::clone(hit), true));
         }
         // The engine runs outside the lock: concurrent misses on the same
         // key may both simulate, but they produce identical outcomes, so
@@ -166,9 +173,10 @@ impl RunCache {
         if let Some(plan) = faults {
             plan.apply(opts.seed, &mut outcome);
         }
+        let outcome = Arc::new(outcome);
         let mut inner = self.inner.lock().expect("run cache poisoned");
         if let Entry::Vacant(slot) = inner.map.entry(key) {
-            slot.insert(outcome.clone());
+            slot.insert(Arc::clone(&outcome));
             inner.order.push_back(key);
             while inner.map.len() > self.capacity {
                 if let Some(old) = inner.order.pop_front() {

@@ -62,6 +62,35 @@ impl RunnerGroup {
     }
 }
 
+/// A borrowed view of one workload group — the engine's internal workload
+/// representation. [`Machine::run`] lowers `&[RunnerGroup]` to a slice of
+/// these (a pointer-sized copy per group), and [`Machine::run_solo`]
+/// builds one directly from the borrowed profile, so the per-query
+/// baseline measurement no longer deep-clones the [`AppProfile`] (phases,
+/// locality CDF tables and all) just to run it.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupRef<'a> {
+    /// Profile shared by every instance in the group.
+    pub app: &'a AppProfile,
+    /// Number of instances (one core each).
+    pub count: usize,
+}
+
+impl<'a> GroupRef<'a> {
+    /// Borrow a [`RunnerGroup`].
+    pub fn from_group(g: &'a RunnerGroup) -> GroupRef<'a> {
+        GroupRef {
+            app: &g.app,
+            count: g.count,
+        }
+    }
+
+    /// A single-instance group over a borrowed profile.
+    pub fn solo(app: &'a AppProfile) -> GroupRef<'a> {
+        GroupRef { app, count: 1 }
+    }
+}
+
 /// Per-instance hardware event counts accumulated over a run, as a
 /// performance-counter reader would observe them. Values are `f64` because
 /// segments advance in fractional quanta; round at the presentation layer.
@@ -197,11 +226,35 @@ pub struct RunOutcome {
     pub faults: Vec<FaultEvent>,
 }
 
+/// Memo key for a constructed miss-rate curve: the distribution's table
+/// identity (token address) plus the bit patterns of every scalar the
+/// curve construction reads (`p_new`, `alpha`, `reuse_span`). The scalars
+/// are public fields a caller may rewrite after construction, so identity
+/// alone is not enough.
+type MrcKey = (usize, u64, u64, u64);
+
+/// The per-machine curve memo: key → (token keepalive, shared curve).
+type MrcMemo =
+    std::collections::HashMap<MrcKey, (std::sync::Arc<()>, std::sync::Arc<MissRateCurve>)>;
+
+/// Cap on distinct curves the per-machine memo holds; reaching it clears
+/// the map (entries are pure caches, so a reset is behavior-transparent).
+const MRC_MEMO_CAP: usize = 4096;
+
 /// The simulator: a machine spec plus its memory system.
+///
+/// Clones share the miss-rate-curve memo: a sweep that clones one machine
+/// across worker threads warms a single curve cache.
 #[derive(Clone, Debug)]
 pub struct Machine {
     spec: MachineSpec,
     mem: MemorySystem,
+    /// Memoized per-phase miss-rate curves. Construction walks the full
+    /// representative/CDF tables (microseconds); sweeps re-run the same
+    /// few distributions thousands of times, so the curves are built once
+    /// and shared. The stored token clone keeps each key's address from
+    /// being recycled by a different distribution.
+    mrc_memo: std::sync::Arc<std::sync::Mutex<MrcMemo>>,
 }
 
 /// Run `f`, attributing its wall time to `id` when a profile is attached.
@@ -225,7 +278,51 @@ impl Machine {
     pub fn new(spec: MachineSpec) -> Result<Machine> {
         spec.validate().map_err(MachineError::InvalidSpec)?;
         let mem = MemorySystem::new(spec.dram);
-        Ok(Machine { spec, mem })
+        Ok(Machine {
+            spec,
+            mem,
+            mrc_memo: std::sync::Arc::default(),
+        })
+    }
+
+    /// Miss-rate curves for every phase of every group, served from the
+    /// machine's curve memo. Bit-identical to constructing each curve
+    /// fresh: the key captures the table identity and every scalar the
+    /// construction reads, and a memoized curve is the value an earlier
+    /// identical construction produced.
+    fn mrcs_for(&self, workload: &[GroupRef<'_>]) -> Vec<Vec<std::sync::Arc<MissRateCurve>>> {
+        let mut memo = self.mrc_memo.lock().ok();
+        workload
+            .iter()
+            .map(|g| {
+                g.app
+                    .phases
+                    .iter()
+                    .map(|p| match memo.as_mut() {
+                        Some(m) => {
+                            let key: MrcKey = (
+                                std::sync::Arc::as_ptr(p.dist.table_token()) as usize,
+                                p.dist.p_new.to_bits(),
+                                p.dist.alpha.to_bits(),
+                                p.dist.reuse_span as u64,
+                            );
+                            if m.len() >= MRC_MEMO_CAP && !m.contains_key(&key) {
+                                m.clear();
+                            }
+                            let (_, mrc) = m.entry(key).or_insert_with(|| {
+                                (
+                                    std::sync::Arc::clone(p.dist.table_token()),
+                                    std::sync::Arc::new(p.mrc()),
+                                )
+                            });
+                            std::sync::Arc::clone(mrc)
+                        }
+                        // A poisoned memo degrades to direct construction.
+                        None => std::sync::Arc::new(p.mrc()),
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// The machine's spec.
@@ -242,7 +339,8 @@ impl Machine {
     /// Run `workload` (group 0 = target) at the given options until the
     /// target completes. Returns the measured outcome.
     pub fn run(&self, workload: &[RunnerGroup], opts: &RunOptions) -> Result<RunOutcome> {
-        self.run_observed(workload, opts, None, None)
+        let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
+        self.run_observed(&groups, opts, None, None)
     }
 
     /// Like [`Machine::run`], timing every pipeline stage into `profile`.
@@ -254,7 +352,8 @@ impl Machine {
         opts: &RunOptions,
         profile: &mut StageProfile,
     ) -> Result<RunOutcome> {
-        self.run_observed(workload, opts, Some(profile), None)
+        let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
+        self.run_observed(&groups, opts, Some(profile), None)
     }
 
     /// Like [`Machine::run`], additionally recording the most recent
@@ -267,7 +366,8 @@ impl Machine {
         capacity: usize,
     ) -> Result<(RunOutcome, SegmentTrace)> {
         let mut trace = SegmentTrace::new(capacity);
-        let outcome = self.run_observed(workload, opts, None, Some(&mut trace))?;
+        let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
+        let outcome = self.run_observed(&groups, opts, None, Some(&mut trace))?;
         Ok((outcome, trace))
     }
 
@@ -276,7 +376,7 @@ impl Machine {
     /// observation without perturbing the simulation.
     fn run_observed(
         &self,
-        workload: &[RunnerGroup],
+        workload: &[GroupRef<'_>],
         opts: &RunOptions,
         mut profile: Option<&mut StageProfile>,
         mut trace: Option<&mut SegmentTrace>,
@@ -308,11 +408,8 @@ impl Machine {
             g.app.validate().map_err(MachineError::BadProfile)?;
         }
 
-        // Pre-compute per-group, per-phase MRCs once.
-        let mrcs: Vec<Vec<MissRateCurve>> = workload
-            .iter()
-            .map(|g| g.app.phases.iter().map(|p| p.mrc()).collect())
-            .collect();
+        // Per-group, per-phase MRCs, served from the machine's curve memo.
+        let mrcs = self.mrcs_for(workload);
 
         let env = SegmentEnv {
             spec: &self.spec,
@@ -323,7 +420,7 @@ impl Machine {
         };
         // All per-segment buffers live in the state; the loop below is
         // allocation free no matter how many segments the run takes.
-        let mut st = EpochState::new(workload, &mrcs, freq_hz);
+        let mut st = EpochState::new(workload, freq_hz);
 
         loop {
             st.segments += 1;
@@ -416,8 +513,9 @@ impl Machine {
     }
 
     /// Convenience: run an app alone (the paper's baseline measurement).
+    /// Borrows the profile directly — no per-query workload clone.
     pub fn run_solo(&self, app: &AppProfile, opts: &RunOptions) -> Result<RunOutcome> {
-        self.run(&[RunnerGroup::solo(app.clone())], opts)
+        self.run_observed(&[GroupRef::solo(app)], opts, None, None)
     }
 }
 
@@ -937,6 +1035,33 @@ mod tests {
         assert_eq!(
             profile.get(StageId::DramFixedPoint).invocations,
             plain.fp_iterations
+        );
+    }
+
+    #[test]
+    fn stage_nanos_never_exceed_total_run_time() {
+        // The profile attributes only time spent *inside* stage closures;
+        // driver overhead (loop control, trace pushes, validation, noise)
+        // must not be billed to any stage. Hence the summed stage nanos are
+        // bounded by the wall time of the whole instrumented run.
+        let m = m6();
+        let wl = vec![
+            RunnerGroup::solo(hungry("t", 50e9)),
+            RunnerGroup {
+                app: hungry("short", 10e9),
+                count: 2,
+            },
+        ];
+        let mut profile = StageProfile::new();
+        let t0 = std::time::Instant::now();
+        m.run_instrumented(&wl, &RunOptions::default(), &mut profile)
+            .unwrap();
+        let total_run_nanos = t0.elapsed().as_nanos() as u64;
+        let stage_sum: u64 = profile.nanos().iter().sum();
+        assert!(stage_sum > 0, "instrumented run recorded no stage time");
+        assert!(
+            stage_sum <= total_run_nanos,
+            "stage nanos {stage_sum} exceed the whole run's {total_run_nanos}"
         );
     }
 

@@ -1,27 +1,34 @@
 //! Reusable per-run buffers for the segment solver.
 
-use super::RunnerGroup;
-use coloc_cachesim::{MissRateCurve, SharedApp};
+use super::GroupRef;
 
-/// Reusable per-run buffers for the segment solver. Built once per run;
-/// every per-segment quantity lives here so the hot loop allocates
-/// nothing. `instances` holds one [`SharedApp`] per core-resident app
-/// instance; its MRC is re-cloned only when that group's phase changes,
-/// not every segment.
+/// Reusable per-run buffers for the segment solver, in struct-of-arrays
+/// form: every per-instance quantity the fixed-point loop touches is a
+/// contiguous `f64` (or `usize`) slice indexed by instance, with instances
+/// grouped contiguously by workload group. Built once per run; the hot
+/// loop allocates nothing and iterates flat slices. Miss-rate curves are
+/// *not* stored here — stages read them straight from the per-run
+/// [`super::SegmentEnv::mrcs`] table via each group's current phase, so a
+/// phase change costs an index update instead of re-cloning curves into
+/// per-instance structs.
 pub(crate) struct RunScratch {
-    /// One entry per instance, grouped contiguously by workload group.
-    pub(crate) instances: Vec<SharedApp>,
-    /// Owning group of each instance.
-    pub(crate) owner_group: Vec<usize>,
     /// Index of the first instance of each group (instances within a group
     /// are symmetric, so reading the first suffices — this replaces the
-    /// O(groups × instances) `position()` scans).
+    /// O(groups × instances) `position()` scans). One trailing entry
+    /// holds the total instance count, so a group's instances are
+    /// `group_first[gi]..group_first[gi + 1]`.
     pub(crate) group_first: Vec<usize>,
-    /// Phase currently loaded into each group's instance MRCs.
-    pub(crate) loaded_phase: Vec<usize>,
     /// LLC occupancy per instance, bytes; refilled to the equal split at
     /// the start of each segment (same numerics as a fresh allocation).
     pub(crate) occ: Vec<f64>,
+    /// Per-instance insertion rates for the occupancy step (access rate ×
+    /// miss rate at the current share).
+    pub(crate) ins: Vec<f64>,
+    /// Per-instance incremental-MRC cursor: the bracketing-segment index
+    /// the last probe used, fed back to
+    /// [`coloc_cachesim::MissRateCurve::miss_rate_hinted`]. Only ever a
+    /// hint — a stale cursor re-probes, it never changes a result.
+    pub(crate) mrc_hint: Vec<usize>,
     /// Current phase index and end boundary per group.
     pub(crate) phase_info: Vec<(usize, f64)>,
     /// Per-group stationary rates for the segment being solved.
@@ -32,29 +39,20 @@ pub(crate) struct RunScratch {
 }
 
 impl RunScratch {
-    pub(crate) fn new(workload: &[RunnerGroup], mrcs: &[Vec<MissRateCurve>]) -> RunScratch {
+    pub(crate) fn new(workload: &[GroupRef<'_>]) -> RunScratch {
         let n_groups = workload.len();
-        let mut instances = Vec::new();
-        let mut owner_group = Vec::new();
-        let mut group_first = Vec::with_capacity(n_groups);
-        for (gi, g) in workload.iter().enumerate() {
-            group_first.push(instances.len());
-            let mrc = &mrcs[gi][0];
-            for _ in 0..g.count {
-                instances.push(SharedApp {
-                    access_rate: 0.0,
-                    mrc: mrc.clone(),
-                });
-                owner_group.push(gi);
-            }
+        let mut group_first = Vec::with_capacity(n_groups + 1);
+        let mut n_inst = 0usize;
+        for g in workload {
+            group_first.push(n_inst);
+            n_inst += g.count;
         }
-        let n_inst = instances.len();
+        group_first.push(n_inst);
         RunScratch {
-            instances,
-            owner_group,
             group_first,
-            loaded_phase: vec![0; n_groups],
             occ: vec![0.0; n_inst],
+            ins: vec![0.0; n_inst],
+            mrc_hint: vec![0; n_inst],
             phase_info: vec![(0, 0.0); n_groups],
             ips: vec![0.0; n_groups],
             miss_rate: vec![0.0; n_groups],
@@ -63,24 +61,13 @@ impl RunScratch {
         }
     }
 
-    /// Load each group's current-phase MRC into its instances, cloning
-    /// only for groups whose phase actually changed.
-    pub(crate) fn sync_phases(&mut self, mrcs: &[Vec<MissRateCurve>]) {
-        for (gi, group_mrcs) in mrcs.iter().enumerate() {
-            let phase = self.phase_info[gi].0;
-            if self.loaded_phase[gi] != phase {
-                self.loaded_phase[gi] = phase;
-                let mrc = &group_mrcs[phase];
-                let start = self.group_first[gi];
-                let end = self
-                    .group_first
-                    .get(gi + 1)
-                    .copied()
-                    .unwrap_or(self.instances.len());
-                for inst in &mut self.instances[start..end] {
-                    inst.mrc = mrc.clone();
-                }
-            }
-        }
+    /// Total core-resident instances.
+    pub(crate) fn n_instances(&self) -> usize {
+        self.occ.len()
+    }
+
+    /// Instance range of group `gi` (contiguous by construction).
+    pub(crate) fn group_range(&self, gi: usize) -> std::ops::Range<usize> {
+        self.group_first[gi]..self.group_first[gi + 1]
     }
 }

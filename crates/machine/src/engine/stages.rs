@@ -25,10 +25,10 @@
 //! without touching the physics.
 
 use super::scratch::RunScratch;
-use super::{CounterBlock, RunOptions, RunnerGroup, DEGRADED_FP_ITERS, FP_TOLERANCE, MAX_FP_ITERS};
+use super::{CounterBlock, GroupRef, RunOptions, DEGRADED_FP_ITERS, FP_TOLERANCE, MAX_FP_ITERS};
 use crate::spec::MachineSpec;
 use crate::{MachineError, Result};
-use coloc_cachesim::{occupancy_step, MissRateCurve};
+use coloc_cachesim::{occupancy_step_rates, MissRateCurve};
 use coloc_memsys::{MemorySystem, MISS_BYTES};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -98,9 +98,9 @@ pub enum StageFlow {
 pub struct SegmentEnv<'a> {
     pub(crate) spec: &'a MachineSpec,
     pub(crate) mem: &'a MemorySystem,
-    pub(crate) workload: &'a [RunnerGroup],
+    pub(crate) workload: &'a [GroupRef<'a>],
     pub(crate) opts: &'a RunOptions,
-    pub(crate) mrcs: &'a [Vec<MissRateCurve>],
+    pub(crate) mrcs: &'a [Vec<std::sync::Arc<MissRateCurve>>],
 }
 
 impl<'a> SegmentEnv<'a> {
@@ -109,8 +109,8 @@ impl<'a> SegmentEnv<'a> {
         self.spec
     }
 
-    /// The workload (group 0 = target).
-    pub fn workload(&self) -> &[RunnerGroup] {
+    /// The workload (group 0 = target), as borrowed group views.
+    pub fn workload(&self) -> &[GroupRef<'a>] {
         self.workload
     }
 
@@ -155,14 +155,10 @@ pub struct EpochState {
 }
 
 impl EpochState {
-    pub(crate) fn new(
-        workload: &[RunnerGroup],
-        mrcs: &[Vec<MissRateCurve>],
-        freq_hz: f64,
-    ) -> EpochState {
+    pub(crate) fn new(workload: &[GroupRef<'_>], freq_hz: f64) -> EpochState {
         let n_groups = workload.len();
         EpochState {
-            scratch: RunScratch::new(workload, mrcs),
+            scratch: RunScratch::new(workload),
             progress: vec![0.0; n_groups],
             counters: vec![CounterBlock::default(); n_groups],
             share_time_acc: vec![0.0; n_groups],
@@ -189,7 +185,7 @@ impl EpochState {
     /// solver loop.
     pub(crate) fn begin_solve(&mut self, env: &SegmentEnv<'_>) {
         let cap = env.spec.llc_bytes;
-        let n_inst = self.scratch.instances.len();
+        let n_inst = self.scratch.n_instances();
         self.scratch
             .occ
             .iter_mut()
@@ -257,8 +253,9 @@ impl EpochStage for PStateStage {
 }
 
 /// Phase bookkeeping: locates each group's current phase and its end
-/// boundary, then loads that phase's MRC into the group's instances
-/// (cloning only for groups whose phase actually changed).
+/// boundary. The phase index is all downstream stages need — they read
+/// miss-rate curves straight from the pre-computed `SegmentEnv` MRC
+/// table, so a phase change costs an index update, never a curve clone.
 pub struct PhaseSyncStage;
 
 impl EpochStage for PhaseSyncStage {
@@ -270,7 +267,6 @@ impl EpochStage for PhaseSyncStage {
         for (gi, (g, &p)) in env.workload.iter().zip(&st.progress).enumerate() {
             st.scratch.phase_info[gi] = g.app.phase_at(p);
         }
-        st.scratch.sync_phases(env.mrcs);
         Ok(StageFlow::Continue)
     }
 }
@@ -289,30 +285,37 @@ impl EpochStage for LlcShareStage {
     #[allow(clippy::needless_range_loop)]
     fn run(&self, env: &SegmentEnv<'_>, st: &mut EpochState) -> Result<StageFlow> {
         let n_groups = env.workload.len();
-        let n_inst = st.scratch.instances.len();
         // Rates from current CPI.
         for gi in 0..n_groups {
             let ph = &env.workload[gi].app.phases[st.scratch.phase_info[gi].0];
             st.scratch.access_rate[gi] = st.freq_hz / st.cpi[gi] * ph.accesses_per_instr;
         }
-        for ii in 0..n_inst {
-            st.scratch.instances[ii].access_rate =
-                st.scratch.access_rate[st.scratch.owner_group[ii]];
-        }
 
         if !env.opts.llc_partitioned {
-            occupancy_step(
-                env.spec.llc_bytes,
-                &st.scratch.instances,
-                &mut st.scratch.occ,
-            );
+            // Per-instance insertion rates into the flat `ins` buffer:
+            // access rate × miss rate at the current share, with the same
+            // floors and evaluation order as [`coloc_cachesim::
+            // occupancy_step`]. The MRC probe is incremental — each
+            // instance feeds back the bracketing segment its last probe
+            // found, which a damped fixed point rarely leaves.
+            for gi in 0..n_groups {
+                let mrc = &env.mrcs[gi][st.scratch.phase_info[gi].0];
+                let rate = st.scratch.access_rate[gi].max(0.0);
+                for ii in st.scratch.group_range(gi) {
+                    let miss = mrc
+                        .miss_rate_hinted(st.scratch.occ[ii] as u64, &mut st.scratch.mrc_hint[ii])
+                        .max(1e-9);
+                    st.scratch.ins[ii] = rate * miss;
+                }
+            }
+            occupancy_step_rates(env.spec.llc_bytes, &st.scratch.ins, &mut st.scratch.occ);
         }
         for gi in 0..n_groups {
-            // All instances of a group are symmetric; read the first.
+            // All instances of a group are symmetric; read the first. The
+            // hinted probe returns exactly what `miss_rate` would.
             let ii = st.scratch.group_first[gi];
-            st.scratch.miss_rate[gi] = st.scratch.instances[ii]
-                .mrc
-                .miss_rate(st.scratch.occ[ii] as u64);
+            st.scratch.miss_rate[gi] = env.mrcs[gi][st.scratch.phase_info[gi].0]
+                .miss_rate_hinted(st.scratch.occ[ii] as u64, &mut st.scratch.mrc_hint[ii]);
         }
         Ok(StageFlow::Continue)
     }
@@ -615,11 +618,14 @@ mod tests {
 
     /// Two-group fixture: a two-phase target plus two hungry co-runners,
     /// with everything a stage needs (machine, MRCs, state) pre-built.
+    /// The workload is leaked to `'static` so the fixture can hold the
+    /// borrowed [`GroupRef`] views the engine now runs on (a few hundred
+    /// bytes per test — fine for a test process).
     struct Fixture {
         machine: Machine,
-        workload: Vec<RunnerGroup>,
+        groups: Vec<GroupRef<'static>>,
         opts: RunOptions,
-        mrcs: Vec<Vec<coloc_cachesim::MissRateCurve>>,
+        mrcs: Vec<Vec<std::sync::Arc<coloc_cachesim::MissRateCurve>>>,
     }
 
     impl Fixture {
@@ -645,19 +651,29 @@ mod tests {
                 ],
             };
             let workload = vec![
-                RunnerGroup::solo(target),
-                RunnerGroup {
+                super::super::RunnerGroup::solo(target),
+                super::super::RunnerGroup {
                     app: hungry("co", 60e9),
                     count: 2,
                 },
             ];
+            let workload: &'static [super::super::RunnerGroup] =
+                Box::leak(workload.into_boxed_slice());
+            let groups: Vec<GroupRef<'static>> =
+                workload.iter().map(GroupRef::from_group).collect();
             let mrcs = workload
                 .iter()
-                .map(|g| g.app.phases.iter().map(|p| p.mrc()).collect())
+                .map(|g| {
+                    g.app
+                        .phases
+                        .iter()
+                        .map(|p| std::sync::Arc::new(p.mrc()))
+                        .collect()
+                })
                 .collect();
             Fixture {
                 machine: Machine::new(presets::xeon_e5649()).unwrap(),
-                workload,
+                groups,
                 opts,
                 mrcs,
             }
@@ -667,7 +683,7 @@ mod tests {
             SegmentEnv {
                 spec: self.machine.spec(),
                 mem: self.machine.mem(),
-                workload: &self.workload,
+                workload: &self.groups,
                 opts: &self.opts,
                 mrcs: &self.mrcs,
             }
@@ -677,7 +693,7 @@ mod tests {
             // 0.0 for an out-of-range pstate: PStateStage re-derives (and
             // rejects) it anyway.
             let freq = self.machine.spec().freq_hz(self.opts.pstate).unwrap_or(0.0);
-            EpochState::new(&self.workload, &self.mrcs, freq)
+            EpochState::new(&self.groups, freq)
         }
     }
 
@@ -736,12 +752,13 @@ mod tests {
         assert_eq!(st.scratch.phase_info[1], (0, 60e9));
 
         // Push the target past its phase boundary: the stage must flip its
-        // phase and reload the instance MRC to the compute-phase curve.
-        let miss_before = st.scratch.instances[0].mrc.miss_rate(1 << 20);
+        // phase index, which redirects downstream MRC reads to the
+        // compute-phase curve in the env table.
+        let miss_before = fx.mrcs[0][st.scratch.phase_info[0].0].miss_rate(1 << 20);
         st.progress[0] = 60e9;
         PhaseSyncStage.run(&fx.env(), &mut st).unwrap();
         assert_eq!(st.scratch.phase_info[0], (1, 100e9));
-        let miss_after = st.scratch.instances[0].mrc.miss_rate(1 << 20);
+        let miss_after = fx.mrcs[0][st.scratch.phase_info[0].0].miss_rate(1 << 20);
         assert!(
             miss_after < miss_before,
             "compute phase must miss less: {miss_after} !< {miss_before}"

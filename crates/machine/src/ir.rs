@@ -101,6 +101,16 @@ impl IrWriter {
         self.state
     }
 
+    /// The current internal state (for memoized block transitions).
+    fn state(&self) -> u128 {
+        self.state
+    }
+
+    /// A writer resumed at an arbitrary internal state.
+    fn resume(state: u128) -> IrWriter {
+        IrWriter { state }
+    }
+
     /// The digest folded to 64 bits (high half XOR low half) for callers
     /// that persist a `u64` — checkpoint headers, fault-plan digests.
     pub fn finish64(self) -> u64 {
@@ -109,9 +119,23 @@ impl IrWriter {
     }
 }
 
+/// Canonical encoding of a locality distribution's tables: length-prefixed
+/// representatives, then the CDF. This is the block [`DigestMemo`] caches
+/// affine transitions for, so its byte count must be a pure function of the
+/// table lengths (it is: every entry widens to 8 bytes).
+fn absorb_dist_tables(d: &mut IrWriter, dist: &coloc_cachesim::StackDistanceDist) {
+    d.usize(dist.representatives().len());
+    for &r in dist.representatives() {
+        d.usize(r);
+    }
+    for &c in dist.cdf() {
+        d.f64(c);
+    }
+}
+
 /// Canonical encoding of an application profile, down to its per-phase
 /// locality tables.
-fn encode_app(d: &mut IrWriter, app: &AppProfile) {
+fn encode_app(d: &mut IrWriter, app: &AppProfile, memo: Option<&DigestMemo>) {
     d.str(&app.name);
     d.f64(app.instructions);
     d.usize(app.phases.len());
@@ -126,13 +150,105 @@ fn encode_app(d: &mut IrWriter, app: &AppProfile) {
         d.f64(ph.dist.p_new);
         d.usize(ph.dist.reuse_span);
         d.f64(ph.dist.alpha);
-        d.usize(ph.dist.representatives().len());
-        for &r in ph.dist.representatives() {
-            d.usize(r);
+        match memo {
+            Some(m) => m.absorb(d, &ph.dist),
+            None => absorb_dist_tables(d, &ph.dist),
         }
-        for &c in ph.dist.cdf() {
-            d.f64(c);
+    }
+}
+
+/// `FNV128_PRIME` raised to `8 * n_u64s` (one multiply per absorbed byte),
+/// by repeated squaring.
+fn fnv_pow(n_bytes: usize) -> u128 {
+    let mut acc: u128 = 1;
+    let mut base = FNV128_PRIME;
+    let mut n = n_bytes;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = acc.wrapping_mul(base);
         }
+        base = base.wrapping_mul(base);
+        n >>= 1;
+    }
+    acc
+}
+
+/// Memoized affine transitions for one distribution's table block.
+struct MemoEntry {
+    /// Keeps the distribution's identity token alive so its address cannot
+    /// be recycled by a different table set while this entry exists.
+    _keepalive: std::sync::Arc<()>,
+    /// `FNV128_PRIME ^ block_bytes` — the multiplicative part of the
+    /// affine transition, shared by every input state.
+    pow: u128,
+    /// Additive part, keyed by the input state's low byte (the only part
+    /// of the state the XOR-then-multiply chain actually reads).
+    d: std::collections::HashMap<u8, u128>,
+}
+
+/// Cap on distinct distributions the memo tracks; reaching it clears the
+/// map (a full reset is bit-transparent — entries are pure caches).
+const DIGEST_MEMO_CAP: usize = 8192;
+
+/// Shared memo of digest-state transitions across locality-table blocks.
+///
+/// FNV-1a is affine in its state: absorbing one byte `b` maps `s` to
+/// `(s ^ b) * p`, and `s ^ b = s + ((l ^ b) - l)` where `l` is the low
+/// byte of `s` (XOR with a one-byte value only touches the low byte, and
+/// the carry-free difference is exact in wrapping arithmetic). Chaining
+/// over a fixed byte block `B` therefore gives `s_out = s * p^|B| + D`,
+/// where `D` depends only on `B` and the low byte of `s` — because the
+/// low byte of the state after each step, `((l ^ b) * p) & 0xff`, is
+/// itself a function of the previous low byte alone (`p`'s low byte is
+/// `0x3b`). So for each distribution (identified by its table token) and
+/// each input low byte, one reference absorption yields an affine rule
+/// replayed forever after as a single multiply-add — bit-identical to
+/// hashing the tables byte-by-byte.
+#[derive(Default)]
+pub struct DigestMemo {
+    inner: std::sync::Mutex<std::collections::HashMap<usize, MemoEntry>>,
+}
+
+impl std::fmt::Debug for DigestMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("DigestMemo").field("entries", &n).finish()
+    }
+}
+
+impl DigestMemo {
+    /// A fresh, empty memo.
+    pub fn new() -> DigestMemo {
+        DigestMemo::default()
+    }
+
+    /// Absorb `dist`'s tables into `w`, replaying a memoized affine
+    /// transition when this distribution (by identity token) and input
+    /// low byte have been absorbed before.
+    fn absorb(&self, w: &mut IrWriter, dist: &coloc_cachesim::StackDistanceDist) {
+        let Ok(mut memo) = self.inner.lock() else {
+            // A poisoned memo degrades to the direct path.
+            absorb_dist_tables(w, dist);
+            return;
+        };
+        let key = std::sync::Arc::as_ptr(dist.table_token()) as usize;
+        if memo.len() >= DIGEST_MEMO_CAP && !memo.contains_key(&key) {
+            memo.clear();
+        }
+        let s_in = w.state();
+        let l_in = s_in as u8;
+        let entry = memo.entry(key).or_insert_with(|| MemoEntry {
+            _keepalive: std::sync::Arc::clone(dist.table_token()),
+            pow: fnv_pow((1 + dist.representatives().len() + dist.cdf().len()) * 8),
+            d: std::collections::HashMap::new(),
+        });
+        let mul = s_in.wrapping_mul(entry.pow);
+        let add = *entry.d.entry(l_in).or_insert_with(|| {
+            let mut probe = IrWriter::resume(s_in);
+            absorb_dist_tables(&mut probe, dist);
+            probe.state().wrapping_sub(mul)
+        });
+        *w = IrWriter::resume(mul.wrapping_add(add));
     }
 }
 
@@ -146,6 +262,17 @@ pub fn encode_scenario(
     workload: &[RunnerGroup],
     opts: &RunOptions,
     faults: Option<&FaultPlan>,
+) {
+    encode_scenario_inner(d, spec, workload, opts, faults, None)
+}
+
+fn encode_scenario_inner(
+    d: &mut IrWriter,
+    spec: &MachineSpec,
+    workload: &[RunnerGroup],
+    opts: &RunOptions,
+    faults: Option<&FaultPlan>,
+    memo: Option<&DigestMemo>,
 ) {
     d.str(&spec.name);
     d.usize(spec.cores);
@@ -165,7 +292,7 @@ pub fn encode_scenario(
     d.usize(workload.len());
     for g in workload {
         d.usize(g.count);
-        encode_app(d, &g.app);
+        encode_app(d, &g.app, memo);
     }
 
     d.usize(opts.pstate);
@@ -196,6 +323,21 @@ pub fn scenario_digest(
 ) -> u128 {
     let mut d = IrWriter::new();
     encode_scenario(&mut d, spec, workload, opts, faults);
+    d.finish()
+}
+
+/// [`scenario_digest`] accelerated by a [`DigestMemo`]: bit-identical
+/// output, with each previously seen locality-table block replayed as one
+/// multiply-add instead of a byte-by-byte hash.
+pub fn scenario_digest_memo(
+    memo: &DigestMemo,
+    spec: &MachineSpec,
+    workload: &[RunnerGroup],
+    opts: &RunOptions,
+    faults: Option<&FaultPlan>,
+) -> u128 {
+    let mut d = IrWriter::new();
+    encode_scenario_inner(&mut d, spec, workload, opts, faults, Some(memo));
     d.finish()
 }
 
@@ -337,6 +479,51 @@ mod tests {
         assert_eq!(d0, noop.digest(), "a no-op plan keys like no plan");
         let faulted = ir(800_000).with_faults(FaultPlan::heavy(1));
         assert_ne!(d0, faulted.digest(), "an active plan keys apart");
+    }
+
+    #[test]
+    fn memoized_digest_is_bit_identical() {
+        let memo = DigestMemo::new();
+        // Vary spans (different tables), names/opts (different digest
+        // state preceding the tables → different input low bytes), and
+        // cloned vs fresh dists (shared vs distinct identity tokens).
+        for span in [100_000usize, 800_000, 3_000_000] {
+            for pstate in 0..3usize {
+                let mut s = ir(span);
+                s.opts.pstate = pstate;
+                s.opts.seed = 0x5eed ^ span as u64;
+                let plain = s.digest();
+                for _ in 0..3 {
+                    let got = scenario_digest_memo(
+                        &memo,
+                        &s.machine,
+                        &s.workload,
+                        &s.opts,
+                        s.faults.as_ref(),
+                    );
+                    assert_eq!(got, plain, "span {span} pstate {pstate}");
+                }
+            }
+        }
+        // A clone shares its token; an equal-parameter rebuild does not.
+        // Both must still digest identically to the memo-free path.
+        let base = ir(800_000);
+        let cloned = base.clone();
+        assert_eq!(
+            scenario_digest_memo(&memo, &cloned.machine, &cloned.workload, &cloned.opts, None),
+            base.digest()
+        );
+        let rebuilt = ir(800_000);
+        assert_eq!(
+            scenario_digest_memo(
+                &memo,
+                &rebuilt.machine,
+                &rebuilt.workload,
+                &rebuilt.opts,
+                None
+            ),
+            base.digest()
+        );
     }
 
     #[test]

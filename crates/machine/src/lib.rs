@@ -38,12 +38,12 @@ pub mod spec;
 pub use app::{AppPhase, AppProfile};
 pub use cache::{run_digest, run_digest_faulted, CacheStats, RunCache};
 pub use engine::{
-    Convergence, CounterBlock, EpochStage, Machine, RunOptions, RunOutcome, RunnerGroup,
+    Convergence, CounterBlock, EpochStage, GroupRef, Machine, RunOptions, RunOutcome, RunnerGroup,
     SegmentRecord, SegmentTrace, StageFlow, StageId, StageProfile, StageStats,
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use governor::{run_throttled, GovernorConfig, ThermalModel, ThrottledOutcome};
-pub use ir::{IrWriter, ScenarioIr};
+pub use ir::{DigestMemo, IrWriter, ScenarioIr};
 pub use spec::MachineSpec;
 
 // Re-export the cache substrate: app profiles embed locality models, so

@@ -19,8 +19,8 @@ use coloc_machine::StageId;
 use coloc_model::{Lab, SweepStats, TrainingPlan};
 use std::path::PathBuf;
 
-/// PR number stamped into the artifact name (`BENCH_6.json`).
-pub const PERF_PR: u32 = 6;
+/// PR number stamped into the artifact name (`BENCH_7.json`).
+pub const PERF_PR: u32 = 7;
 
 /// Relative regression the gate tolerates on cold 1-thread scenarios/sec
 /// before failing (CI-runner jitter headroom).
@@ -46,6 +46,34 @@ pub struct ThroughputLine {
     pub cold_scen_per_sec: f64,
     /// Scenarios/sec on the immediate re-sweep (fully memoized).
     pub memo_scen_per_sec: f64,
+}
+
+/// Service-level measurements from `repro serve-bench`: client-observed
+/// latency quantiles and shed accounting against a live `coloc serve`.
+/// Optional because `repro perf` writes the artifact first and
+/// `repro serve-bench` fills this section in afterwards; regeneration
+/// carries a committed section forward.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ServiceLine {
+    /// Closed-loop client threads driving the load.
+    pub clients: usize,
+    /// Successful answers across the timed phase.
+    pub queries: u64,
+    /// Answers per second across the timed phase (all clients).
+    pub qps: f64,
+    /// Queries shed with `overloaded` during the timed phase.
+    pub shed: u64,
+    /// `shed / (queries + shed)`.
+    pub shed_rate: f64,
+    /// Client-observed median round-trip latency, milliseconds (exact,
+    /// not histogram-bucketed: each client times every round trip).
+    pub client_p50_ms: f64,
+    /// Client-observed 95th-percentile latency, milliseconds.
+    pub client_p95_ms: f64,
+    /// Client-observed 99th-percentile latency, milliseconds.
+    pub client_p99_ms: f64,
+    /// Answers the server labeled degraded.
+    pub degraded: u64,
 }
 
 /// The `BENCH_<pr>.json` artifact.
@@ -79,6 +107,9 @@ pub struct PerfReport {
     pub cache_misses: u64,
     /// Hit fraction across all passes.
     pub cache_hit_rate: f64,
+    /// Service-level section, written by `repro serve-bench` (absent
+    /// until that harness has run against this artifact).
+    pub service: Option<ServiceLine>,
 }
 
 /// The pinned perf plan: both machines' shared 6-core lab, two P-states,
@@ -134,19 +165,33 @@ fn measure(threads: usize) -> (ThroughputLine, SweepStats) {
 /// Where the committed artifact lives: the workspace root (override with
 /// `COLOC_BENCH_DIR`).
 pub fn artifact_path() -> PathBuf {
-    let dir = std::env::var_os("COLOC_BENCH_DIR")
+    artifact_dir().join(format!("BENCH_{PERF_PR}.json"))
+}
+
+fn artifact_dir() -> PathBuf {
+    std::env::var_os("COLOC_BENCH_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
-    dir.join(format!("BENCH_{PERF_PR}.json"))
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")))
+}
+
+/// The committed artifact to gate against: this PR's when present, else
+/// the previous PR's — so the first generation after a PR bump still
+/// regresses against the committed trajectory instead of against itself.
+fn committed_report() -> Option<PerfReport> {
+    let read = |path: PathBuf| -> Option<PerfReport> {
+        std::fs::read(path)
+            .ok()
+            .and_then(|bytes| serde_json::from_slice(&bytes).ok())
+    };
+    read(artifact_path())
+        .or_else(|| read(artifact_dir().join(format!("BENCH_{}.json", PERF_PR - 1))))
 }
 
 /// Run the pinned perf sweep, write `BENCH_<pr>.json`, and gate against
 /// the committed baseline. Exits non-zero on regression.
 pub fn run_perf() {
     let path = artifact_path();
-    let committed: Option<PerfReport> = std::fs::read(&path)
-        .ok()
-        .and_then(|bytes| serde_json::from_slice(&bytes).ok());
+    let committed = committed_report();
 
     println!("perf: pinned plan, {} scenarios/pass", perf_plan().len());
     let mut throughput = Vec::new();
@@ -209,6 +254,9 @@ pub fn run_perf() {
         } else {
             0.0
         },
+        // The service section belongs to `repro serve-bench`; a committed
+        // section survives perf regeneration untouched.
+        service: committed.as_ref().and_then(|c| c.service.clone()),
     };
 
     let bytes = serde_json::to_vec_pretty(&report).expect("serialize perf report");

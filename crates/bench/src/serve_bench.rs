@@ -1,0 +1,263 @@
+//! `repro serve-bench` — service-level smoke benchmark for `coloc serve`.
+//!
+//! Spawns an in-process server, drives it closed-loop from several
+//! client threads over real TCP connections, and measures what a caller
+//! actually experiences: exact per-round-trip latency quantiles (every
+//! request is individually timed client-side — no histogram bucketing),
+//! answers per second, and the shed rate. The run gates against the
+//! committed thresholds below and folds a [`ServiceLine`] into the
+//! `BENCH_<pr>.json` artifact next to the engine throughput numbers.
+//!
+//! Closed-loop clients apply backpressure naturally (each waits for its
+//! answer before sending the next query), so a healthy server should
+//! shed nothing and keep p99 in single-digit milliseconds once the
+//! pinned scenario pool is cache-resident. The thresholds are therefore
+//! loose: they catch collapse (lock convoys, queue leaks, a dispatcher
+//! stall), not CI-runner jitter.
+
+use crate::perf::{artifact_path, PerfReport, ServiceLine};
+use coloc_model::Scenario;
+use coloc_serve::proto::QueryMode;
+use coloc_serve::server::{BindAddr, ServeConfig, Server};
+use coloc_serve::{QueryClient, Reply};
+use std::time::Instant;
+
+/// Gate: client-observed p99 must stay below this, milliseconds.
+pub const MAX_CLIENT_P99_MS: f64 = 250.0;
+
+/// Gate: fraction of queries shed with `overloaded` under closed-loop
+/// load must stay below this.
+pub const MAX_SHED_RATE: f64 = 0.02;
+
+/// Closed-loop client threads.
+const CLIENTS: usize = 4;
+
+/// Timed queries per client (override with `COLOC_SERVE_BENCH_QUERIES`;
+/// CI uses a larger value for the 30-second smoke).
+const QUERIES_PER_CLIENT: usize = 250;
+
+/// The pinned query pool: every suite target against the four training
+/// co-runners at two counts and two P-states — 11 × 4 × 2 × 2 = 176
+/// distinct scenarios, small enough to go cache-resident in warmup.
+fn query_pool() -> Vec<Scenario> {
+    let mut pool = Vec::new();
+    for target in coloc_workloads::standard() {
+        for co in coloc_workloads::suite::training_co_runners() {
+            for count in [1usize, 3] {
+                for pstate in [0usize, 3] {
+                    pool.push(Scenario {
+                        target: target.name.to_string(),
+                        co_located: vec![(co.name.to_string(), count)],
+                        pstate,
+                    });
+                }
+            }
+        }
+    }
+    pool
+}
+
+fn quantile_exact(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+/// One client's timed run: round-trips its share of the pool, recording
+/// exact latencies and counting sheds (no retries — a shed is data here,
+/// not something to paper over).
+fn drive_client(
+    addr: &str,
+    pool: &[Scenario],
+    offset: usize,
+    queries: usize,
+) -> Result<(Vec<f64>, u64), String> {
+    let mut client = QueryClient::connect_tcp(addr).map_err(|e| e.to_string())?;
+    let mut latencies_ms = Vec::with_capacity(queries);
+    let mut shed = 0u64;
+    for i in 0..queries {
+        let scenario = &pool[(offset + i) % pool.len()];
+        let t0 = Instant::now();
+        let reply = client
+            .query(scenario, QueryMode::Measure, None, None)
+            .map_err(|e| e.to_string())?;
+        match reply {
+            Reply::Ok { .. } => latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+            Reply::Err { error, .. } => match error {
+                coloc_model::ColocError::Overloaded { .. } => shed += 1,
+                other => return Err(format!("unexpected service error: {other}")),
+            },
+            other => return Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+    Ok((latencies_ms, shed))
+}
+
+/// Run the closed-loop benchmark, print the service report, gate it, and
+/// fold the section into `BENCH_<pr>.json` when that artifact exists.
+pub fn run_serve_bench() {
+    let queries_per_client: usize = std::env::var("COLOC_SERVE_BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(QUERIES_PER_CLIENT);
+    let pool = query_pool();
+
+    let handle = Server::spawn(ServeConfig {
+        bind: BindAddr::Tcp("127.0.0.1:0".into()),
+        seed: crate::SEED,
+        quiet: true,
+        ..ServeConfig::default()
+    })
+    .expect("spawn serve");
+    let addr = handle
+        .local_addr()
+        .expect("tcp server has an address")
+        .to_string();
+
+    println!(
+        "serve-bench: {CLIENTS} closed-loop clients × {queries_per_client} queries, \
+         pool of {} pinned scenarios",
+        pool.len()
+    );
+
+    // Warmup: one pass over the pool so the timed phase measures the
+    // service, not first-touch engine runs.
+    let (warm, warm_shed) = drive_client(&addr, &pool, 0, pool.len()).expect("warmup pass");
+    assert_eq!(warm.len() as u64 + warm_shed, pool.len() as u64);
+
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let addr = &addr;
+                let pool = &pool;
+                // Stagger starting offsets so clients do not sweep the
+                // pool in lockstep.
+                scope.spawn(move || {
+                    drive_client(addr, pool, c * pool.len() / CLIENTS, queries_per_client)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread").expect("client run"))
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = per_client
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let shed: u64 = per_client.iter().map(|(_, s)| s).sum();
+    let queries = latencies.len() as u64;
+    let offered = queries + shed;
+
+    let frame = handle.stats();
+    handle.shutdown();
+    let final_frame = handle.join();
+    assert_eq!(final_frame.queue_depth, 0, "drain leaves nothing queued");
+
+    let line = ServiceLine {
+        clients: CLIENTS,
+        queries,
+        qps: queries as f64 / elapsed_s,
+        shed,
+        shed_rate: if offered > 0 {
+            shed as f64 / offered as f64
+        } else {
+            0.0
+        },
+        client_p50_ms: quantile_exact(&latencies, 0.50),
+        client_p95_ms: quantile_exact(&latencies, 0.95),
+        client_p99_ms: quantile_exact(&latencies, 0.99),
+        degraded: frame.degraded_cache + frame.degraded_fallback,
+    };
+
+    println!(
+        "  {} answers in {elapsed_s:.2}s — {:.0} qps; latency p50 {:.2} ms, \
+         p95 {:.2} ms, p99 {:.2} ms",
+        line.queries, line.qps, line.client_p50_ms, line.client_p95_ms, line.client_p99_ms
+    );
+    println!(
+        "  shed {} ({:.2}%), degraded {}, server cache {} hits / {} misses",
+        line.shed,
+        line.shed_rate * 100.0,
+        line.degraded,
+        final_frame.cache_hits,
+        final_frame.cache_misses
+    );
+
+    // Fold the section into the committed artifact (run `repro perf`
+    // first to create it).
+    let path = artifact_path();
+    match std::fs::read(&path)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice::<PerfReport>(&bytes).ok())
+    {
+        Some(mut report) => {
+            report.service = Some(line.clone());
+            let bytes = serde_json::to_vec_pretty(&report).expect("serialize perf report");
+            std::fs::write(&path, bytes).expect("write perf artifact");
+            println!("  updated service section of {}", path.display());
+        }
+        None => println!(
+            "  note: {} not found or unreadable — run `repro perf` first to \
+             record the service section",
+            path.display()
+        ),
+    }
+
+    // The gates: catch collapse, not jitter.
+    let mut failed = false;
+    if line.client_p99_ms > MAX_CLIENT_P99_MS {
+        eprintln!(
+            "SERVE REGRESSION: client p99 {:.2} ms exceeds the committed \
+             threshold {MAX_CLIENT_P99_MS} ms",
+            line.client_p99_ms
+        );
+        failed = true;
+    }
+    if line.shed_rate > MAX_SHED_RATE {
+        eprintln!(
+            "SERVE REGRESSION: shed rate {:.4} exceeds the committed \
+             threshold {MAX_SHED_RATE} under closed-loop load",
+            line.shed_rate
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "serve gate: p99 {:.2} ms ≤ {MAX_CLIENT_P99_MS} ms, shed rate {:.4} ≤ \
+         {MAX_SHED_RATE} — ok",
+        line.client_p99_ms, line.shed_rate
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_pinned_and_distinct() {
+        let pool = query_pool();
+        assert_eq!(pool.len(), 11 * 4 * 2 * 2);
+        let labels: std::collections::BTreeSet<String> = pool.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), pool.len(), "no duplicate scenarios");
+    }
+
+    #[test]
+    fn exact_quantiles_use_ceil_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile_exact(&v, 0.50), 50.0);
+        assert_eq!(quantile_exact(&v, 0.95), 95.0);
+        assert_eq!(quantile_exact(&v, 0.99), 99.0);
+        assert_eq!(quantile_exact(&v, 1.0), 100.0);
+        assert_eq!(quantile_exact(&[], 0.5), 0.0);
+    }
+}

@@ -5,9 +5,50 @@ use coloc_machine::{FaultPlan, MachineSpec, StageId, StageProfile};
 use coloc_model::lab::CheckpointConfig;
 use coloc_model::persist;
 use coloc_model::scheduler::{Policy, Scheduler};
-use coloc_model::{train_robust, FeatureSet, Lab, ModelKind, Predictor, Scenario, TrainPolicy};
+use coloc_model::{
+    train_robust, ColocError, FeatureSet, Lab, ModelKind, Predictor, Scenario, TrainPolicy,
+};
+use coloc_serve::proto::QueryMode;
+use coloc_serve::server::{BindAddr, ServeConfig, Server};
+use coloc_serve::{QueryClient, Reply, RetryPolicy};
 
 type CmdResult = Result<(), String>;
+
+/// A command failure carrying the process exit code. Service errors map
+/// to the sysexits-style codes scripts key on: `overloaded` → 75
+/// (EX_TEMPFAIL, retry later), `timeout` → 124 (the `timeout(1)`
+/// convention), `shutting_down` → 69 (EX_UNAVAILABLE); everything else
+/// is the generic 1.
+#[derive(Debug)]
+pub struct Failure {
+    /// Process exit code.
+    pub code: u8,
+    /// Message printed to stderr.
+    pub message: String,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure { code: 1, message }
+    }
+}
+
+/// The exit code a [`ColocError`] terminates the process with.
+pub fn exit_code_for(err: &ColocError) -> u8 {
+    match err {
+        ColocError::Overloaded { .. } => 75,
+        ColocError::Timeout { .. } => 124,
+        ColocError::ShuttingDown => 69,
+        _ => 1,
+    }
+}
+
+fn service_failure(err: ColocError) -> Failure {
+    Failure {
+        code: exit_code_for(&err),
+        message: err.to_string(),
+    }
+}
 
 fn machine_by_key(key: &str) -> Result<MachineSpec, String> {
     match key {
@@ -450,6 +491,180 @@ pub fn verify(argv: &[String]) -> CmdResult {
     }
 }
 
+/// `coloc serve [--tcp addr | --unix path] [--machine <key>] …`
+///
+/// Runs the prediction service on the calling thread until SIGTERM /
+/// SIGINT / a `shutdown` frame drains it, then prints the final stats
+/// frame to stderr.
+pub fn serve(argv: &[String]) -> Result<(), Failure> {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc serve [--tcp 127.0.0.1:7105 | --unix <path>] [--machine <key>]\n\
+             \x20           [--seed N] [--threads N] [--capacity N] [--watermark N]\n\
+             \x20           [--max-batch N] [--deadline-ms N] [--retry-hint-ms N]\n\
+             \x20           [--stats-interval-s N] [--model <file>] [--quiet]\n\n\
+             Serves slowdown queries as line-delimited JSON. Bounded admission\n\
+             sheds with `overloaded` past --capacity; past --watermark the\n\
+             degradation ladder answers from cache / the linear fallback and\n\
+             labels those answers degraded. SIGTERM drains gracefully."
+        );
+        return Ok(());
+    }
+    let bind = match (args.get("tcp"), args.get("unix")) {
+        (Some(_), Some(_)) => {
+            return Err(Failure::from(
+                "--tcp and --unix are mutually exclusive".to_string(),
+            ))
+        }
+        (None, Some(path)) => BindAddr::Unix(path.into()),
+        (tcp, None) => BindAddr::Tcp(tcp.unwrap_or("127.0.0.1:7105").to_string()),
+    };
+    let machine = args.get("machine").unwrap_or("e5649");
+    machine_by_key(machine)?; // fail with the preset list before binding
+    let cfg = ServeConfig {
+        bind,
+        seed: args.get_parsed_or("seed", 2015u64)?,
+        default_machine: machine.to_string(),
+        admission_capacity: args.get_parsed_or("capacity", 256usize)?,
+        degrade_watermark: args.get_parsed_or("watermark", 128usize)?,
+        max_batch: args.get_parsed_or("max-batch", 32usize)?,
+        engine_threads: args.get_parsed_or("threads", 0usize)?,
+        default_deadline_ms: args.get_parsed_or("deadline-ms", 2_000u64)?,
+        retry_hint_ms: args.get_parsed_or("retry-hint-ms", 50u64)?,
+        stats_interval: std::time::Duration::from_secs(
+            args.get_parsed_or("stats-interval-s", 10u64)?,
+        ),
+        quiet: args.has_flag("quiet"),
+        model_path: args.get("model").map(Into::into),
+    };
+    coloc_serve::signals::install();
+    let frame = Server::run(cfg).map_err(service_failure)?;
+    eprintln!(
+        "serve: drained — {} admitted, {} completed, {} shed, p99 {:.1} ms",
+        frame.admitted,
+        frame.completed,
+        frame.shed_overload + frame.shed_deadline,
+        frame.latency_p99_ms
+    );
+    Ok(())
+}
+
+fn connect_client(args: &ArgMap) -> Result<QueryClient, Failure> {
+    match (args.get("addr"), args.get("unix")) {
+        (Some(_), Some(_)) => Err(Failure::from(
+            "--addr and --unix are mutually exclusive".to_string(),
+        )),
+        (None, Some(path)) => {
+            #[cfg(unix)]
+            {
+                QueryClient::connect_unix(std::path::Path::new(path)).map_err(service_failure)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err(Failure::from(
+                    "--unix sockets are only available on Unix targets".to_string(),
+                ))
+            }
+        }
+        (addr, None) => {
+            QueryClient::connect_tcp(addr.unwrap_or("127.0.0.1:7105")).map_err(service_failure)
+        }
+    }
+}
+
+/// `coloc query [--addr host:port | --unix path] --target <app> …`
+///
+/// One round trip to a running `coloc serve`, with the bounded
+/// retry-with-backoff discipline on `overloaded` answers. Exit codes:
+/// 0 ok, 75 overloaded after retries, 124 deadline expired, 69 server
+/// draining, 1 anything else.
+pub fn query(argv: &[String]) -> Result<(), Failure> {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc query [--addr 127.0.0.1:7105 | --unix <path>] --target <app>\n\
+             \x20           [--co name:count]… [--pstate N] [--predict]\n\
+             \x20           [--deadline-ms N] [--machine <key>] [--retries N]\n\
+             \x20           [--backoff-ms N] [--jitter-seed N]\n\
+             coloc query … --ping | --stats | --shutdown\n\n\
+             Exit codes: 0 ok, 75 overloaded (after retries), 124 deadline\n\
+             expired, 69 server shutting down, 1 other errors, 2 usage."
+        );
+        return Ok(());
+    }
+    let mut client = connect_client(&args)?;
+    if args.has_flag("ping") {
+        client.ping().map_err(service_failure)?;
+        println!("pong");
+        return Ok(());
+    }
+    if args.has_flag("stats") {
+        let frame = client.stats().map_err(service_failure)?;
+        println!(
+            "{}",
+            serde_json::to_string(&frame).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if args.has_flag("shutdown") {
+        client.shutdown().map_err(service_failure)?;
+        println!("server draining");
+        return Ok(());
+    }
+    let scenario = Scenario {
+        target: args.require("target")?.to_string(),
+        co_located: parse_co(args.get_all("co"))?,
+        pstate: args.get_parsed_or("pstate", 0usize)?,
+    };
+    let mode = if args.has_flag("predict") {
+        QueryMode::Predict
+    } else {
+        QueryMode::Measure
+    };
+    let deadline_ms = match args.get("deadline-ms") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|e| format!("invalid value for --deadline-ms: {e}"))?,
+        ),
+        None => None,
+    };
+    let policy = RetryPolicy {
+        retries: args.get_parsed_or("retries", RetryPolicy::default().retries)?,
+        base_backoff_ms: args
+            .get_parsed_or("backoff-ms", RetryPolicy::default().base_backoff_ms)?,
+        jitter_seed: args.get_parsed_or("jitter-seed", RetryPolicy::default().jitter_seed)?,
+        ..RetryPolicy::default()
+    };
+    let reply = client
+        .query_with_retry(&scenario, mode, deadline_ms, args.get("machine"), &policy)
+        .map_err(service_failure)?;
+    match reply {
+        Reply::Ok {
+            time_s,
+            slowdown,
+            source,
+            degraded,
+            ..
+        } => {
+            println!("scenario:  {scenario}");
+            print!("answer:    {time_s:.3} s");
+            if let Some(s) = slowdown {
+                print!("  (slowdown {s:.3}x)");
+            }
+            print!("  [{source}]");
+            if degraded {
+                print!("  DEGRADED");
+            }
+            println!();
+            Ok(())
+        }
+        Reply::Err { error, .. } => Err(service_failure(error)),
+        other => Err(Failure::from(format!("unexpected reply: {other:?}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,6 +852,43 @@ mod tests {
             std::fs::read(&plain_path).unwrap(),
             std::fs::read(&staged_path).unwrap()
         );
+    }
+
+    #[test]
+    fn query_round_trips_against_a_spawned_server() {
+        let handle = Server::spawn(ServeConfig {
+            bind: BindAddr::Tcp("127.0.0.1:0".into()),
+            quiet: true,
+            engine_threads: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = handle.local_addr().unwrap().to_string();
+        query(&argv(&["--addr", &addr, "--ping"])).unwrap();
+        query(&argv(&[
+            "--addr", &addr, "--target", "canneal", "--co", "cg:3", "--pstate", "0",
+        ]))
+        .unwrap();
+        query(&argv(&["--addr", &addr, "--target", "ep", "--predict"])).unwrap();
+        query(&argv(&["--addr", &addr, "--stats"])).unwrap();
+        // An unknown target surfaces as a generic (code 1) failure.
+        let f = query(&argv(&["--addr", &addr, "--target", "doom"])).unwrap_err();
+        assert_eq!(f.code, 1, "{}", f.message);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn service_errors_map_to_typed_exit_codes() {
+        assert_eq!(
+            exit_code_for(&ColocError::Overloaded { queue_depth: 9 }),
+            75
+        );
+        assert_eq!(exit_code_for(&ColocError::Timeout { deadline_ms: 5 }), 124);
+        assert_eq!(exit_code_for(&ColocError::ShuttingDown), 69);
+        assert_eq!(exit_code_for(&ColocError::Machine("x".into())), 1);
+        let f: Failure = "boom".to_string().into();
+        assert_eq!((f.code, f.message.as_str()), (1, "boom"));
     }
 
     #[test]

@@ -38,9 +38,17 @@ COMMANDS:
                 and dump per-segment solver telemetry
     verify      replay the conformance corpus and spot-check the engine
                 against the naive reference implementation
+    serve       run the overload-safe prediction service (JSON lines over
+                TCP or a Unix socket; SIGTERM drains gracefully)
+    query       ask a running `coloc serve` for one answer, with bounded
+                retry/backoff on overload
     help        show this message
 
-Run `coloc <command> --help` for per-command options.";
+Run `coloc <command> --help` for per-command options.
+
+EXIT CODES:
+    0 ok · 1 error · 2 usage · 69 server shutting down ·
+    75 overloaded (after retries) · 124 deadline expired";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,27 +56,32 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let result = match cmd.as_str() {
-        "baselines" => commands::baselines(rest),
-        "collect" => commands::collect(rest),
-        "train" => commands::train(rest),
-        "predict" => commands::predict(rest),
-        "schedule" => commands::schedule(rest),
-        "suite" => commands::suite(rest),
-        "machines" => commands::machines(rest),
-        "trace" => commands::trace(rest),
-        "verify" => commands::verify(rest),
+    let result: Result<(), commands::Failure> = match cmd.as_str() {
+        "baselines" => commands::baselines(rest).map_err(Into::into),
+        "collect" => commands::collect(rest).map_err(Into::into),
+        "train" => commands::train(rest).map_err(Into::into),
+        "predict" => commands::predict(rest).map_err(Into::into),
+        "schedule" => commands::schedule(rest).map_err(Into::into),
+        "suite" => commands::suite(rest).map_err(Into::into),
+        "machines" => commands::machines(rest).map_err(Into::into),
+        "trace" => commands::trace(rest).map_err(Into::into),
+        "verify" => commands::verify(rest).map_err(Into::into),
+        "serve" => commands::serve(rest),
+        "query" => commands::query(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        other => Err(commands::Failure {
+            code: 2,
+            message: format!("unknown command `{other}`\n\n{USAGE}"),
+        }),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(1)
+        Err(f) => {
+            eprintln!("error: {}", f.message);
+            ExitCode::from(f.code)
         }
     }
 }

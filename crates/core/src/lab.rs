@@ -334,6 +334,22 @@ impl Lab {
         Ok(outcome.wall_time_s)
     }
 
+    /// Probe the run cache for a scenario without ever simulating:
+    /// `Ok(Some(t))` when this exact run is memoized (bit-identical to
+    /// what [`Lab::run_scenario`] would return), `Ok(None)` when
+    /// answering would need the engine. This is the degraded path of an
+    /// overloaded prediction service — a probe costs one digest and one
+    /// shard lock, never a simulation. A resident probe counts as a
+    /// cache hit (it is one); a miss is not counted, because nothing
+    /// fell through to the engine.
+    pub fn cached_run(&self, scenario: &Scenario) -> Result<Option<f64>> {
+        let ir = self.scenario_ir(scenario)?;
+        let key = self
+            .run_cache
+            .key_for(&self.machine, &ir.workload, &ir.opts, ir.faults.as_ref());
+        Ok(self.run_cache.peek(key).map(|o| o.wall_time_s))
+    }
+
     /// Snapshot the sweep-runtime telemetry accumulated so far.
     pub fn sweep_stats(&self) -> SweepStats {
         let cache = self.run_cache.stats();
@@ -749,6 +765,21 @@ mod tests {
         for (a, b) in cold.iter().zip(&warm) {
             assert_eq!(a.actual_time_s.to_bits(), b.actual_time_s.to_bits());
         }
+    }
+
+    #[test]
+    fn cached_run_probes_without_simulating() {
+        let lab = small_lab();
+        let sc = Scenario::solo("cg", 0);
+        assert_eq!(lab.cached_run(&sc).unwrap(), None);
+        assert_eq!(lab.sweep_stats().cache_misses, 0, "a probe never simulates");
+        let t = lab.run_scenario(&sc).unwrap();
+        let probed = lab.cached_run(&sc).unwrap().expect("resident after run");
+        assert_eq!(probed.to_bits(), t.to_bits());
+        assert!(matches!(
+            lab.cached_run(&Scenario::solo("doom", 0)),
+            Err(ModelError::UnknownApp(_))
+        ));
     }
 
     #[test]

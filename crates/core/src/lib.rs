@@ -86,6 +86,18 @@ pub enum ColocError {
     /// A collect was interrupted (simulated crash) after `completed`
     /// samples; a checkpoint holds the partial progress.
     Interrupted { completed: usize },
+    /// A request's deadline expired before (or while) it was served.
+    Timeout {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A service shed the request because its admission queue was full.
+    /// Callers should back off and retry; `queue_depth` is the depth
+    /// observed at shed time.
+    Overloaded { queue_depth: usize },
+    /// The service is draining (e.g. SIGTERM received) and no longer
+    /// admits new work.
+    ShuttingDown,
 }
 
 /// Historical name of [`ColocError`]; the taxonomy grew, the alias stays.
@@ -122,6 +134,16 @@ impl std::fmt::Display for ColocError {
             ColocError::Interrupted { completed } => {
                 write!(f, "collect interrupted after {completed} samples")
             }
+            ColocError::Timeout { deadline_ms } => {
+                write!(f, "deadline expired ({deadline_ms} ms)")
+            }
+            ColocError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "overloaded (queue depth {queue_depth}); retry with backoff"
+                )
+            }
+            ColocError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
 }

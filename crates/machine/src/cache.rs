@@ -1,4 +1,4 @@
-//! Memoizing run cache.
+//! Memoizing run cache — sharded for concurrent sweeps and services.
 //!
 //! Sweeps re-run identical `(machine, workload, RunOptions)` triples
 //! constantly: every scenario in a training plan re-measures the same
@@ -15,17 +15,28 @@
 //! bit-identical to what the engine produced, including applied noise,
 //! because the noise seed is part of the key. Sharing instead of deep
 //! cloning matters on the hit path: an outcome owns per-group counter and
-//! telemetry vectors, and memoized sweeps hit thousands of times. The
-//! cache is bounded: beyond `capacity` entries, insertion evicts in FIFO
-//! order. All counters are atomic, so a single cache can sit behind a
-//! work-stealing sweep with no locking beyond the map itself.
+//! telemetry vectors, and memoized sweeps hit thousands of times.
+//!
+//! ## Sharding
+//!
+//! The map is split into `shards` independently locked segments, selected
+//! by the low bits of the scenario digest (FNV-1a/128 mixes its inputs
+//! thoroughly, so low bits spread well). A work-stealing sweep or a
+//! high-concurrency prediction service therefore never serializes on one
+//! global mutex: two lookups collide only when their keys land in the
+//! same shard. Each shard is bounded at `capacity / shards` entries and
+//! evicts least-recently-used (a hit refreshes recency; with no
+//! intervening hits this degenerates to insertion order, the previous
+//! FIFO behavior). Hit/miss/eviction counters are global atomics, so
+//! [`RunCache::stats`] aggregates are exactly what the single-mutex cache
+//! reported and `SweepStats`/`repro` artifacts are unchanged.
 
 use crate::engine::{Machine, RunOptions, RunOutcome, RunnerGroup, StageProfile};
 use crate::faults::FaultPlan;
 use crate::ir;
 use crate::Result;
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -57,20 +68,73 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by the capacity bound.
     pub evictions: u64,
-    /// Entries currently resident.
+    /// Entries currently resident (summed across shards).
     pub len: usize,
 }
 
-struct CacheInner {
-    map: HashMap<u128, Arc<RunOutcome>>,
-    /// Insertion order for FIFO eviction.
-    order: VecDeque<u128>,
+/// One independently locked cache segment: a key→outcome map plus an
+/// LRU index. Recency is a per-shard logical clock: every touch stamps
+/// the entry, and eviction removes the minimum stamp. `BTreeMap` keeps
+/// both touch and evict at `O(log n)` for the small per-shard n.
+struct Shard {
+    map: HashMap<u128, (Arc<RunOutcome>, u64)>,
+    /// stamp → key, the eviction order. Stamps are unique per shard.
+    lru: BTreeMap<u64, u128>,
+    /// Next recency stamp.
+    clock: u64,
 }
 
-/// A bounded, thread-safe memo table over [`Machine::run`].
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    fn get(&mut self, key: u128) -> Option<Arc<RunOutcome>> {
+        let clock = &mut self.clock;
+        let lru = &mut self.lru;
+        self.map.get_mut(&key).map(|(outcome, stamp)| {
+            lru.remove(stamp);
+            *stamp = *clock;
+            lru.insert(*clock, key);
+            *clock += 1;
+            Arc::clone(outcome)
+        })
+    }
+
+    /// Insert `key` if vacant, then evict down to `capacity`. Returns the
+    /// number of entries evicted.
+    fn insert_bounded(&mut self, key: u128, outcome: Arc<RunOutcome>, capacity: usize) -> u64 {
+        if let Entry::Vacant(slot) = self.map.entry(key) {
+            slot.insert((outcome, self.clock));
+            self.lru.insert(self.clock, key);
+            self.clock += 1;
+        }
+        let mut evicted = 0;
+        while self.map.len() > capacity {
+            let Some((&stamp, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&stamp);
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A bounded, thread-safe, sharded memo table over [`Machine::run`].
 pub struct RunCache {
-    capacity: usize,
-    inner: Mutex<CacheInner>,
+    /// Per-shard entry bound (total capacity / shard count).
+    shard_capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    /// Bit mask selecting a shard from a digest (shard count is a power
+    /// of two).
+    shard_mask: usize,
     /// Accelerates key computation: locality-table blocks hash as one
     /// memoized multiply-add after first sight (bit-identical digests).
     digest_memo: ir::DigestMemo,
@@ -83,6 +147,10 @@ pub struct RunCache {
 /// (6 × 11 × 4 × 11 = 2904 scenarios) plus baselines.
 pub const DEFAULT_RUN_CACHE_CAPACITY: usize = 8192;
 
+/// Default shard count: enough that a machine-sized worker pool rarely
+/// collides, cheap enough that a single-threaded sweep never notices.
+pub const DEFAULT_RUN_CACHE_SHARDS: usize = 16;
+
 impl Default for RunCache {
     fn default() -> RunCache {
         RunCache::new(DEFAULT_RUN_CACHE_CAPACITY)
@@ -90,19 +158,72 @@ impl Default for RunCache {
 }
 
 impl RunCache {
-    /// Create a cache holding at most `capacity` outcomes.
+    /// Create a cache holding at most `capacity` outcomes across
+    /// [`DEFAULT_RUN_CACHE_SHARDS`] shards.
     pub fn new(capacity: usize) -> RunCache {
+        RunCache::with_shards(capacity, DEFAULT_RUN_CACHE_SHARDS)
+    }
+
+    /// Create a cache holding at most `capacity` outcomes across `shards`
+    /// independently locked segments. The shard count is rounded up to a
+    /// power of two (min 1); each shard is bounded at `capacity / shards`
+    /// entries (min 1), so the aggregate bound is `capacity` rounded up
+    /// to a multiple of the shard count. `with_shards(cap, 1)` reproduces
+    /// the single-mutex cache exactly: one map, one lock, one LRU order.
+    pub fn with_shards(capacity: usize, shards: usize) -> RunCache {
+        let shards = shards.clamp(1, 1 << 16).next_power_of_two();
+        let shard_capacity = capacity.max(1).div_ceil(shards).max(1);
         RunCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-            }),
+            shard_capacity,
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_mask: shards - 1,
             digest_memo: ir::DigestMemo::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard entry bound.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    fn shard_for(&self, key: u128) -> &Mutex<Shard> {
+        &self.shards[(key as usize) & self.shard_mask]
+    }
+
+    /// Whether `key` is resident, refreshing its recency (and counting a
+    /// hit) when it is. Lets callers probe for memoized outcomes without
+    /// triggering a simulation — the degraded path of an overloaded
+    /// prediction service.
+    pub fn peek(&self, key: u128) -> Option<Arc<RunOutcome>> {
+        let hit = self
+            .shard_for(key)
+            .lock()
+            .expect("run cache poisoned")
+            .get(key);
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// The memo key this cache would use for a scenario, computed through
+    /// the cache's digest memo (bit-identical to [`run_digest_faulted`]).
+    pub fn key_for(
+        &self,
+        machine: &Machine,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+        faults: Option<&FaultPlan>,
+    ) -> u128 {
+        ir::scenario_digest_memo(&self.digest_memo, machine.spec(), workload, opts, faults)
     }
 
     /// Run `workload` on `machine`, returning the memoized outcome when
@@ -156,11 +277,15 @@ impl RunCache {
         faults: Option<&FaultPlan>,
         profile: Option<&mut StageProfile>,
     ) -> Result<(Arc<RunOutcome>, bool)> {
-        let key =
-            ir::scenario_digest_memo(&self.digest_memo, machine.spec(), workload, opts, faults);
-        if let Some(hit) = self.inner.lock().expect("run cache poisoned").map.get(&key) {
+        let key = self.key_for(machine, workload, opts, faults);
+        if let Some(hit) = self
+            .shard_for(key)
+            .lock()
+            .expect("run cache poisoned")
+            .get(key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(hit), true));
+            return Ok((hit, true));
         }
         // The engine runs outside the lock: concurrent misses on the same
         // key may both simulate, but they produce identical outcomes, so
@@ -174,27 +299,24 @@ impl RunCache {
             plan.apply(opts.seed, &mut outcome);
         }
         let outcome = Arc::new(outcome);
-        let mut inner = self.inner.lock().expect("run cache poisoned");
-        if let Entry::Vacant(slot) = inner.map.entry(key) {
-            slot.insert(Arc::clone(&outcome));
-            inner.order.push_back(key);
-            while inner.map.len() > self.capacity {
-                if let Some(old) = inner.order.pop_front() {
-                    inner.map.remove(&old);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    break;
-                }
-            }
+        let evicted = self
+            .shard_for(key)
+            .lock()
+            .expect("run cache poisoned")
+            .insert_bounded(key, Arc::clone(&outcome), self.shard_capacity);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         Ok((outcome, false))
     }
 
     /// Drop all entries; counters keep accumulating.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("run cache poisoned");
-        inner.map.clear();
-        inner.order.clear();
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("run cache poisoned");
+            s.map.clear();
+            s.lru.clear();
+        }
     }
 
     /// Snapshot the hit/miss/eviction counters and current size.
@@ -203,7 +325,11 @@ impl RunCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            len: self.inner.lock().expect("run cache poisoned").map.len(),
+            len: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("run cache poisoned").map.len())
+                .sum(),
         }
     }
 }
@@ -402,9 +528,10 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_evicts_fifo() {
+    fn capacity_bound_evicts_in_recency_order() {
         let m = Machine::new(presets::xeon_e5649()).unwrap();
-        let cache = RunCache::new(2);
+        // One shard: globally ordered eviction, like the old FIFO cache.
+        let cache = RunCache::with_shards(2, 1);
         let opts = RunOptions::default();
         for span in [100_000, 200_000, 300_000] {
             cache.run(&m, &wl(span), &opts).unwrap();
@@ -416,9 +543,64 @@ mod tests {
         // Oldest entry is gone: running it again is a miss...
         cache.run(&m, &wl(100_000), &opts).unwrap();
         assert_eq!(cache.stats().misses, 4);
-        // ...while the newest two survive as hits until displaced.
+        // ...while the newest survives as a hit until displaced.
         cache.run(&m, &wl(300_000), &opts).unwrap();
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_hit_refreshes_recency() {
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
+        let cache = RunCache::with_shards(2, 1);
+        let opts = RunOptions::default();
+        cache.run(&m, &wl(100_000), &opts).unwrap();
+        cache.run(&m, &wl(200_000), &opts).unwrap();
+        // Touch the older entry, then insert a third: the *untouched*
+        // middle entry is now least recent and gets displaced.
+        cache.run(&m, &wl(100_000), &opts).unwrap();
+        cache.run(&m, &wl(300_000), &opts).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        let before = cache.stats().hits;
+        cache.run(&m, &wl(100_000), &opts).unwrap();
+        assert_eq!(cache.stats().hits, before + 1, "touched entry survived");
+        cache.run(&m, &wl(200_000), &opts).unwrap();
+        assert_eq!(cache.stats().misses, 4, "untouched entry was evicted");
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn sharded_cache_respects_aggregate_semantics() {
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
+        let cache = RunCache::with_shards(64, 8);
+        assert_eq!(cache.shard_count(), 8);
+        assert_eq!(cache.shard_capacity(), 8);
+        let opts = RunOptions::default();
+        let spans = [100_000usize, 150_000, 200_000, 250_000, 300_000];
+        for &span in &spans {
+            cache.run(&m, &wl(span), &opts).unwrap();
+        }
+        for &span in &spans {
+            cache.run(&m, &wl(span), &opts).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, spans.len() as u64);
+        assert_eq!(s.hits, spans.len() as u64);
+        assert_eq!(s.len, spans.len());
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn peek_probes_without_running() {
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
+        let cache = RunCache::new(64);
+        let opts = RunOptions::default();
+        let key = cache.key_for(&m, &wl(100_000), &opts, None);
+        assert!(cache.peek(key).is_none());
+        assert_eq!(cache.stats().misses, 0, "peek never simulates");
+        let (direct, _) = cache.run_with_status(&m, &wl(100_000), &opts).unwrap();
+        let peeked = cache.peek(key).expect("resident after run");
+        assert_eq!(peeked.wall_time_s.to_bits(), direct.wall_time_s.to_bits());
+        assert_eq!(cache.stats().hits, 1, "a successful peek counts as a hit");
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub mod presets;
 pub mod spec;
 
 pub use app::{AppPhase, AppProfile};
-pub use cache::{run_digest, run_digest_faulted, CacheStats, RunCache};
+pub use cache::{
+    run_digest, run_digest_faulted, CacheStats, RunCache, DEFAULT_RUN_CACHE_CAPACITY,
+    DEFAULT_RUN_CACHE_SHARDS,
+};
 pub use engine::{
     Convergence, CounterBlock, EpochStage, GroupRef, Machine, RunOptions, RunOutcome, RunnerGroup,
     SegmentRecord, SegmentTrace, StageFlow, StageId, StageProfile, StageStats,

@@ -1,0 +1,40 @@
+//! # coloc-serve — prediction as a service
+//!
+//! The paper's models exist to be *queried*: a scheduler wants "how
+//! much slower does `canneal` get next to three copies of `cg` at P2"
+//! answered in microseconds, not by re-running a sweep. This crate
+//! wraps the workspace's lab, cache, and predictor layers in an
+//! overload-safe daemon speaking line-delimited JSON over TCP or a
+//! Unix socket.
+//!
+//! The robustness posture, in one paragraph: every queue is bounded,
+//! every bound sheds with a typed error the client can act on
+//! ([`coloc_model::ColocError::Overloaded`] carries the depth, the wire
+//! frame a `retry_after_ms` hint), deadlines expire queries instead of
+//! serving stale answers, a saturated engine degrades to
+//! cache-then-linear-fallback answers that are *labeled* degraded, slow
+//! clients lose responses instead of stalling workers, and SIGTERM
+//! drains — finish what was admitted, refuse what wasn't, flush the
+//! stats frame, exit.
+//!
+//! Module map:
+//! * [`proto`] — the wire protocol (requests, responses, parse/build);
+//! * [`admission`] — the bounded front door;
+//! * [`server`] — accept/read/dispatch/write threads and the
+//!   degradation ladder;
+//! * [`client`] — a blocking client with backoff-and-jitter retries;
+//! * [`telemetry`] — latency histogram, counters, the stats frame;
+//! * [`signals`] — SIGTERM/SIGINT → drain latch, without libc.
+
+pub mod admission;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod signals;
+pub mod telemetry;
+
+pub use admission::AdmissionQueue;
+pub use client::{QueryClient, RetryPolicy};
+pub use proto::{parse_reply, parse_request, QueryMode, QueryRequest, Reply, Request};
+pub use server::{BindAddr, ServeConfig, Server, ServerHandle};
+pub use telemetry::{Counters, LatencyHistogram, StatsFrame};

@@ -1,0 +1,837 @@
+//! The `coloc serve` daemon: admission → batch → sweep → respond.
+//!
+//! One process, four kinds of threads:
+//!
+//! * the **accept loop** (the thread that called [`Server::run`]) hands
+//!   each connection a reader and a writer thread, emits the periodic
+//!   stats frame, and watches the drain latch;
+//! * per-connection **readers** parse request lines and either answer
+//!   inline (`ping`, `stats`) or push queries through the
+//!   [`AdmissionQueue`] — which is where load shedding happens, before
+//!   any work is done;
+//! * per-connection **writers** drain a *bounded* response channel to
+//!   the socket, so a slow or stalled client can never hold a lock or a
+//!   worker: when its channel is full, responses are counted dropped
+//!   and the engine moves on;
+//! * the **dispatcher** pops admitted queries in batches, expires the
+//!   ones whose deadline already passed, groups the rest by machine and
+//!   answers each group through one work-stealing engine sweep.
+//!
+//! Degradation is a ladder, decided per batch from the queue depth at
+//! dispatch time: below the watermark every `measure` query gets the
+//! real engine (memoized runs are answered from the sharded cache and
+//! labeled `"cache"`); above it the engine is considered saturated and
+//! queries are answered from the cache when resident, else by the
+//! linear fallback predictor — approximate, explicitly flagged
+//! `degraded: true`, but O(µs) instead of O(ms) and immune to queue
+//! collapse.
+//!
+//! Shutdown (SIGTERM, SIGINT, or a `shutdown` frame) latches the drain:
+//! the listener stops accepting, admission refuses with
+//! `shutting_down`, the dispatcher finishes everything already
+//! admitted, writers flush, and the final stats frame is emitted.
+
+use crate::admission::AdmissionQueue;
+use crate::proto::{self, QueryMode, QueryRequest, Request};
+use crate::signals;
+use crate::telemetry::{Counters, LatencyHistogram, StatsFrame};
+use coloc_machine::presets;
+use coloc_model::{
+    train_robust, ColocError, FeatureSet, Lab, ModelKind, Predictor, TrainPolicy, TrainingPlan,
+};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Where the server listens.
+#[derive(Clone, Debug)]
+pub enum BindAddr {
+    /// TCP, e.g. `127.0.0.1:7105` (port 0 = ephemeral, see
+    /// [`ServerHandle::local_addr`]).
+    Tcp(String),
+    /// A Unix domain socket path (Unix targets only).
+    Unix(std::path::PathBuf),
+}
+
+/// Everything `coloc serve` can be configured with.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub bind: BindAddr,
+    /// Lab seed — served `measure` answers are bit-identical to a
+    /// `Lab::collect` under the same seed.
+    pub seed: u64,
+    /// Machine preset answering queries that name no `machine`.
+    pub default_machine: String,
+    /// Admission-queue bound; beyond it queries shed with `overloaded`.
+    pub admission_capacity: usize,
+    /// Queue depth at which dispatch switches to the degraded ladder.
+    pub degrade_watermark: usize,
+    /// Most queries answered by one engine sweep.
+    pub max_batch: usize,
+    /// Worker threads per engine sweep (0 = one per CPU).
+    pub engine_threads: usize,
+    /// Deadline applied to queries that carry none.
+    pub default_deadline_ms: u64,
+    /// Backoff hint attached to `overloaded` responses.
+    pub retry_hint_ms: u64,
+    /// Cadence of the periodic stats frame.
+    pub stats_interval: Duration,
+    /// Suppress periodic frames on stdout (tests, benches).
+    pub quiet: bool,
+    /// Pre-trained predictor for the default machine; `None` trains the
+    /// linear fallback at startup.
+    pub model_path: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            bind: BindAddr::Tcp("127.0.0.1:0".into()),
+            seed: 2015,
+            default_machine: "e5649".into(),
+            admission_capacity: 256,
+            degrade_watermark: 128,
+            max_batch: 32,
+            engine_threads: 0,
+            default_deadline_ms: 2_000,
+            retry_hint_ms: 50,
+            stats_interval: Duration::from_secs(10),
+            quiet: false,
+            model_path: None,
+        }
+    }
+}
+
+/// Resolve a machine preset key the same way the CLI does.
+fn machine_index(key: &str) -> Option<usize> {
+    match key.to_ascii_lowercase().replace('-', "_").as_str() {
+        "e5649" | "xeon_e5649" | "6core" => Some(0),
+        "e5_2697v2" | "xeon_e5_2697v2" | "12core" => Some(1),
+        _ => None,
+    }
+}
+
+/// One admitted query waiting for dispatch.
+struct Pending {
+    req: QueryRequest,
+    lab_idx: usize,
+    reply: SyncSender<String>,
+    enqueued: Instant,
+    deadline: Instant,
+}
+
+/// State shared by every thread of one server instance.
+struct Shared {
+    cfg: ServeConfig,
+    labs: Vec<(&'static str, Lab)>,
+    predictors: Vec<OnceLock<Result<Predictor, String>>>,
+    queue: AdmissionQueue<Pending>,
+    counters: Counters,
+    latency: LatencyHistogram,
+    drain: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn new(cfg: ServeConfig) -> Result<Shared, ColocError> {
+        let suite = coloc_workloads::standard();
+        let labs = vec![
+            (
+                "e5649",
+                Lab::new(presets::xeon_e5649(), suite.clone(), cfg.seed)?
+                    .with_threads(cfg.engine_threads),
+            ),
+            (
+                "e5_2697v2",
+                Lab::new(presets::xeon_e5_2697v2(), suite, cfg.seed)?
+                    .with_threads(cfg.engine_threads),
+            ),
+        ];
+        let queue = AdmissionQueue::new(cfg.admission_capacity);
+        Ok(Shared {
+            predictors: (0..labs.len()).map(|_| OnceLock::new()).collect(),
+            labs,
+            queue,
+            counters: Counters::default(),
+            latency: LatencyHistogram::new(),
+            drain: AtomicBool::new(false),
+            started: Instant::now(),
+            cfg,
+        })
+    }
+
+    fn should_drain(&self) -> bool {
+        self.drain.load(Ordering::Acquire) || signals::termination_requested()
+    }
+
+    fn request_drain(&self) {
+        self.drain.store(true, Ordering::Release);
+        self.queue.start_drain();
+    }
+
+    /// A compact training plan for the self-trained fallback: every
+    /// suite app × the four class representatives × the P-state and
+    /// count extremes. Enough spread for a sane linear fit, cheap
+    /// enough (~0.2k scenarios) to run at startup.
+    fn fallback_plan(lab: &Lab) -> TrainingPlan {
+        let spec = lab.machine().spec();
+        TrainingPlan {
+            pstates: vec![0, spec.num_pstates() - 1],
+            targets: lab.suite().iter().map(|b| b.name.to_string()).collect(),
+            co_runners: coloc_workloads::suite::training_co_runners()
+                .iter()
+                .map(|b| b.name.to_string())
+                .collect(),
+            counts: vec![1, spec.cores - 1],
+        }
+    }
+
+    /// The predictor answering `predict` queries and fallback answers
+    /// for `labs[idx]`. Loaded from `model_path` for the default
+    /// machine when configured, else trained once (linear, full feature
+    /// set, robust ladder) and memoized.
+    fn predictor(&self, idx: usize) -> Result<&Predictor, ColocError> {
+        let slot = self.predictors[idx].get_or_init(|| {
+            let (key, lab) = &self.labs[idx];
+            if let Some(path) = &self.cfg.model_path {
+                if machine_index(&self.cfg.default_machine) == Some(idx) {
+                    return Predictor::load(path).map_err(|e| e.to_string());
+                }
+            }
+            let samples = lab
+                .collect(&Self::fallback_plan(lab))
+                .map_err(|e| e.to_string())?;
+            train_robust(
+                ModelKind::Linear,
+                FeatureSet::F,
+                &samples,
+                self.cfg.seed,
+                &TrainPolicy::default(),
+            )
+            .map(|(p, _)| p)
+            .map_err(|e| format!("fallback training for {key} failed: {e}"))
+        });
+        slot.as_ref().map_err(|e| ColocError::Ml(e.clone()))
+    }
+
+    /// Run-cache traffic summed across labs.
+    fn cache_traffic(&self) -> (u64, u64, u64) {
+        self.labs.iter().fold((0, 0, 0), |acc, (_, lab)| {
+            let s = lab.sweep_stats();
+            (
+                acc.0 + s.cache_hits,
+                acc.1 + s.cache_misses,
+                acc.2 + s.cache_evictions,
+            )
+        })
+    }
+
+    fn frame(&self) -> StatsFrame {
+        StatsFrame::snapshot(
+            self.started.elapsed().as_secs_f64(),
+            self.queue.depth(),
+            &self.counters,
+            &self.latency,
+            self.cache_traffic(),
+        )
+    }
+
+    fn bump(counter: &std::sync::atomic::AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Answer one admitted query. Returns the response line.
+    fn answer(&self, p: &Pending, degraded: bool) -> String {
+        let id = p.req.id.as_deref();
+        if Instant::now() > p.deadline {
+            Self::bump(&self.counters.shed_deadline);
+            let deadline_ms = p.req.deadline_ms.unwrap_or(self.cfg.default_deadline_ms);
+            return proto::err_line(id, &ColocError::Timeout { deadline_ms }, 0);
+        }
+        let lab = &self.labs[p.lab_idx].1;
+        let sc = &p.req.scenario;
+        let base_time = lab
+            .baselines()
+            .get(&sc.target)
+            .and_then(|b| b.time_at(sc.pstate));
+        let reply = |time_s: f64, source: &str, is_degraded: bool| {
+            let slowdown = base_time.map(|b| time_s / b);
+            proto::ok_line(id, time_s, slowdown, source, is_degraded)
+        };
+        match p.req.mode {
+            QueryMode::Predict => match self.predictor(p.lab_idx) {
+                Ok(model) => match lab.featurize(sc) {
+                    Ok(features) => reply(model.predict(&features), "predictor", false),
+                    Err(e) => proto::err_line(id, &e, 0),
+                },
+                Err(e) => proto::err_line(id, &e, 0),
+            },
+            QueryMode::Measure if !degraded => match lab.cached_run(sc) {
+                Ok(Some(t)) => reply(t, "cache", false),
+                Ok(None) => match lab.run_scenario(sc) {
+                    Ok(t) => reply(t, "engine", false),
+                    Err(e) => proto::err_line(id, &e, 0),
+                },
+                Err(e) => proto::err_line(id, &e, 0),
+            },
+            QueryMode::Measure => match lab.cached_run(sc) {
+                // Degraded rung 1: a memoized run is still exact.
+                Ok(Some(t)) => {
+                    Self::bump(&self.counters.degraded_cache);
+                    reply(t, "cache", true)
+                }
+                // Degraded rung 2: approximate, never the engine.
+                Ok(None) => match self.predictor(p.lab_idx) {
+                    Ok(model) => match lab.featurize(sc) {
+                        Ok(features) => {
+                            Self::bump(&self.counters.degraded_fallback);
+                            reply(model.predict(&features), "fallback", true)
+                        }
+                        Err(e) => proto::err_line(id, &e, 0),
+                    },
+                    Err(e) => proto::err_line(id, &e, 0),
+                },
+                Err(e) => proto::err_line(id, &e, 0),
+            },
+        }
+    }
+
+    /// Deliver a response line without ever blocking on the client.
+    fn send(&self, pending: &Pending, line: String) {
+        match pending.reply.try_send(line) {
+            Ok(()) => {
+                Self::bump(&self.counters.completed);
+                self.latency
+                    .record_us(pending.enqueued.elapsed().as_micros() as u64);
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                Self::bump(&self.counters.dropped_responses);
+            }
+        }
+    }
+
+    /// The dispatcher: pops admitted batches until drained-and-empty.
+    fn dispatch_loop(&self) {
+        loop {
+            if self.queue.drained() {
+                return;
+            }
+            let depth = self.queue.depth();
+            let batch = self
+                .queue
+                .pop_batch(self.cfg.max_batch, Duration::from_millis(20));
+            if batch.is_empty() {
+                continue;
+            }
+            let degraded = depth > self.cfg.degrade_watermark;
+            // Group by machine, preserving arrival order within a group,
+            // and answer each group through one work-stealing sweep.
+            let mut groups: Vec<(usize, Vec<Pending>)> = Vec::new();
+            for p in batch {
+                match groups.iter_mut().find(|(idx, _)| *idx == p.lab_idx) {
+                    Some((_, g)) => g.push(p),
+                    None => groups.push((p.lab_idx, vec![p])),
+                }
+            }
+            for (_, group) in groups {
+                Self::bump(&self.counters.batches);
+                self.counters
+                    .batched_queries
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                let lines =
+                    coloc_ml::parallel::run_indexed(group.len(), self.cfg.engine_threads, |i| {
+                        self.answer(&group[i], degraded)
+                    });
+                for (pending, line) in group.iter().zip(lines) {
+                    self.send(pending, line);
+                }
+            }
+        }
+    }
+}
+
+/// Maximum accepted request-line length; longer lines are a protocol
+/// violation and close the connection (bounds per-connection memory).
+const MAX_LINE: usize = 1 << 20;
+
+/// One bound listen socket, TCP or Unix, behind a common nonblocking
+/// accept. Accepted connections come back as boxed read/write halves so
+/// the reader/writer threads are transport-agnostic.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener, std::path::PathBuf),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        match self {
+            Listener::Tcp(l) => {
+                let (conn, _peer) = l.accept()?;
+                conn.set_nonblocking(false)?;
+                // Answers are small frames; Nagle + delayed ACK would put
+                // tens of milliseconds on every response.
+                conn.set_nodelay(true)?;
+                conn.set_read_timeout(Some(Duration::from_millis(100)))?;
+                let writer = conn.try_clone()?;
+                writer.set_write_timeout(Some(Duration::from_secs(2)))?;
+                Ok((Box::new(conn), Box::new(writer)))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (conn, _peer) = l.accept()?;
+                conn.set_nonblocking(false)?;
+                conn.set_read_timeout(Some(Duration::from_millis(100)))?;
+                let writer = conn.try_clone()?;
+                writer.set_write_timeout(Some(Duration::from_secs(2)))?;
+                Ok((Box::new(conn), Box::new(writer)))
+            }
+        }
+    }
+
+    fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Listener::Unix(..) => None,
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Read side of one connection.
+fn reader_loop(shared: &Shared, mut conn: Box<dyn Read + Send>, reply: SyncSender<String>) {
+    let mut pending = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.should_drain() {
+            return;
+        }
+        let n = match conn.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        pending.extend_from_slice(&chunk[..n]);
+        if pending.len() > MAX_LINE {
+            Shared::bump(&shared.counters.bad_requests);
+            let _ = reply.try_send(proto::bad_request_line("request line exceeds 1 MiB"));
+            return;
+        }
+        while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..nl]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            handle_line(shared, line, &reply);
+        }
+    }
+}
+
+/// Parse and route one request line from a reader thread.
+fn handle_line(shared: &Shared, line: &str, reply: &SyncSender<String>) {
+    match proto::parse_request(line) {
+        Err(detail) => {
+            Shared::bump(&shared.counters.bad_requests);
+            let _ = reply.try_send(proto::bad_request_line(&detail));
+        }
+        Ok(Request::Ping) => {
+            Shared::bump(&shared.counters.pings);
+            let _ = reply.try_send(proto::pong_line());
+        }
+        Ok(Request::Stats) => {
+            let frame = shared.frame();
+            let line = serde_json::to_string(&frame).expect("stats frame serializes");
+            let _ = reply.try_send(line);
+        }
+        Ok(Request::Shutdown) => {
+            shared.request_drain();
+            let _ = reply.try_send(proto::err_line(None, &ColocError::ShuttingDown, 0));
+        }
+        Ok(Request::Query(req)) => {
+            let id = req.id.clone();
+            let lab_idx = match &req.machine {
+                None => machine_index(&shared.cfg.default_machine).unwrap_or(0),
+                Some(key) => match machine_index(key) {
+                    Some(idx) => idx,
+                    None => {
+                        Shared::bump(&shared.counters.bad_requests);
+                        let _ = reply
+                            .try_send(proto::bad_request_line(&format!("unknown machine `{key}`")));
+                        return;
+                    }
+                },
+            };
+            let now = Instant::now();
+            let deadline_ms = req.deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
+            let entry = Pending {
+                req,
+                lab_idx,
+                reply: reply.clone(),
+                enqueued: now,
+                deadline: now + Duration::from_millis(deadline_ms),
+            };
+            match shared.queue.try_admit(entry) {
+                Ok(()) => Shared::bump(&shared.counters.admitted),
+                Err(e) => {
+                    match e {
+                        ColocError::Overloaded { .. } => {
+                            Shared::bump(&shared.counters.shed_overload)
+                        }
+                        _ => Shared::bump(&shared.counters.rejected_shutdown),
+                    }
+                    let _ = reply.try_send(proto::err_line(
+                        id.as_deref(),
+                        &e,
+                        shared.cfg.retry_hint_ms,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Write side of one connection: drains the bounded channel until every
+/// sender (reader + pending queries) is gone, then closes. After a write
+/// failure the channel keeps draining into the void so no sender can
+/// ever block on a dead client.
+fn writer_loop(mut conn: Box<dyn Write + Send>, rx: Receiver<String>) {
+    let mut dead = false;
+    while let Ok(line) = rx.recv() {
+        if dead {
+            continue;
+        }
+        if conn
+            .write_all(line.as_bytes())
+            .and_then(|_| conn.write_all(b"\n"))
+            .is_err()
+        {
+            dead = true;
+        }
+    }
+    let _ = conn.flush();
+}
+
+/// Per-connection response-channel bound: when a slow reader lets this
+/// many lines pile up, further responses are dropped (and counted)
+/// rather than blocking the engine.
+const REPLY_CHANNEL_BOUND: usize = 256;
+
+/// A running server, as seen by the thread that spawned it.
+pub struct ServerHandle {
+    addr: Option<std::net::SocketAddr>,
+    shared: Arc<Shared>,
+    join: std::thread::JoinHandle<StatsFrame>,
+}
+
+impl ServerHandle {
+    /// The actually-bound TCP address (resolves ephemeral ports);
+    /// `None` for Unix-socket servers, whose path is in the config.
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.addr
+    }
+
+    /// Request a graceful drain, exactly like SIGTERM.
+    pub fn shutdown(&self) {
+        self.shared.request_drain();
+    }
+
+    /// Snapshot the live stats frame.
+    pub fn stats(&self) -> StatsFrame {
+        self.shared.frame()
+    }
+
+    /// Wait for the drain to complete and return the final stats frame.
+    pub fn join(self) -> StatsFrame {
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+/// The server. Construct with a config, then either [`Server::run`] on
+/// the current thread (the CLI daemon path) or [`Server::spawn`] for a
+/// background instance (tests, benches).
+pub struct Server;
+
+impl Server {
+    /// Run to completion on the calling thread: binds, serves until a
+    /// drain is requested (signal, `shutdown` frame, or
+    /// [`ServerHandle::shutdown`]), drains, and returns the final frame.
+    pub fn run(cfg: ServeConfig) -> Result<StatsFrame, ColocError> {
+        let (listener, shared) = Self::bind(cfg)?;
+        Ok(Self::serve(listener, shared))
+    }
+
+    /// Bind and serve on a background thread.
+    pub fn spawn(cfg: ServeConfig) -> Result<ServerHandle, ColocError> {
+        let (listener, shared) = Self::bind(cfg)?;
+        let addr = listener.local_addr();
+        let thread_shared = Arc::clone(&shared);
+        let join = std::thread::spawn(move || Self::serve(listener, thread_shared));
+        Ok(ServerHandle { addr, shared, join })
+    }
+
+    fn bind(cfg: ServeConfig) -> Result<(Listener, Arc<Shared>), ColocError> {
+        if machine_index(&cfg.default_machine).is_none() {
+            return Err(ColocError::InvalidSpec(format!(
+                "unknown default machine `{}`",
+                cfg.default_machine
+            )));
+        }
+        let listener = match &cfg.bind {
+            BindAddr::Tcp(addr) => {
+                let l = TcpListener::bind(addr)
+                    .map_err(|e| ColocError::Machine(format!("bind {addr}: {e}")))?;
+                l.set_nonblocking(true)
+                    .map_err(|e| ColocError::Machine(format!("nonblocking: {e}")))?;
+                Listener::Tcp(l)
+            }
+            #[cfg(unix)]
+            BindAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path); // stale socket from a crash
+                let l = std::os::unix::net::UnixListener::bind(path)
+                    .map_err(|e| ColocError::Machine(format!("bind {}: {e}", path.display())))?;
+                l.set_nonblocking(true)
+                    .map_err(|e| ColocError::Machine(format!("nonblocking: {e}")))?;
+                Listener::Unix(l, path.clone())
+            }
+            #[cfg(not(unix))]
+            BindAddr::Unix(_) => {
+                return Err(ColocError::InvalidSpec(
+                    "unix sockets are not supported on this platform".into(),
+                ))
+            }
+        };
+        let shared = Arc::new(Shared::new(cfg)?);
+        // Warm the default machine before accepting: baselines + the
+        // fallback predictor, so the degraded ladder never trains under
+        // pressure and first-query latency is honest.
+        let idx = machine_index(&shared.cfg.default_machine).unwrap_or(0);
+        shared.labs[idx].1.baselines();
+        let _ = shared.predictor(idx);
+        Ok((listener, shared))
+    }
+
+    fn serve(listener: Listener, shared: Arc<Shared>) -> StatsFrame {
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || shared.dispatch_loop())
+        };
+        let conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+        let mut last_frame = Instant::now();
+        loop {
+            if shared.should_drain() {
+                break;
+            }
+            match listener.accept() {
+                Ok((read_half, write_half)) => {
+                    let (tx, rx) = mpsc::sync_channel::<String>(REPLY_CHANNEL_BOUND);
+                    let reader_shared = Arc::clone(&shared);
+                    let mut handles = conn_threads.lock().expect("conn threads");
+                    handles.push(std::thread::spawn(move || {
+                        reader_loop(&reader_shared, read_half, tx)
+                    }));
+                    handles.push(std::thread::spawn(move || writer_loop(write_half, rx)));
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+            if !shared.cfg.quiet && last_frame.elapsed() >= shared.cfg.stats_interval {
+                last_frame = Instant::now();
+                if let Ok(line) = serde_json::to_string(&shared.frame()) {
+                    println!("{line}");
+                }
+            }
+        }
+        // Drain: refuse new admissions, let the dispatcher finish what
+        // was admitted, then give every connection thread its exit.
+        shared.request_drain();
+        dispatcher.join().expect("dispatcher panicked");
+        for h in conn_threads.into_inner().expect("conn threads") {
+            let _ = h.join();
+        }
+        let frame = shared.frame();
+        if !shared.cfg.quiet {
+            if let Ok(line) = serde_json::to_string(&frame) {
+                println!("{line}");
+            }
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            quiet: true,
+            engine_threads: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn connect(handle: &ServerHandle) -> (BufReader<TcpStream>, TcpStream) {
+        let conn = TcpStream::connect(handle.local_addr().unwrap()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        (BufReader::new(conn.try_clone().unwrap()), conn)
+    }
+
+    fn ask(reader: &mut BufReader<TcpStream>, conn: &mut TcpStream, line: &str) -> String {
+        writeln!(conn, "{line}").unwrap();
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        out.trim().to_string()
+    }
+
+    #[test]
+    fn ping_query_stats_shutdown_lifecycle() {
+        let handle = Server::spawn(test_config()).unwrap();
+        let (mut reader, mut conn) = connect(&handle);
+
+        let pong = ask(&mut reader, &mut conn, r#"{"op":"ping"}"#);
+        assert!(pong.contains("pong"), "{pong}");
+
+        let ans = ask(
+            &mut reader,
+            &mut conn,
+            r#"{"op":"query","id":"q1","target":"cg","co":[["ep",2]],"pstate":1}"#,
+        );
+        let proto::Reply::Ok {
+            id,
+            time_s,
+            slowdown,
+            source,
+            degraded,
+        } = proto::parse_reply(&ans).unwrap()
+        else {
+            panic!("expected ok, got {ans}")
+        };
+        assert_eq!(id.as_deref(), Some("q1"));
+        assert!(time_s > 0.0);
+        assert!(slowdown.unwrap() >= 1.0, "co-location slows down");
+        assert_eq!(source, "engine");
+        assert!(!degraded);
+
+        // Same query again: answered from the sharded cache, bit-equal.
+        let again = ask(
+            &mut reader,
+            &mut conn,
+            r#"{"op":"query","id":"q2","target":"cg","co":[["ep",2]],"pstate":1}"#,
+        );
+        let proto::Reply::Ok {
+            time_s: t2, source, ..
+        } = proto::parse_reply(&again).unwrap()
+        else {
+            panic!("expected ok, got {again}")
+        };
+        assert_eq!(t2.to_bits(), time_s.to_bits());
+        assert_eq!(source, "cache");
+
+        let stats = ask(&mut reader, &mut conn, r#"{"op":"stats"}"#);
+        let proto::Reply::Stats(frame) = proto::parse_reply(&stats).unwrap() else {
+            panic!("expected stats, got {stats}")
+        };
+        assert_eq!(frame.admitted, 2);
+        assert_eq!(frame.completed, 2);
+        assert_eq!(frame.pings, 1);
+
+        let bye = ask(&mut reader, &mut conn, r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("shutting_down"), "{bye}");
+        let final_frame = handle.join();
+        assert_eq!(final_frame.completed, 2);
+        assert_eq!(final_frame.queue_depth, 0);
+    }
+
+    #[test]
+    fn predict_mode_answers_without_the_engine() {
+        let handle = Server::spawn(test_config()).unwrap();
+        let (mut reader, mut conn) = connect(&handle);
+        let before = handle.stats();
+        let ans = ask(
+            &mut reader,
+            &mut conn,
+            r#"{"op":"query","target":"canneal","co":[["cg",3]],"mode":"predict"}"#,
+        );
+        let proto::Reply::Ok {
+            time_s,
+            source,
+            degraded,
+            ..
+        } = proto::parse_reply(&ans).unwrap()
+        else {
+            panic!("expected ok, got {ans}")
+        };
+        assert!(time_s.is_finite() && time_s > 0.0);
+        assert_eq!(source, "predictor");
+        assert!(!degraded);
+        let after = handle.stats();
+        assert_eq!(
+            after.cache_misses, before.cache_misses,
+            "predict must not touch the engine"
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn bad_requests_are_answered_not_fatal() {
+        let handle = Server::spawn(test_config()).unwrap();
+        let (mut reader, mut conn) = connect(&handle);
+        let ans = ask(&mut reader, &mut conn, "this is not json");
+        assert!(ans.contains("bad_request"), "{ans}");
+        let ans = ask(&mut reader, &mut conn, r#"{"op":"query","target":"doom"}"#);
+        assert!(ans.contains("unknown application"), "{ans}");
+        let ans = ask(
+            &mut reader,
+            &mut conn,
+            r#"{"op":"query","target":"cg","machine":"cray"}"#,
+        );
+        assert!(ans.contains("unknown machine"), "{ans}");
+        // The connection is still healthy.
+        let pong = ask(&mut reader, &mut conn, r#"{"op":"ping"}"#);
+        assert!(pong.contains("pong"), "{pong}");
+        let frame = handle.stats();
+        assert_eq!(frame.bad_requests, 2);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn second_machine_is_served_on_demand() {
+        let handle = Server::spawn(test_config()).unwrap();
+        let (mut reader, mut conn) = connect(&handle);
+        let ans = ask(
+            &mut reader,
+            &mut conn,
+            r#"{"op":"query","target":"ep","machine":"12core","pstate":0}"#,
+        );
+        let proto::Reply::Ok { time_s, .. } = proto::parse_reply(&ans).unwrap() else {
+            panic!("expected ok, got {ans}")
+        };
+        assert!(time_s > 0.0);
+        handle.shutdown();
+        handle.join();
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimal Unix signal plumbing, no libc crate.
+//!
+//! The daemon needs exactly one thing from signals: SIGTERM/SIGINT must
+//! latch a flag the accept/dispatch loops poll, triggering the graceful
+//! drain. `std` exposes no signal API and new dependencies are off the
+//! table, so this module declares the two C functions it needs
+//! (`signal`, `raise`) directly. The handler body is a single relaxed
+//! atomic store — well inside the async-signal-safe envelope.
+//!
+//! On non-Unix targets the module compiles to the flag alone: `install`
+//! is a no-op and drains are triggered programmatically.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGINT` signal number (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` signal number (polite kill; what orchestrators send first).
+pub const SIGTERM: i32 = 15;
+
+/// The process-wide drain latch set by the handler.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    fn raise(signum: i32) -> i32;
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    TERMINATE.store(true, Ordering::Relaxed);
+}
+
+/// Install the drain handler for SIGTERM and SIGINT. Idempotent.
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Whether a termination signal has been received (or injected).
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::Relaxed)
+}
+
+/// Reset the latch — test isolation only; a real server never un-drains.
+pub fn reset() {
+    TERMINATE.store(false, Ordering::Relaxed);
+}
+
+/// Deliver a real signal to this process — lets tests exercise the
+/// genuine kernel→handler→latch path rather than poking the flag.
+#[cfg(unix)]
+pub fn raise_signal(signum: i32) {
+    unsafe {
+        raise(signum);
+    }
+}
+
+/// Non-Unix fallback: set the latch directly.
+#[cfg(not(unix))]
+pub fn raise_signal(_signum: i32) {
+    TERMINATE.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigterm_latches_the_flag() {
+        install();
+        reset();
+        assert!(!termination_requested());
+        raise_signal(SIGTERM);
+        assert!(termination_requested());
+        reset();
+    }
+}

@@ -1,0 +1,276 @@
+//! Chaos harness for `coloc serve`: drive the server past its admission
+//! limit with clients that misbehave (floods, slow readers), then kill
+//! it mid-flight with a real SIGTERM and check the drain contract —
+//! sheds are reported (never hangs, never unbounded growth), admitted
+//! in-flight queries complete, and the final stats frame accounts for
+//! every request.
+
+use coloc_model::ColocError;
+use coloc_serve::proto::QueryMode;
+use coloc_serve::server::{BindAddr, ServeConfig, Server};
+use coloc_serve::{signals, QueryClient, Reply, RetryPolicy};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The SIGTERM latch is process-global, so a raised signal would drain
+/// every server spawned by a concurrently running test. Chaos tests
+/// serialize on this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn chaos_config() -> ServeConfig {
+    ServeConfig {
+        bind: BindAddr::Tcp("127.0.0.1:0".into()),
+        quiet: true,
+        engine_threads: 1,
+        // Tiny bounds so overload is reachable without heavy traffic.
+        admission_capacity: 8,
+        degrade_watermark: 4,
+        max_batch: 4,
+        default_deadline_ms: 10_000,
+        ..ServeConfig::default()
+    }
+}
+
+fn solo(target: &str, pstate: usize) -> coloc_model::Scenario {
+    coloc_model::Scenario::solo(target, pstate)
+}
+
+/// Flood the server with 4× its admission capacity from a client that
+/// never reads: the server must shed with `overloaded` (visible in the
+/// stats frame), never block, and stay healthy for well-behaved
+/// clients.
+#[test]
+fn overload_sheds_and_stays_responsive() {
+    let _guard = serial();
+    signals::reset();
+    let handle = Server::spawn(chaos_config()).unwrap();
+    let addr = handle.local_addr().unwrap();
+
+    // The slow reader: write 32 distinct queries (4× capacity 8) in one
+    // burst without ever reading a byte back.
+    let mut flood = TcpStream::connect(addr).unwrap();
+    for i in 0..32 {
+        // Distinct scenarios so the cache cannot absorb the flood.
+        writeln!(
+            flood,
+            r#"{{"op":"query","id":"f{i}","target":"cg","co":[["ep",{}]],"pstate":{}}}"#,
+            1 + i % 5,
+            i % 6,
+        )
+        .unwrap();
+    }
+    flood.flush().unwrap();
+
+    // The server must keep answering a well-behaved client promptly
+    // while digesting the flood.
+    let mut probe = QueryClient::connect_tcp(&addr.to_string()).unwrap();
+    let t0 = Instant::now();
+    probe.ping().unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "ping stalled behind the flood: {:?}",
+        t0.elapsed()
+    );
+
+    // Give the dispatcher time to chew through what was admitted.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = probe.stats().unwrap();
+        if stats.admitted > 0 && stats.completed + stats.dropped_responses >= stats.admitted {
+            // Every admitted query was answered (or its response was
+            // dropped on the never-reading client); sheds were explicit.
+            assert!(
+                stats.admitted + stats.shed_overload >= 32,
+                "all 32 flood queries accounted for: {stats:?}"
+            );
+            // Admission is orders of magnitude faster than an engine
+            // batch, so a 4×-capacity burst must have shed explicitly.
+            assert!(
+                stats.shed_overload > 0,
+                "no sheds under 4× flood: {stats:?}"
+            );
+            assert!(stats.queue_depth <= 8, "queue bound held: {stats:?}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never drained the flood: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    handle.shutdown();
+    let frame = handle.join();
+    assert_eq!(frame.queue_depth, 0, "drain leaves nothing queued");
+}
+
+/// Saturate past the watermark and verify the degradation ladder kicks
+/// in: answers keep flowing, some explicitly degraded, none hung.
+#[test]
+fn saturation_degrades_instead_of_collapsing() {
+    let _guard = serial();
+    signals::reset();
+    let mut cfg = chaos_config();
+    cfg.degrade_watermark = 1; // degrade almost immediately
+    cfg.admission_capacity = 64;
+    let handle = Server::spawn(cfg).unwrap();
+    let addr = handle.local_addr().unwrap().to_string();
+
+    // Burst 24 queries through one pipelined connection, then read all
+    // the answers back.
+    let mut client = QueryClient::connect_tcp(&addr).unwrap();
+    let mut burst = TcpStream::connect(handle.local_addr().unwrap()).unwrap();
+    for i in 0..24 {
+        writeln!(
+            burst,
+            r#"{{"op":"query","id":"s{i}","target":"canneal","co":[["cg",{}]],"pstate":0}}"#,
+            1 + i % 4,
+        )
+        .unwrap();
+    }
+    burst.flush().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let stats = loop {
+        let stats = client.stats().unwrap();
+        if stats.completed + stats.dropped_responses + stats.shed_overload + stats.shed_deadline
+            >= 24
+        {
+            break stats;
+        }
+        assert!(Instant::now() < deadline, "saturation hung: {stats:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        stats.degraded_cache + stats.degraded_fallback > 0,
+        "the ladder should have degraded some answers: {stats:?}"
+    );
+    // A fresh, exact query still works after the storm.
+    let reply = client
+        .query_with_retry(
+            &solo("ep", 0),
+            QueryMode::Measure,
+            None,
+            None,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+    let Reply::Ok { time_s, .. } = reply else {
+        panic!("expected ok after saturation, got {reply:?}")
+    };
+    assert!(time_s > 0.0);
+    handle.shutdown();
+    handle.join();
+}
+
+/// The SIGTERM drain contract, exercised through the real signal path:
+/// in-flight (admitted) queries complete with answers, new work is
+/// refused with `shutting_down`, and the final frame flushes with an
+/// empty queue.
+#[test]
+fn sigterm_drains_without_losing_inflight_responses() {
+    let _guard = serial();
+    signals::install();
+    signals::reset();
+    let mut cfg = chaos_config();
+    cfg.admission_capacity = 64;
+    cfg.degrade_watermark = 64; // exact answers only: drain must not cheat
+    let handle = Server::spawn(cfg).unwrap();
+    let addr = handle.local_addr().unwrap().to_string();
+
+    let mut client = QueryClient::connect_tcp(&addr).unwrap();
+    // Pipeline a dozen distinct queries, then SIGTERM before reading.
+    let mut burst = TcpStream::connect(handle.local_addr().unwrap()).unwrap();
+    let mut reader = std::io::BufReader::new(burst.try_clone().unwrap());
+    for i in 0..12 {
+        writeln!(
+            burst,
+            r#"{{"op":"query","id":"d{i}","target":"ep","co":[["cg",{}]],"pstate":{}}}"#,
+            1 + i % 5,
+            i % 3,
+        )
+        .unwrap();
+    }
+    burst.flush().unwrap();
+    // Wait until everything is admitted (or answered) so "in-flight"
+    // means admitted work, then deliver a genuine SIGTERM.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = client.stats().unwrap();
+        if s.admitted + s.shed_overload >= 12 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "admission stalled: {s:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    signals::raise_signal(signals::SIGTERM);
+
+    // The drain must complete and flush a final frame.
+    let frame = handle.join();
+    assert_eq!(frame.queue_depth, 0, "queue drained: {frame:?}");
+    assert!(
+        frame.completed + frame.dropped_responses >= frame.admitted,
+        "every admitted query resolved: {frame:?}"
+    );
+
+    // Every pipelined response the client was owed is readable: count
+    // answer lines until EOF (the server closed after flushing).
+    use std::io::BufRead;
+    burst
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut answers = 0u64;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if !line.trim().is_empty() => answers += 1,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    assert_eq!(
+        answers,
+        frame.admitted.min(12),
+        "zero in-flight responses lost (frame: {frame:?})"
+    );
+    signals::reset();
+}
+
+/// After a drain begins, new queries are refused with the typed
+/// shutdown error rather than silently dropped.
+#[test]
+fn draining_server_refuses_new_work_with_typed_error() {
+    let _guard = serial();
+    signals::reset();
+    let handle = Server::spawn(chaos_config()).unwrap();
+    let addr = handle.local_addr().unwrap().to_string();
+    let mut client = QueryClient::connect_tcp(&addr).unwrap();
+    client.ping().unwrap();
+    handle.shutdown();
+    // The reader threads poll the drain latch every ≤100ms; queries that
+    // still reach admission must get `shutting_down`. The connection may
+    // also already be closed — both are clean refusals, never a hang.
+    match client.query(&solo("ep", 0), QueryMode::Measure, None, None) {
+        Ok(Reply::Err {
+            error: ColocError::ShuttingDown,
+            ..
+        }) => {}
+        Ok(other) => panic!("expected shutting_down, got {other:?}"),
+        Err(ColocError::Machine(msg)) => {
+            assert!(
+                msg.contains("closed") || msg.contains("send") || msg.contains("recv"),
+                "unexpected transport error: {msg}"
+            );
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+    handle.join();
+}

@@ -1,0 +1,120 @@
+//! Serve-path conformance: an answer that crossed the wire must be
+//! bit-identical to the same scenario measured directly through
+//! [`Lab::collect`]. The chain under test is long — scenario → IR →
+//! sharded cache → engine → f64 → JSON → parse — and every link must
+//! be exact for the service to be a drop-in for local measurement.
+
+use coloc_machine::presets;
+use coloc_model::{Lab, Scenario, TrainingPlan};
+use coloc_serve::proto::QueryMode;
+use coloc_serve::server::{BindAddr, ServeConfig, Server};
+use coloc_serve::{QueryClient, Reply};
+
+const SEED: u64 = 2015;
+
+fn reference_lab() -> Lab {
+    Lab::new(presets::xeon_e5649(), coloc_workloads::standard(), SEED).unwrap()
+}
+
+fn pinned_plan() -> TrainingPlan {
+    TrainingPlan {
+        pstates: vec![0, 2, 5],
+        targets: vec!["canneal".into(), "cg".into(), "ep".into(), "ft".into()],
+        co_runners: vec!["cg".into(), "ep".into()],
+        counts: vec![1, 3, 5],
+    }
+}
+
+/// Every plan scenario served over TCP in `measure` mode equals the
+/// direct `Lab::collect` measurement bit-for-bit — across the sharded
+/// cache, the admission queue, the batch dispatcher, and JSON.
+#[test]
+fn served_measurements_match_lab_collect_bitwise() {
+    let plan = pinned_plan();
+    let reference = reference_lab().collect(&plan).unwrap();
+
+    let handle = Server::spawn(ServeConfig {
+        bind: BindAddr::Tcp("127.0.0.1:0".into()),
+        seed: SEED,
+        quiet: true,
+        engine_threads: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr().unwrap().to_string();
+    let mut client = QueryClient::connect_tcp(&addr).unwrap();
+
+    for sample in &reference {
+        let reply = client
+            .query(&sample.scenario, QueryMode::Measure, None, None)
+            .unwrap();
+        let Reply::Ok {
+            time_s, degraded, ..
+        } = reply
+        else {
+            panic!("{}: expected ok, got {reply:?}", sample.scenario.label())
+        };
+        assert!(
+            !degraded,
+            "{}: conformance runs undegraded",
+            sample.scenario.label()
+        );
+        assert_eq!(
+            time_s.to_bits(),
+            sample.actual_time_s.to_bits(),
+            "{}: served {} vs collected {}",
+            sample.scenario.label(),
+            time_s,
+            sample.actual_time_s,
+        );
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+/// A repeated scenario is answered from the sharded cache with the same
+/// bits as the engine produced, and a different machine preset routes
+/// to a different (also exact) lab.
+#[test]
+fn cache_hits_and_machine_routing_stay_exact() {
+    let handle = Server::spawn(ServeConfig {
+        bind: BindAddr::Tcp("127.0.0.1:0".into()),
+        seed: SEED,
+        quiet: true,
+        engine_threads: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr().unwrap().to_string();
+    let mut client = QueryClient::connect_tcp(&addr).unwrap();
+    let sc = Scenario::homogeneous("canneal", "cg", 3, 1);
+
+    let first = match client.query(&sc, QueryMode::Measure, None, None).unwrap() {
+        Reply::Ok { time_s, source, .. } => {
+            assert_eq!(source, "engine");
+            time_s
+        }
+        other => panic!("expected ok, got {other:?}"),
+    };
+    match client.query(&sc, QueryMode::Measure, None, None).unwrap() {
+        Reply::Ok { time_s, source, .. } => {
+            assert_eq!(source, "cache");
+            assert_eq!(time_s.to_bits(), first.to_bits());
+        }
+        other => panic!("expected ok, got {other:?}"),
+    }
+
+    // The 12-core preset answers from its own lab, matching a direct
+    // measurement on that machine.
+    let lab12 = Lab::new(presets::xeon_e5_2697v2(), coloc_workloads::standard(), SEED).unwrap();
+    let direct = lab12.run_scenario(&sc).unwrap();
+    match client
+        .query(&sc, QueryMode::Measure, None, Some("12core"))
+        .unwrap()
+    {
+        Reply::Ok { time_s, .. } => assert_eq!(time_s.to_bits(), direct.to_bits()),
+        other => panic!("expected ok, got {other:?}"),
+    }
+    handle.shutdown();
+    handle.join();
+}

@@ -10,7 +10,7 @@
 use coloc_conformance::{all_laws, default_corpus_dir, differential_sweep, verify_dir};
 
 /// Scenarios in the differential stage. Matches the test suite's floor.
-const SWEEP_CASES: usize = 220;
+const SWEEP_CASES: usize = 400;
 const SWEEP_SEED: u64 = 0xC0_10C;
 
 /// Run the whole conformance demonstration, printing each stage's
@@ -41,13 +41,16 @@ pub fn run_conformance() {
     match differential_sweep(SWEEP_SEED, SWEEP_CASES) {
         Ok(summary) => {
             assert!(summary.faulted > 0 && summary.budgeted > 0 && summary.solo > 0);
+            assert!(summary.events > 0, "no event-schedule case generated");
             println!(
                 "stage 2: {} generated scenarios agree with the reference engine \
-                 ({} faulted, {} fp-budgeted, {} solo; max slowdown gap {:.2e})",
+                 ({} faulted, {} fp-budgeted, {} solo, {} event-scheduled; \
+                 max slowdown gap {:.2e})",
                 summary.cases,
                 summary.faulted,
                 summary.budgeted,
                 summary.solo,
+                summary.events,
                 summary.max_slowdown_gap
             );
         }

@@ -19,8 +19,8 @@ use coloc_machine::StageId;
 use coloc_model::{Lab, SweepStats, TrainingPlan};
 use std::path::PathBuf;
 
-/// PR number stamped into the artifact name (`BENCH_7.json`).
-pub const PERF_PR: u32 = 7;
+/// PR number stamped into the artifact name (`BENCH_8.json`).
+pub const PERF_PR: u32 = 8;
 
 /// Relative regression the gate tolerates on cold 1-thread scenarios/sec
 /// before failing (CI-runner jitter headroom).

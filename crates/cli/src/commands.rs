@@ -380,7 +380,7 @@ pub fn trace(argv: &[String]) -> CmdResult {
     let ir = lab.scenario_ir(&scenario).map_err(|e| e.to_string())?;
     let machine = ir.machine().map_err(|e| e.to_string())?;
     let (outcome, trace) = machine
-        .run_traced(&ir.workload, &ir.opts, last)
+        .run_scheduled_traced(&ir.workload, ir.schedules.as_deref(), &ir.opts, last)
         .map_err(|e| e.to_string())?;
 
     println!("scenario: {scenario}");
@@ -397,20 +397,25 @@ pub fn trace(argv: &[String]) -> CmdResult {
         );
     }
     println!(
-        "{:>9}  {:>13}  {:>12}  {:>4}  {:>10}",
-        "segment", "dt (s)", "latency (ns)", "fp", "residual"
+        "{:>9}  {:>13}  {:>12}  {:>4}  {:>10}  {:>6}  {:>8}",
+        "segment", "dt (s)", "latency (ns)", "fp", "residual", "events", "resident"
     );
     for r in trace.records() {
         println!(
-            "{:>9}  {:>13.6}  {:>12.2}  {:>4}  {:>10.3e}",
-            r.segment, r.dt, r.latency_ns, r.fp_iters, r.residual
+            "{:>9}  {:>13.6}  {:>12.2}  {:>4}  {:>10.3e}  {:>6}  {:>8}",
+            r.segment, r.dt, r.latency_ns, r.fp_iters, r.residual, r.events, r.resident_groups
         );
     }
 
     if args.has_flag("stage-stats") {
         let mut profile = StageProfile::new();
         machine
-            .run_instrumented(&ir.workload, &ir.opts, &mut profile)
+            .run_scheduled_instrumented(
+                &ir.workload,
+                ir.schedules.as_deref(),
+                &ir.opts,
+                &mut profile,
+            )
             .map_err(|e| e.to_string())?;
         println!("stage breakdown:");
         for id in StageId::ALL {

@@ -12,7 +12,9 @@
 //! duration *ratios* that determine segment structure, so scaled cases
 //! exercise the same code paths as paper-sized runs.
 
-use coloc_machine::{presets, FaultPlan, MachineSpec, RunOptions, RunnerGroup, ScenarioIr};
+use coloc_machine::{
+    presets, FaultPlan, GroupSchedule, MachineSpec, RunOptions, RunnerGroup, ScenarioIr,
+};
 use coloc_workloads::suite;
 use rand::rngs::StdRng;
 use rand::Rng as _;
@@ -20,12 +22,60 @@ use rand::SeedableRng as _;
 use serde::{Deserialize, Serialize};
 
 /// One co-runner group of a case.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The four optional fields are the event-mode schedule: all `None`
+/// (the only state pre-event corpus JSON can express) is exactly the
+/// lockstep contract, and lowers to *no* [`GroupSchedule`] at all, so
+/// old cases digest and run bit-identically to before.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CoGroup {
     /// Suite application name.
     pub app: String,
     /// Instances (one core each).
     pub count: usize,
+    /// Starting phase offset in `[0, 1)` (fraction of the app's
+    /// instructions, first pass only).
+    pub phase_offset: Option<f64>,
+    /// Arrival tick, seconds of simulated time (`None` or 0 = present
+    /// from the start).
+    pub arrival: Option<f64>,
+    /// Departure tick, seconds of simulated time (`None` = stays for
+    /// the whole run).
+    pub departure: Option<f64>,
+    /// Per-core clock ratio (`None` = the chip clock).
+    pub clock_ratio: Option<f64>,
+}
+
+impl CoGroup {
+    /// A lockstep co group: no event schedule.
+    pub fn plain(app: impl Into<String>, count: usize) -> CoGroup {
+        CoGroup {
+            app: app.into(),
+            count,
+            phase_offset: None,
+            arrival: None,
+            departure: None,
+            clock_ratio: None,
+        }
+    }
+
+    /// True when any event-mode field deviates from lockstep.
+    pub fn has_schedule(&self) -> bool {
+        self.phase_offset.is_some()
+            || self.arrival.is_some()
+            || self.departure.is_some()
+            || self.clock_ratio.is_some()
+    }
+
+    /// The [`GroupSchedule`] this group lowers to.
+    pub fn schedule(&self) -> GroupSchedule {
+        GroupSchedule {
+            phase_offset: self.phase_offset.unwrap_or(0.0),
+            arrival_tick: self.arrival.unwrap_or(0.0),
+            departure_tick: self.departure,
+            clock_ratio: self.clock_ratio.unwrap_or(1.0),
+        }
+    }
 }
 
 /// A named fault-plan preset, serializable without embedding rate tables.
@@ -108,6 +158,9 @@ pub struct BuiltCase {
     pub opts: RunOptions,
     /// Fault plan, if any.
     pub plan: Option<FaultPlan>,
+    /// Event schedules (one per group), if any group deviates from
+    /// lockstep.
+    pub schedules: Option<Vec<GroupSchedule>>,
     /// The canonical scenario IR the fields above were derived from.
     pub ir: ScenarioIr,
 }
@@ -165,6 +218,11 @@ impl CorpusCase {
         if let Some(f) = &self.faults {
             ir = ir.with_faults(f.plan());
         }
+        if self.co.iter().any(CoGroup::has_schedule) {
+            let mut schedules = vec![GroupSchedule::default()];
+            schedules.extend(self.co.iter().map(CoGroup::schedule));
+            ir = ir.with_schedules(schedules);
+        }
         Ok(ir)
     }
 
@@ -176,6 +234,7 @@ impl CorpusCase {
             workload: ir.workload.clone(),
             opts: ir.opts,
             plan: ir.faults,
+            schedules: ir.schedules.clone(),
             ir,
         })
     }
@@ -208,6 +267,9 @@ impl CorpusCase {
         }
         if let Some(f) = &self.faults {
             extras.push(format!("{f:?}").to_lowercase());
+        }
+        if self.co.iter().any(CoGroup::has_schedule) {
+            extras.push("events".to_string());
         }
         let extras = if extras.is_empty() {
             String::new()
@@ -251,6 +313,9 @@ pub struct GenConstraints {
     pub reserve_cores: usize,
     /// Minimum number of co-runner groups.
     pub min_co_groups: usize,
+    /// Permit event schedules on co groups (staggered starts, mid-run
+    /// arrival/departure, per-core clock ratios).
+    pub allow_events: bool,
 }
 
 impl Default for GenConstraints {
@@ -261,6 +326,7 @@ impl Default for GenConstraints {
             allow_fp_budget: true,
             reserve_cores: 0,
             min_co_groups: 0,
+            allow_events: true,
         }
     }
 }
@@ -310,10 +376,7 @@ pub fn gen_case(seed: u64, cons: &GenConstraints) -> CorpusCase {
         while co.iter().any(|c: &CoGroup| c.app == app) {
             app = APP_NAMES[rng.gen_range(0..APP_NAMES.len())];
         }
-        co.push(CoGroup {
-            app: app.to_string(),
-            count,
-        });
+        co.push(CoGroup::plain(app, count));
         used += count;
     }
 
@@ -340,6 +403,37 @@ pub fn gen_case(seed: u64, cons: &GenConstraints) -> CorpusCase {
     } else {
         None
     };
+    let run_seed: u64 = rng.gen();
+
+    // Event-mode families, drawn strictly *after* every lockstep field so
+    // a given generator seed keeps its pre-event machine/workload/options
+    // unchanged. Every value comes from an exact-binary-fraction palette:
+    // the f64s print as finite decimals and JSON round-trips are exact.
+    if cons.allow_events && !co.is_empty() && rng.gen_bool(0.45) {
+        const OFFSETS: [f64; 5] = [0.125, 0.25, 0.375, 0.5, 0.75];
+        const ARRIVALS: [f64; 4] = [0.0078125, 0.015625, 0.03125, 0.0625];
+        const STAYS: [f64; 4] = [0.015625, 0.0625, 0.125, 0.25];
+        const CLOCKS: [f64; 4] = [0.5, 0.75, 1.25, 1.5];
+        for g in co.iter_mut() {
+            // Staggered start: begin mid-app.
+            if rng.gen_bool(0.4) {
+                g.phase_offset = Some(OFFSETS[rng.gen_range(0..OFFSETS.len())]);
+            }
+            // Mid-run arrival.
+            if rng.gen_bool(0.35) {
+                g.arrival = Some(ARRIVALS[rng.gen_range(0..ARRIVALS.len())]);
+            }
+            // Mid-run departure, always after the arrival (exact sums of
+            // exact binary fractions stay exact).
+            if rng.gen_bool(0.35) {
+                g.departure = Some(g.arrival.unwrap_or(0.0) + STAYS[rng.gen_range(0..STAYS.len())]);
+            }
+            // Per-core clock ratio.
+            if rng.gen_bool(0.4) {
+                g.clock_ratio = Some(CLOCKS[rng.gen_range(0..CLOCKS.len())]);
+            }
+        }
+    }
 
     CorpusCase {
         name: format!("gen-{seed:016x}"),
@@ -347,7 +441,7 @@ pub fn gen_case(seed: u64, cons: &GenConstraints) -> CorpusCase {
         target: target.to_string(),
         co,
         pstate,
-        seed: rng.gen(),
+        seed: run_seed,
         noise_sigma,
         instr_scale,
         llc_partitioned,
@@ -386,6 +480,38 @@ pub fn shrink<F: Fn(&CorpusCase) -> bool>(case: &CorpusCase, still_fails: F) -> 
                 candidates.push(c);
                 let mut c = current.clone();
                 c.co[i].count = 1;
+                candidates.push(c);
+            }
+        }
+        // Event-schedule simplifications: first a whole group back to
+        // lockstep, then one field at a time.
+        for i in 0..current.co.len() {
+            if current.co[i].has_schedule() {
+                let mut c = current.clone();
+                c.co[i].phase_offset = None;
+                c.co[i].arrival = None;
+                c.co[i].departure = None;
+                c.co[i].clock_ratio = None;
+                candidates.push(c);
+            }
+            if current.co[i].departure.is_some() {
+                let mut c = current.clone();
+                c.co[i].departure = None;
+                candidates.push(c);
+            }
+            if current.co[i].arrival.is_some() {
+                let mut c = current.clone();
+                c.co[i].arrival = None;
+                candidates.push(c);
+            }
+            if current.co[i].phase_offset.is_some() {
+                let mut c = current.clone();
+                c.co[i].phase_offset = None;
+                candidates.push(c);
+            }
+            if current.co[i].clock_ratio.is_some() {
+                let mut c = current.clone();
+                c.co[i].clock_ratio = None;
                 candidates.push(c);
             }
         }
@@ -468,6 +594,7 @@ mod tests {
             allow_fp_budget: false,
             reserve_cores: 1,
             min_co_groups: 1,
+            allow_events: true,
         };
         for i in 0..200 {
             let c = gen_case(1000 + i, &cons);

@@ -165,10 +165,7 @@ pub fn seed_corpus() -> Vec<CorpusCase> {
             target: target.into(),
             co: co
                 .iter()
-                .map(|&(app, count)| CoGroup {
-                    app: app.into(),
-                    count,
-                })
+                .map(|&(app, count)| CoGroup::plain(app, count))
                 .collect(),
             pstate,
             seed,
@@ -268,12 +265,169 @@ pub fn seed_corpus() -> Vec<CorpusCase> {
         0.0,
     ));
 
+    // ---- Event-schedule families ------------------------------------
+    // Every value is an exact binary fraction, so the JSON files replay
+    // bit-identically. Ticks are in simulated seconds; at the corpus
+    // `instr_scale` runs last a few hundredths of a second, so the
+    // palette values land mid-run.
+
+    // Staggered starts: co-runners begin mid-app, no arrivals.
+    let mut stagger = mk(
+        "seed-event-stagger",
+        "e5649",
+        "canneal",
+        &[("cg", 2), ("mg", 1)],
+        1,
+        11,
+        0.0,
+    );
+    stagger.co[0].phase_offset = Some(0.25);
+    stagger.co[1].phase_offset = Some(0.5);
+    cases.push(stagger);
+
+    // A co-runner that arrives mid-run.
+    let mut arrival = mk(
+        "seed-event-arrival",
+        "e5649",
+        "ft",
+        &[("bodytrack", 2)],
+        2,
+        12,
+        0.0,
+    );
+    arrival.co[0].arrival = Some(0.015625);
+    cases.push(arrival);
+
+    // A co-runner that departs mid-run, under measurement noise.
+    let mut departure = mk(
+        "seed-event-departure",
+        "e5649",
+        "ua",
+        &[("cg", 3)],
+        0,
+        13,
+        0.008,
+    );
+    departure.co[0].departure = Some(0.0625);
+    cases.push(departure);
+
+    // A bounded residency window: arrive, contend, leave.
+    let mut window = mk(
+        "seed-event-window",
+        "e5_2697v2",
+        "streamcluster",
+        &[("sp", 4)],
+        3,
+        14,
+        0.0,
+    );
+    window.co[0].arrival = Some(0.015625);
+    window.co[0].departure = Some(0.078125);
+    cases.push(window);
+
+    // Per-core clock ratios: one slow group, one fast.
+    let mut clocks = mk(
+        "seed-event-clocks",
+        "e5649",
+        "mg",
+        &[("cg", 2), ("ep", 2)],
+        1,
+        15,
+        0.0,
+    );
+    clocks.co[0].clock_ratio = Some(0.5);
+    clocks.co[1].clock_ratio = Some(1.5);
+    cases.push(clocks);
+
+    // Mixed intensity classes with mixed event kinds: a class-I streamer
+    // arriving mid-run next to a staggered, overclocked class-IV group.
+    let mut mixed = mk(
+        "seed-event-mixed-class",
+        "e5_2697v2",
+        "canneal",
+        &[("cg", 4), ("ep", 4)],
+        2,
+        16,
+        0.008,
+    );
+    mixed.co[0].arrival = Some(0.03125);
+    mixed.co[1].phase_offset = Some(0.375);
+    mixed.co[1].clock_ratio = Some(1.25);
+    cases.push(mixed);
+
+    // Disjoint residency windows: 10 co instances on a 6-core machine,
+    // legal because the first wave departs before the second arrives —
+    // the capacity check is over *peak* concurrency, not the static sum.
+    let mut disjoint = mk(
+        "seed-event-disjoint-windows",
+        "e5649",
+        "canneal",
+        &[("cg", 5), ("mg", 5)],
+        0,
+        17,
+        0.0,
+    );
+    disjoint.co[0].departure = Some(0.03125);
+    disjoint.co[1].arrival = Some(0.03125);
+    cases.push(disjoint);
+
+    // Every schedule field at once on a single group.
+    let mut full = mk(
+        "seed-event-all-fields",
+        "e5649",
+        "fluidanimate",
+        &[("streamcluster", 2)],
+        4,
+        18,
+        0.0,
+    );
+    full.co[0].phase_offset = Some(0.125);
+    full.co[0].arrival = Some(0.0078125);
+    full.co[0].departure = Some(0.1328125);
+    full.co[0].clock_ratio = Some(0.75);
+    cases.push(full);
+
+    // Events composed with a partitioned LLC.
+    let mut part = mk(
+        "seed-event-partitioned",
+        "e5649",
+        "sp",
+        &[("canneal", 3)],
+        2,
+        19,
+        0.0,
+    );
+    part.llc_partitioned = true;
+    part.co[0].arrival = Some(0.015625);
+    part.co[0].departure = Some(0.140625);
+    cases.push(part);
+
+    // Events composed with fault injection and a fixed-point budget: the
+    // full degraded-path stack on top of a scheduled workload.
+    let mut chaotic = mk(
+        "seed-event-faulted-budget",
+        "e5_2697v2",
+        "ft",
+        &[("cg", 6), ("bodytrack", 3)],
+        5,
+        20,
+        0.008,
+    );
+    chaotic.faults = Some(FaultSpec::Light { seed: 200 });
+    chaotic.fp_budget = 200;
+    chaotic.co[0].phase_offset = Some(0.25);
+    chaotic.co[1].arrival = Some(0.015625);
+    chaotic.co[1].clock_ratio = Some(1.25);
+    cases.push(chaotic);
+
     cases
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::case::CoGroup;
+    use coloc_machine::GroupRef;
 
     fn tmp_dir(name: &str) -> PathBuf {
         let dir =
@@ -326,7 +480,15 @@ mod tests {
     #[test]
     fn seed_corpus_is_buildable_and_distinctly_named() {
         let cases = seed_corpus();
-        assert!(cases.len() >= 8, "corpus should cover the feature axes");
+        assert!(cases.len() >= 18, "corpus should cover the feature axes");
+        assert!(
+            cases
+                .iter()
+                .filter(|c| c.co.iter().any(CoGroup::has_schedule))
+                .count()
+                >= 10,
+            "corpus should cover the event families"
+        );
         let mut names: Vec<_> = cases.iter().map(|c| c.name.clone()).collect();
         names.sort();
         let before = names.len();
@@ -334,8 +496,17 @@ mod tests {
         assert_eq!(names.len(), before, "duplicate corpus case names");
         for case in &cases {
             let built = case.build().expect("seed case builds");
-            let total: usize = built.workload.iter().map(|g| g.count).sum();
-            assert!(total <= built.spec.cores, "{}", case.describe());
+            // Capacity is over *peak* concurrency: disjoint residency
+            // windows legally oversubscribe the static sum.
+            let occupied = match &built.schedules {
+                Some(s) => {
+                    let refs: Vec<coloc_machine::GroupRef> =
+                        built.workload.iter().map(GroupRef::from_group).collect();
+                    coloc_machine::event::peak_cores(&refs, s)
+                }
+                None => built.workload.iter().map(|g| g.count).sum(),
+            };
+            assert!(occupied <= built.spec.cores, "{}", case.describe());
         }
     }
 

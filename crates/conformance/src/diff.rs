@@ -2,9 +2,13 @@
 //! field.
 //!
 //! For every case the harness runs the full optimized stack —
-//! [`RunCache::run_with_faults`] over [`coloc_machine::Machine`], twice,
-//! so both the cold engine path and the memoized hit path are exercised —
-//! and the naive [`RefEngine`]. Outcomes must agree on every field to
+//! [`RunCache::run_scheduled_with_faults`] over
+//! [`coloc_machine::Machine`], twice, so both the cold engine path and
+//! the memoized hit path are exercised — and the naive [`RefEngine`].
+//! Event-mode cases (arrivals, departures, staggered starts, per-core
+//! clocks) flow through the same comparison: the reference replays the
+//! schedule naively, so the era-compacted driver has an independent
+//! check. Outcomes must agree on every field to
 //! [`REL_TOL`] relative (bit-equality always passes, which also handles
 //! NaN wall times from injected faults), and the derived *slowdown*
 //! (co-located wall time over solo wall time, both sides computed by
@@ -185,9 +189,19 @@ pub fn check_case(case: &CorpusCase) -> Result<DiffReport, String> {
         RefEngine::new(built.spec.clone()).map_err(|e| format!("reference rejected spec: {e}"))?;
     let cache = RunCache::new(64);
 
-    let engine_result =
-        cache.run_with_faults(&machine, &built.workload, &built.opts, built.plan.as_ref());
-    let ref_result = reference.run_faulted(&built.workload, &built.opts, built.plan.as_ref());
+    let engine_result = cache.run_scheduled_with_faults(
+        &machine,
+        &built.workload,
+        built.schedules.as_deref(),
+        &built.opts,
+        built.plan.as_ref(),
+    );
+    let ref_result = reference.run_scheduled_faulted(
+        &built.workload,
+        built.schedules.as_deref(),
+        &built.opts,
+        built.plan.as_ref(),
+    );
 
     let (engine_out, _) = match (engine_result, ref_result) {
         (Err(ea), Err(eb)) => {
@@ -220,7 +234,13 @@ pub fn check_case(case: &CorpusCase) -> Result<DiffReport, String> {
 
     // The memoized path must replay the cold outcome bit for bit.
     let (hit_out, was_hit) = cache
-        .run_with_faults(&machine, &built.workload, &built.opts, built.plan.as_ref())
+        .run_scheduled_with_faults(
+            &machine,
+            &built.workload,
+            built.schedules.as_deref(),
+            &built.opts,
+            built.plan.as_ref(),
+        )
         .map_err(|e| format!("cache replay errored: {e}"))?;
     if !was_hit {
         return Err("second identical run missed the cache".into());
@@ -266,6 +286,9 @@ pub struct DiffSummary {
     pub budgeted: usize,
     /// Solo cases (slowdown ≈ 1 expected).
     pub solo: usize,
+    /// Cases carrying an event schedule (arrival, departure, staggered
+    /// start, or per-core clock on at least one group).
+    pub events: usize,
     /// Largest observed |slowdown_engine − slowdown_ref| / slowdown.
     pub max_slowdown_gap: f64,
 }
@@ -319,6 +342,9 @@ pub fn differential_sweep_threaded(
                 if case.co.is_empty() {
                     summary.solo += 1;
                 }
+                if case.co.iter().any(crate::case::CoGroup::has_schedule) {
+                    summary.events += 1;
+                }
                 if report.slowdown_engine.is_finite() && report.slowdown_ref.is_finite() {
                     let denom = report.slowdown_engine.abs().max(report.slowdown_ref.abs());
                     if denom > 0.0 {
@@ -364,11 +390,13 @@ mod tests {
 
     #[test]
     fn staged_driver_matches_the_reference_bit_for_bit_across_the_corpus() {
-        // The refactored engine is staged (explicit `EpochStage` passes);
-        // the reference still walks the pre-refactor monolithic loop.
-        // Across 220 generated scenarios — faults, noise, budgets,
-        // partitioning, both machines — every outcome (or rejection)
-        // must match bit for bit, not just within tolerance.
+        // The refactored engine is staged (explicit `EpochStage` passes)
+        // and era-compacted for event schedules; the reference still
+        // walks the pre-refactor monolithic loop, naively re-deriving
+        // the resident set every segment. Across 220 generated scenarios
+        // — faults, noise, budgets, partitioning, event schedules, both
+        // machines — every outcome (or rejection) must match bit for
+        // bit, not just within tolerance.
         let cases = crate::case::gen_cases(0xD1FF, 220);
         let failures: Vec<String> = coloc_ml::parallel::run_indexed(cases.len(), 0, |i| {
             let case = &cases[i];
@@ -376,9 +404,19 @@ mod tests {
             let machine = Machine::new(built.spec.clone()).unwrap();
             let reference = RefEngine::new(built.spec.clone()).unwrap();
             let cache = RunCache::new(4);
-            let engine =
-                cache.run_with_faults(&machine, &built.workload, &built.opts, built.plan.as_ref());
-            let refd = reference.run_faulted(&built.workload, &built.opts, built.plan.as_ref());
+            let engine = cache.run_scheduled_with_faults(
+                &machine,
+                &built.workload,
+                built.schedules.as_deref(),
+                &built.opts,
+                built.plan.as_ref(),
+            );
+            let refd = reference.run_scheduled_faulted(
+                &built.workload,
+                built.schedules.as_deref(),
+                &built.opts,
+                built.plan.as_ref(),
+            );
             match (engine, refd) {
                 (Ok((a, _)), Ok(b)) if outcomes_bit_identical(&a, &b) => None,
                 (Err(ea), Err(eb)) if ea == eb => None,

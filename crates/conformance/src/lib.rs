@@ -18,8 +18,10 @@
 //!   practice).
 //! * [`laws`] — reusable [`laws::Law`] objects encoding paper-derived
 //!   invariants: monotone interference, solo unity, co-runner
-//!   permutation invariance, MPE/NRMSE scale invariance, and feature-set
-//!   nesting of the linear model's train fit.
+//!   permutation invariance, MPE/NRMSE scale invariance, feature-set
+//!   nesting of the linear model's train fit, and three event-semantics
+//!   laws (arrival-order invariance of interchangeable twins, lockstep
+//!   degeneracy of all-default schedules, departure-past-the-end no-op).
 //! * [`case`] / [`corpus`] — a seeded scenario generator with a
 //!   deterministic shrinker, and a checked-in JSON corpus under
 //!   `corpus/` that `coloc verify`, `repro conformance`, and CI replay

@@ -34,7 +34,8 @@
 //! [`RunScratch`]: coloc_machine::engine::Machine
 
 use coloc_cachesim::MissRateCurve;
-use coloc_machine::engine::FP_TOLERANCE;
+use coloc_machine::engine::{GroupRef, FP_TOLERANCE};
+use coloc_machine::event::{self, EventKind, GroupSchedule};
 use coloc_machine::{
     Convergence, CounterBlock, FaultPlan, MachineError, MachineSpec, Result, RunOptions,
     RunOutcome, RunnerGroup,
@@ -80,11 +81,42 @@ impl RefEngine {
 
     /// Run `workload` (group 0 = target) exactly as the optimized engine
     /// would, recomputing all derived state from scratch each segment.
+    /// The lockstep entry point: event semantics with no events.
     pub fn run(&self, workload: &[RunnerGroup], opts: &RunOptions) -> Result<RunOutcome> {
+        self.run_scheduled(workload, None, opts)
+    }
+
+    /// Run `workload` under per-group event schedules, mirroring
+    /// `Machine::run_scheduled` in deliberately naive form: the next
+    /// event is found by a full linear scan over a plain list instead of
+    /// a heap, the resident set and every per-segment table are
+    /// re-derived from scratch each segment instead of once per era, and
+    /// owner lookups stay `position()` scans. Schedule validation and
+    /// the peak-residency capacity check are shared verbatim with the
+    /// optimized engine so both reject exactly the same inputs with
+    /// exactly the same typed error.
+    pub fn run_scheduled(
+        &self,
+        workload: &[RunnerGroup],
+        schedules: Option<&[GroupSchedule]>,
+        opts: &RunOptions,
+    ) -> Result<RunOutcome> {
         if workload.is_empty() {
             return Err(MachineError::EmptyWorkload);
         }
-        let requested: usize = workload.iter().map(|g| g.count).sum();
+        let group_refs: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
+        if let Some(s) = schedules {
+            event::validate_schedules(&group_refs, s)?;
+        }
+        // Canonical form: an all-default schedule set is lockstep.
+        let sched: Option<&[GroupSchedule]> = match schedules {
+            Some(s) if !event::schedules_are_default(Some(s)) => Some(s),
+            _ => None,
+        };
+        let requested: usize = match sched {
+            Some(s) => event::peak_cores(&group_refs, s),
+            None => workload.iter().map(|g| g.count).sum(),
+        };
         if requested > self.spec.cores {
             return Err(MachineError::NotEnoughCores {
                 requested,
@@ -123,6 +155,38 @@ impl RefEngine {
         // carry it too.
         let mut cpi: Vec<f64> = workload.iter().map(|g| g.app.phases[0].cpi_base).collect();
 
+        // Pending events as a flat `(tick, seq, kind)` list in the same
+        // insertion order the optimized queue uses — all departures
+        // before all arrivals, each in group order — with every "pop"
+        // re-scanning the whole list for the minimum `(tick, seq)`.
+        let mut events: Vec<(f64, u64, EventKind)> = Vec::new();
+        let mut resident = vec![true; n_groups];
+        if let Some(s) = sched {
+            let mut seq = 0u64;
+            for (g, gs) in s.iter().enumerate() {
+                if let Some(t) = gs.departure_tick {
+                    events.push((t, seq, EventKind::Departure(g)));
+                    seq += 1;
+                }
+            }
+            for (g, gs) in s.iter().enumerate() {
+                if gs.arrival_tick > 0.0 {
+                    events.push((gs.arrival_tick, seq, EventKind::Arrival(g)));
+                    seq += 1;
+                }
+            }
+            // Initially-resident groups start at their phase offset with
+            // the matching CPI warm start.
+            for (g, gs) in s.iter().enumerate() {
+                resident[g] = gs.arrival_tick == 0.0;
+                if resident[g] {
+                    let start = gs.phase_offset * workload[g].app.instructions;
+                    progress[g] = start;
+                    cpi[g] = workload[g].app.phases[workload[g].app.phase_at(start).0].cpi_base;
+                }
+            }
+        }
+
         loop {
             segments += 1;
             if segments > opts.max_segments {
@@ -134,23 +198,35 @@ impl RefEngine {
                 });
             }
 
-            // Everything below is rebuilt from scratch: phases, MRCs,
-            // instance tables, occupancy.
-            let phase_info: Vec<(usize, f64)> = workload
+            // Everything below is rebuilt from scratch: the resident set,
+            // phases, MRCs, instance tables, occupancy.
+            let active: Vec<usize> = (0..n_groups).filter(|&g| resident[g]).collect();
+            let era_wl: Vec<GroupRef<'_>> = active.iter().map(|&g| group_refs[g]).collect();
+            let phase_info: Vec<(usize, f64)> = era_wl
                 .iter()
-                .zip(&progress)
-                .map(|(g, &p)| g.app.phase_at(p))
+                .zip(&active)
+                .map(|(g, &gi)| g.app.phase_at(progress[gi]))
                 .collect();
-            let mrcs: Vec<MissRateCurve> = workload
+            let mrcs: Vec<MissRateCurve> = era_wl
                 .iter()
                 .enumerate()
-                .map(|(gi, g)| g.app.phases[phase_info[gi].0].dist.miss_rate_curve())
+                .map(|(i, g)| g.app.phases[phase_info[i].0].dist.miss_rate_curve())
                 .collect();
-            // One entry per core-resident instance: its owning group.
-            let owner: Vec<usize> = workload
+            // One entry per core-resident instance: its owning group
+            // (index into the resident set).
+            let owner: Vec<usize> = era_wl
                 .iter()
                 .enumerate()
-                .flat_map(|(gi, g)| std::iter::repeat_n(gi, g.count))
+                .flat_map(|(i, g)| std::iter::repeat_n(i, g.count))
+                .collect();
+            // Per-group effective frequency: chip clock × clock ratio
+            // (×1.0 is bit-identical to the chip clock for lockstep).
+            let freqs: Vec<f64> = active
+                .iter()
+                .map(|&g| match sched {
+                    Some(s) => freq_hz * s[g].clock_ratio,
+                    None => freq_hz,
+                })
                 .collect();
 
             let iter_cap = if opts.fp_budget == 0 {
@@ -159,17 +235,24 @@ impl RefEngine {
                 let remaining = opts.fp_budget.saturating_sub(fp_iterations);
                 remaining.clamp(DEGRADED_FP_ITERS, MAX_FP_ITERS)
             };
+            // Fold the resident groups' CPI warm starts in and out around
+            // the solve (bitwise copies, exactly like the engine's era
+            // fold).
+            let mut acpi: Vec<f64> = active.iter().map(|&g| cpi[g]).collect();
             let (ips, miss_rate, occ_per_instance, latency_ns, iters, residual) = self
                 .solve_segment_naive(
-                    workload,
+                    &era_wl,
                     &phase_info,
                     &mrcs,
                     &owner,
-                    freq_hz,
+                    &freqs,
                     opts.llc_partitioned,
-                    &mut cpi,
+                    &mut acpi,
                     iter_cap,
                 );
+            for (i, &g) in active.iter().enumerate() {
+                cpi[g] = acpi[i];
+            }
             fp_iterations += iters;
             if residual >= FP_TOLERANCE {
                 degraded = true;
@@ -177,45 +260,98 @@ impl RefEngine {
             }
 
             let mut dt = f64::INFINITY;
-            for (gi, p) in progress.iter().enumerate() {
-                let remaining = phase_info[gi].1 - p;
-                let t = remaining / ips[gi];
+            for (i, &g) in active.iter().enumerate() {
+                let remaining = phase_info[i].1 - progress[g];
+                let t = remaining / ips[i];
                 if t < dt {
                     dt = t;
                 }
             }
+            // The next scheduled event caps the segment — strictly-less,
+            // so a phase boundary landing exactly on the tick takes the
+            // boundary path and an empty schedule (cap = ∞) never binds.
+            let pending: Option<f64> = events.iter().map(|&(t, _, _)| t).min_by(f64::total_cmp);
+            let dt_cap = match pending {
+                Some(t) => t - wall,
+                None => f64::INFINITY,
+            };
+            let event_capped = dt_cap < dt;
+            let dt = if event_capped { dt_cap } else { dt };
             if !(dt.is_finite() && dt > 0.0) {
                 return Err(MachineError::Numeric(format!(
                     "degenerate segment dt = {dt} at segment {segments}"
                 )));
             }
 
-            for gi in 0..n_groups {
-                let instr = ips[gi] * dt;
-                progress[gi] += instr;
-                let acc = instr * workload[gi].app.phases[phase_info[gi].0].accesses_per_instr;
-                counters[gi].instructions += instr;
-                counters[gi].cycles += freq_hz * dt;
-                counters[gi].llc_accesses += acc;
-                counters[gi].llc_misses += acc * miss_rate[gi];
-                share_time_acc[gi] += occ_per_instance[gi] * dt;
+            for (i, &g) in active.iter().enumerate() {
+                let instr = ips[i] * dt;
+                progress[g] += instr;
+                let acc = instr * era_wl[i].app.phases[phase_info[i].0].accesses_per_instr;
+                counters[g].instructions += instr;
+                counters[g].cycles += freqs[i] * dt;
+                counters[g].llc_accesses += acc;
+                counters[g].llc_misses += acc * miss_rate[i];
+                share_time_acc[g] += occ_per_instance[i] * dt;
             }
             latency_time_acc += latency_ns * dt;
             wall += dt;
 
             let mut target_done = false;
-            for gi in 0..n_groups {
-                let boundary = phase_info[gi].1;
-                if progress[gi] >= boundary - 1e-6 * workload[gi].app.instructions.max(1.0) {
-                    progress[gi] = boundary;
-                    if (boundary - workload[gi].app.instructions).abs()
-                        < 1e-9 * workload[gi].app.instructions
+            for (i, &g) in active.iter().enumerate() {
+                let boundary = phase_info[i].1;
+                if progress[g] >= boundary - 1e-6 * era_wl[i].app.instructions.max(1.0) {
+                    progress[g] = boundary;
+                    if (boundary - era_wl[i].app.instructions).abs()
+                        < 1e-9 * era_wl[i].app.instructions
                     {
-                        counters[gi].completed_runs += 1;
-                        if gi == 0 {
+                        counters[g].completed_runs += 1;
+                        if g == 0 {
                             target_done = true;
                         } else {
-                            progress[gi] = 0.0;
+                            progress[g] = 0.0;
+                        }
+                    }
+                }
+            }
+
+            // Dispatch events once the clock reaches the next tick —
+            // either because the segment was cut at the tick (snap the
+            // clock exactly) or because a phase boundary landed on or
+            // past it. Fired events are applied in `(tick, seq)` order,
+            // each found by a fresh full scan.
+            let fire = match pending {
+                Some(t) => event_capped || wall >= t,
+                None => false,
+            };
+            if fire {
+                if event_capped {
+                    wall = pending.expect("capped segment implies a pending event");
+                }
+                while let Some(idx) = (0..events.len()).min_by(|&a, &b| {
+                    events[a]
+                        .0
+                        .total_cmp(&events[b].0)
+                        .then(events[a].1.cmp(&events[b].1))
+                }) {
+                    if events[idx].0 > wall {
+                        break;
+                    }
+                    let (_, _, kind) = events.remove(idx);
+                    if target_done {
+                        // The run is over; the queue drains but residency
+                        // no longer changes (the engine discards its
+                        // fired list the same way).
+                        continue;
+                    }
+                    match kind {
+                        EventKind::Departure(g) => resident[g] = false,
+                        EventKind::Arrival(g) => {
+                            resident[g] = true;
+                            let s = &sched.expect("arrival events imply schedules")[g];
+                            let start = s.phase_offset * workload[g].app.instructions;
+                            progress[g] = start;
+                            cpi[g] =
+                                workload[g].app.phases[workload[g].app.phase_at(start).0].cpi_base;
                         }
                     }
                 }
@@ -265,7 +401,19 @@ impl RefEngine {
         opts: &RunOptions,
         plan: Option<&FaultPlan>,
     ) -> Result<RunOutcome> {
-        let mut outcome = self.run(workload, opts)?;
+        self.run_scheduled_faulted(workload, None, opts, plan)
+    }
+
+    /// [`RefEngine::run_scheduled`] followed by fault injection,
+    /// mirroring `RunCache::run_scheduled_with_faults`.
+    pub fn run_scheduled_faulted(
+        &self,
+        workload: &[RunnerGroup],
+        schedules: Option<&[GroupSchedule]>,
+        opts: &RunOptions,
+        plan: Option<&FaultPlan>,
+    ) -> Result<RunOutcome> {
+        let mut outcome = self.run_scheduled(workload, schedules, opts)?;
         if let Some(plan) = plan {
             plan.apply(opts.seed, &mut outcome);
         }
@@ -279,11 +427,11 @@ impl RefEngine {
     #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn solve_segment_naive(
         &self,
-        workload: &[RunnerGroup],
+        workload: &[GroupRef<'_>],
         phase_info: &[(usize, f64)],
         mrcs: &[MissRateCurve],
         owner: &[usize],
-        freq_hz: f64,
+        freqs: &[f64],
         llc_partitioned: bool,
         cpi: &mut [f64],
         max_iters: u64,
@@ -303,7 +451,7 @@ impl RefEngine {
             iters += 1;
             for gi in 0..n_groups {
                 let ph = &workload[gi].app.phases[phase_info[gi].0];
-                access_rate[gi] = freq_hz / cpi[gi] * ph.accesses_per_instr;
+                access_rate[gi] = freqs[gi] / cpi[gi] * ph.accesses_per_instr;
             }
             // Per-instance access rates, owner resolved by scan.
             let inst_rate: Vec<f64> = (0..n_inst).map(|ii| access_rate[owner[ii]]).collect();
@@ -335,7 +483,8 @@ impl RefEngine {
             for gi in 0..n_groups {
                 let ph = &workload[gi].app.phases[phase_info[gi].0];
                 let stall_cycles_per_instr =
-                    ph.accesses_per_instr * miss_rate[gi] * (latency_ns * 1e-9 * freq_hz) / ph.mlp;
+                    ph.accesses_per_instr * miss_rate[gi] * (latency_ns * 1e-9 * freqs[gi])
+                        / ph.mlp;
                 let target = ph.cpi_base + stall_cycles_per_instr;
                 let next = 0.5 * cpi[gi] + 0.5 * target;
                 max_rel = max_rel.max(((next - cpi[gi]) / cpi[gi]).abs());
@@ -351,7 +500,7 @@ impl RefEngine {
         let mut ips = vec![0.0f64; n_groups];
         let mut occ_per_instance = vec![0.0f64; n_groups];
         for gi in 0..n_groups {
-            ips[gi] = freq_hz / cpi[gi];
+            ips[gi] = freqs[gi] / cpi[gi];
             let ii = owner
                 .iter()
                 .position(|&o| o == gi)
@@ -470,6 +619,102 @@ mod tests {
             assert_eq!(ca.cycles.to_bits(), cb.cycles.to_bits());
             assert_eq!(ca.llc_misses.to_bits(), cb.llc_misses.to_bits());
         }
+    }
+
+    #[test]
+    fn matches_engine_bit_for_bit_on_an_event_schedule() {
+        let spec = presets::xeon_e5649();
+        let m = Machine::new(spec.clone()).unwrap();
+        let r = RefEngine::new(spec).unwrap();
+        let wl = workload("canneal", &[("cg", 2), ("mg", 2)]);
+        let sched = [
+            GroupSchedule::default(),
+            GroupSchedule {
+                phase_offset: 0.25,
+                arrival_tick: 0.05,
+                departure_tick: Some(0.6),
+                clock_ratio: 0.8,
+            },
+            GroupSchedule {
+                arrival_tick: 0.2,
+                clock_ratio: 1.25,
+                ..Default::default()
+            },
+        ];
+        let opts = RunOptions {
+            pstate: 1,
+            seed: 7,
+            noise_sigma: 0.004,
+            ..Default::default()
+        };
+        let a = m.run_scheduled(&wl, Some(&sched), &opts).unwrap();
+        let b = r.run_scheduled(&wl, Some(&sched), &opts).unwrap();
+        assert_eq!(a.wall_time_s.to_bits(), b.wall_time_s.to_bits());
+        assert_eq!(a.segments, b.segments);
+        assert_eq!(a.fp_iterations, b.fp_iterations);
+        assert_eq!(
+            a.avg_mem_latency_ns.to_bits(),
+            b.avg_mem_latency_ns.to_bits()
+        );
+        for (ca, cb) in a.counters.iter().zip(&b.counters) {
+            assert_eq!(ca.instructions.to_bits(), cb.instructions.to_bits());
+            assert_eq!(ca.cycles.to_bits(), cb.cycles.to_bits());
+            assert_eq!(ca.llc_misses.to_bits(), cb.llc_misses.to_bits());
+            assert_eq!(ca.completed_runs, cb.completed_runs);
+        }
+    }
+
+    #[test]
+    fn mirrors_engine_errors_on_schedules() {
+        let spec = presets::xeon_e5649();
+        let m = Machine::new(spec.clone()).unwrap();
+        let r = RefEngine::new(spec).unwrap();
+        let wl = workload("ep", &[("cg", 2)]);
+        let opts = RunOptions::default();
+        // Malformed schedule: both engines reject with the same error.
+        let bad = [
+            GroupSchedule::default(),
+            GroupSchedule {
+                phase_offset: 2.0,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(
+            m.run_scheduled(&wl, Some(&bad), &opts).unwrap_err(),
+            r.run_scheduled(&wl, Some(&bad), &opts).unwrap_err()
+        );
+        // Oversubscribed *concurrent* residency: overlapping windows on
+        // a 6-core machine.
+        let wl = workload("ep", &[("cg", 4), ("mg", 4)]);
+        let over = [
+            GroupSchedule::default(),
+            GroupSchedule {
+                departure_tick: Some(1.0),
+                ..Default::default()
+            },
+            GroupSchedule {
+                arrival_tick: 0.5,
+                ..Default::default()
+            },
+        ];
+        let ea = m.run_scheduled(&wl, Some(&over), &opts).unwrap_err();
+        assert_eq!(ea, r.run_scheduled(&wl, Some(&over), &opts).unwrap_err());
+        assert!(matches!(ea, MachineError::NotEnoughCores { .. }));
+        // Disjoint windows fit: departure frees the cores first.
+        let fits = [
+            GroupSchedule::default(),
+            GroupSchedule {
+                departure_tick: Some(0.5),
+                ..Default::default()
+            },
+            GroupSchedule {
+                arrival_tick: 0.5,
+                ..Default::default()
+            },
+        ];
+        let a = m.run_scheduled(&wl, Some(&fits), &opts).unwrap();
+        let b = r.run_scheduled(&wl, Some(&fits), &opts).unwrap();
+        assert_eq!(a.wall_time_s.to_bits(), b.wall_time_s.to_bits());
     }
 
     #[test]

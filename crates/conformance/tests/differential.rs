@@ -1,15 +1,18 @@
-//! The differential conformance suite: ≥ 200 seeded scenarios through
+//! The differential conformance suite: ≥ 400 seeded scenarios through
 //! the optimized stack and the naive reference engine, plus corpus
-//! replay. A failure is shrunk and persisted under `corpus/` before the
-//! test panics, so the regression is replayed by every future run (and
-//! uploaded as a CI artifact).
+//! replay. Roughly half the co-located cases carry an event schedule
+//! (staggered starts, mid-run arrival/departure, per-core clocks), so
+//! the era-compacted driver is differentially checked against the naive
+//! per-segment replay. A failure is shrunk and persisted under
+//! `corpus/` before the test panics, so the regression is replayed by
+//! every future run (and uploaded as a CI artifact).
 
 use coloc_conformance::{corpus, differential_sweep, seed_corpus, verify_dir};
 
 /// Base seed of the generated sweep. Changing it trades one slice of
 /// scenario space for another; the corpus keeps old discoveries alive.
 const SWEEP_SEED: u64 = 0xC0_10C;
-const SWEEP_CASES: usize = 220;
+const SWEEP_CASES: usize = 400;
 
 #[test]
 fn optimized_engine_matches_reference_on_generated_scenarios() {
@@ -21,6 +24,7 @@ fn optimized_engine_matches_reference_on_generated_scenarios() {
             assert!(summary.faulted > 0, "no faulted case generated");
             assert!(summary.budgeted > 0, "no fp-budget case generated");
             assert!(summary.solo > 0, "no solo case generated");
+            assert!(summary.events > 0, "no event-schedule case generated");
             assert!(
                 summary.max_slowdown_gap <= coloc_conformance::SLOWDOWN_REL_TOL,
                 "slowdown gap {} exceeds tolerance",
@@ -36,6 +40,43 @@ fn optimized_engine_matches_reference_on_generated_scenarios() {
                 path.display(),
                 failure.case.describe(),
                 failure.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn event_execution_is_bit_identical_across_thread_counts() {
+    use coloc_conformance::diff::outcomes_bit_identical;
+    use coloc_conformance::{gen_case, CoGroup, GenConstraints};
+    use coloc_machine::Machine;
+
+    // A batch of generated cases, keeping only those carrying an event
+    // schedule — the scheduler's determinism claim is that the worker
+    // pool's thread count is invisible to every simulated bit.
+    let cases: Vec<_> = (0..64u64)
+        .map(|i| gen_case(0xE7E27 + i, &GenConstraints::default()))
+        .filter(|c| c.co.iter().any(CoGroup::has_schedule))
+        .collect();
+    assert!(cases.len() >= 8, "not enough event cases generated");
+
+    let run_all = |threads: usize| {
+        coloc_ml::parallel::run_indexed(cases.len(), threads, |i| {
+            let built = cases[i].build().expect("case builds");
+            let machine = Machine::new(built.spec.clone()).unwrap();
+            machine
+                .run_scheduled(&built.workload, built.schedules.as_deref(), &built.opts)
+                .expect("event case runs")
+        })
+    };
+    let sequential = run_all(1);
+    for threads in [2usize, 8] {
+        let parallel = run_all(threads);
+        for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+            assert!(
+                outcomes_bit_identical(a, b),
+                "case {i} diverged at {threads} threads: {}",
+                cases[i].describe()
             );
         }
     }

@@ -78,6 +78,33 @@ fn feature_nesting_law_holds() {
 }
 
 #[test]
+fn arrival_order_invariance_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("arrival-order-invariance")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
+fn lockstep_degeneracy_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("lockstep-degeneracy")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
+fn departure_at_end_noop_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("departure-at-end-noop")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
 fn every_law_is_covered_by_a_named_test_above() {
     // If a new law lands in `all_laws`, this forces a matching test.
     let names: Vec<_> = all_laws().iter().map(|l| l.name()).collect();
@@ -89,6 +116,9 @@ fn every_law_is_covered_by_a_named_test_above() {
             "permutation-invariance",
             "metric-scale-invariance",
             "feature-nesting",
+            "arrival-order-invariance",
+            "lockstep-degeneracy",
+            "departure-at-end-noop",
         ]
     );
 }

@@ -12,8 +12,8 @@ use crate::sample::Sample;
 use crate::scenario::Scenario;
 use crate::{ColocError, ModelError, Result};
 use coloc_machine::{
-    FaultPlan, IrWriter, Machine, MachineSpec, RunCache, RunOptions, RunnerGroup, ScenarioIr,
-    StageId, StageProfile,
+    FaultPlan, GroupSchedule, IrWriter, Machine, MachineSpec, RunCache, RunOptions, RunnerGroup,
+    ScenarioIr, StageId, StageProfile,
 };
 use coloc_ml::rng::{derive_seed, derive_seed_str};
 use coloc_perfmon::{EventSet, FlatProfiler};
@@ -55,10 +55,10 @@ pub struct SweepStats {
     /// [`StageId::index`]. All zero unless [`Lab::with_stage_stats`]
     /// enabled instrumentation (the un-instrumented engine path pays no
     /// timing cost).
-    pub stage_invocations: [u64; 5],
+    pub stage_invocations: [u64; 6],
     /// Per-stage pipeline wall nanoseconds, indexed like
     /// [`SweepStats::stage_invocations`].
-    pub stage_nanos: [u64; 5],
+    pub stage_nanos: [u64; 6],
 }
 
 impl SweepStats {
@@ -302,12 +302,22 @@ impl Lab {
     /// fresh simulation.
     pub fn run_scenario(&self, scenario: &Scenario) -> Result<f64> {
         let ir = self.scenario_ir(scenario)?;
+        self.run_ir(&ir)
+    }
+
+    /// Execute an arbitrary [`ScenarioIr`] — including ones carrying
+    /// event schedules, which [`Scenario`] cannot express — through the
+    /// lab's run cache with the same memoization, fault injection, stage
+    /// profiling, and sweep telemetry as [`Lab::run_scenario`].
+    pub fn run_ir(&self, ir: &ScenarioIr) -> Result<f64> {
+        let schedules: Option<&[GroupSchedule]> = ir.schedules.as_deref();
         let (outcome, hit) = match &self.stage_profile {
             Some(shared) => {
                 let mut local = StageProfile::new();
-                let pair = self.run_cache.run_observed(
+                let pair = self.run_cache.run_scheduled_observed(
                     &self.machine,
                     &ir.workload,
+                    schedules,
                     &ir.opts,
                     ir.faults.as_ref(),
                     Some(&mut local),
@@ -315,9 +325,10 @@ impl Lab {
                 shared.lock().expect("stage profile lock").merge(&local);
                 pair
             }
-            None => self.run_cache.run_with_faults(
+            None => self.run_cache.run_scheduled_with_faults(
                 &self.machine,
                 &ir.workload,
+                schedules,
                 &ir.opts,
                 ir.faults.as_ref(),
             )?,
@@ -344,9 +355,13 @@ impl Lab {
     /// fell through to the engine.
     pub fn cached_run(&self, scenario: &Scenario) -> Result<Option<f64>> {
         let ir = self.scenario_ir(scenario)?;
-        let key = self
-            .run_cache
-            .key_for(&self.machine, &ir.workload, &ir.opts, ir.faults.as_ref());
+        let key = self.run_cache.key_for_scheduled(
+            &self.machine,
+            &ir.workload,
+            &ir.opts,
+            ir.faults.as_ref(),
+            ir.schedules.as_deref(),
+        );
         Ok(self.run_cache.peek(key).map(|o| o.wall_time_s))
     }
 
@@ -811,8 +826,8 @@ mod tests {
             fp_iterations: 900,
             faults_injected: 3,
             sweep_wall_time_s: 1.25,
-            stage_invocations: [0; 5],
-            stage_nanos: [0; 5],
+            stage_invocations: [0; 6],
+            stage_nanos: [0; 6],
         };
         let text = format!("{s}");
         assert!(text.contains("10 scenarios"), "{text}");
@@ -821,8 +836,8 @@ mod tests {
         assert!(text.contains("1.25s"), "{text}");
         assert!(s.stage_summary().is_none(), "no stage data collected");
         let mut with_stages = s;
-        with_stages.stage_invocations = [10, 10, 40, 40, 10];
-        with_stages.stage_nanos = [1_000, 2_000, 3_000, 4_000, 5_000];
+        with_stages.stage_invocations = [10, 10, 40, 40, 10, 0];
+        with_stages.stage_nanos = [1_000, 2_000, 3_000, 4_000, 5_000, 0];
         let stages = with_stages.stage_summary().expect("stage data present");
         for label in ["pstate", "phase-sync", "llc-share", "dram-fixed-point"] {
             assert!(stages.contains(label), "{stages}");
@@ -843,7 +858,7 @@ mod tests {
         }
         let off = plain.sweep_stats();
         let on = instrumented.sweep_stats();
-        assert_eq!(off.stage_invocations, [0; 5], "off by default");
+        assert_eq!(off.stage_invocations, [0; 6], "off by default");
         assert!(off.stage_summary().is_none());
         // Driver stages run once per segment; solver stages once per
         // fixed-point iteration. The lab's aggregate counters pin both.

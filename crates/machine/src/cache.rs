@@ -32,6 +32,7 @@
 //! reported and `SweepStats`/`repro` artifacts are unchanged.
 
 use crate::engine::{Machine, RunOptions, RunOutcome, RunnerGroup, StageProfile};
+use crate::event::GroupSchedule;
 use crate::faults::FaultPlan;
 use crate::ir;
 use crate::Result;
@@ -226,6 +227,27 @@ impl RunCache {
         ir::scenario_digest_memo(&self.digest_memo, machine.spec(), workload, opts, faults)
     }
 
+    /// [`RunCache::key_for`] with event schedules folded into the key.
+    /// All-default (or absent) schedules key identically to
+    /// [`RunCache::key_for`], so pre-event cache entries stay addressable.
+    pub fn key_for_scheduled(
+        &self,
+        machine: &Machine,
+        workload: &[RunnerGroup],
+        opts: &RunOptions,
+        faults: Option<&FaultPlan>,
+        schedules: Option<&[GroupSchedule]>,
+    ) -> u128 {
+        ir::scenario_digest_memo_scheduled(
+            &self.digest_memo,
+            machine.spec(),
+            workload,
+            opts,
+            faults,
+            schedules,
+        )
+    }
+
     /// Run `workload` on `machine`, returning the memoized outcome when
     /// this exact triple has run before. Errors are never cached (they are
     /// cheap to recompute and carry no simulation work).
@@ -266,6 +288,21 @@ impl RunCache {
         self.run_observed(machine, workload, opts, faults, None)
     }
 
+    /// Like [`RunCache::run_with_faults`], with per-group event schedules:
+    /// the schedules are part of the memo key (an all-default schedule keys
+    /// — and therefore hits — exactly like no schedule) and the miss path
+    /// runs the event-mode engine.
+    pub fn run_scheduled_with_faults(
+        &self,
+        machine: &Machine,
+        workload: &[RunnerGroup],
+        schedules: Option<&[GroupSchedule]>,
+        opts: &RunOptions,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(Arc<RunOutcome>, bool)> {
+        self.run_scheduled_observed(machine, workload, schedules, opts, faults, None)
+    }
+
     /// Like [`RunCache::run_with_faults`], timing pipeline stages into
     /// `profile` when one is attached. Stage costs accrue only on the miss
     /// path — a hit does no simulation work, so there is nothing to time.
@@ -277,7 +314,21 @@ impl RunCache {
         faults: Option<&FaultPlan>,
         profile: Option<&mut StageProfile>,
     ) -> Result<(Arc<RunOutcome>, bool)> {
-        let key = self.key_for(machine, workload, opts, faults);
+        self.run_scheduled_observed(machine, workload, None, opts, faults, profile)
+    }
+
+    /// The one memoized run path: schedules, faults, and optional stage
+    /// profiling. Every other `run_*` method funnels here.
+    pub fn run_scheduled_observed(
+        &self,
+        machine: &Machine,
+        workload: &[RunnerGroup],
+        schedules: Option<&[GroupSchedule]>,
+        opts: &RunOptions,
+        faults: Option<&FaultPlan>,
+        profile: Option<&mut StageProfile>,
+    ) -> Result<(Arc<RunOutcome>, bool)> {
+        let key = self.key_for_scheduled(machine, workload, opts, faults, schedules);
         if let Some(hit) = self
             .shard_for(key)
             .lock()
@@ -292,8 +343,8 @@ impl RunCache {
         // the race is benign and the sweep never serializes on the cache.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut outcome = match profile {
-            Some(p) => machine.run_instrumented(workload, opts, p)?,
-            None => machine.run(workload, opts)?,
+            Some(p) => machine.run_scheduled_instrumented(workload, schedules, opts, p)?,
+            None => machine.run_scheduled(workload, schedules, opts)?,
         };
         if let Some(plan) = faults {
             plan.apply(opts.seed, &mut outcome);
@@ -394,6 +445,57 @@ mod tests {
         }
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn scheduled_keys_compose_with_the_lockstep_key_space() {
+        let m = Machine::new(presets::xeon_e5649()).unwrap();
+        let cache = RunCache::new(64);
+        let opts = RunOptions::default();
+        let workload = wl(800_000);
+        let plain = cache.key_for(&m, &workload, &opts, None);
+
+        // Absent and all-default schedules key identically to lockstep:
+        // pre-event cache entries stay addressable.
+        let defaults = vec![GroupSchedule::default(); workload.len()];
+        assert_eq!(
+            plain,
+            cache.key_for_scheduled(&m, &workload, &opts, None, None)
+        );
+        assert_eq!(
+            plain,
+            cache.key_for_scheduled(&m, &workload, &opts, None, Some(&defaults))
+        );
+
+        // Any non-default field keys apart — and each field is its own
+        // axis of the key space.
+        let mut offset = defaults.clone();
+        offset[1].phase_offset = 0.25;
+        let mut window = defaults.clone();
+        window[1].departure_tick = Some(0.125);
+        let mut clock = defaults.clone();
+        clock[1].clock_ratio = 1.25;
+        let keys: Vec<u128> = [&offset, &window, &clock]
+            .iter()
+            .map(|s| cache.key_for_scheduled(&m, &workload, &opts, None, Some(s)))
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_ne!(plain, k, "schedule variant {i} collides with lockstep");
+            for &other in &keys[i + 1..] {
+                assert_ne!(k, other, "schedule variants collide with each other");
+            }
+        }
+
+        // And the cache actually serves a scheduled hit.
+        let (cold, was_hit) = cache
+            .run_scheduled_with_faults(&m, &workload, Some(&window), &opts, None)
+            .unwrap();
+        assert!(!was_hit);
+        let (warm, was_hit) = cache
+            .run_scheduled_with_faults(&m, &workload, Some(&window), &opts, None)
+            .unwrap();
+        assert!(was_hit);
+        assert_eq!(cold.wall_time_s.to_bits(), warm.wall_time_s.to_bits());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub use stages::{
 };
 
 use crate::app::AppProfile;
+use crate::event::{self, Event, EventKind, EventQueue, GroupSchedule};
 use crate::faults::FaultEvent;
 use crate::spec::MachineSpec;
 use crate::{MachineError, Result};
@@ -340,7 +341,49 @@ impl Machine {
     /// target completes. Returns the measured outcome.
     pub fn run(&self, workload: &[RunnerGroup], opts: &RunOptions) -> Result<RunOutcome> {
         let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
-        self.run_observed(&groups, opts, None, None)
+        self.run_observed(&groups, None, opts, None, None)
+    }
+
+    /// Run `workload` under per-group event schedules: phase offsets,
+    /// arrival/departure ticks, per-core clock ratios. `schedules`, when
+    /// present, must supply one [`GroupSchedule`] per group; `None` — or
+    /// all-default schedules — is exactly [`Machine::run`], bit-for-bit.
+    pub fn run_scheduled(
+        &self,
+        workload: &[RunnerGroup],
+        schedules: Option<&[GroupSchedule]>,
+        opts: &RunOptions,
+    ) -> Result<RunOutcome> {
+        let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
+        self.run_observed(&groups, schedules, opts, None, None)
+    }
+
+    /// [`Machine::run_scheduled`] with stage instrumentation (the
+    /// scheduled analogue of [`Machine::run_instrumented`]).
+    pub fn run_scheduled_instrumented(
+        &self,
+        workload: &[RunnerGroup],
+        schedules: Option<&[GroupSchedule]>,
+        opts: &RunOptions,
+        profile: &mut StageProfile,
+    ) -> Result<RunOutcome> {
+        let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
+        self.run_observed(&groups, schedules, opts, Some(profile), None)
+    }
+
+    /// [`Machine::run_scheduled`] with a bounded segment trace (the
+    /// scheduled analogue of [`Machine::run_traced`]).
+    pub fn run_scheduled_traced(
+        &self,
+        workload: &[RunnerGroup],
+        schedules: Option<&[GroupSchedule]>,
+        opts: &RunOptions,
+        capacity: usize,
+    ) -> Result<(RunOutcome, SegmentTrace)> {
+        let mut trace = SegmentTrace::new(capacity);
+        let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
+        let outcome = self.run_observed(&groups, schedules, opts, None, Some(&mut trace))?;
+        Ok((outcome, trace))
     }
 
     /// Like [`Machine::run`], timing every pipeline stage into `profile`.
@@ -353,7 +396,7 @@ impl Machine {
         profile: &mut StageProfile,
     ) -> Result<RunOutcome> {
         let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
-        self.run_observed(&groups, opts, Some(profile), None)
+        self.run_observed(&groups, None, opts, Some(profile), None)
     }
 
     /// Like [`Machine::run`], additionally recording the most recent
@@ -367,16 +410,25 @@ impl Machine {
     ) -> Result<(RunOutcome, SegmentTrace)> {
         let mut trace = SegmentTrace::new(capacity);
         let groups: Vec<GroupRef<'_>> = workload.iter().map(GroupRef::from_group).collect();
-        let outcome = self.run_observed(&groups, opts, None, Some(&mut trace))?;
+        let outcome = self.run_observed(&groups, None, opts, None, Some(&mut trace))?;
         Ok((outcome, trace))
     }
 
-    /// The staged driver behind every run variant: validate, then advance
-    /// the pipeline segment by segment. `profile` and `trace` attach
-    /// observation without perturbing the simulation.
+    /// The discrete-event driver behind every run variant: validate, then
+    /// advance the stage pipeline era by era. An *era* is a maximal
+    /// interval of the simulated clock with a fixed resident set; within
+    /// an era the unmodified segment pipeline runs over the resident
+    /// groups, with segment lengths additionally capped by the next
+    /// scheduled event tick. A default (or absent) schedule yields an
+    /// empty event queue and a single full-residency era, which executes
+    /// the lockstep pipeline's exact arithmetic in its exact order — the
+    /// lockstep engine is the degenerate case, bit-for-bit (DESIGN.md
+    /// §14). `profile` and `trace` attach observation without perturbing
+    /// the simulation.
     fn run_observed(
         &self,
         workload: &[GroupRef<'_>],
+        schedules: Option<&[GroupSchedule]>,
         opts: &RunOptions,
         mut profile: Option<&mut StageProfile>,
         mut trace: Option<&mut SegmentTrace>,
@@ -384,7 +436,23 @@ impl Machine {
         if workload.is_empty() {
             return Err(MachineError::EmptyWorkload);
         }
-        let requested: usize = workload.iter().map(|g| g.count).sum();
+        if let Some(s) = schedules {
+            event::validate_schedules(workload, s)?;
+        }
+        // Canonical form: a schedule set that adds nothing over lockstep
+        // is treated as absent, matching the digest rules in `ir`.
+        let sched: Option<&[GroupSchedule]> = match schedules {
+            Some(s) if !event::schedules_are_default(Some(s)) => Some(s),
+            _ => None,
+        };
+        // Core capacity: lockstep workloads need every group at once;
+        // event schedules only need the peak *concurrent* residency, so
+        // disjoint arrival/departure windows may oversubscribe the
+        // static sum.
+        let requested: usize = match sched {
+            Some(s) => event::peak_cores(workload, s),
+            None => workload.iter().map(|g| g.count).sum(),
+        };
         if requested > self.spec.cores {
             return Err(MachineError::NotEnoughCores {
                 requested,
@@ -410,67 +478,198 @@ impl Machine {
 
         // Per-group, per-phase MRCs, served from the machine's curve memo.
         let mrcs = self.mrcs_for(workload);
+        let n_groups = workload.len();
 
-        let env = SegmentEnv {
-            spec: &self.spec,
-            mem: &self.mem,
-            workload,
-            opts,
-            mrcs: &mrcs,
-        };
-        // All per-segment buffers live in the state; the loop below is
-        // allocation free no matter how many segments the run takes.
-        let mut st = EpochState::new(workload, freq_hz);
+        // Run-global state carried across eras, indexed by the original
+        // workload group. For a lockstep run there is exactly one era and
+        // these are folded in and out once with identical values.
+        let mut progress: Vec<f64> = vec![0.0; n_groups];
+        let mut cpi: Vec<f64> = workload.iter().map(|g| g.app.phases[0].cpi_base).collect();
+        let mut counters: Vec<CounterBlock> = vec![CounterBlock::default(); n_groups];
+        let mut share_time_acc: Vec<f64> = vec![0.0; n_groups];
+        let mut wall = 0.0f64;
+        let mut latency_time_acc = 0.0f64;
+        let mut segments = 0usize;
+        let mut fp_iterations = 0u64;
+        let mut degraded = false;
+        let mut worst_residual = 0.0f64;
 
-        loop {
-            st.segments += 1;
-            if st.segments > opts.max_segments {
-                return Err(MachineError::SegmentOverflow {
-                    segments: st.segments,
-                    cap: opts.max_segments,
-                });
-            }
-
-            timed(&mut profile, StageId::PState, || {
-                PStateStage.run(&env, &mut st)
-            })?;
-            timed(&mut profile, StageId::PhaseSync, || {
-                PhaseSyncStage.run(&env, &mut st)
-            })?;
-
-            st.begin_solve(&env);
-            loop {
-                st.seg_iters += 1;
-                timed(&mut profile, StageId::LlcShare, || {
-                    LlcShareStage.run(&env, &mut st)
-                })?;
-                let flow = timed(&mut profile, StageId::DramFixedPoint, || {
-                    DramFixedPointStage.run(&env, &mut st)
-                })?;
-                if flow == StageFlow::SolverDone {
-                    break;
+        // Residency and the event queue. Initially-resident groups start
+        // at their phase offset with the matching CPI warm start (offset
+        // 0 reproduces the `phases[0].cpi_base` lockstep warm start).
+        let mut resident: Vec<bool> = vec![true; n_groups];
+        let mut queue = EventQueue::new();
+        if let Some(s) = sched {
+            queue = event::build_queue(s);
+            for (g, gs) in s.iter().enumerate() {
+                resident[g] = gs.arrival_tick == 0.0;
+                if resident[g] {
+                    let start = gs.phase_offset * workload[g].app.instructions;
+                    progress[g] = start;
+                    cpi[g] = workload[g].app.phases[workload[g].app.phase_at(start).0].cpi_base;
                 }
             }
-            st.fp_iterations += st.seg_iters;
-            if st.seg_residual >= FP_TOLERANCE {
-                st.degraded = true;
-                st.worst_residual = st.worst_residual.max(st.seg_residual);
-            }
+        }
 
-            let flow = timed(&mut profile, StageId::CounterAccrual, || {
-                CounterAccrualStage.run(&env, &mut st)
-            })?;
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(SegmentRecord {
-                    segment: st.segments,
-                    dt: st.dt,
-                    latency_ns: st.latency_ns,
-                    fp_iters: st.seg_iters,
-                    residual: st.seg_residual,
-                });
+        'run: loop {
+            // ---- Era setup: compacted views over the resident groups,
+            // in original group order. The full-residency era borrows the
+            // run-level tables directly — the lockstep path allocates
+            // nothing extra here.
+            let active: Vec<usize> = (0..n_groups).filter(|&g| resident[g]).collect();
+            let compact_wl: Vec<GroupRef<'_>>;
+            let compact_mrcs: Vec<Vec<std::sync::Arc<MissRateCurve>>>;
+            let (era_wl, era_mrcs): (&[GroupRef<'_>], &[Vec<std::sync::Arc<MissRateCurve>>]) =
+                if active.len() == n_groups {
+                    (workload, &mrcs)
+                } else {
+                    compact_wl = active.iter().map(|&g| workload[g]).collect();
+                    compact_mrcs = active.iter().map(|&g| mrcs[g].clone()).collect();
+                    (&compact_wl, &compact_mrcs)
+                };
+            let env = SegmentEnv {
+                spec: &self.spec,
+                mem: &self.mem,
+                workload: era_wl,
+                opts,
+                mrcs: era_mrcs,
+            };
+            // All per-segment buffers live in the state; the segment loop
+            // below is allocation free no matter how many segments the
+            // era takes.
+            let mut st = EpochState::new(era_wl, freq_hz);
+            if let Some(s) = sched {
+                for (i, &g) in active.iter().enumerate() {
+                    st.clock[i] = s[g].clock_ratio;
+                }
             }
-            if flow == StageFlow::TargetDone {
-                break;
+            // Fold run-global state into the era state.
+            for (i, &g) in active.iter().enumerate() {
+                st.progress[i] = progress[g];
+                st.cpi[i] = cpi[g];
+                st.counters[i] = counters[g];
+                st.share_time_acc[i] = share_time_acc[g];
+            }
+            st.wall = wall;
+            st.latency_time_acc = latency_time_acc;
+            st.segments = segments;
+            st.fp_iterations = fp_iterations;
+            st.degraded = degraded;
+            st.worst_residual = worst_residual;
+
+            // ---- Era segments ---------------------------------------
+            let mut fired: Vec<Event> = Vec::new();
+            let target_done = loop {
+                st.segments += 1;
+                if st.segments > opts.max_segments {
+                    return Err(MachineError::SegmentOverflow {
+                        segments: st.segments,
+                        cap: opts.max_segments,
+                    });
+                }
+
+                timed(&mut profile, StageId::PState, || {
+                    PStateStage.run(&env, &mut st)
+                })?;
+                timed(&mut profile, StageId::PhaseSync, || {
+                    PhaseSyncStage.run(&env, &mut st)
+                })?;
+                // Distance to the next scheduled event caps this segment.
+                let pending = queue.peek_tick();
+                st.dt_cap = match pending {
+                    Some(t) => t - st.wall,
+                    None => f64::INFINITY,
+                };
+
+                st.begin_solve(&env);
+                loop {
+                    st.seg_iters += 1;
+                    timed(&mut profile, StageId::LlcShare, || {
+                        LlcShareStage.run(&env, &mut st)
+                    })?;
+                    let flow = timed(&mut profile, StageId::DramFixedPoint, || {
+                        DramFixedPointStage.run(&env, &mut st)
+                    })?;
+                    if flow == StageFlow::SolverDone {
+                        break;
+                    }
+                }
+                st.fp_iterations += st.seg_iters;
+                if st.seg_residual >= FP_TOLERANCE {
+                    st.degraded = true;
+                    st.worst_residual = st.worst_residual.max(st.seg_residual);
+                }
+
+                let flow = timed(&mut profile, StageId::CounterAccrual, || {
+                    CounterAccrualStage.run(&env, &mut st)
+                })?;
+
+                // Dispatch events once the clock reaches the next tick —
+                // either because the segment was cut at the tick (snap
+                // the clock exactly) or because a phase boundary landed
+                // on or past it.
+                let fire = match pending {
+                    Some(t) => st.event_capped || st.wall >= t,
+                    None => false,
+                };
+                if fire {
+                    if st.event_capped {
+                        st.wall = pending.expect("capped segment implies a pending event");
+                    }
+                    fired = timed(&mut profile, StageId::EventDispatch, || {
+                        queue.pop_through(st.wall)
+                    });
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(SegmentRecord {
+                        segment: st.segments,
+                        dt: st.dt,
+                        latency_ns: st.latency_ns,
+                        fp_iters: st.seg_iters,
+                        residual: st.seg_residual,
+                        events: fired.len() as u32,
+                        resident_groups: era_wl.len(),
+                    });
+                }
+                if flow == StageFlow::TargetDone {
+                    break true;
+                }
+                if fire {
+                    break false;
+                }
+            };
+
+            // ---- Era teardown: fold era state back into the run ------
+            for (i, &g) in active.iter().enumerate() {
+                progress[g] = st.progress[i];
+                cpi[g] = st.cpi[i];
+                counters[g] = st.counters[i];
+                share_time_acc[g] = st.share_time_acc[i];
+            }
+            wall = st.wall;
+            latency_time_acc = st.latency_time_acc;
+            segments = st.segments;
+            fp_iterations = st.fp_iterations;
+            degraded = st.degraded;
+            worst_residual = st.worst_residual;
+
+            if target_done {
+                break 'run;
+            }
+            // Apply residency changes in `(tick, seq)` pop order:
+            // departures freeze a group where it stands; arrivals seed
+            // the group at its phase offset with the matching warm start.
+            for ev in &fired {
+                match ev.kind {
+                    EventKind::Departure(g) => resident[g] = false,
+                    EventKind::Arrival(g) => {
+                        resident[g] = true;
+                        let s = &sched.expect("arrival events imply schedules")[g];
+                        let start = s.phase_offset * workload[g].app.instructions;
+                        progress[g] = start;
+                        cpi[g] = workload[g].app.phases[workload[g].app.phase_at(start).0].cpi_base;
+                    }
+                }
             }
         }
 
@@ -478,7 +677,7 @@ impl Machine {
         // The scale applies uniformly to every group's cycle counter — a
         // slow (or fast) measured run is slow for everyone sharing the
         // machine, not just the target.
-        let mut wall_measured = st.wall;
+        let mut wall_measured = wall;
         if opts.noise_sigma > 0.0 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
             // Box–Muller from two uniforms (StdRng has no normal sampler
@@ -488,22 +687,22 @@ impl Machine {
             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             let scale = (opts.noise_sigma * z).exp();
             wall_measured *= scale;
-            for c in st.counters.iter_mut() {
+            for c in counters.iter_mut() {
                 c.cycles *= scale;
             }
         }
 
         Ok(RunOutcome {
             wall_time_s: wall_measured,
-            counters: st.counters,
-            segments: st.segments,
-            fp_iterations: st.fp_iterations,
-            avg_llc_share_bytes: st.share_time_acc.iter().map(|&s| s / st.wall).collect(),
-            avg_mem_latency_ns: st.latency_time_acc / st.wall,
-            convergence: if st.degraded {
+            counters,
+            segments,
+            fp_iterations,
+            avg_llc_share_bytes: share_time_acc.iter().map(|&s| s / wall).collect(),
+            avg_mem_latency_ns: latency_time_acc / wall,
+            convergence: if degraded {
                 Convergence::Degraded {
-                    fp_iterations: st.fp_iterations,
-                    residual: st.worst_residual,
+                    fp_iterations,
+                    residual: worst_residual,
                 }
             } else {
                 Convergence::Converged
@@ -515,7 +714,7 @@ impl Machine {
     /// Convenience: run an app alone (the paper's baseline measurement).
     /// Borrows the profile directly — no per-query workload clone.
     pub fn run_solo(&self, app: &AppProfile, opts: &RunOptions) -> Result<RunOutcome> {
-        self.run_observed(&[GroupRef::solo(app)], opts, None, None)
+        self.run_observed(&[GroupRef::solo(app)], None, opts, None, None)
     }
 }
 

@@ -36,6 +36,11 @@ pub(crate) struct RunScratch {
     pub(crate) miss_rate: Vec<f64>,
     pub(crate) access_rate: Vec<f64>,
     pub(crate) occ_per_instance: Vec<f64>,
+    /// Per-group effective frequency for the current segment: the chip's
+    /// P-state frequency times the group's clock ratio (per-core DVFS).
+    /// Filled by `PStateStage`; `freq_hz × 1.0` is bit-identical to
+    /// `freq_hz`, so default schedules reproduce the lockstep numerics.
+    pub(crate) freq: Vec<f64>,
 }
 
 impl RunScratch {
@@ -58,6 +63,7 @@ impl RunScratch {
             miss_rate: vec![0.0; n_groups],
             access_rate: vec![0.0; n_groups],
             occ_per_instance: vec![0.0; n_groups],
+            freq: vec![0.0; n_groups],
         }
     }
 

@@ -51,16 +51,21 @@ pub enum StageId {
     /// Segment close-out: segment length, counter accrual, boundary
     /// snapping, completion/restart handling.
     CounterAccrual,
+    /// Discrete-event dispatch: popping due arrivals/departures off the
+    /// event queue and rebuilding the resident set for the next era.
+    /// Zero invocations for lockstep (default-schedule) runs.
+    EventDispatch,
 }
 
 impl StageId {
     /// Every stage, in driver execution order.
-    pub const ALL: [StageId; 5] = [
+    pub const ALL: [StageId; 6] = [
         StageId::PState,
         StageId::PhaseSync,
         StageId::LlcShare,
         StageId::DramFixedPoint,
         StageId::CounterAccrual,
+        StageId::EventDispatch,
     ];
 
     /// Stable human-readable name (used by `--stage-stats` output).
@@ -71,10 +76,11 @@ impl StageId {
             StageId::LlcShare => "llc-share",
             StageId::DramFixedPoint => "dram-fixed-point",
             StageId::CounterAccrual => "counter-accrual",
+            StageId::EventDispatch => "event-dispatch",
         }
     }
 
-    /// Dense index into per-stage arrays (`0..5`, driver order).
+    /// Dense index into per-stage arrays (`0..6`, driver order).
     pub fn index(self) -> usize {
         self as usize
     }
@@ -152,6 +158,18 @@ pub struct EpochState {
     /// Length of the segment just closed, seconds.
     pub(crate) dt: f64,
     pub(crate) target_done: bool,
+    /// Per-group clock ratios for the groups in this (era's) workload.
+    /// All 1.0 for lockstep runs — `freq_hz × 1.0` is exact, so the
+    /// generalization costs no bits on the default path.
+    pub(crate) clock: Vec<f64>,
+    /// Upper bound on the next segment's length, seconds: the distance
+    /// to the next scheduled event. `INFINITY` (never binding) for
+    /// lockstep runs; set by the event driver each segment.
+    pub(crate) dt_cap: f64,
+    /// True when the segment just closed was cut short by `dt_cap`
+    /// rather than a phase boundary — the driver's cue to dispatch
+    /// events and start a new era.
+    pub(crate) event_capped: bool,
 }
 
 impl EpochState {
@@ -176,6 +194,9 @@ impl EpochState {
             latency_ns: 0.0,
             dt: 0.0,
             target_done: false,
+            clock: vec![1.0; n_groups],
+            dt_cap: f64::INFINITY,
+            event_capped: false,
         }
     }
 
@@ -248,6 +269,12 @@ impl EpochStage for PStateStage {
             let remaining = env.opts.fp_budget.saturating_sub(st.fp_iterations);
             remaining.clamp(DEGRADED_FP_ITERS, MAX_FP_ITERS)
         };
+        // Per-group effective frequency: chip clock × clock ratio. A
+        // ratio of exactly 1.0 multiplies out to the chip frequency
+        // bit-for-bit, so lockstep runs see the lockstep numerics.
+        for gi in 0..env.workload.len() {
+            st.scratch.freq[gi] = st.freq_hz * st.clock[gi];
+        }
         Ok(StageFlow::Continue)
     }
 }
@@ -288,7 +315,7 @@ impl EpochStage for LlcShareStage {
         // Rates from current CPI.
         for gi in 0..n_groups {
             let ph = &env.workload[gi].app.phases[st.scratch.phase_info[gi].0];
-            st.scratch.access_rate[gi] = st.freq_hz / st.cpi[gi] * ph.accesses_per_instr;
+            st.scratch.access_rate[gi] = st.scratch.freq[gi] / st.cpi[gi] * ph.accesses_per_instr;
         }
 
         if !env.opts.llc_partitioned {
@@ -354,7 +381,7 @@ impl EpochStage for DramFixedPointStage {
             let ph = &env.workload[gi].app.phases[st.scratch.phase_info[gi].0];
             let stall_cycles_per_instr = ph.accesses_per_instr
                 * st.scratch.miss_rate[gi]
-                * (st.latency_ns * 1e-9 * st.freq_hz)
+                * (st.latency_ns * 1e-9 * st.scratch.freq[gi])
                 / ph.mlp;
             let target = ph.cpi_base + stall_cycles_per_instr;
             let next = 0.5 * st.cpi[gi] + 0.5 * target;
@@ -392,7 +419,7 @@ impl EpochStage for CounterAccrualStage {
 
         // Converged per-group rates and shares for this segment.
         for gi in 0..n_groups {
-            st.scratch.ips[gi] = st.freq_hz / st.cpi[gi];
+            st.scratch.ips[gi] = st.scratch.freq[gi] / st.cpi[gi];
             st.scratch.occ_per_instance[gi] = st.scratch.occ[st.scratch.group_first[gi]];
         }
 
@@ -404,6 +431,15 @@ impl EpochStage for CounterAccrualStage {
             if t < dt {
                 dt = t;
             }
+        }
+        // The next scheduled event caps the segment: strictly-less, so
+        // a boundary landing exactly on the event tick takes the
+        // boundary path (same arithmetic), and the lockstep cap of
+        // `INFINITY` never binds — that comparison is the *only* thing
+        // the event generalization adds to a default-schedule segment.
+        st.event_capped = st.dt_cap < dt;
+        if st.event_capped {
+            dt = st.dt_cap;
         }
         if !(dt.is_finite() && dt > 0.0) {
             return Err(MachineError::Numeric(format!(
@@ -420,7 +456,7 @@ impl EpochStage for CounterAccrualStage {
             let acc =
                 instr * env.workload[gi].app.phases[st.scratch.phase_info[gi].0].accesses_per_instr;
             st.counters[gi].instructions += instr;
-            st.counters[gi].cycles += st.freq_hz * dt;
+            st.counters[gi].cycles += st.scratch.freq[gi] * dt;
             st.counters[gi].llc_accesses += acc;
             st.counters[gi].llc_misses += acc * st.scratch.miss_rate[gi];
             st.share_time_acc[gi] += st.scratch.occ_per_instance[gi] * dt;
@@ -470,7 +506,7 @@ pub struct StageStats {
 /// driver only reads clocks when a profile is attached.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageProfile {
-    stats: [StageStats; 5],
+    stats: [StageStats; 6],
 }
 
 impl StageProfile {
@@ -505,8 +541,8 @@ impl StageProfile {
     }
 
     /// Per-stage invocation counts, indexed by [`StageId::index`].
-    pub fn invocations(&self) -> [u64; 5] {
-        let mut out = [0u64; 5];
+    pub fn invocations(&self) -> [u64; 6] {
+        let mut out = [0u64; 6];
         for id in StageId::ALL {
             out[id.index()] = self.stats[id.index()].invocations;
         }
@@ -514,8 +550,8 @@ impl StageProfile {
     }
 
     /// Per-stage nanoseconds, indexed by [`StageId::index`].
-    pub fn nanos(&self) -> [u64; 5] {
-        let mut out = [0u64; 5];
+    pub fn nanos(&self) -> [u64; 6] {
+        let mut out = [0u64; 6];
         for id in StageId::ALL {
             out[id.index()] = self.stats[id.index()].nanos;
         }
@@ -537,6 +573,13 @@ pub struct SegmentRecord {
     pub fp_iters: u64,
     /// Final relative CPI residual (0.0 = converged).
     pub residual: f64,
+    /// Scheduled events (arrivals/departures) dispatched when this
+    /// segment closed. Always 0 for lockstep runs; a positive count
+    /// marks an era boundary — the segment was cut at the event tick
+    /// rather than a phase boundary.
+    pub events: u32,
+    /// Groups resident (on core) during this segment.
+    pub resident_groups: usize,
 }
 
 /// Bounded ring buffer of the most recent [`SegmentRecord`]s from a
@@ -945,9 +988,9 @@ mod tests {
         );
         assert_eq!(a.get(StageId::PState).invocations, 1);
         assert_eq!(a.get(StageId::CounterAccrual), StageStats::default());
-        assert_eq!(a.invocations(), [1, 0, 3, 0, 0]);
-        assert_eq!(a.nanos(), [5, 0, 175, 0, 0]);
-        assert_eq!(a.iter().count(), 5);
+        assert_eq!(a.invocations(), [1, 0, 3, 0, 0, 0]);
+        assert_eq!(a.nanos(), [5, 0, 175, 0, 0, 0]);
+        assert_eq!(a.iter().count(), 6);
     }
 
     #[test]
@@ -960,6 +1003,8 @@ mod tests {
                 latency_ns: 60.0,
                 fp_iters: 2,
                 residual: 0.0,
+                events: 0,
+                resident_groups: 2,
             });
         }
         assert_eq!(t.len(), 3);
@@ -979,6 +1024,6 @@ mod tests {
         }
         let labels: std::collections::HashSet<_> =
             StageId::ALL.iter().map(|id| id.label()).collect();
-        assert_eq!(labels.len(), 5, "labels are unique");
+        assert_eq!(labels.len(), 6, "labels are unique");
     }
 }

@@ -1,0 +1,445 @@
+//! Deterministic discrete-event scheduling for the co-execution engine.
+//!
+//! The epoch pipeline of PR 4 advances every group in lockstep: all
+//! groups share one clock, start together, and run until the target
+//! completes. This module generalizes the driver into a discrete-event
+//! simulation without giving up bit-reproducibility:
+//!
+//! * [`GroupSchedule`] — per-group event-mode fields: a starting
+//!   `phase_offset`, an `arrival_tick` / `departure_tick` window on the
+//!   simulated clock, and a per-core `clock_ratio` (DVFS per group, not
+//!   per chip). The default schedule is exactly the lockstep contract,
+//!   and a workload whose schedules are all default runs through the
+//!   *same arithmetic, in the same order* as the lockstep pipeline —
+//!   the degenerate case is bit-identical, not merely close.
+//! * [`EventQueue`] — a binary min-heap of [`Event`]s ordered by
+//!   `(tick, seq)`. `seq` is the queue's own monotone insertion counter,
+//!   so the pop order is *total* (no two events compare equal) and
+//!   *stable* (same-tick events pop in insertion order). Event order —
+//!   and therefore the whole simulation — is a pure function of the
+//!   scenario, independent of thread count or heap internals.
+//!
+//! The driver in [`crate::engine`] consumes the queue era by era: an
+//! *era* is a maximal interval of the simulated clock with a fixed
+//! resident set. Within an era the unmodified stage passes run over the
+//! resident groups; segment lengths are additionally capped by the next
+//! event tick (`dt_cap`), and when the clock reaches that tick the
+//! resident set is rebuilt and the next era begins. See DESIGN.md §14
+//! for the tie-break rule and the lockstep-equivalence argument.
+
+use crate::{GroupRef, MachineError, Result};
+
+/// Per-group event-mode schedule. The [`Default`] value encodes the
+/// lockstep contract (present for the whole run, no phase offset, the
+/// chip clock) and is *canonically absent*: scenario digests only
+/// encode schedules when at least one group deviates from the default,
+/// so every pre-event scenario digests identically to before.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroupSchedule {
+    /// Starting position within the app, as a fraction of its total
+    /// instructions in `[0, 1)`. Applies to the group's first pass only;
+    /// a restarting co-runner restarts from progress 0 like before.
+    pub phase_offset: f64,
+    /// Simulated time (seconds) at which the group arrives. Groups with
+    /// a positive arrival tick are absent before it: they hold no LLC,
+    /// add no bandwidth, and accrue no counters. The target (group 0)
+    /// must arrive at 0.
+    pub arrival_tick: f64,
+    /// Simulated time (seconds) at which the group departs, or `None`
+    /// to stay for the whole run. Must be strictly after the arrival
+    /// tick. The target must not depart.
+    pub departure_tick: Option<f64>,
+    /// Per-group clock multiplier applied to the chip's P-state
+    /// frequency (per-core DVFS). Must be finite and positive; 1.0 is
+    /// the chip clock.
+    pub clock_ratio: f64,
+}
+
+impl Default for GroupSchedule {
+    fn default() -> GroupSchedule {
+        GroupSchedule {
+            phase_offset: 0.0,
+            arrival_tick: 0.0,
+            departure_tick: None,
+            clock_ratio: 1.0,
+        }
+    }
+}
+
+impl GroupSchedule {
+    /// True when this schedule is exactly the lockstep default — the
+    /// canonical form under which it is omitted from scenario digests.
+    pub fn is_default(&self) -> bool {
+        self.phase_offset == 0.0
+            && self.arrival_tick == 0.0
+            && self.departure_tick.is_none()
+            && self.clock_ratio == 1.0
+    }
+}
+
+/// True when `schedules` adds nothing over the lockstep default —
+/// either absent entirely or present with every entry default.
+pub fn schedules_are_default(schedules: Option<&[GroupSchedule]>) -> bool {
+    schedules.is_none_or(|s| s.iter().all(GroupSchedule::is_default))
+}
+
+/// What happens when an event fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The group with this (original workload) index leaves the machine.
+    Departure(usize),
+    /// The group with this (original workload) index arrives.
+    Arrival(usize),
+}
+
+/// One scheduled residency change, ordered by `(tick, seq)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Simulated time at which the event fires, seconds.
+    pub tick: f64,
+    /// Queue-assigned insertion sequence number: the total-order
+    /// tie-break for same-tick events.
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+/// A deterministic binary min-heap of [`Event`]s. Pop order is strictly
+/// increasing in `(tick, seq)`: `seq` is assigned by [`EventQueue::push`]
+/// in call order, so equal-tick events pop in insertion order and the
+/// order is a pure function of the push sequence.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    next_seq: u64,
+    /// Largest tick popped so far — lets callers (and the property
+    /// suite) assert that the schedule never moves backwards.
+    last_tick: Option<f64>,
+}
+
+/// Max-heap entry with reversed ordering: the smallest `(tick, seq)`
+/// surfaces first.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry(Event);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &HeapEntry) -> bool {
+        self.0.tick.total_cmp(&other.0.tick).is_eq() && self.0.seq == other.0.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &HeapEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &HeapEntry) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want min-(tick, seq).
+        other
+            .0
+            .tick
+            .total_cmp(&self.0.tick)
+            .then(other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at `tick`, assigning the next sequence number.
+    /// Ticks must be finite (the engine validates schedules before
+    /// building the queue; debug builds assert it).
+    pub fn push(&mut self, tick: f64, kind: EventKind) {
+        debug_assert!(tick.is_finite(), "event tick must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { tick, seq, kind }));
+    }
+
+    /// The tick of the next event, if any.
+    pub fn peek_tick(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.0.tick)
+    }
+
+    /// Pop the next event in `(tick, seq)` order. Panics in debug
+    /// builds if the schedule would move backwards — the heap invariant
+    /// the property suite pins.
+    pub fn pop(&mut self) -> Option<Event> {
+        let ev = self.heap.pop()?.0;
+        if let Some(last) = self.last_tick {
+            debug_assert!(
+                ev.tick >= last,
+                "event clock moved backwards: {} after {}",
+                ev.tick,
+                last
+            );
+        }
+        self.last_tick = Some(ev.tick);
+        Some(ev)
+    }
+
+    /// Pop every event with `tick <= horizon`, in `(tick, seq)` order.
+    pub fn pop_through(&mut self, horizon: f64) -> Vec<Event> {
+        let mut fired = Vec::new();
+        while let Some(t) = self.peek_tick() {
+            if t > horizon {
+                break;
+            }
+            fired.push(self.pop().expect("peeked event must pop"));
+        }
+        fired
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Build the event queue for a validated schedule set: one departure
+/// and/or arrival per non-default group. All departures are pushed
+/// before all arrivals (each in group order), so at equal ticks a
+/// departing group frees its cores before an arriving group claims
+/// capacity — the same order [`validate_schedules`] uses for its peak
+/// concurrency check.
+pub fn build_queue(schedules: &[GroupSchedule]) -> EventQueue {
+    let mut q = EventQueue::new();
+    for (g, s) in schedules.iter().enumerate() {
+        if let Some(t) = s.departure_tick {
+            q.push(t, EventKind::Departure(g));
+        }
+    }
+    for (g, s) in schedules.iter().enumerate() {
+        if s.arrival_tick > 0.0 {
+            q.push(s.arrival_tick, EventKind::Arrival(g));
+        }
+    }
+    q
+}
+
+/// Peak number of cores simultaneously resident under `schedules`:
+/// the capacity the machine must actually provide. Departures free
+/// capacity before same-tick arrivals claim it, matching the queue's
+/// pop order.
+pub fn peak_cores(workload: &[GroupRef<'_>], schedules: &[GroupSchedule]) -> usize {
+    // (tick, is_arrival, delta) — departures sort before arrivals at
+    // the same tick via the bool.
+    let mut deltas: Vec<(f64, bool, isize)> = Vec::with_capacity(2 * workload.len());
+    for (g, s) in schedules.iter().enumerate() {
+        let count = workload[g].count as isize;
+        deltas.push((s.arrival_tick, true, count));
+        if let Some(t) = s.departure_tick {
+            deltas.push((t, false, -count));
+        }
+    }
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut now: isize = 0;
+    let mut peak: isize = 0;
+    for (_, _, d) in deltas {
+        now += d;
+        peak = peak.max(now);
+    }
+    peak.max(0) as usize
+}
+
+/// Validate `schedules` against `workload`: one schedule per group,
+/// finite fields in range, target resident for the whole run, and a
+/// well-ordered arrival/departure window per group. Shared verbatim by
+/// the optimized engine and the conformance [`RefEngine`] so both
+/// reject exactly the same inputs with exactly the same typed error.
+///
+/// [`RefEngine`]: ../../coloc_conformance/refengine/struct.RefEngine.html
+pub fn validate_schedules(workload: &[GroupRef<'_>], schedules: &[GroupSchedule]) -> Result<()> {
+    if schedules.len() != workload.len() {
+        return Err(MachineError::BadSchedule(format!(
+            "{} schedules for {} groups",
+            schedules.len(),
+            workload.len()
+        )));
+    }
+    for (g, s) in schedules.iter().enumerate() {
+        let name = &workload[g].app.name;
+        if !(s.phase_offset.is_finite() && (0.0..1.0).contains(&s.phase_offset)) {
+            return Err(MachineError::BadSchedule(format!(
+                "{name}: phase_offset {} outside [0, 1)",
+                s.phase_offset
+            )));
+        }
+        if !(s.arrival_tick.is_finite() && s.arrival_tick >= 0.0) {
+            return Err(MachineError::BadSchedule(format!(
+                "{name}: arrival_tick {} is not a finite time ≥ 0",
+                s.arrival_tick
+            )));
+        }
+        if let Some(t) = s.departure_tick {
+            if !(t.is_finite() && t > s.arrival_tick) {
+                return Err(MachineError::BadSchedule(format!(
+                    "{name}: departure_tick {t} must be finite and after arrival \
+                     ({})",
+                    s.arrival_tick
+                )));
+            }
+        }
+        if !(s.clock_ratio.is_finite() && s.clock_ratio > 0.0) {
+            return Err(MachineError::BadSchedule(format!(
+                "{name}: clock_ratio {} must be finite and positive",
+                s.clock_ratio
+            )));
+        }
+        if g == 0 && (s.arrival_tick != 0.0 || s.departure_tick.is_some()) {
+            return Err(MachineError::BadSchedule(format!(
+                "{name}: the target must be resident for the whole run \
+                 (arrival 0, no departure)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppPhase, AppProfile};
+    use coloc_cachesim::StackDistanceDist;
+
+    fn app(name: &str) -> AppProfile {
+        AppProfile::single_phase(
+            name,
+            1e9,
+            AppPhase {
+                weight: 1.0,
+                dist: StackDistanceDist::power_law(10_000, 1.0, 0.01),
+                accesses_per_instr: 0.01,
+                cpi_base: 1.0,
+                mlp: 2.0,
+            },
+        )
+    }
+
+    fn sched(arrival: f64, departure: Option<f64>) -> GroupSchedule {
+        GroupSchedule {
+            arrival_tick: arrival,
+            departure_tick: departure,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_schedule_is_canonical_lockstep() {
+        let d = GroupSchedule::default();
+        assert!(d.is_default());
+        assert!(schedules_are_default(None));
+        assert!(schedules_are_default(Some(&[d, d])));
+        assert!(!schedules_are_default(Some(&[
+            d,
+            GroupSchedule {
+                clock_ratio: 0.5,
+                ..Default::default()
+            }
+        ])));
+    }
+
+    #[test]
+    fn queue_orders_by_tick_then_insertion_seq() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::Arrival(0));
+        q.push(1.0, EventKind::Departure(1));
+        q.push(1.0, EventKind::Arrival(2));
+        q.push(0.5, EventKind::Arrival(3));
+        let order: Vec<(f64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.tick, e.seq))
+            .collect();
+        assert_eq!(order, vec![(0.5, 3), (1.0, 1), (1.0, 2), (2.0, 0)]);
+    }
+
+    #[test]
+    fn build_queue_fires_departures_before_same_tick_arrivals() {
+        let schedules = [
+            GroupSchedule::default(),
+            sched(0.0, Some(1.0)),
+            sched(1.0, None),
+        ];
+        let mut q = build_queue(&schedules);
+        let fired = q.pop_through(1.0);
+        assert_eq!(
+            fired.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![EventKind::Departure(1), EventKind::Arrival(2)]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peak_cores_tracks_concurrent_residency() {
+        let a0 = app("t");
+        let a1 = app("x");
+        let a2 = app("y");
+        let wl = [
+            GroupRef { app: &a0, count: 1 },
+            GroupRef { app: &a1, count: 3 },
+            GroupRef { app: &a2, count: 3 },
+        ];
+        // Disjoint windows: 3 departs at 1.0 exactly when the other 3
+        // arrive, so the peak is 4, not 7.
+        let schedules = [
+            GroupSchedule::default(),
+            sched(0.0, Some(1.0)),
+            sched(1.0, None),
+        ];
+        assert_eq!(peak_cores(&wl, &schedules), 4);
+        // Overlapping windows count together.
+        let schedules = [
+            GroupSchedule::default(),
+            sched(0.0, Some(2.0)),
+            sched(1.0, None),
+        ];
+        assert_eq!(peak_cores(&wl, &schedules), 7);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_schedules() {
+        let a0 = app("t");
+        let a1 = app("x");
+        let wl = [
+            GroupRef { app: &a0, count: 1 },
+            GroupRef { app: &a1, count: 1 },
+        ];
+        let ok = [GroupSchedule::default(), sched(0.5, Some(1.5))];
+        assert!(validate_schedules(&wl, &ok).is_ok());
+
+        let wrong_len = [GroupSchedule::default()];
+        assert!(matches!(
+            validate_schedules(&wl, &wrong_len),
+            Err(MachineError::BadSchedule(_))
+        ));
+        let bad_offset = [
+            GroupSchedule::default(),
+            GroupSchedule {
+                phase_offset: 1.0,
+                ..Default::default()
+            },
+        ];
+        assert!(validate_schedules(&wl, &bad_offset).is_err());
+        let departs_before_arrival = [GroupSchedule::default(), sched(2.0, Some(1.0))];
+        assert!(validate_schedules(&wl, &departs_before_arrival).is_err());
+        let target_leaves = [sched(0.0, Some(1.0)), GroupSchedule::default()];
+        assert!(validate_schedules(&wl, &target_leaves).is_err());
+        let bad_clock = [
+            GroupSchedule::default(),
+            GroupSchedule {
+                clock_ratio: 0.0,
+                ..Default::default()
+            },
+        ];
+        assert!(validate_schedules(&wl, &bad_clock).is_err());
+    }
+}

@@ -34,6 +34,7 @@
 
 use crate::app::AppProfile;
 use crate::engine::{Machine, RunOptions, RunnerGroup};
+use crate::event::GroupSchedule;
 use crate::faults::FaultPlan;
 use crate::spec::MachineSpec;
 
@@ -263,7 +264,23 @@ pub fn encode_scenario(
     opts: &RunOptions,
     faults: Option<&FaultPlan>,
 ) {
-    encode_scenario_inner(d, spec, workload, opts, faults, None)
+    encode_scenario_inner(d, spec, workload, opts, faults, None, None)
+}
+
+/// [`encode_scenario`] plus per-group event schedules. Schedules are
+/// encoded *only when at least one group deviates from the lockstep
+/// default* — the canonical byte stream of a default-scheduled scenario
+/// is identical to the schedule-less stream, so every pre-event digest
+/// (cache keys, checkpoints, the pinned fixture) is unchanged.
+pub fn encode_scenario_scheduled(
+    d: &mut IrWriter,
+    spec: &MachineSpec,
+    workload: &[RunnerGroup],
+    opts: &RunOptions,
+    faults: Option<&FaultPlan>,
+    schedules: Option<&[GroupSchedule]>,
+) {
+    encode_scenario_inner(d, spec, workload, opts, faults, schedules, None)
 }
 
 fn encode_scenario_inner(
@@ -272,6 +289,7 @@ fn encode_scenario_inner(
     workload: &[RunnerGroup],
     opts: &RunOptions,
     faults: Option<&FaultPlan>,
+    schedules: Option<&[GroupSchedule]>,
     memo: Option<&DigestMemo>,
 ) {
     d.str(&spec.name);
@@ -311,6 +329,31 @@ fn encode_scenario_inner(
         }
         _ => d.byte(0),
     }
+    // Event schedules append *after* the fault tag, and only when they
+    // deviate from lockstep: an all-default (or absent) schedule adds no
+    // bytes, so it digests — and therefore caches and checkpoints —
+    // exactly like the scenarios that predate event scheduling. The tag
+    // byte 2 opens the block (the fault tag above is always 0 or 1, so
+    // the stream stays prefix-free).
+    match schedules {
+        Some(s) if !crate::event::schedules_are_default(Some(s)) => {
+            d.byte(2);
+            d.usize(s.len());
+            for g in s {
+                d.f64(g.phase_offset);
+                d.f64(g.arrival_tick);
+                match g.departure_tick {
+                    Some(t) => {
+                        d.byte(1);
+                        d.f64(t);
+                    }
+                    None => d.byte(0),
+                }
+                d.f64(g.clock_ratio);
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Digest of a complete scenario from borrowed parts (no [`ScenarioIr`]
@@ -326,6 +369,20 @@ pub fn scenario_digest(
     d.finish()
 }
 
+/// [`scenario_digest`] with per-group event schedules included in the
+/// encoded bytes (all-default schedules digest identically to `None`).
+pub fn scenario_digest_scheduled(
+    spec: &MachineSpec,
+    workload: &[RunnerGroup],
+    opts: &RunOptions,
+    faults: Option<&FaultPlan>,
+    schedules: Option<&[GroupSchedule]>,
+) -> u128 {
+    let mut d = IrWriter::new();
+    encode_scenario_scheduled(&mut d, spec, workload, opts, faults, schedules);
+    d.finish()
+}
+
 /// [`scenario_digest`] accelerated by a [`DigestMemo`]: bit-identical
 /// output, with each previously seen locality-table block replayed as one
 /// multiply-add instead of a byte-by-byte hash.
@@ -336,8 +393,20 @@ pub fn scenario_digest_memo(
     opts: &RunOptions,
     faults: Option<&FaultPlan>,
 ) -> u128 {
+    scenario_digest_memo_scheduled(memo, spec, workload, opts, faults, None)
+}
+
+/// [`scenario_digest_scheduled`] with memo acceleration.
+pub fn scenario_digest_memo_scheduled(
+    memo: &DigestMemo,
+    spec: &MachineSpec,
+    workload: &[RunnerGroup],
+    opts: &RunOptions,
+    faults: Option<&FaultPlan>,
+    schedules: Option<&[GroupSchedule]>,
+) -> u128 {
     let mut d = IrWriter::new();
-    encode_scenario_inner(&mut d, spec, workload, opts, faults, Some(memo));
+    encode_scenario_inner(&mut d, spec, workload, opts, faults, schedules, Some(memo));
     d.finish()
 }
 
@@ -359,6 +428,10 @@ pub struct ScenarioIr {
     pub opts: RunOptions,
     /// Optional measurement-fault plan.
     pub faults: Option<FaultPlan>,
+    /// Optional per-group event schedules (one per workload group).
+    /// `None` — and the all-default schedule — mean lockstep, and add no
+    /// bytes to the canonical encoding.
+    pub schedules: Option<Vec<GroupSchedule>>,
 }
 
 impl ScenarioIr {
@@ -369,6 +442,7 @@ impl ScenarioIr {
             workload,
             opts,
             faults: None,
+            schedules: None,
         }
     }
 
@@ -378,27 +452,35 @@ impl ScenarioIr {
         self
     }
 
+    /// Attach per-group event schedules (one entry per workload group).
+    pub fn with_schedules(mut self, schedules: Vec<GroupSchedule>) -> ScenarioIr {
+        self.schedules = Some(schedules);
+        self
+    }
+
     /// The canonical 128-bit digest of this scenario (see the module docs
     /// for the encoding rules). Equal to the run-cache key of the same
     /// `(machine, workload, opts, faults)`.
     pub fn digest(&self) -> u128 {
-        scenario_digest(
+        scenario_digest_scheduled(
             &self.machine,
             &self.workload,
             &self.opts,
             self.faults.as_ref(),
+            self.schedules.as_deref(),
         )
     }
 
     /// [`ScenarioIr::digest`] folded to 64 bits for persisted headers.
     pub fn digest64(&self) -> u64 {
         let mut d = IrWriter::new();
-        encode_scenario(
+        encode_scenario_scheduled(
             &mut d,
             &self.machine,
             &self.workload,
             &self.opts,
             self.faults.as_ref(),
+            self.schedules.as_deref(),
         );
         d.finish64()
     }

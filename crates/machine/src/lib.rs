@@ -29,6 +29,7 @@
 pub mod app;
 pub mod cache;
 pub mod engine;
+pub mod event;
 pub mod faults;
 pub mod governor;
 pub mod ir;
@@ -44,6 +45,7 @@ pub use engine::{
     Convergence, CounterBlock, EpochStage, GroupRef, Machine, RunOptions, RunOutcome, RunnerGroup,
     SegmentRecord, SegmentTrace, StageFlow, StageId, StageProfile, StageStats,
 };
+pub use event::{Event, EventKind, EventQueue, GroupSchedule};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use governor::{run_throttled, GovernorConfig, ThermalModel, ThrottledOutcome};
 pub use ir::{DigestMemo, IrWriter, ScenarioIr};
@@ -81,6 +83,9 @@ pub enum MachineError {
     Numeric(String),
     /// A fault plan failed validation (rate outside [0, 1]…).
     InvalidFaultPlan(String),
+    /// An event schedule failed validation (offset outside [0, 1),
+    /// departure before arrival, an absent target…).
+    BadSchedule(String),
 }
 
 impl std::fmt::Display for MachineError {
@@ -108,6 +113,7 @@ impl std::fmt::Display for MachineError {
             MachineError::InvalidSpec(s) => write!(f, "invalid machine spec: {s}"),
             MachineError::Numeric(s) => write!(f, "numeric degeneracy: {s}"),
             MachineError::InvalidFaultPlan(s) => write!(f, "invalid fault plan: {s}"),
+            MachineError::BadSchedule(s) => write!(f, "invalid event schedule: {s}"),
         }
     }
 }

@@ -14,7 +14,7 @@
 
 use coloc_cachesim::StackDistanceDist;
 use coloc_machine::{
-    presets, AppPhase, AppProfile, FaultPlan, RunOptions, RunnerGroup, ScenarioIr,
+    presets, AppPhase, AppProfile, FaultPlan, GroupSchedule, RunOptions, RunnerGroup, ScenarioIr,
 };
 use std::path::PathBuf;
 
@@ -129,12 +129,97 @@ fn pinned_scenarios() -> Vec<(&'static str, ScenarioIr)> {
     )
     .with_faults(FaultPlan::default());
 
+    // Event schedules: a staggered, windowed, clock-ratioed co-runner.
+    // The schedule block is appended to the encoding only when some
+    // field is non-default, so this entry pins the extended format while
+    // the five entries above pin that lockstep scenarios still encode
+    // exactly as they did before schedules existed.
+    let scheduled = ScenarioIr::new(
+        presets::xeon_e5649(),
+        vec![
+            RunnerGroup::solo(hungry("target", 80e9)),
+            RunnerGroup {
+                app: hungry("co", 60e9),
+                count: 2,
+            },
+        ],
+        RunOptions {
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .with_schedules(vec![
+        GroupSchedule::default(),
+        GroupSchedule {
+            phase_offset: 0.25,
+            arrival_tick: 0.015625,
+            departure_tick: Some(0.25),
+            clock_ratio: 1.25,
+        },
+    ]);
+
+    // Departure-free variant: pins the Option-tag byte in the encoding.
+    let scheduled_no_departure = ScenarioIr::new(
+        presets::xeon_e5649(),
+        vec![
+            RunnerGroup::solo(hungry("target", 80e9)),
+            RunnerGroup {
+                app: hungry("co", 60e9),
+                count: 2,
+            },
+        ],
+        RunOptions {
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .with_schedules(vec![
+        GroupSchedule::default(),
+        GroupSchedule {
+            phase_offset: 0.25,
+            arrival_tick: 0.015625,
+            departure_tick: None,
+            clock_ratio: 1.25,
+        },
+    ]);
+
+    // Scheduled *and* faulted: the schedule block sits after the fault
+    // block, so their composition is its own encoding axis.
+    let scheduled_faulted = ScenarioIr::new(
+        presets::xeon_e5649(),
+        vec![
+            RunnerGroup::solo(hungry("target", 80e9)),
+            RunnerGroup {
+                app: hungry("co", 60e9),
+                count: 2,
+            },
+        ],
+        RunOptions {
+            seed: 11,
+            noise_sigma: 0.008,
+            ..Default::default()
+        },
+    )
+    .with_faults(FaultPlan::heavy(123))
+    .with_schedules(vec![
+        GroupSchedule::default(),
+        GroupSchedule {
+            phase_offset: 0.5,
+            arrival_tick: 0.0,
+            departure_tick: Some(0.125),
+            clock_ratio: 1.0,
+        },
+    ]);
+
     vec![
         ("solo", solo),
         ("contended", contended),
         ("partitioned-budgeted", partitioned_budgeted),
         ("faulted-heavy", faulted),
         ("faulted-noop", noop_faulted),
+        ("scheduled", scheduled),
+        ("scheduled-no-departure", scheduled_no_departure),
+        ("scheduled-faulted", scheduled_faulted),
     ]
 }
 
@@ -171,6 +256,37 @@ fn pinned_digests_are_pairwise_distinct() {
     for (i, (na, a)) in scenarios.iter().enumerate() {
         for (nb, b) in &scenarios[i + 1..] {
             assert_ne!(a.digest(), b.digest(), "{na} collides with {nb}");
+        }
+    }
+}
+
+#[test]
+fn default_schedules_leave_every_pinned_digest_unchanged() {
+    // An all-default schedule vector is canonicalized away: attaching it
+    // to *any* scenario must reproduce the schedule-free digest exactly.
+    // This is the compatibility contract that keeps pre-event cache
+    // entries, checkpoints, and corpus digests valid.
+    for (name, ir) in pinned_scenarios() {
+        let n = ir.workload.len();
+        let with_defaults = ir.clone().with_schedules(vec![GroupSchedule::default(); n]);
+        if ir
+            .schedules
+            .as_deref()
+            .is_none_or(|s| s.iter().all(GroupSchedule::is_default))
+        {
+            assert_eq!(
+                ir.digest(),
+                with_defaults.digest(),
+                "{name}: default schedules moved the digest"
+            );
+        } else {
+            // A genuinely scheduled scenario must NOT collide with its
+            // lockstep shadow — the block has to be hashed when present.
+            assert_ne!(
+                ir.digest(),
+                with_defaults.digest(),
+                "{name}: schedule block is not part of the digest"
+            );
         }
     }
 }

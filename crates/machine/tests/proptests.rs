@@ -1,7 +1,10 @@
 //! Property-based tests for the co-execution engine's invariants.
 
 use coloc_cachesim::StackDistanceDist;
-use coloc_machine::{presets, AppPhase, AppProfile, Machine, RunOptions, RunnerGroup};
+use coloc_machine::{
+    presets, AppPhase, AppProfile, EventKind, EventQueue, GroupSchedule, Machine, RunOptions,
+    RunnerGroup,
+};
 use proptest::prelude::*;
 
 fn app_strategy() -> impl Strategy<Value = AppProfile> {
@@ -111,5 +114,115 @@ proptest! {
         // Equal fixed shares.
         let slice = m.spec().llc_bytes as f64 / (n + 1) as f64;
         prop_assert!((parts.avg_llc_share_bytes[0] - slice).abs() < 1.0);
+    }
+
+    /// The event queue's pop order is a *total* order on `(tick, seq)`:
+    /// ticks never move backwards, and events at equal ticks pop in push
+    /// (sequence) order — the stable tie-break that makes the scheduler
+    /// deterministic.
+    #[test]
+    fn event_queue_pop_order_is_total_and_stable(
+        ticks in prop::collection::vec(0u32..16, 1..64),
+    ) {
+        // Draw from a small integer palette so equal ticks are common —
+        // the tie-break is the property under test.
+        let mut queue = EventQueue::new();
+        for (i, &t) in ticks.iter().enumerate() {
+            // Alternate kinds; the order must not depend on the payload.
+            let kind = if i % 2 == 0 {
+                EventKind::Arrival(i)
+            } else {
+                EventKind::Departure(i)
+            };
+            queue.push(f64::from(t) * 0.125, kind);
+        }
+        prop_assert_eq!(queue.len(), ticks.len());
+
+        let mut popped = Vec::new();
+        while let Some(next) = queue.peek_tick() {
+            let ev = queue.pop().unwrap();
+            // `peek_tick` previews exactly the event `pop` returns.
+            prop_assert_eq!(next.to_bits(), ev.tick.to_bits());
+            popped.push(ev);
+        }
+        prop_assert_eq!(popped.len(), ticks.len());
+        for pair in popped.windows(2) {
+            // Ticks are non-decreasing…
+            prop_assert!(pair[1].tick >= pair[0].tick, "tick moved backwards");
+            // …and ties break by sequence number, i.e. push order.
+            if pair[0].tick == pair[1].tick {
+                prop_assert!(pair[0].seq < pair[1].seq, "tie-break not stable");
+            }
+        }
+    }
+
+    /// `pop_through` drains exactly the prefix at or before the horizon,
+    /// in the same total order `pop` would produce.
+    #[test]
+    fn event_queue_pop_through_respects_the_horizon(
+        ticks in prop::collection::vec(0u32..16, 1..48),
+        horizon in 0u32..16,
+    ) {
+        let horizon = f64::from(horizon) * 0.125;
+        let mut queue = EventQueue::new();
+        let mut mirror = EventQueue::new();
+        for (i, &t) in ticks.iter().enumerate() {
+            queue.push(f64::from(t) * 0.125, EventKind::Arrival(i));
+            mirror.push(f64::from(t) * 0.125, EventKind::Arrival(i));
+        }
+        let fired = queue.pop_through(horizon);
+        // Everything fired is within the horizon; everything left is past it.
+        for ev in &fired {
+            prop_assert!(ev.tick <= horizon);
+        }
+        if let Some(next) = queue.peek_tick() {
+            prop_assert!(next > horizon);
+        }
+        // The fired prefix matches a pop-by-pop drain exactly.
+        for ev in &fired {
+            let expect = mirror.pop().unwrap();
+            prop_assert_eq!(expect.tick.to_bits(), ev.tick.to_bits());
+            prop_assert_eq!(expect.seq, ev.seq);
+        }
+    }
+
+    /// Scheduled (event-mode) runs are deterministic: re-running the same
+    /// schedule yields bit-identical outcomes, and a departing co-runner
+    /// never makes the target slower than the same co-runner staying.
+    #[test]
+    fn scheduled_runs_are_deterministic(
+        target in app_strategy(),
+        co in app_strategy(),
+        n in 1usize..4,
+        stay_num in 1u32..8,
+    ) {
+        let m = Machine::new(presets::xeon_e5649()).expect("valid preset");
+        let wl = vec![
+            RunnerGroup::solo(target.clone()),
+            RunnerGroup { app: co, count: n },
+        ];
+        let solo = m.run_solo(&target, &RunOptions::default()).unwrap();
+        // Departure mid-run, as a binary fraction of the solo wall time
+        // (any exact value works; exactness just keeps the test honest).
+        let depart = solo.wall_time_s * (f64::from(stay_num) / 8.0);
+        let schedules = vec![
+            GroupSchedule::default(),
+            GroupSchedule { departure_tick: Some(depart), ..GroupSchedule::default() },
+        ];
+        let a = m.run_scheduled(&wl, Some(&schedules), &RunOptions::default()).unwrap();
+        let b = m.run_scheduled(&wl, Some(&schedules), &RunOptions::default()).unwrap();
+        prop_assert_eq!(a.wall_time_s.to_bits(), b.wall_time_s.to_bits());
+        for (ca, cb) in a.counters.iter().zip(&b.counters) {
+            prop_assert_eq!(ca.cycles.to_bits(), cb.cycles.to_bits());
+            prop_assert_eq!(ca.instructions.to_bits(), cb.instructions.to_bits());
+        }
+        // Leaving early can only help the target (or leave it unchanged).
+        let full = m.run(&wl, &RunOptions::default()).unwrap();
+        prop_assert!(
+            a.wall_time_s <= full.wall_time_s * 1.001,
+            "departure at {} made the target slower: {} vs {}",
+            depart, a.wall_time_s, full.wall_time_s
+        );
+        prop_assert!(a.wall_time_s >= solo.wall_time_s * 0.999);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Usage: `repro <artifact>` where artifact is one of
 //! `table1..table6`, `fig1..fig5b`, `pca`, `sweep`, `chaos`, `conformance`,
-//! `perf`, `serve-bench`, or `all`.
+//! `perf`, `placement`, `serve-bench`, or `all`.
 //!
 //! Expensive intermediates (training sweeps, model-grid validations) are
 //! cached as JSON under `repro-out/`; delete that directory to force a full
@@ -55,6 +55,7 @@ fn main() {
         "chaos" => coloc_bench::chaos::run_chaos(),
         "conformance" => coloc_bench::conformance::run_conformance(),
         "perf" => coloc_bench::perf::run_perf(),
+        "placement" => coloc_bench::placement::run_placement(),
         "serve-bench" => coloc_bench::serve_bench::run_serve_bench(),
         "ablations" => {
             ablation("Training-set size", coloc_bench::ablations::train_size());
@@ -101,7 +102,7 @@ fn main() {
             eprintln!("unknown artifact `{other}`");
             eprintln!(
                 "expected: table1..table6, fig1..fig5b, pca, importance, sweep, chaos, \
-                 conformance, perf, serve-bench, all, \
+                 conformance, perf, placement, serve-bench, all, \
                  ablations, \
                  ablation-{{size,noise,hidden,hetero,classavg,quad,partition,phases}}"
             );

@@ -15,6 +15,7 @@ pub mod chaos;
 pub mod conformance;
 pub mod figures;
 pub mod perf;
+pub mod placement;
 pub mod serve_bench;
 pub mod synth;
 pub mod tables;

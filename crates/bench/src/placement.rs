@@ -1,0 +1,307 @@
+//! `repro placement` — the million-job placement benchmark (PR 9).
+//!
+//! Streams synthetic jobs through a simulated fleet with every
+//! [`coloc_placement::PlacePolicy`] and scores each against the
+//! simulator-as-oracle,
+//! writing `BENCH_9.json` at the workspace root. The artifact carries two
+//! sections:
+//!
+//! * **smoke** — a pinned small run (10⁴ jobs, 32 sockets) whose scored
+//!   outcome is *bit-deterministic across machines and thread counts*.
+//!   CI regenerates it on every change and gates the regret-bounded
+//!   policy's regret against the committed baseline (+10 % headroom) and
+//!   its wall-clock throughput against a generous relative floor.
+//! * **full** — the headline N=10⁶ run over a 1024-socket mixed fleet
+//!   (regret per policy at a million jobs). Expensive, so CI's smoke-only
+//!   mode (`COLOC_PLACEMENT_SMOKE_ONLY=1`) carries the committed section
+//!   forward verbatim; regenerating it locally is one
+//!   `cargo run --release -p coloc-bench --bin repro placement`.
+//!
+//! Like `repro perf`, committed baselines are carried forward on
+//! regeneration so the gate always compares against the committed
+//! trajectory, not against the run that happens to rewrite the file.
+
+use crate::SEED;
+use coloc_placement::{ClassMix, FleetSpec, PlacementReport, PlacementSim, SimConfig};
+use std::path::PathBuf;
+
+/// PR number stamped into the artifact name (`BENCH_9.json`).
+pub const PLACEMENT_PR: u32 = 9;
+
+/// Relative headroom the regret gate tolerates over the committed
+/// smoke-scale baseline before failing.
+pub const REGRET_TOLERANCE: f64 = 0.10;
+
+/// Fraction of the committed smoke-scale jobs/sec below which the
+/// wall-clock gate fails (CI runners are slow and noisy; the gate
+/// catches order-of-magnitude collapses, not jitter).
+pub const THROUGHPUT_FLOOR_FRACTION: f64 = 0.25;
+
+/// Jobs in the pinned smoke run.
+pub const SMOKE_JOBS: usize = 10_000;
+/// Fleet scale of the smoke run (8 sockets per unit).
+pub const SMOKE_SCALE: usize = 4;
+/// Jobs in the full headline run.
+pub const FULL_JOBS: usize = 1_000_000;
+/// Fleet scale of the full run: 1024 sockets, 9472 cores.
+pub const FULL_SCALE: usize = 128;
+
+/// The `BENCH_9.json` artifact.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PlacementBench {
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// PR that produced this artifact.
+    pub pr: u32,
+    /// Master seed of both runs.
+    pub seed: u64,
+    /// Regret gate reference: the regret-bounded policy's smoke-scale
+    /// mean regret committed with the artifact (carried forward on
+    /// regeneration).
+    pub baseline_smoke_regret_mean: f64,
+    /// Wall-clock gate reference: the regret-bounded policy's smoke-scale
+    /// jobs/sec committed with the artifact (carried forward).
+    pub baseline_smoke_jobs_per_sec: f64,
+    /// The pinned deterministic smoke run (10⁴ jobs).
+    pub smoke: PlacementReport,
+    /// The headline million-job run; `None` until first generated, and
+    /// carried forward verbatim in smoke-only mode.
+    pub full: Option<PlacementReport>,
+}
+
+/// The smoke configuration: pinned, small, bit-deterministic.
+pub fn smoke_config() -> SimConfig {
+    SimConfig {
+        fleet: FleetSpec::standard(SMOKE_SCALE),
+        jobs: SMOKE_JOBS,
+        mix: ClassMix::memory_heavy(),
+        seed: SEED,
+        pstate: 0,
+        qos_threshold: 1.5,
+        noise_sigma: None,
+        threads: 0,
+    }
+}
+
+/// The full configuration (env-overridable: `COLOC_PLACEMENT_JOBS`,
+/// `COLOC_PLACEMENT_SCALE`).
+pub fn full_config() -> SimConfig {
+    let jobs = env_usize("COLOC_PLACEMENT_JOBS", FULL_JOBS);
+    let scale = env_usize("COLOC_PLACEMENT_SCALE", FULL_SCALE);
+    SimConfig {
+        fleet: FleetSpec::standard(scale),
+        jobs,
+        mix: ClassMix::memory_heavy(),
+        seed: SEED,
+        pstate: 0,
+        qos_threshold: 1.5,
+        noise_sigma: None,
+        threads: 0,
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Where the committed artifact lives: the workspace root (override with
+/// `COLOC_BENCH_DIR`, shared with `repro perf`).
+pub fn artifact_path() -> PathBuf {
+    std::env::var_os("COLOC_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")))
+        .join(format!("BENCH_{PLACEMENT_PR}.json"))
+}
+
+fn committed_report() -> Option<PlacementBench> {
+    std::fs::read(artifact_path())
+        .ok()
+        .and_then(|bytes| serde_json::from_slice(&bytes).ok())
+}
+
+fn print_report(label: &str, report: &PlacementReport) {
+    println!(
+        "{label}: {} jobs over {} sockets / {} cores ({} waves worth of capacity)",
+        report.jobs,
+        report.total_sockets,
+        report.total_cores,
+        report.jobs.div_ceil(report.total_cores.max(1)),
+    );
+    println!(
+        "  {:<34} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "policy", "regret", "oracle-sd", "unfair", "qos", "sockets", "jobs/s"
+    );
+    for p in &report.policies {
+        println!(
+            "  {:<34} {:>10.4} {:>10.4} {:>10.3} {:>8} {:>8} {:>10.0}",
+            p.policy,
+            p.regret_mean,
+            p.oracle_mean_slowdown,
+            p.unfairness,
+            p.qos_violations,
+            p.sockets_used,
+            p.jobs_per_sec
+        );
+    }
+}
+
+fn relational_gates(label: &str, report: &PlacementReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let ff = report.policy("pack-first-fit");
+    let li = report.policy("least-interference");
+    let rb = report.policy("regret-batched");
+    match (ff, li, rb) {
+        (Some(ff), Some(li), Some(rb)) => {
+            if li.oracle_mean_slowdown >= ff.oracle_mean_slowdown {
+                failures.push(format!(
+                    "{label}: least-interference ({:.4}) must beat pack-first-fit ({:.4}) \
+                     on oracle mean slowdown",
+                    li.oracle_mean_slowdown, ff.oracle_mean_slowdown
+                ));
+            }
+            if rb.regret_mean > li.regret_mean {
+                failures.push(format!(
+                    "{label}: regret-batched regret ({:.4}) must not exceed \
+                     least-interference regret ({:.4})",
+                    rb.regret_mean, li.regret_mean
+                ));
+            }
+        }
+        _ => failures.push(format!("{label}: report is missing a benchmark policy")),
+    }
+    failures
+}
+
+/// Run the placement benchmark, write `BENCH_9.json`, and gate. In
+/// smoke-only mode (`COLOC_PLACEMENT_SMOKE_ONLY=1`, what CI runs) the
+/// committed full section is carried forward verbatim. Exits non-zero
+/// when any gate fails.
+pub fn run_placement() {
+    let path = artifact_path();
+    let committed = committed_report();
+    let smoke_only = std::env::var("COLOC_PLACEMENT_SMOKE_ONLY").is_ok_and(|v| v == "1");
+
+    println!(
+        "placement: smoke run — {} jobs, fleet standard:{}",
+        SMOKE_JOBS, SMOKE_SCALE
+    );
+    let mut sim = PlacementSim::new(smoke_config()).expect("smoke sim");
+    let smoke = sim.run_benchmark().expect("smoke benchmark");
+    print_report("smoke", &smoke);
+
+    let full = if smoke_only {
+        let carried = committed.as_ref().and_then(|c| c.full.clone());
+        println!(
+            "full: smoke-only mode — committed section {}",
+            if carried.is_some() {
+                "carried forward"
+            } else {
+                "absent"
+            }
+        );
+        carried
+    } else {
+        let cfg = full_config();
+        println!(
+            "placement: full run — {} jobs, fleet standard:{} ({} sockets)",
+            cfg.jobs,
+            cfg.fleet.groups[0].sockets / 3,
+            cfg.fleet.total_sockets()
+        );
+        let mut sim = PlacementSim::new(cfg).expect("full sim");
+        let report = sim.run_benchmark().expect("full benchmark");
+        print_report("full", &report);
+        Some(report)
+    };
+
+    let smoke_rb = smoke
+        .policy("regret-batched")
+        .expect("smoke regret-batched outcome");
+    let baseline_regret = committed
+        .as_ref()
+        .map(|c| c.baseline_smoke_regret_mean)
+        .filter(|&b| b > 0.0)
+        .unwrap_or(smoke_rb.regret_mean);
+    let baseline_jps = committed
+        .as_ref()
+        .map(|c| c.baseline_smoke_jobs_per_sec)
+        .filter(|&b| b > 0.0)
+        .unwrap_or(smoke_rb.jobs_per_sec);
+
+    let mut failures = relational_gates("smoke", &smoke);
+    if let Some(full) = &full {
+        failures.extend(relational_gates("full", full));
+    }
+    let regret_ceiling = baseline_regret * (1.0 + REGRET_TOLERANCE);
+    if smoke_rb.regret_mean > regret_ceiling {
+        failures.push(format!(
+            "smoke: regret-batched regret {:.4} exceeds committed baseline {:.4} + {:.0}% \
+             (ceiling {:.4})",
+            smoke_rb.regret_mean,
+            baseline_regret,
+            REGRET_TOLERANCE * 100.0,
+            regret_ceiling
+        ));
+    }
+    let jps_floor = baseline_jps * THROUGHPUT_FLOOR_FRACTION;
+    if smoke_rb.jobs_per_sec < jps_floor {
+        failures.push(format!(
+            "smoke: regret-batched throughput {:.0} jobs/s is below {:.0} \
+             ({:.0}% of committed baseline {:.0})",
+            smoke_rb.jobs_per_sec,
+            jps_floor,
+            THROUGHPUT_FLOOR_FRACTION * 100.0,
+            baseline_jps
+        ));
+    }
+    if let Some(committed_smoke) = committed.as_ref().map(|c| &c.smoke) {
+        for (old, new) in committed_smoke.policies.iter().zip(&smoke.policies) {
+            if old.determinism_digest != new.determinism_digest {
+                println!(
+                    "note: smoke `{}` placement digest changed \
+                     ({:#x} -> {:#x}) — placement behavior moved; the committed \
+                     artifact reflects the new behavior",
+                    new.policy, old.determinism_digest, new.determinism_digest
+                );
+            }
+        }
+    }
+
+    let report = PlacementBench {
+        schema_version: 1,
+        pr: PLACEMENT_PR,
+        seed: SEED,
+        baseline_smoke_regret_mean: baseline_regret,
+        baseline_smoke_jobs_per_sec: baseline_jps,
+        smoke,
+        full,
+    };
+    let bytes = serde_json::to_vec_pretty(&report).expect("serialize placement report");
+    std::fs::write(&path, bytes).expect("write placement artifact");
+    println!("wrote {}", path.display());
+
+    if failures.is_empty() {
+        println!(
+            "placement gate: regret {:.4} vs ceiling {regret_ceiling:.4}, \
+             {:.0} jobs/s vs floor {jps_floor:.0} — ok",
+            report
+                .smoke
+                .policy("regret-batched")
+                .map(|p| p.regret_mean)
+                .unwrap_or(f64::NAN),
+            report
+                .smoke
+                .policy("regret-batched")
+                .map(|p| p.jobs_per_sec)
+                .unwrap_or(f64::NAN),
+        );
+    } else {
+        for f in &failures {
+            eprintln!("PLACEMENT GATE FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -54,9 +54,24 @@ fn machine_by_key(key: &str) -> Result<MachineSpec, String> {
     match key {
         "e5649" | "6core" => Ok(coloc_machine::presets::xeon_e5649()),
         "e5_2697v2" | "e5-2697v2" | "12core" => Ok(coloc_machine::presets::xeon_e5_2697v2()),
+        "e5_2630v3" | "e5-2630v3" | "8core" => Ok(coloc_machine::presets::xeon_e5_2630v3()),
+        "platinum_8153" | "platinum-8153" | "16core" => {
+            Ok(coloc_machine::presets::xeon_platinum_8153())
+        }
         other => Err(format!(
             "unknown machine `{other}` (try `coloc machines` for the preset list)"
         )),
+    }
+}
+
+/// The CLI key for a preset spec — inverse of [`machine_by_key`] over the
+/// preset list (core counts are unique across presets).
+fn preset_key(m: &MachineSpec) -> &'static str {
+    match m.cores {
+        6 => "e5649",
+        8 => "e5_2630v3",
+        12 => "e5_2697v2",
+        _ => "platinum_8153",
     }
 }
 
@@ -308,10 +323,15 @@ pub fn schedule(argv: &[String]) -> CmdResult {
     for (i, s) in placement.sockets.iter().enumerate() {
         println!("socket {i}: {}", s.jobs.join(", "));
     }
+    if placement.predicted_slowdowns.is_empty() {
+        println!("no jobs placed");
+        return Ok(());
+    }
     println!(
-        "predicted slowdown: mean {:.3}x, worst {:.3}x ({} sockets used)",
-        placement.mean_slowdown(),
-        placement.max_slowdown(),
+        "predicted slowdown: mean {:.3}x, worst {:.3}x, unfairness {:.3} ({} sockets used)",
+        placement.mean_slowdown().map_err(|e| e.to_string())?,
+        placement.max_slowdown().map_err(|e| e.to_string())?,
+        placement.unfairness().map_err(|e| e.to_string())?,
         placement.sockets_used()
     );
     Ok(())
@@ -339,7 +359,7 @@ pub fn machines(argv: &[String]) -> CmdResult {
         return Ok(());
     }
     for m in coloc_machine::presets::all() {
-        let key = if m.cores == 6 { "e5649" } else { "e5_2697v2" };
+        let key = preset_key(&m);
         println!(
             "{key:<12} {} — {} cores, {} MB L3, {:.2}–{:.2} GHz",
             m.name,
@@ -431,6 +451,101 @@ pub fn trace(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `coloc place --jobs N [--fleet standard:<scale> | --machine <key>
+/// --sockets N] [--mix <name>] [--policy <name>|all] [--qos X]
+/// [--seed N] [--threads N] [--out <file>]`
+pub fn place(argv: &[String]) -> CmdResult {
+    use coloc_placement::{ClassMix, FleetSpec, PlacePolicy, PlacementSim, SimConfig};
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc place --jobs N [--fleet standard:<scale>] [--machine <key> --sockets N]\n\
+             \x20          [--mix uniform|memory-heavy|compute-heavy] [--policy <name>|all]\n\
+             \x20          [--qos X] [--seed N] [--threads N] [--out <file>]\n\n\
+             Streams N synthetic jobs through a simulated fleet in waves,\n\
+             places each wave with the chosen policy (pack-first-fit |\n\
+             least-interference | regret-batched | all), and scores the\n\
+             result against the simulator-as-oracle: mean/max slowdown,\n\
+             unfairness, QoS violations above --qos, sockets used, and the\n\
+             regret between decision-time expectations and measured truth.\n\
+             --fleet standard:<scale> is the mixed 4-preset rack (8×scale\n\
+             sockets); --machine/--sockets builds a single-preset fleet.\n\
+             --out writes the full JSON report."
+        );
+        return Ok(());
+    }
+    let jobs = args.get_parsed_or("jobs", 1000usize)?;
+    let fleet = match (args.get("fleet"), args.get("machine")) {
+        (Some(_), Some(_)) => return Err("--fleet and --machine are mutually exclusive".into()),
+        (None, Some(key)) => {
+            FleetSpec::single(machine_by_key(key)?, args.get_parsed_or("sockets", 4usize)?)
+        }
+        (fleet, None) => {
+            let spec = fleet.unwrap_or("standard:1");
+            let scale = match spec.strip_prefix("standard:") {
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad fleet scale in `{spec}`"))?,
+                None => return Err(format!("unknown fleet `{spec}` (try standard:<scale>)")),
+            };
+            FleetSpec::standard(scale)
+        }
+    };
+    let mix = ClassMix::by_name(args.get("mix").unwrap_or("uniform"))?;
+    let cfg = SimConfig {
+        fleet,
+        jobs,
+        mix,
+        seed: args.get_parsed_or("seed", 2015u64)?,
+        pstate: args.get_parsed_or("pstate", 0usize)?,
+        qos_threshold: args.get_parsed_or("qos", 1.5f64)?,
+        noise_sigma: None,
+        threads: args.get_parsed_or("threads", 0usize)?,
+    };
+    let mut sim = PlacementSim::new(cfg).map_err(|e| e.to_string())?;
+    let report = match args.get("policy").unwrap_or("all") {
+        "all" => sim.run_benchmark().map_err(|e| e.to_string())?,
+        name => {
+            let policy = PlacePolicy::by_name(name)?;
+            let outcome = sim.run_policy(policy).map_err(|e| e.to_string())?;
+            let mut report = sim.report_shell();
+            report.policies.push(outcome);
+            report
+        }
+    };
+    println!(
+        "fleet: {} ({} sockets, {} cores) — {} jobs, seed {}",
+        report.fleet.join(" + "),
+        report.total_sockets,
+        report.total_cores,
+        report.jobs,
+        report.seed
+    );
+    println!(
+        "{:<32} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "policy", "regret", "oracle-sd", "unfair", "qos", "sockets", "waves", "jobs/s"
+    );
+    for p in &report.policies {
+        println!(
+            "{:<32} {:>10.4} {:>10.4} {:>10.3} {:>8} {:>8} {:>8} {:>10.0}",
+            p.policy,
+            p.regret_mean,
+            p.oracle_mean_slowdown,
+            p.unfairness,
+            p.qos_violations,
+            p.sockets_used,
+            p.waves,
+            p.jobs_per_sec
+        );
+    }
+    if let Some(out) = args.get("out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(out, json + "\n").map_err(|e| format!("{out}: {e}"))?;
+        println!("report written to {out}");
+    }
+    Ok(())
+}
+
 /// `coloc verify [--corpus <dir>] [--spot N] [--seed N] [--threads N]`
 pub fn verify(argv: &[String]) -> CmdResult {
     let args = ArgMap::parse(argv)?;
@@ -466,6 +581,17 @@ pub fn verify(argv: &[String]) -> CmdResult {
         println!("  FAIL {failure}");
     }
 
+    let placement_dir = coloc_conformance::placement_corpus_dir(&dir);
+    let placement = coloc_conformance::verify_placement_dir(&placement_dir)?;
+    println!(
+        "placement corpus {} — {} cases replayed through their laws",
+        placement_dir.display(),
+        placement.law_checks
+    );
+    for failure in &placement.failures {
+        println!("  FAIL {failure}");
+    }
+
     let mut spot_failures = 0usize;
     if spot > 0 {
         match coloc_conformance::differential_sweep_threaded(seed, spot, threads) {
@@ -484,13 +610,14 @@ pub fn verify(argv: &[String]) -> CmdResult {
         }
     }
 
-    if report.is_clean() && spot_failures == 0 {
+    if report.is_clean() && placement.is_clean() && spot_failures == 0 {
         println!("verify: OK");
         Ok(())
     } else {
         Err(format!(
-            "{} corpus failure(s), {} spot-check failure(s)",
+            "{} corpus failure(s), {} placement failure(s), {} spot-check failure(s)",
             report.failures.len(),
+            placement.failures.len(),
             spot_failures
         ))
     }

@@ -118,7 +118,7 @@ impl FaultSpec {
 pub struct CorpusCase {
     /// Case name (generator index or counterexample tag).
     pub name: String,
-    /// Machine key: `"e5649"` or `"e5_2697v2"`.
+    /// Machine key: any preset key accepted by [`machine_spec`].
     pub machine: String,
     /// Target application (suite name).
     pub target: String,
@@ -165,13 +165,17 @@ pub struct BuiltCase {
     pub ir: ScenarioIr,
 }
 
-/// Resolve a machine key to its Table IV spec.
+/// Resolve a machine key to its preset spec (the two Table IV platforms
+/// plus the fleet-expansion parts).
 pub fn machine_spec(key: &str) -> Result<MachineSpec, String> {
     match key {
         "e5649" => Ok(presets::xeon_e5649()),
         "e5_2697v2" => Ok(presets::xeon_e5_2697v2()),
+        "e5_2630v3" => Ok(presets::xeon_e5_2630v3()),
+        "platinum_8153" => Ok(presets::xeon_platinum_8153()),
         other => Err(format!(
-            "unknown machine key {other:?} (expected \"e5649\" or \"e5_2697v2\")"
+            "unknown machine key {other:?} (expected \"e5649\", \"e5_2697v2\", \
+             \"e5_2630v3\", or \"platinum_8153\")"
         )),
     }
 }

@@ -27,6 +27,11 @@
 //!   `corpus/` that `coloc verify`, `repro conformance`, and CI replay
 //!   on every change. Failing generated cases are shrunk and persisted
 //!   there, so a bug found once is re-checked forever.
+//! * [`mod@placement_laws`] — the same law/shrink/corpus discipline one
+//!   layer up, for the fleet-placement simulation (`crates/placement`):
+//!   job-permutation invariance of single-wave outcomes, exact
+//!   solo-regret zero, and empty-machine monotonicity, with their own
+//!   case type and `corpus/placement/` subdirectory.
 
 #![warn(missing_docs)]
 
@@ -34,6 +39,7 @@ pub mod case;
 pub mod corpus;
 pub mod diff;
 pub mod laws;
+pub mod placement_laws;
 pub mod refengine;
 
 pub use case::{
@@ -45,4 +51,8 @@ pub use diff::{
     SLOWDOWN_REL_TOL,
 };
 pub use laws::{all_laws, law_by_name, Law, Violation};
+pub use placement_laws::{
+    placement_corpus_dir, placement_law_by_name, placement_laws, shrink_placement,
+    verify_placement_dir, PlacementCase, PlacementLaw,
+};
 pub use refengine::RefEngine;

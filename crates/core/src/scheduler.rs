@@ -7,11 +7,17 @@
 //! power while still maintaining quality of service". This module is that
 //! integration: given a batch of jobs and a fleet of identical sockets,
 //! place jobs to minimize predicted slowdown.
+//!
+//! Policies are open: [`PlacementPolicy`] is the extension point (the
+//! datacenter-scale `coloc-placement` crate builds on the same shape),
+//! and the [`Policy`] enum names the two built-in strategies. Scored
+//! placements expose MISE-style fairness metrics ([`Placement::unfairness`],
+//! [`Placement::qos_violations`]) alongside mean/max slowdown.
 
 use crate::lab::Lab;
 use crate::predictor::Predictor;
 use crate::scenario::Scenario;
-use crate::Result;
+use crate::{ColocError, Result};
 
 /// One socket's assignment.
 #[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -31,14 +37,57 @@ pub struct Placement {
 }
 
 impl Placement {
+    /// Guard for the aggregate metrics: an empty placement has no
+    /// slowdowns to aggregate, and `vecops::mean`/`max` on empty slices
+    /// would answer `0` / `-inf` — numbers that read like extraordinarily
+    /// good placements. Mirror the `nrmse`/`mpe` empty-input contract
+    /// with a typed error instead.
+    fn slowdowns_or_degenerate(&self) -> Result<&[f64]> {
+        if self.predicted_slowdowns.is_empty() {
+            return Err(ColocError::DegenerateDataset(
+                "placement holds no jobs; slowdown aggregates are undefined".into(),
+            ));
+        }
+        Ok(&self.predicted_slowdowns)
+    }
+
     /// Mean predicted slowdown across jobs.
-    pub fn mean_slowdown(&self) -> f64 {
-        coloc_linalg::vecops::mean(&self.predicted_slowdowns)
+    /// [`ColocError::DegenerateDataset`] when the placement holds no jobs.
+    pub fn mean_slowdown(&self) -> Result<f64> {
+        Ok(coloc_linalg::vecops::mean(self.slowdowns_or_degenerate()?))
     }
 
     /// Worst predicted slowdown (QoS metric).
-    pub fn max_slowdown(&self) -> f64 {
-        coloc_linalg::vecops::max(&self.predicted_slowdowns)
+    /// [`ColocError::DegenerateDataset`] when the placement holds no jobs.
+    pub fn max_slowdown(&self) -> Result<f64> {
+        Ok(coloc_linalg::vecops::max(self.slowdowns_or_degenerate()?))
+    }
+
+    /// Best (smallest) predicted slowdown — the least-degraded job.
+    /// [`ColocError::DegenerateDataset`] when the placement holds no jobs.
+    pub fn min_slowdown(&self) -> Result<f64> {
+        Ok(self
+            .slowdowns_or_degenerate()?
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min))
+    }
+
+    /// MISE-style unfairness index: maximum slowdown over minimum
+    /// slowdown (Subramanian et al.). `1.0` means every job degrades
+    /// equally — the equal-share ideal; larger values mean some jobs pay
+    /// for others' consolidation.
+    pub fn unfairness(&self) -> Result<f64> {
+        Ok(self.max_slowdown()? / self.min_slowdown()?)
+    }
+
+    /// Number of jobs whose predicted slowdown exceeds `threshold` — the
+    /// soft-QoS violation count at a configurable bound.
+    pub fn qos_violations(&self, threshold: f64) -> usize {
+        self.predicted_slowdowns
+            .iter()
+            .filter(|&&s| s > threshold)
+            .count()
     }
 
     /// Number of sockets actually used.
@@ -47,7 +96,10 @@ impl Placement {
     }
 }
 
-/// How to place jobs.
+/// How to place jobs: the two built-in strategies, as a closed enum for
+/// CLI/serde surfaces. [`Policy::implementation`] maps each to its
+/// [`PlacementPolicy`]; external crates can implement the trait directly
+/// and go through [`Scheduler::place_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Policy {
     /// Fill each socket completely before opening the next (maximum
@@ -57,6 +109,105 @@ pub enum Policy {
     /// model predicts the smallest increase in total slowdown, opening a
     /// new socket only when every open socket is full.
     LeastInterference,
+}
+
+impl Policy {
+    /// The strategy object implementing this policy.
+    pub fn implementation(&self) -> &'static dyn PlacementPolicy {
+        match self {
+            Policy::PackFirstFit => &PackFirstFit,
+            Policy::LeastInterference => &LeastInterference,
+        }
+    }
+}
+
+/// A placement strategy: assign jobs to fixed-capacity sockets.
+///
+/// Implementations see the scheduler (for predicted slowdowns and
+/// baseline data) and mutate the socket list in place; the caller has
+/// already verified aggregate capacity and sized `sockets`. The
+/// contract: every job lands on exactly one socket and no socket exceeds
+/// `cores` jobs — the scored [`Placement`] is derived from the result.
+pub trait PlacementPolicy: Sync {
+    /// Stable identifier (CLI values, reports).
+    fn name(&self) -> &'static str;
+
+    /// Place every job in `jobs` onto `sockets`, each holding at most
+    /// `cores` jobs.
+    fn assign(
+        &self,
+        sched: &Scheduler<'_>,
+        jobs: &[String],
+        sockets: &mut [SocketAssignment],
+        cores: usize,
+    ) -> Result<()>;
+}
+
+/// See [`Policy::PackFirstFit`].
+pub struct PackFirstFit;
+
+impl PlacementPolicy for PackFirstFit {
+    fn name(&self) -> &'static str {
+        "pack-first-fit"
+    }
+
+    fn assign(
+        &self,
+        _sched: &Scheduler<'_>,
+        jobs: &[String],
+        sockets: &mut [SocketAssignment],
+        cores: usize,
+    ) -> Result<()> {
+        for (i, job) in jobs.iter().enumerate() {
+            sockets[i / cores].jobs.push(job.clone());
+        }
+        Ok(())
+    }
+}
+
+/// See [`Policy::LeastInterference`].
+pub struct LeastInterference;
+
+impl PlacementPolicy for LeastInterference {
+    fn name(&self) -> &'static str {
+        "least-interference"
+    }
+
+    fn assign(
+        &self,
+        sched: &Scheduler<'_>,
+        jobs: &[String],
+        sockets: &mut [SocketAssignment],
+        cores: usize,
+    ) -> Result<()> {
+        // Jobs in descending memory intensity: place the loudest
+        // first so they spread before sockets fill.
+        let db = sched.lab.baselines();
+        let mut ordered: Vec<String> = jobs.to_vec();
+        ordered.sort_by(|a, b| {
+            let ma = db.get(a).map_or(0.0, |x| x.memory_intensity);
+            let mb = db.get(b).map_or(0.0, |x| x.memory_intensity);
+            mb.partial_cmp(&ma).expect("finite MI")
+        });
+        for job in ordered {
+            let mut best: Option<(usize, f64)> = None;
+            for (si, s) in sockets.iter().enumerate() {
+                if s.jobs.len() >= cores {
+                    continue;
+                }
+                let before = sched.socket_cost(&s.jobs)?;
+                let mut with = s.jobs.clone();
+                with.push(job.clone());
+                let delta = sched.socket_cost(&with)? - before;
+                if best.is_none_or(|(_, d)| delta < d) {
+                    best = Some((si, delta));
+                }
+            }
+            let (si, _) = best.expect("capacity checked above");
+            sockets[si].jobs.push(job.clone());
+        }
+        Ok(())
+    }
 }
 
 /// The scheduler: a lab (for featurization) + a trained predictor.
@@ -115,6 +266,16 @@ impl<'a> Scheduler<'a> {
     /// Fails if the jobs cannot fit (`jobs.len() > num_sockets × cores`) or
     /// reference unknown applications.
     pub fn place(&self, jobs: &[String], num_sockets: usize, policy: Policy) -> Result<Placement> {
+        self.place_with(jobs, num_sockets, policy.implementation())
+    }
+
+    /// Place `jobs` with an arbitrary [`PlacementPolicy`] implementation.
+    pub fn place_with(
+        &self,
+        jobs: &[String],
+        num_sockets: usize,
+        policy: &dyn PlacementPolicy,
+    ) -> Result<Placement> {
         let cores = self.lab.machine().spec().cores;
         if jobs.len() > num_sockets * cores {
             return Err(crate::ModelError::InsufficientData(format!(
@@ -125,42 +286,7 @@ impl<'a> Scheduler<'a> {
             )));
         }
         let mut sockets = vec![SocketAssignment::default(); num_sockets];
-
-        match policy {
-            Policy::PackFirstFit => {
-                for (i, job) in jobs.iter().enumerate() {
-                    sockets[i / cores].jobs.push(job.clone());
-                }
-            }
-            Policy::LeastInterference => {
-                // Jobs in descending memory intensity: place the loudest
-                // first so they spread before sockets fill.
-                let db = self.lab.baselines();
-                let mut ordered: Vec<String> = jobs.to_vec();
-                ordered.sort_by(|a, b| {
-                    let ma = db.get(a).map_or(0.0, |x| x.memory_intensity);
-                    let mb = db.get(b).map_or(0.0, |x| x.memory_intensity);
-                    mb.partial_cmp(&ma).expect("finite MI")
-                });
-                for job in ordered {
-                    let mut best: Option<(usize, f64)> = None;
-                    for (si, s) in sockets.iter().enumerate() {
-                        if s.jobs.len() >= cores {
-                            continue;
-                        }
-                        let before = self.socket_cost(&s.jobs)?;
-                        let mut with = s.jobs.clone();
-                        with.push(job.clone());
-                        let delta = self.socket_cost(&with)? - before;
-                        if best.is_none_or(|(_, d)| delta < d) {
-                            best = Some((si, delta));
-                        }
-                    }
-                    let (si, _) = best.expect("capacity checked above");
-                    sockets[si].jobs.push(job.clone());
-                }
-            }
-        }
+        policy.assign(self, jobs, &mut sockets, cores)?;
 
         let mut predicted_slowdowns = Vec::with_capacity(jobs.len());
         for s in &sockets {
@@ -222,10 +348,10 @@ mod tests {
         let packed = sched.place(&jobs, 2, Policy::PackFirstFit).unwrap();
         let smart = sched.place(&jobs, 2, Policy::LeastInterference).unwrap();
         assert!(
-            smart.mean_slowdown() < packed.mean_slowdown(),
+            smart.mean_slowdown().unwrap() < packed.mean_slowdown().unwrap(),
             "smart {} vs packed {}",
-            smart.mean_slowdown(),
-            packed.mean_slowdown()
+            smart.mean_slowdown().unwrap(),
+            packed.mean_slowdown().unwrap()
         );
         // The smart placement should split the hogs across sockets.
         let hogs_per_socket: Vec<usize> = smart
@@ -234,6 +360,14 @@ mod tests {
             .map(|s| s.jobs.iter().filter(|j| *j == "cg").count())
             .collect();
         assert_eq!(hogs_per_socket, vec![2, 2], "{smart:?}");
+        // Spreading the hogs is also the fairer outcome: no socket is a
+        // sacrificial all-hog pen, so max/min tightens.
+        assert!(
+            smart.unfairness().unwrap() <= packed.unfairness().unwrap(),
+            "unfairness {} vs {}",
+            smart.unfairness().unwrap(),
+            packed.unfairness().unwrap()
+        );
     }
 
     #[test]
@@ -263,7 +397,89 @@ mod tests {
         let jobs: Vec<String> = ["cg", "ep"].iter().map(|s| s.to_string()).collect();
         let pl = sched.place(&jobs, 2, Policy::LeastInterference).unwrap();
         assert_eq!(pl.predicted_slowdowns.len(), 2);
-        assert!(pl.max_slowdown() >= pl.mean_slowdown());
+        assert!(pl.max_slowdown().unwrap() >= pl.mean_slowdown().unwrap());
+        assert!(pl.mean_slowdown().unwrap() >= pl.min_slowdown().unwrap());
+        assert!(pl.unfairness().unwrap() >= 1.0);
         assert!(pl.sockets_used() >= 1);
+        // QoS violations are monotone in the threshold and exhaustive at
+        // the extremes.
+        assert_eq!(pl.qos_violations(f64::NEG_INFINITY), 2);
+        assert_eq!(pl.qos_violations(f64::INFINITY), 0);
+        assert!(pl.qos_violations(1.01) >= pl.qos_violations(1.5));
+    }
+
+    #[test]
+    fn empty_placement_metrics_are_typed_errors() {
+        let empty = Placement {
+            sockets: vec![SocketAssignment::default(); 3],
+            predicted_slowdowns: vec![],
+        };
+        for metric in [
+            empty.mean_slowdown(),
+            empty.max_slowdown(),
+            empty.min_slowdown(),
+            empty.unfairness(),
+        ] {
+            match metric {
+                Err(ColocError::DegenerateDataset(msg)) => {
+                    assert!(msg.contains("no jobs"), "{msg}")
+                }
+                other => panic!("expected DegenerateDataset, got {other:?}"),
+            }
+        }
+        assert_eq!(empty.qos_violations(1.0), 0);
+        assert_eq!(empty.sockets_used(), 0);
+        // Placing an empty job list is fine; only the aggregates refuse.
+        let (lab, p) = shared();
+        let sched = Scheduler::new(lab, p, 0);
+        let pl = sched.place(&[], 2, Policy::LeastInterference).unwrap();
+        assert!(pl.mean_slowdown().is_err());
+        assert_eq!(pl.sockets_used(), 0);
+    }
+
+    #[test]
+    fn policy_implementations_match_the_enum() {
+        assert_eq!(
+            Policy::PackFirstFit.implementation().name(),
+            "pack-first-fit"
+        );
+        assert_eq!(
+            Policy::LeastInterference.implementation().name(),
+            "least-interference"
+        );
+    }
+
+    #[test]
+    fn place_with_accepts_custom_policies() {
+        /// Round-robin: a three-line external strategy — the trait is the
+        /// extension point the placement crate builds on.
+        struct RoundRobin;
+        impl PlacementPolicy for RoundRobin {
+            fn name(&self) -> &'static str {
+                "round-robin"
+            }
+            fn assign(
+                &self,
+                _sched: &Scheduler<'_>,
+                jobs: &[String],
+                sockets: &mut [SocketAssignment],
+                _cores: usize,
+            ) -> Result<()> {
+                for (i, job) in jobs.iter().enumerate() {
+                    sockets[i % sockets.len()].jobs.push(job.clone());
+                }
+                Ok(())
+            }
+        }
+        let (lab, p) = shared();
+        let sched = Scheduler::new(lab, p, 0);
+        let jobs: Vec<String> = ["cg", "cg", "ep", "ep"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let pl = sched.place_with(&jobs, 2, &RoundRobin).unwrap();
+        assert_eq!(pl.sockets[0].jobs, vec!["cg", "ep"]);
+        assert_eq!(pl.sockets[1].jobs, vec!["cg", "ep"]);
+        assert_eq!(pl.predicted_slowdowns.len(), 4);
     }
 }

@@ -1,4 +1,5 @@
-//! The two validation platforms from paper Table IV.
+//! Machine presets: the paper's two validation platforms (Table IV) plus
+//! two fleet-expansion parts for datacenter-scale placement studies.
 
 use crate::spec::MachineSpec;
 use coloc_memsys::DramSpec;
@@ -31,9 +32,62 @@ pub fn xeon_e5_2697v2() -> MachineSpec {
     }
 }
 
-/// All preset machines, in paper order.
+/// Intel Xeon E5-2630 v3 (Haswell-EP): 8 cores, 20 MB L3, 1.20–2.40 GHz.
+///
+/// A fleet-expansion part for placement studies: quad-channel DDR4-1866
+/// (peak = 4 × 14.933 GB/s) with Haswell-generation idle latency.
+pub fn xeon_e5_2630v3() -> MachineSpec {
+    MachineSpec {
+        name: "Xeon E5-2630v3".to_string(),
+        cores: 8,
+        llc_bytes: 20 << 20,
+        llc_ways: 20,
+        pstates_ghz: vec![2.40, 2.16, 1.92, 1.68, 1.44, 1.20],
+        dram: DramSpec {
+            peak_bw_bytes_per_sec: 59.7e9,
+            idle_latency_ns: 66.0,
+            queue_latency_ns: 12.0,
+            max_queue_ns: 300.0,
+            bank_penalty_ns: 8.0,
+            banks: 32,
+        },
+    }
+}
+
+/// Intel Xeon Platinum 8153 (Skylake-SP): 16 cores, 22 MB L3,
+/// 1.00–2.00 GHz.
+///
+/// The high-core-count fleet part: hex-channel DDR4-2666
+/// (peak = 6 × 21.333 GB/s), shallow non-inclusive L3 relative to its
+/// core count, so co-location pressure per byte of LLC is the worst of
+/// the four presets.
+pub fn xeon_platinum_8153() -> MachineSpec {
+    MachineSpec {
+        name: "Xeon Platinum 8153".to_string(),
+        cores: 16,
+        llc_bytes: 22 << 20,
+        llc_ways: 11,
+        pstates_ghz: vec![2.00, 1.80, 1.60, 1.40, 1.20, 1.00],
+        dram: DramSpec {
+            peak_bw_bytes_per_sec: 128.0e9,
+            idle_latency_ns: 70.0,
+            queue_latency_ns: 11.0,
+            max_queue_ns: 280.0,
+            bank_penalty_ns: 7.0,
+            banks: 48,
+        },
+    }
+}
+
+/// All preset machines: the two paper platforms first (paper order),
+/// then the fleet-expansion parts in core-count order.
 pub fn all() -> Vec<MachineSpec> {
-    vec![xeon_e5649(), xeon_e5_2697v2()]
+    vec![
+        xeon_e5649(),
+        xeon_e5_2697v2(),
+        xeon_e5_2630v3(),
+        xeon_platinum_8153(),
+    ]
 }
 
 #[cfg(test)]
@@ -41,10 +95,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_returns_both_platforms() {
+    fn all_returns_every_platform() {
         let machines = all();
-        assert_eq!(machines.len(), 2);
+        assert_eq!(machines.len(), 4);
         assert_eq!(machines[0].name, "Xeon E5649");
         assert_eq!(machines[1].name, "Xeon E5-2697v2");
+        assert_eq!(machines[2].name, "Xeon E5-2630v3");
+        assert_eq!(machines[3].name, "Xeon Platinum 8153");
+    }
+
+    #[test]
+    fn every_preset_validates_and_is_distinct() {
+        let machines = all();
+        for m in &machines {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+        for (i, a) in machines.iter().enumerate() {
+            for b in &machines[i + 1..] {
+                assert_ne!(a.name, b.name);
+                assert!(
+                    a.cores != b.cores || a.llc_bytes != b.llc_bytes,
+                    "{} and {} are indistinguishable",
+                    a.name,
+                    b.name
+                );
+            }
+        }
     }
 }

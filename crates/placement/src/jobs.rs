@@ -1,0 +1,211 @@
+//! Seeded synthetic job streams with class-mix knobs.
+//!
+//! A job is one instance of a suite application. The stream draws a
+//! memory-intensity class (paper Table III) from configurable weights,
+//! then an application uniformly within that class — so "80% compute,
+//! 20% streamers" datacenters and "all memory hogs" stress mixes are both
+//! one knob away, and every draw is a pure function of the seed.
+
+use coloc_workloads::{Benchmark, MemoryClass};
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Relative weights over the four memory-intensity classes (I..IV, most
+/// to least memory-bound). Weights need not sum to 1; they are
+/// normalized at stream construction.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClassMix {
+    /// Weight per class, indexed like [`MemoryClass::ALL`].
+    pub weights: [f64; 4],
+}
+
+impl ClassMix {
+    /// Every class equally likely.
+    pub fn uniform() -> ClassMix {
+        ClassMix { weights: [1.0; 4] }
+    }
+
+    /// Memory-bound heavy: the interference-rich regime where placement
+    /// quality matters most.
+    pub fn memory_heavy() -> ClassMix {
+        ClassMix {
+            weights: [4.0, 3.0, 2.0, 1.0],
+        }
+    }
+
+    /// Compute-bound heavy: a consolidation-friendly fleet where most
+    /// jobs barely touch memory.
+    pub fn compute_heavy() -> ClassMix {
+        ClassMix {
+            weights: [1.0, 2.0, 3.0, 4.0],
+        }
+    }
+
+    /// Parse a named preset.
+    pub fn by_name(name: &str) -> Result<ClassMix, String> {
+        match name {
+            "uniform" => Ok(ClassMix::uniform()),
+            "memory-heavy" | "memory_heavy" => Ok(ClassMix::memory_heavy()),
+            "compute-heavy" | "compute_heavy" => Ok(ClassMix::compute_heavy()),
+            other => Err(format!(
+                "unknown class mix {other:?} (uniform|memory-heavy|compute-heavy)"
+            )),
+        }
+    }
+
+    /// Weights must be finite, non-negative, and not all zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err("class-mix weights must be finite and non-negative".into());
+        }
+        if self.weights.iter().sum::<f64>() <= 0.0 {
+            return Err("class-mix weights must not all be zero".into());
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic stream of jobs (suite app indices) over a benchmark
+/// suite. Two streams with the same seed, mix, and suite produce the
+/// same sequence on any platform and at any consumption granularity.
+pub struct JobStream {
+    rng: StdRng,
+    /// Cumulative class weights, normalized to end at 1.0.
+    cum: [f64; 4],
+    /// Suite app indices per class, in suite order.
+    class_apps: [Vec<u8>; 4],
+}
+
+impl JobStream {
+    /// Build a stream over `suite` (app indices refer to suite order).
+    /// Classes with no suite member fall through to the nearest
+    /// less-intensive populated class (wrapping to the most intensive).
+    pub fn new(seed: u64, mix: ClassMix, suite: &[Benchmark]) -> Result<JobStream, String> {
+        mix.validate()?;
+        if suite.is_empty() {
+            return Err("job stream needs a non-empty suite".into());
+        }
+        let mut class_apps: [Vec<u8>; 4] = Default::default();
+        for (i, b) in suite.iter().enumerate() {
+            let c = MemoryClass::ALL
+                .iter()
+                .position(|&x| x == b.class)
+                .expect("MemoryClass::ALL is total");
+            class_apps[c].push(i as u8);
+        }
+        // Zero out weights of empty classes, then normalize what's left.
+        let mut w = mix.weights;
+        for (c, apps) in class_apps.iter().enumerate() {
+            if apps.is_empty() {
+                w[c] = 0.0;
+            }
+        }
+        let total: f64 = w.iter().sum();
+        if total <= 0.0 {
+            return Err("class mix puts all weight on classes absent from the suite".into());
+        }
+        let mut cum = [0.0; 4];
+        let mut acc = 0.0;
+        for (c, weight) in w.iter().enumerate() {
+            acc += weight / total;
+            cum[c] = acc;
+        }
+        cum[3] = 1.0; // close the interval against rounding
+        Ok(JobStream {
+            rng: StdRng::seed_from_u64(seed),
+            cum,
+            class_apps,
+        })
+    }
+
+    /// Draw the next job (suite app index).
+    pub fn next_job(&mut self) -> u8 {
+        let r: f64 = self.rng.gen_range(0.0..1.0);
+        let class = self.cum.iter().position(|&c| r < c).unwrap_or(3);
+        let apps = &self.class_apps[class];
+        apps[self.rng.gen_range(0..apps.len())]
+    }
+
+    /// Draw `n` jobs.
+    pub fn take_jobs(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_job()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let suite = coloc_workloads::standard();
+        let a = JobStream::new(7, ClassMix::uniform(), &suite)
+            .unwrap()
+            .take_jobs(1000);
+        let b = JobStream::new(7, ClassMix::uniform(), &suite)
+            .unwrap()
+            .take_jobs(1000);
+        assert_eq!(a, b);
+        // Consumption granularity does not matter.
+        let mut s = JobStream::new(7, ClassMix::uniform(), &suite).unwrap();
+        let mut c = s.take_jobs(400);
+        c.extend(s.take_jobs(600));
+        assert_eq!(a, c);
+        // A different seed gives a different stream.
+        let d = JobStream::new(8, ClassMix::uniform(), &suite)
+            .unwrap()
+            .take_jobs(1000);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn mix_knobs_shift_the_class_distribution() {
+        let suite = coloc_workloads::standard();
+        let count_class_i = |mix: ClassMix| {
+            let jobs = JobStream::new(3, mix, &suite).unwrap().take_jobs(4000);
+            jobs.iter()
+                .filter(|&&j| suite[j as usize].class == MemoryClass::I)
+                .count()
+        };
+        let heavy = count_class_i(ClassMix::memory_heavy());
+        let light = count_class_i(ClassMix::compute_heavy());
+        assert!(
+            heavy > light * 2,
+            "memory-heavy {heavy} vs compute-heavy {light}"
+        );
+    }
+
+    #[test]
+    fn invalid_mixes_are_rejected() {
+        assert!(ClassMix { weights: [0.0; 4] }.validate().is_err());
+        assert!(ClassMix {
+            weights: [1.0, -0.5, 1.0, 1.0]
+        }
+        .validate()
+        .is_err());
+        assert!(ClassMix {
+            weights: [f64::NAN, 1.0, 1.0, 1.0]
+        }
+        .validate()
+        .is_err());
+        assert!(ClassMix::by_name("uniform").is_ok());
+        assert!(ClassMix::by_name("bogus").is_err());
+    }
+
+    #[test]
+    fn all_draws_are_valid_suite_indices() {
+        let suite = coloc_workloads::standard();
+        for mix in [
+            ClassMix::uniform(),
+            ClassMix::memory_heavy(),
+            ClassMix::compute_heavy(),
+        ] {
+            let jobs = JobStream::new(11, mix, &suite).unwrap().take_jobs(2000);
+            assert!(jobs.iter().all(|&j| (j as usize) < suite.len()));
+            // Every class with weight shows up in a big enough sample.
+            let classes: std::collections::BTreeSet<_> =
+                jobs.iter().map(|&j| suite[j as usize].class).collect();
+            assert!(classes.len() >= 3, "{classes:?}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Serializable placement-benchmark results.
+
+use serde::{Deserialize, Serialize};
+
+/// Scored outcome of one policy over the full job stream.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    /// Policy display name (includes parameters).
+    pub policy: String,
+    /// Jobs placed.
+    pub jobs: usize,
+    /// Placement waves (fleet fills) the stream needed.
+    pub waves: usize,
+    /// Headline: mean |decision-time expected slowdown − final oracle
+    /// slowdown| per job.
+    pub regret_mean: f64,
+    /// Worst single-job regret.
+    pub regret_max: f64,
+    /// Mean oracle (ground-truth) slowdown across jobs.
+    pub oracle_mean_slowdown: f64,
+    /// Worst oracle slowdown across jobs.
+    pub oracle_max_slowdown: f64,
+    /// Mean decision-time expected slowdown (what the policy believed).
+    pub expected_mean_slowdown: f64,
+    /// MISE-style unfairness: max oracle slowdown / min oracle slowdown.
+    pub unfairness: f64,
+    /// Soft-QoS threshold the violation count was taken at.
+    pub qos_threshold: f64,
+    /// Jobs whose oracle slowdown exceeds the threshold.
+    pub qos_violations: u64,
+    /// Peak sockets in use in any wave.
+    pub sockets_used: usize,
+    /// Engine-backed oracle evaluations (distinct scenarios measured).
+    pub oracle_evaluations: u64,
+    /// Placement throughput, jobs per wall-clock second. The only
+    /// non-deterministic field; excluded from [`PolicyOutcome::digest`].
+    pub jobs_per_sec: f64,
+    /// FNV-1a digest of every assignment and score bit — two runs agree
+    /// on placement iff their digests match.
+    pub determinism_digest: u64,
+}
+
+impl PolicyOutcome {
+    /// The deterministic fields as stable-order bits, for cross-run and
+    /// cross-thread-count identity checks.
+    pub fn digest(&self) -> u64 {
+        let mut w = coloc_machine::IrWriter::new();
+        w.str(&self.policy);
+        w.usize(self.jobs);
+        w.usize(self.waves);
+        w.f64(self.regret_mean);
+        w.f64(self.regret_max);
+        w.f64(self.oracle_mean_slowdown);
+        w.f64(self.oracle_max_slowdown);
+        w.f64(self.expected_mean_slowdown);
+        w.f64(self.unfairness);
+        w.f64(self.qos_threshold);
+        w.u64(self.qos_violations);
+        w.usize(self.sockets_used);
+        w.u64(self.determinism_digest);
+        w.finish64()
+    }
+}
+
+/// The full benchmark artifact: configuration plus per-policy outcomes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlacementReport {
+    /// Total jobs in the stream.
+    pub jobs: usize,
+    /// Fleet description, as `name × sockets` strings.
+    pub fleet: Vec<String>,
+    /// Total sockets.
+    pub total_sockets: usize,
+    /// Total cores (wave capacity).
+    pub total_cores: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Class-mix weights.
+    pub mix: [f64; 4],
+    /// Operating P-state.
+    pub pstate: usize,
+    /// Per-policy scores, in benchmark order.
+    pub policies: Vec<PolicyOutcome>,
+}
+
+impl PlacementReport {
+    /// Look up a policy outcome by display name prefix (e.g.
+    /// `"least-interference"`).
+    pub fn policy(&self, name: &str) -> Option<&PolicyOutcome> {
+        self.policies.iter().find(|p| p.policy.starts_with(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> PolicyOutcome {
+        PolicyOutcome {
+            policy: "least-interference".into(),
+            jobs: 100,
+            waves: 2,
+            regret_mean: 0.05,
+            regret_max: 0.4,
+            oracle_mean_slowdown: 1.2,
+            oracle_max_slowdown: 2.1,
+            expected_mean_slowdown: 1.18,
+            unfairness: 2.1,
+            qos_threshold: 1.5,
+            qos_violations: 7,
+            sockets_used: 8,
+            oracle_evaluations: 42,
+            jobs_per_sec: 1e4,
+            determinism_digest: 0xdead,
+        }
+    }
+
+    #[test]
+    fn digest_ignores_timing_but_tracks_scores() {
+        let a = outcome();
+        let mut b = outcome();
+        b.jobs_per_sec = 5e9; // timing noise must not move the digest
+        assert_eq!(a.digest(), b.digest());
+        let mut c = outcome();
+        c.regret_mean += 1e-15;
+        assert_ne!(a.digest(), c.digest());
+        let mut d = outcome();
+        d.determinism_digest ^= 1;
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn report_round_trips_and_finds_policies() {
+        let report = PlacementReport {
+            jobs: 100,
+            fleet: vec!["Xeon E5649 × 3".into()],
+            total_sockets: 3,
+            total_cores: 18,
+            seed: 9,
+            mix: [1.0; 4],
+            pstate: 0,
+            policies: vec![outcome()],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: PlacementReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.policies[0].digest(), report.policies[0].digest());
+        assert!(report.policy("least-interference").is_some());
+        assert!(report.policy("pack-first-fit").is_none());
+    }
+}

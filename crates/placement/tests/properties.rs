@@ -1,0 +1,140 @@
+//! Placement property suite (ISSUE 9, satellite 1).
+//!
+//! Seeded-sweep properties over every policy:
+//! - every stream job is placed exactly once,
+//! - no socket ever exceeds its core capacity within a wave,
+//! - `PackFirstFit` never uses more sockets than `LeastInterference`,
+//! - placement is bit-identical across 1/2/8 oracle threads and across
+//!   seeded re-runs.
+
+use coloc_placement::{Assignment, ClassMix, FleetSpec, PlacePolicy, PlacementSim, SimConfig};
+
+fn config(seed: u64, jobs: usize, mix: ClassMix) -> SimConfig {
+    SimConfig {
+        fleet: FleetSpec::standard(1),
+        jobs,
+        mix,
+        seed,
+        pstate: 0,
+        qos_threshold: 1.5,
+        noise_sigma: None,
+        threads: 0,
+    }
+}
+
+fn mixes() -> Vec<ClassMix> {
+    vec![
+        ClassMix::uniform(),
+        ClassMix::memory_heavy(),
+        ClassMix::compute_heavy(),
+    ]
+}
+
+/// Per-socket core capacities of a fleet, indexed by global socket id.
+fn capacities(fleet: &FleetSpec) -> Vec<usize> {
+    fleet
+        .groups
+        .iter()
+        .flat_map(|g| std::iter::repeat_n(g.machine.cores, g.sockets))
+        .collect()
+}
+
+#[test]
+fn every_job_is_placed_exactly_once() {
+    for (seed, mix) in mixes().into_iter().enumerate() {
+        let jobs = 150 + 7 * seed; // not a multiple of wave capacity
+        let mut sim = PlacementSim::new(config(seed as u64 + 1, jobs, mix)).unwrap();
+        for policy in PlacePolicy::benchmark_set() {
+            let (outcome, trace) = sim.run_policy_traced(policy).unwrap();
+            assert_eq!(outcome.jobs, jobs, "{policy}");
+            assert_eq!(trace.len(), jobs, "{policy}: one assignment per job");
+            for (i, a) in trace.iter().enumerate() {
+                assert_eq!(a.job, i, "{policy}: stream indices exactly once, in order");
+            }
+        }
+    }
+}
+
+#[test]
+fn no_socket_exceeds_its_core_capacity() {
+    let fleet = FleetSpec::standard(1);
+    let caps = capacities(&fleet);
+    for policy in PlacePolicy::benchmark_set() {
+        let mut sim = PlacementSim::new(config(7, 200, ClassMix::memory_heavy())).unwrap();
+        let (_, trace) = sim.run_policy_traced(policy).unwrap();
+        let waves = trace.iter().map(|a| a.wave).max().unwrap() + 1;
+        let mut load = vec![vec![0usize; caps.len()]; waves];
+        for a in &trace {
+            load[a.wave][a.socket as usize] += 1;
+        }
+        for (wave, sockets) in load.iter().enumerate() {
+            for (socket, &jobs) in sockets.iter().enumerate() {
+                assert!(
+                    jobs <= caps[socket],
+                    "{policy}: wave {wave} socket {socket} holds {jobs} > {} cores",
+                    caps[socket]
+                );
+            }
+        }
+        // Sanity: every wave except possibly the last fills to capacity.
+        let capacity: usize = caps.iter().sum();
+        for (wave, sockets) in load.iter().enumerate().take(waves - 1) {
+            assert_eq!(
+                sockets.iter().sum::<usize>(),
+                capacity,
+                "{policy}: wave {wave}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pack_never_uses_more_sockets_than_greedy() {
+    for (i, mix) in mixes().into_iter().enumerate() {
+        let mut sim = PlacementSim::new(config(100 + i as u64, 120, mix)).unwrap();
+        let pack = sim.run_policy(PlacePolicy::PackFirstFit).unwrap();
+        let greedy = sim.run_policy(PlacePolicy::LeastInterference).unwrap();
+        assert!(
+            pack.sockets_used <= greedy.sockets_used,
+            "mix {i}: pack {} vs greedy {}",
+            pack.sockets_used,
+            greedy.sockets_used
+        );
+    }
+}
+
+#[test]
+fn placement_is_bit_identical_across_threads_and_reruns() {
+    for policy in PlacePolicy::benchmark_set() {
+        let mut runs: Vec<(u64, u64, Vec<Assignment>)> = Vec::new();
+        // 1, 2, and 8 oracle threads, plus a re-run at 2 threads.
+        for threads in [1usize, 2, 8, 2] {
+            let mut cfg = config(5, 90, ClassMix::uniform());
+            cfg.threads = threads;
+            let mut sim = PlacementSim::new(cfg).unwrap();
+            let (outcome, trace) = sim.run_policy_traced(policy).unwrap();
+            runs.push((outcome.digest(), outcome.determinism_digest, trace));
+        }
+        for other in &runs[1..] {
+            assert_eq!(runs[0].0, other.0, "{policy}: outcome digest");
+            assert_eq!(runs[0].1, other.1, "{policy}: per-job digest");
+            assert_eq!(runs[0].2, other.2, "{policy}: full assignment trace");
+        }
+    }
+}
+
+#[test]
+fn least_interference_beats_pack_on_oracle_slowdown() {
+    // The acceptance-criterion relation at test scale: with the fleet
+    // under memory-heavy load, interference-aware spreading must beat
+    // blind consolidation on oracle mean slowdown.
+    let mut sim = PlacementSim::new(config(11, 222, ClassMix::memory_heavy())).unwrap();
+    let pack = sim.run_policy(PlacePolicy::PackFirstFit).unwrap();
+    let greedy = sim.run_policy(PlacePolicy::LeastInterference).unwrap();
+    assert!(
+        greedy.oracle_mean_slowdown < pack.oracle_mean_slowdown,
+        "greedy {} vs pack {}",
+        greedy.oracle_mean_slowdown,
+        pack.oracle_mean_slowdown
+    );
+}

@@ -51,8 +51,8 @@ fn main() {
         }
         println!(
             "predicted slowdown: mean {:.3}, worst {:.3}",
-            placement.mean_slowdown(),
-            placement.max_slowdown()
+            placement.mean_slowdown().expect("non-empty placement"),
+            placement.max_slowdown().expect("non-empty placement")
         );
 
         // Ground truth: measure each job's actual slowdown in its socket.

@@ -2,7 +2,7 @@
 //!
 //! Usage: `repro <artifact>` where artifact is one of
 //! `table1..table6`, `fig1..fig5b`, `pca`, `sweep`, `chaos`, `conformance`,
-//! `perf`, `placement`, `serve-bench`, or `all`.
+//! `perf`, `placement`, `serve-bench`, `matrix`, or `all`.
 //!
 //! Expensive intermediates (training sweeps, model-grid validations) are
 //! cached as JSON under `repro-out/`; delete that directory to force a full
@@ -57,6 +57,7 @@ fn main() {
         "perf" => coloc_bench::perf::run_perf(),
         "placement" => coloc_bench::placement::run_placement(),
         "serve-bench" => coloc_bench::serve_bench::run_serve_bench(),
+        "matrix" => coloc_bench::matrix_bench::run_matrix(),
         "ablations" => {
             ablation("Training-set size", coloc_bench::ablations::train_size());
             ablation("Measurement noise", coloc_bench::ablations::noise());
@@ -102,7 +103,7 @@ fn main() {
             eprintln!("unknown artifact `{other}`");
             eprintln!(
                 "expected: table1..table6, fig1..fig5b, pca, importance, sweep, chaos, \
-                 conformance, perf, placement, serve-bench, all, \
+                 conformance, perf, placement, serve-bench, matrix, all, \
                  ablations, \
                  ablation-{{size,noise,hidden,hetero,classavg,quad,partition,phases}}"
             );

@@ -14,6 +14,7 @@ pub mod cache;
 pub mod chaos;
 pub mod conformance;
 pub mod figures;
+pub mod matrix_bench;
 pub mod perf;
 pub mod placement;
 pub mod serve_bench;

@@ -1,0 +1,154 @@
+//! `repro matrix` — the full pairwise cross-interference matrix.
+//!
+//! Measures every (target, co-runner) pair of the 11-app suite on the
+//! 6-core lab — 11 solos + 121 pairs, one engine sweep — and scores a
+//! registry-resolved linear model against the measured slowdowns. The
+//! matrix is the paper's cross-interference picture at full resolution:
+//! the diagonal is self-interference (whose two groups must produce
+//! bit-identical counters — the `matrix-identical-pair-symmetry` law,
+//! checked here against live engine output), the off-diagonal cells are
+//! the heterogeneous pairs the [`coloc_model::MixFeatures`] encoding
+//! exists for.
+//!
+//! The run gates on exact identical-pair symmetry and folds a
+//! [`MatrixLine`] into `BENCH_<pr>.json` next to the engine and service
+//! sections.
+
+use crate::perf::{artifact_path, MatrixLine, PerfReport};
+use coloc_model::{CrossMatrix, FeatureSet, ModelKind, ModelRegistry, TrainRequest, TrainingPlan};
+
+/// P-state every matrix run uses (the fastest clock, as in Table VI).
+pub const MATRIX_PSTATE: usize = 0;
+
+/// The pinned training request behind the scoring model: linear, full
+/// feature set, over the exact plan `coloc matrix` trains with when no
+/// `--model` is given — same provenance, so the digest printed here
+/// matches the CLI's for the same machine/pstate/seed.
+pub fn matrix_request(lab: &coloc_model::Lab) -> TrainRequest {
+    let spec = lab.machine().spec();
+    let half = (spec.cores / 2).max(1);
+    let mut counts = vec![1, half, spec.cores - 1];
+    counts.dedup();
+    counts.retain(|&c| c >= 1);
+    TrainRequest {
+        kind: ModelKind::Linear,
+        set: FeatureSet::F,
+        plan: TrainingPlan {
+            pstates: vec![MATRIX_PSTATE],
+            targets: lab.suite().iter().map(|b| b.name.to_string()).collect(),
+            co_runners: coloc_workloads::suite::training_co_runners()
+                .iter()
+                .map(|b| b.name.to_string())
+                .collect(),
+            counts,
+        },
+        seed: crate::SEED,
+        policy: None,
+    }
+}
+
+/// Measure the matrix, print it, gate on identical-pair symmetry, and
+/// fold the section into `BENCH_<pr>.json` when that artifact exists.
+pub fn run_matrix() {
+    let lab = crate::lab_6core();
+    let registry = ModelRegistry::new();
+    let request = matrix_request(&lab);
+    println!(
+        "matrix: resolving scoring model ({} training scenarios)…",
+        request.plan.len()
+    );
+    let artifact = registry
+        .resolve(&lab, &request)
+        .expect("matrix model resolves");
+
+    let n = lab.suite().len();
+    println!(
+        "matrix: measuring {n}×{n} pairwise cross-interference at P{MATRIX_PSTATE} \
+         ({} runs)…",
+        n + n * n
+    );
+    let matrix = CrossMatrix::compute(&lab, &artifact, MATRIX_PSTATE).expect("matrix computes");
+
+    println!("{}", matrix.render_measured());
+    println!(
+        "  model {}: MPE {:+.2}%, NRMSE {:.2}%, worst cell {:.2}%",
+        matrix.model_digest,
+        matrix.summary.mpe_pct,
+        matrix.summary.nrmse_pct,
+        matrix.summary.max_abs_pct_err
+    );
+
+    let line = MatrixLine {
+        machine: matrix.machine.clone(),
+        pstate: matrix.pstate,
+        apps: matrix.apps.len(),
+        model_digest: matrix.model_digest.clone(),
+        mpe_pct: matrix.summary.mpe_pct,
+        nrmse_pct: matrix.summary.nrmse_pct,
+        max_abs_pct_err: matrix.summary.max_abs_pct_err,
+        identical_pairs_symmetric: matrix.summary.identical_pairs_symmetric,
+    };
+
+    // Fold the section into the committed artifact (run `repro perf`
+    // first to create it).
+    let path = artifact_path();
+    match std::fs::read(&path)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice::<PerfReport>(&bytes).ok())
+    {
+        Some(mut report) => {
+            report.matrix = Some(line);
+            let bytes = serde_json::to_vec_pretty(&report).expect("serialize perf report");
+            std::fs::write(&path, bytes).expect("write perf artifact");
+            println!("  updated matrix section of {}", path.display());
+        }
+        None => println!(
+            "  note: {} not found or unreadable — run `repro perf` first to \
+             record the matrix section",
+            path.display()
+        ),
+    }
+
+    // The gate: identical-app pairs are relabelings; their counters must
+    // mirror bit for bit, every time, on live engine output.
+    if !matrix.summary.identical_pairs_symmetric {
+        let broken: Vec<&str> = matrix
+            .apps
+            .iter()
+            .zip(&matrix.identical_pair_counter_symmetry)
+            .filter(|(_, &ok)| !ok)
+            .map(|(app, _)| app.as_str())
+            .collect();
+        eprintln!(
+            "MATRIX REGRESSION: identical-pair counter symmetry violated for {}",
+            broken.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "matrix gate: {} identical-app pairs bitwise symmetric — ok",
+        matrix.apps.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_request_matches_the_cli_default_provenance() {
+        // The bench harness and `coloc matrix` must resolve the *same*
+        // registry artifact, or BENCH digests will not match CLI output.
+        let lab = crate::lab_6core();
+        let registry = ModelRegistry::new();
+        let req = matrix_request(&lab);
+        // The CLI default (commands::matrix with no --model): linear,
+        // full features, single measured P-state, no robust ladder.
+        assert_eq!(req.plan.pstates, vec![MATRIX_PSTATE]);
+        assert!(req.policy.is_none());
+        assert_eq!(req.seed, crate::SEED);
+        let a = registry.request_digest(&lab, &req);
+        let b = registry.request_digest(&lab, &matrix_request(&lab));
+        assert_eq!(a, b, "request digest is deterministic");
+    }
+}

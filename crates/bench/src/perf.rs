@@ -19,8 +19,8 @@ use coloc_machine::StageId;
 use coloc_model::{Lab, SweepStats, TrainingPlan};
 use std::path::PathBuf;
 
-/// PR number stamped into the artifact name (`BENCH_8.json`).
-pub const PERF_PR: u32 = 8;
+/// PR number stamped into the artifact name (`BENCH_10.json`).
+pub const PERF_PR: u32 = 10;
 
 /// Relative regression the gate tolerates on cold 1-thread scenarios/sec
 /// before failing (CI-runner jitter headroom).
@@ -76,6 +76,31 @@ pub struct ServiceLine {
     pub degraded: u64,
 }
 
+/// Cross-interference matrix section from `repro matrix`: the full
+/// pairwise (11×11) measured matrix scored against a registry-resolved
+/// model. Optional for the same reason as [`ServiceLine`]: `repro perf`
+/// writes the artifact first and `repro matrix` fills this section in;
+/// regeneration carries a committed section forward.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MatrixLine {
+    /// Machine preset the matrix was measured on.
+    pub machine: String,
+    /// P-state of every run.
+    pub pstate: usize,
+    /// Apps per axis (the full suite: 11).
+    pub apps: usize,
+    /// Provenance digest (hex) of the scoring model artifact.
+    pub model_digest: String,
+    /// Mean percentage error of predicted vs measured pair times.
+    pub mpe_pct: f64,
+    /// Normalized RMSE of predicted vs measured pair times, percent.
+    pub nrmse_pct: f64,
+    /// Worst single-cell absolute percent error.
+    pub max_abs_pct_err: f64,
+    /// Whether every identical-app pair's counters mirrored bitwise.
+    pub identical_pairs_symmetric: bool,
+}
+
 /// The `BENCH_<pr>.json` artifact.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PerfReport {
@@ -110,6 +135,9 @@ pub struct PerfReport {
     /// Service-level section, written by `repro serve-bench` (absent
     /// until that harness has run against this artifact).
     pub service: Option<ServiceLine>,
+    /// Cross-interference matrix section, written by `repro matrix`
+    /// (absent until that harness has run against this artifact).
+    pub matrix: Option<MatrixLine>,
 }
 
 /// The pinned perf plan: both machines' shared 6-core lab, two P-states,
@@ -175,16 +203,22 @@ fn artifact_dir() -> PathBuf {
 }
 
 /// The committed artifact to gate against: this PR's when present, else
-/// the previous PR's — so the first generation after a PR bump still
-/// regresses against the committed trajectory instead of against itself.
+/// the most recent earlier PR's that parses as a perf report — so the
+/// first generation after a PR bump still regresses against the
+/// committed trajectory instead of against itself. Earlier `BENCH_*`
+/// files with other schemas (e.g. the placement artifact) fail to parse
+/// and are skipped.
 fn committed_report() -> Option<PerfReport> {
     let read = |path: PathBuf| -> Option<PerfReport> {
         std::fs::read(path)
             .ok()
             .and_then(|bytes| serde_json::from_slice(&bytes).ok())
     };
-    read(artifact_path())
-        .or_else(|| read(artifact_dir().join(format!("BENCH_{}.json", PERF_PR - 1))))
+    read(artifact_path()).or_else(|| {
+        (1..PERF_PR)
+            .rev()
+            .find_map(|pr| read(artifact_dir().join(format!("BENCH_{pr}.json"))))
+    })
 }
 
 /// Run the pinned perf sweep, write `BENCH_<pr>.json`, and gate against
@@ -254,9 +288,11 @@ pub fn run_perf() {
         } else {
             0.0
         },
-        // The service section belongs to `repro serve-bench`; a committed
-        // section survives perf regeneration untouched.
+        // The service and matrix sections belong to `repro serve-bench`
+        // and `repro matrix`; committed sections survive perf
+        // regeneration untouched.
         service: committed.as_ref().and_then(|c| c.service.clone()),
+        matrix: committed.as_ref().and_then(|c| c.matrix.clone()),
     };
 
     let bytes = serde_json::to_vec_pretty(&report).expect("serialize perf report");

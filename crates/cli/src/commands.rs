@@ -6,7 +6,8 @@ use coloc_model::lab::CheckpointConfig;
 use coloc_model::persist;
 use coloc_model::scheduler::{Policy, Scheduler};
 use coloc_model::{
-    train_robust, ColocError, FeatureSet, Lab, ModelKind, Predictor, Scenario, TrainPolicy,
+    ColocError, CrossMatrix, FeatureSet, Lab, ModelKind, ModelRegistry, Scenario, TrainPolicy,
+    TrainRequest, TrainingPlan,
 };
 use coloc_serve::proto::QueryMode;
 use coloc_serve::server::{BindAddr, ServeConfig, Server};
@@ -227,7 +228,11 @@ pub fn train(argv: &[String]) -> CmdResult {
     if args.has_flag("help") {
         println!(
             "coloc train --samples <file> [--kind linear|nn|quadratic] \
-             [--set A..F] [--seed N] [--robust] [--retries N] --out <file>"
+             [--set A..F] [--seed N] [--robust] [--retries N] --out <file>\n\n\
+             Trains through the model registry and writes a versioned,\n\
+             digest-addressed model artifact (predictor + provenance) that\n\
+             `coloc predict`, `coloc schedule`, `coloc matrix` and\n\
+             `coloc serve --model` all resolve the same way."
         );
         return Ok(());
     }
@@ -236,25 +241,31 @@ pub fn train(argv: &[String]) -> CmdResult {
     let set = parse_set(args.get("set").unwrap_or("F"))?;
     let seed = args.get_parsed_or("seed", 2015u64)?;
     let out = args.require("out")?;
-    let model = if args.has_flag("robust") || args.get("retries").is_some() {
-        let policy = TrainPolicy {
+    let policy = if args.has_flag("robust") || args.get("retries").is_some() {
+        Some(TrainPolicy {
             retries: args.get_parsed_or("retries", TrainPolicy::default().retries)?,
             ..Default::default()
-        };
-        let (model, report) =
-            train_robust(kind, set, &samples, seed, &policy).map_err(|e| e.to_string())?;
-        eprintln!("robust training: {report}");
-        model
+        })
     } else {
-        Predictor::train(kind, set, &samples, seed).map_err(|e| e.to_string())?
+        None
     };
-    model.save(out).map_err(|e| e.to_string())?;
+    let registry = ModelRegistry::new();
+    let trained = registry
+        .train_from_samples(&samples, kind, set, seed, policy.as_ref())
+        .map_err(|e| e.to_string())?;
+    if let Some(report) = &trained.report {
+        eprintln!("robust training: {report}");
+    }
+    registry
+        .save(&trained.artifact, out)
+        .map_err(|e| e.to_string())?;
     println!(
         "trained {} model on feature set {} ({} samples) -> {out}",
-        model.kind().label(),
+        trained.artifact.predictor.kind().label(),
         set.label(),
         samples.len()
     );
+    println!("artifact digest {}", trained.artifact.digest_hex());
     Ok(())
 }
 
@@ -269,7 +280,10 @@ pub fn predict(argv: &[String]) -> CmdResult {
         return Ok(());
     }
     let lab = lab_from(&args)?;
-    let model = Predictor::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let artifact = ModelRegistry::new()
+        .load(args.require("model")?)
+        .map_err(|e| e.to_string())?;
+    let model = &artifact.predictor;
     let scenario = Scenario {
         target: args.require("target")?.to_string(),
         co_located: parse_co(args.get_all("co"))?,
@@ -303,7 +317,10 @@ pub fn schedule(argv: &[String]) -> CmdResult {
         return Ok(());
     }
     let lab = lab_from(&args)?;
-    let model = Predictor::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let artifact = ModelRegistry::new()
+        .load(args.require("model")?)
+        .map_err(|e| e.to_string())?;
+    let model = &artifact.predictor;
     let jobs: Vec<String> = args
         .require("jobs")?
         .split(',')
@@ -316,7 +333,7 @@ pub fn schedule(argv: &[String]) -> CmdResult {
     } else {
         Policy::LeastInterference
     };
-    let sched = Scheduler::new(&lab, &model, pstate);
+    let sched = Scheduler::new(&lab, model, pstate);
     let placement = sched
         .place(&jobs, sockets, policy)
         .map_err(|e| e.to_string())?;
@@ -334,6 +351,82 @@ pub fn schedule(argv: &[String]) -> CmdResult {
         placement.unfairness().map_err(|e| e.to_string())?,
         placement.sockets_used()
     );
+    Ok(())
+}
+
+/// `coloc matrix --machine <key> [--pstate N] [--model <file>] [--out <file>]`
+///
+/// Measures the full pairwise cross-interference matrix over the suite
+/// (every target × every single co-runner) and compares it with a
+/// registry-resolved model's predictions.
+pub fn matrix(argv: &[String]) -> CmdResult {
+    let args = ArgMap::parse(argv)?;
+    if args.has_flag("help") {
+        println!(
+            "coloc matrix --machine <key> [--pstate N] [--seed N] [--threads N]\n\
+             \x20           [--model <artifact.json>] [--out <matrix.json>]\n\n\
+             Measures slowdown for all suite pairs (target × 1 co-runner) and\n\
+             fills the predicted side from a model artifact: either --model,\n\
+             or a linear full-feature model the registry trains on the spot.\n\
+             Identical-app pairs are checked for bit-identical per-group\n\
+             counters (the `matrix-identical-pair-symmetry` law)."
+        );
+        return Ok(());
+    }
+    let lab = lab_from(&args)?;
+    let pstate = args.get_parsed_or("pstate", 0usize)?;
+    let registry = ModelRegistry::new();
+    let artifact = match args.get("model") {
+        Some(path) => registry.load(path).map_err(|e| e.to_string())?,
+        None => {
+            let cores = lab.machine().spec().cores;
+            let mut counts = vec![1usize, (cores / 2).max(1), cores - 1];
+            counts.dedup();
+            counts.retain(|&c| c >= 1);
+            let req = TrainRequest {
+                kind: ModelKind::Linear,
+                set: FeatureSet::F,
+                plan: TrainingPlan {
+                    pstates: vec![pstate],
+                    targets: lab.suite().iter().map(|b| b.name.to_string()).collect(),
+                    co_runners: coloc_workloads::training_co_runners()
+                        .iter()
+                        .map(|b| b.name.to_string())
+                        .collect(),
+                    counts,
+                },
+                seed: args.get_parsed_or("seed", 2015u64)?,
+                policy: None,
+            };
+            registry.resolve(&lab, &req).map_err(|e| e.to_string())?
+        }
+    };
+    let m = CrossMatrix::compute(&lab, &artifact, pstate).map_err(|e| e.to_string())?;
+    print!(
+        "measured slowdown matrix ({} @ P{}):\n{}",
+        m.machine,
+        m.pstate,
+        m.render_measured()
+    );
+    println!(
+        "model {}: MPE {:.2}%, NRMSE {:.2}%, worst cell {:.2}%",
+        m.model_digest, m.summary.mpe_pct, m.summary.nrmse_pct, m.summary.max_abs_pct_err
+    );
+    println!(
+        "identical-pair counter symmetry: {}",
+        if m.summary.identical_pairs_symmetric {
+            "ok (all pairs bit-identical)"
+        } else {
+            "VIOLATED"
+        }
+    );
+    if let Some(out) = args.get("out") {
+        persist::save_json_atomic(&m, out).map_err(|e| e.to_string())?;
+        println!("wrote matrix artifact to {out}");
+    }
+    if !m.summary.identical_pairs_symmetric {
+        return Err("identical-app pairs produced asymmetric counters".into());
+    }
     Ok(())
 }
 
@@ -627,7 +720,8 @@ pub fn verify(argv: &[String]) -> CmdResult {
 ///
 /// Runs the prediction service on the calling thread until SIGTERM /
 /// SIGINT / a `shutdown` frame drains it, then prints the final stats
-/// frame to stderr.
+/// frame to stderr. SIGHUP (or a `reload` frame) hot-swaps the model
+/// artifacts without a drain.
 pub fn serve(argv: &[String]) -> Result<(), Failure> {
     let args = ArgMap::parse(argv)?;
     if args.has_flag("help") {
@@ -639,7 +733,11 @@ pub fn serve(argv: &[String]) -> Result<(), Failure> {
              Serves slowdown queries as line-delimited JSON. Bounded admission\n\
              sheds with `overloaded` past --capacity; past --watermark the\n\
              degradation ladder answers from cache / the linear fallback and\n\
-             labels those answers degraded. SIGTERM drains gracefully."
+             labels those answers degraded. --model points at a registry\n\
+             artifact (as written by `coloc train`); SIGHUP or a `reload`\n\
+             frame hot-swaps it with zero drain — in-flight requests finish\n\
+             on the old artifact and stats frames report model_epoch and\n\
+             model_digest. SIGTERM drains gracefully."
         );
         return Ok(());
     }
@@ -720,7 +818,7 @@ pub fn query(argv: &[String]) -> Result<(), Failure> {
              \x20           [--co name:count]… [--pstate N] [--predict]\n\
              \x20           [--deadline-ms N] [--machine <key>] [--retries N]\n\
              \x20           [--backoff-ms N] [--jitter-seed N]\n\
-             coloc query … --ping | --stats | --shutdown\n\n\
+             coloc query … --ping | --stats | --reload | --shutdown\n\n\
              Exit codes: 0 ok, 75 overloaded (after retries), 124 deadline\n\
              expired, 69 server shutting down, 1 other errors, 2 usage."
         );
@@ -738,6 +836,11 @@ pub fn query(argv: &[String]) -> Result<(), Failure> {
             "{}",
             serde_json::to_string(&frame).map_err(|e| e.to_string())?
         );
+        return Ok(());
+    }
+    if args.has_flag("reload") {
+        let (epoch, digest) = client.reload().map_err(service_failure)?;
+        println!("reloaded: model_epoch {epoch}, model_digest {digest}");
         return Ok(());
     }
     if args.has_flag("shutdown") {
@@ -913,7 +1016,8 @@ mod tests {
             &model_path,
         ]))
         .unwrap();
-        assert!(Predictor::load(&model_path).is_ok());
+        let artifact = ModelRegistry::new().load(&model_path).unwrap();
+        assert!(artifact.spec.robust, "provenance records the robust ladder");
 
         assert!(parse_fault_plan("light", 1).is_ok());
         assert!(parse_fault_plan("/nonexistent/plan.json", 1).is_err());

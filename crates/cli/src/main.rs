@@ -32,6 +32,8 @@ COMMANDS:
     train       fit a model on collected samples; write it as JSON
     predict     predict a co-location scenario with a trained model
     schedule    place jobs on sockets with a trained model
+    matrix      measure the full pairwise cross-interference matrix and
+                score a registry-resolved model against it
     place       stream synthetic jobs through a simulated fleet and score
                 placement policies against the simulator-as-oracle
     suite       list the benchmark suite and its memory-intensity classes
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
         "train" => commands::train(rest).map_err(Into::into),
         "predict" => commands::predict(rest).map_err(Into::into),
         "schedule" => commands::schedule(rest).map_err(Into::into),
+        "matrix" => commands::matrix(rest).map_err(Into::into),
         "place" => commands::place(rest).map_err(Into::into),
         "suite" => commands::suite(rest).map_err(Into::into),
         "machines" => commands::machines(rest).map_err(Into::into),

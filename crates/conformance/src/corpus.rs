@@ -420,6 +420,40 @@ pub fn seed_corpus() -> Vec<CorpusCase> {
     chaotic.co[1].clock_ratio = Some(1.25);
     cases.push(chaotic);
 
+    // ---- Law-tagged cases -------------------------------------------
+    // Replayed through their named law instead of the differential
+    // oracle, so `coloc verify` re-litigates the exact invariants the
+    // registry pipeline leans on.
+
+    // A cross-interference matrix diagonal cell: canneal against one
+    // instance of itself, with measurement noise — the identical-pair
+    // counter symmetry must hold bit-for-bit anyway.
+    let mut diagonal = mk(
+        "seed-law-identical-pair",
+        "e5649",
+        "canneal",
+        &[("canneal", 1)],
+        1,
+        21,
+        0.008,
+    );
+    diagonal.law = Some("matrix-identical-pair-symmetry".into());
+    cases.push(diagonal);
+
+    // A heterogeneous mixed pair: the per-co-runner encoding must lower
+    // to the same bits whichever way the pair is listed.
+    let mut mixed_pair = mk(
+        "seed-law-mixed-pair",
+        "e5649",
+        "ft",
+        &[("cg", 1), ("ep", 1)],
+        0,
+        22,
+        0.0,
+    );
+    mixed_pair.law = Some("mixed-pair-order-invariance".into());
+    cases.push(mixed_pair);
+
     cases
 }
 

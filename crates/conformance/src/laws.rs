@@ -28,6 +28,14 @@
 //! 8. **Departure-at-end no-op**: a departure strictly after the target
 //!    completes can never fire (segment caps use strict `<`), so it is
 //!    bit-identical to no departure at all.
+//! 9. **Identical-pair symmetry** (the cross-interference matrix
+//!    diagonal): an app co-located with one instance of itself is a
+//!    relabeling, so the two groups' per-run counters mirror bitwise.
+//! 10. **Mixed-pair order invariance**: the heterogeneous per-co-runner
+//!     encoding ([`coloc_model::MixFeatures`]) lowers by summing over a
+//!     set; listing a mixed pair in either order yields bit-identical
+//!     lowered features — which are themselves bit-identical to the
+//!     legacy featurize path — and physics within tolerance.
 //!
 //! Scenario-based laws derive their case from the seed via the shared
 //! generator, so a violation is addressable (and shrinkable) as a
@@ -779,6 +787,218 @@ impl Law for DepartureAtEndNoop {
     }
 }
 
+// ---------------------------------------------------------------------
+// Law 9: an identical-app pair is a relabeling — counters mirror bitwise.
+// ---------------------------------------------------------------------
+
+/// See module docs, law 9.
+pub struct MatrixIdenticalPairSymmetry;
+
+impl MatrixIdenticalPairSymmetry {
+    /// Whether the case is in the law's domain: the target co-located
+    /// with exactly one more instance of *itself*, lockstep, no faults.
+    /// Shrinking can leave the domain; such cases pass vacuously.
+    fn is_identical_pair(case: &CorpusCase) -> bool {
+        case.faults.is_none()
+            && case.co.len() == 1
+            && case.co[0].count == 1
+            && case.co[0].app == case.target
+            && !case.co[0].has_schedule()
+    }
+}
+
+impl Law for MatrixIdenticalPairSymmetry {
+    fn name(&self) -> &'static str {
+        "matrix-identical-pair-symmetry"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "a cross-interference matrix diagonal cell runs an app against itself: \
+         the two groups are relabelable, so their counters mirror bitwise"
+    }
+
+    fn cases_per_run(&self) -> usize {
+        16
+    }
+
+    fn case_for_seed(&self, seed: u64) -> Option<CorpusCase> {
+        // Reserve a core for the twin instance; faults are off because a
+        // fault plan indexes groups by position (breaking the symmetry on
+        // purpose), and events are off so both instances run lockstep.
+        let mut case = gen_case(
+            seed,
+            &GenConstraints {
+                allow_faults: false,
+                reserve_cores: 1,
+                allow_events: false,
+                ..Default::default()
+            },
+        );
+        case.co = vec![CoGroup::plain(case.target.clone(), 1)];
+        Some(case)
+    }
+
+    fn check_case(&self, case: &CorpusCase) -> Result<(), String> {
+        if !Self::is_identical_pair(case) {
+            return Ok(()); // vacuous: shrinking left the law's domain
+        }
+        let built = case.build()?;
+        let machine = Machine::new(built.spec.clone()).map_err(|e| e.to_string())?;
+        let outcome = machine
+            .run(&built.workload, &built.opts)
+            .map_err(|e| format!("engine rejected law workload: {e}"))?;
+        if outcome.counters.len() != 2 {
+            return Err(format!(
+                "expected 2 counter blocks for an identical pair, got {}",
+                outcome.counters.len()
+            ));
+        }
+        // `completed_runs` is deliberately excluded: the target completes
+        // exactly once while the co group restarts until it does, so only
+        // the per-run physics (instructions, cycles, LLC traffic) mirror.
+        let (t, c) = (&outcome.counters[0], &outcome.counters[1]);
+        for (name, a, b) in [
+            ("instructions", t.instructions, c.instructions),
+            ("cycles", t.cycles, c.cycles),
+            ("llc_accesses", t.llc_accesses, c.llc_accesses),
+            ("llc_misses", t.llc_misses, c.llc_misses),
+        ] {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!(
+                    "identical-pair {name} differs bitwise between target and twin ({a} vs {b})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Law 10: mixed-pair co-runner listing order is presentation.
+// ---------------------------------------------------------------------
+
+/// See module docs, law 10.
+pub struct MixedPairOrderInvariance;
+
+impl MixedPairOrderInvariance {
+    /// Whether the case is in the law's domain: exactly two distinct
+    /// single-instance co-runners, lockstep, no faults.
+    fn is_mixed_pair(case: &CorpusCase) -> bool {
+        case.faults.is_none()
+            && case.co.len() == 2
+            && case.co.iter().all(|g| g.count == 1 && !g.has_schedule())
+            && case.co[0].app != case.co[1].app
+    }
+}
+
+impl Law for MixedPairOrderInvariance {
+    fn name(&self) -> &'static str {
+        "mixed-pair-order-invariance"
+    }
+
+    fn provenance(&self) -> &'static str {
+        "per-co-runner feature vectors lower by summing over a *set*: listing order \
+         changes neither the lowered features (two-term IEEE sums commute) nor the physics"
+    }
+
+    fn cases_per_run(&self) -> usize {
+        4 // each case builds a lab and profiles baselines: keep it lean
+    }
+
+    fn case_for_seed(&self, seed: u64) -> Option<CorpusCase> {
+        let mut case = gen_case(
+            seed,
+            &GenConstraints {
+                allow_faults: false,
+                allow_fp_budget: false,
+                reserve_cores: 2,
+                allow_events: false,
+                ..Default::default()
+            },
+        );
+        // Two distinct single-instance co-runners, picked deterministically
+        // and distinct from each other (the target may repeat — that is
+        // exactly the heterogeneous mix the encoding must keep straight).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x313_7ED);
+        let apps = suite::standard();
+        let a = apps[rng.gen_range(0..apps.len())].name;
+        let mut b = apps[rng.gen_range(0..apps.len())].name;
+        while b == a {
+            b = apps[rng.gen_range(0..apps.len())].name;
+        }
+        case.co = vec![CoGroup::plain(a, 1), CoGroup::plain(b, 1)];
+        Some(case)
+    }
+
+    fn check_case(&self, case: &CorpusCase) -> Result<(), String> {
+        if !Self::is_mixed_pair(case) {
+            return Ok(()); // vacuous: shrinking left the law's domain
+        }
+        let spec = crate::case::machine_spec(&case.machine)?;
+        let lab = Lab::new(spec, suite::standard(), case.seed)
+            .map_err(|e| format!("lab construction failed: {e}"))?
+            .with_threads(1);
+        let forward = Scenario {
+            target: case.target.clone(),
+            co_located: case.co.iter().map(|g| (g.app.clone(), g.count)).collect(),
+            pstate: case.pstate,
+        };
+        let mut backward = forward.clone();
+        backward.co_located.reverse();
+
+        // The heterogeneous encodings list the pair in opposite orders…
+        let fwd_mix = lab.mix_featurize(&forward).map_err(|e| e.to_string())?;
+        let bwd_mix = lab.mix_featurize(&backward).map_err(|e| e.to_string())?;
+        if fwd_mix.co.len() != 2 || bwd_mix.co.len() != 2 {
+            return Err(format!(
+                "expected 2 co vectors, got {} / {}",
+                fwd_mix.co.len(),
+                bwd_mix.co.len()
+            ));
+        }
+        // …but lower to bit-identical legacy features (summing two terms
+        // in either order is exact in IEEE arithmetic), and the lowering
+        // *is* the legacy featurize path.
+        let (f, b) = (fwd_mix.lower(), bwd_mix.lower());
+        for (k, (x, y)) in f.iter().zip(&b).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!(
+                    "lowered feature {k} moved under pair swap ({x} vs {y})"
+                ));
+            }
+        }
+        let legacy = lab.featurize(&forward).map_err(|e| e.to_string())?;
+        for (k, (x, y)) in f.iter().zip(&legacy).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!(
+                    "mix lowering diverged from featurize at feature {k} ({x} vs {y})"
+                ));
+            }
+        }
+
+        // And the physics agrees within the permutation tolerance. The
+        // engine is driven directly with one shared RunOptions: the lab
+        // would seed noise from the scenario digest, which is (rightly)
+        // order-sensitive, and noise is not what this law is about.
+        let built = case.build()?;
+        let machine = Machine::new(built.spec.clone()).map_err(|e| e.to_string())?;
+        let mut reversed = vec![built.workload[0].clone()];
+        reversed.extend(built.workload[1..].iter().rev().cloned());
+        let fwd_wall = run_wall(&machine, &built)?;
+        let bwd_wall = machine
+            .run(&reversed, &built.opts)
+            .map(|o| o.wall_time_s)
+            .map_err(|e| format!("engine rejected swapped workload: {e}"))?;
+        let rel = (fwd_wall - bwd_wall).abs() / fwd_wall.abs().max(bwd_wall.abs());
+        if !(rel <= PERMUTATION_REL_TOL) {
+            return Err(format!(
+                "wall time moved {rel:e} relative under pair swap ({fwd_wall} vs {bwd_wall})"
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// All laws, in documentation order.
 pub fn all_laws() -> Vec<Box<dyn Law>> {
     vec![
@@ -790,6 +1010,8 @@ pub fn all_laws() -> Vec<Box<dyn Law>> {
         Box::new(ArrivalOrderInvariance),
         Box::new(LockstepDegeneracy),
         Box::new(DepartureAtEndNoop),
+        Box::new(MatrixIdenticalPairSymmetry),
+        Box::new(MixedPairOrderInvariance),
     ]
 }
 
@@ -827,6 +1049,8 @@ mod tests {
             &ArrivalOrderInvariance,
             &LockstepDegeneracy,
             &DepartureAtEndNoop,
+            &MatrixIdenticalPairSymmetry,
+            &MixedPairOrderInvariance,
         ] {
             for seed in 0..20u64 {
                 let case = law.case_for_seed(seed).expect("scenario-based");
@@ -898,6 +1122,45 @@ mod tests {
             let total: usize = built.workload.iter().map(|g| g.count).sum();
             assert!(total <= built.spec.cores);
         }
+    }
+
+    #[test]
+    fn identical_pair_law_holds_and_cases_are_in_domain() {
+        for seed in 0..8u64 {
+            let case = MatrixIdenticalPairSymmetry.case_for_seed(seed).unwrap();
+            assert!(
+                MatrixIdenticalPairSymmetry::is_identical_pair(&case),
+                "{}",
+                case.describe()
+            );
+            MatrixIdenticalPairSymmetry
+                .check_case(&case)
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        }
+        // Out-of-domain shapes pass vacuously (shrinker safety).
+        let mut case = MatrixIdenticalPairSymmetry.case_for_seed(0).unwrap();
+        case.co[0].app = if case.target == "ep" { "cg" } else { "ep" }.into();
+        assert!(!MatrixIdenticalPairSymmetry::is_identical_pair(&case));
+        MatrixIdenticalPairSymmetry.check_case(&case).unwrap();
+    }
+
+    #[test]
+    fn mixed_pair_law_holds_and_cases_are_in_domain() {
+        for seed in 0..2u64 {
+            let case = MixedPairOrderInvariance.case_for_seed(seed).unwrap();
+            assert!(
+                MixedPairOrderInvariance::is_mixed_pair(&case),
+                "{}",
+                case.describe()
+            );
+            MixedPairOrderInvariance
+                .check_case(&case)
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        }
+        let mut case = MixedPairOrderInvariance.case_for_seed(0).unwrap();
+        case.co.pop();
+        assert!(!MixedPairOrderInvariance::is_mixed_pair(&case));
+        MixedPairOrderInvariance.check_case(&case).unwrap();
     }
 
     #[test]

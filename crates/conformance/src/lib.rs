@@ -19,9 +19,12 @@
 //! * [`laws`] — reusable [`laws::Law`] objects encoding paper-derived
 //!   invariants: monotone interference, solo unity, co-runner
 //!   permutation invariance, MPE/NRMSE scale invariance, feature-set
-//!   nesting of the linear model's train fit, and three event-semantics
+//!   nesting of the linear model's train fit, three event-semantics
 //!   laws (arrival-order invariance of interchangeable twins, lockstep
-//!   degeneracy of all-default schedules, departure-past-the-end no-op).
+//!   degeneracy of all-default schedules, departure-past-the-end no-op),
+//!   and two feature-pipeline laws (identical-pair counter symmetry on
+//!   the cross-interference matrix diagonal, mixed-pair order
+//!   invariance of the heterogeneous co-runner encoding).
 //! * [`case`] / [`corpus`] — a seeded scenario generator with a
 //!   deterministic shrinker, and a checked-in JSON corpus under
 //!   `corpus/` that `coloc verify`, `repro conformance`, and CI replay

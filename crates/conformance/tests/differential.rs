@@ -83,6 +83,65 @@ fn event_execution_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn mix_encoding_matches_legacy_featurize_across_the_sweep() {
+    use coloc_conformance::{gen_case, CoGroup, GenConstraints};
+    use coloc_model::{Lab, Scenario};
+
+    // Every fault-free lockstep sweep case, mapped to a `Scenario` and
+    // featurized both ways: the heterogeneous per-co-runner encoding
+    // (`MixFeatures`) must lower to the legacy summed features bit for
+    // bit — the homogeneous and mixed cases alike — and listing the co
+    // groups in reverse must not move a single bit. One lab per machine
+    // key, built lazily, so baselines are profiled once per preset.
+    let mut labs: Vec<(String, Lab)> = Vec::new();
+    let mut checked = 0usize;
+    for i in 0..SWEEP_CASES as u64 {
+        let case = gen_case(SWEEP_SEED.wrapping_add(i), &GenConstraints::default());
+        if case.faults.is_some() || case.co.iter().any(CoGroup::has_schedule) {
+            continue;
+        }
+        if !labs.iter().any(|(k, _)| *k == case.machine) {
+            let spec = coloc_conformance::case::machine_spec(&case.machine).unwrap();
+            let lab = Lab::new(spec, coloc_workloads::standard(), 7)
+                .unwrap()
+                .with_threads(1);
+            labs.push((case.machine.clone(), lab));
+        }
+        let lab = &labs.iter().find(|(k, _)| *k == case.machine).unwrap().1;
+        let scenario = Scenario {
+            target: case.target.clone(),
+            co_located: case.co.iter().map(|g| (g.app.clone(), g.count)).collect(),
+            pstate: case.pstate,
+        };
+        let legacy = lab.featurize(&scenario).expect("sweep case featurizes");
+        let mix = lab.mix_featurize(&scenario).expect("sweep case mixes");
+        let lowered = mix.lower();
+        for (k, (a, b)) in lowered.iter().zip(&legacy).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "case {}: lowered feature {k} diverged from legacy ({a} vs {b})",
+                case.describe()
+            );
+        }
+        let mut reversed = scenario.clone();
+        reversed.co_located.reverse();
+        let relowered = lab
+            .mix_featurize(&reversed)
+            .expect("reversed mixes")
+            .lower();
+        for (k, (a, b)) in lowered.iter().zip(&relowered).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "case {}: feature {k} moved under co-order reversal ({a} vs {b})",
+                case.describe()
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 100, "only {checked} lockstep cases in the sweep");
+}
+
+#[test]
 fn checked_in_corpus_replays_clean() {
     let report = verify_dir(&corpus::default_corpus_dir()).expect("corpus readable");
     assert!(

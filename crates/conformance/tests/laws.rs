@@ -105,6 +105,24 @@ fn departure_at_end_noop_law_holds() {
 }
 
 #[test]
+fn matrix_identical_pair_symmetry_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("matrix-identical-pair-symmetry")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
+fn mixed_pair_order_invariance_law_holds() {
+    run_law(
+        coloc_conformance::laws::law_by_name("mixed-pair-order-invariance")
+            .unwrap()
+            .as_ref(),
+    );
+}
+
+#[test]
 fn every_law_is_covered_by_a_named_test_above() {
     // If a new law lands in `all_laws`, this forces a matching test.
     let names: Vec<_> = all_laws().iter().map(|l| l.name()).collect();
@@ -119,6 +137,8 @@ fn every_law_is_covered_by_a_named_test_above() {
             "arrival-order-invariance",
             "lockstep-degeneracy",
             "departure-at-end-noop",
+            "matrix-identical-pair-symmetry",
+            "mixed-pair-order-invariance",
         ]
     );
 }

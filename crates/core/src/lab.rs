@@ -6,14 +6,14 @@
 //! co-location runs, featurization, and parallel sweep collection.
 
 use crate::baseline::{AppBaseline, BaselineDb};
-use crate::features::Feature;
+use crate::mix::MixFeatures;
 use crate::plan::TrainingPlan;
 use crate::sample::Sample;
 use crate::scenario::Scenario;
 use crate::{ColocError, ModelError, Result};
 use coloc_machine::{
-    FaultPlan, GroupSchedule, IrWriter, Machine, MachineSpec, RunCache, RunOptions, RunnerGroup,
-    ScenarioIr, StageId, StageProfile,
+    FaultPlan, GroupSchedule, IrWriter, Machine, MachineSpec, RunCache, RunOptions, RunOutcome,
+    RunnerGroup, ScenarioIr, StageId, StageProfile,
 };
 use coloc_ml::rng::{derive_seed, derive_seed_str};
 use coloc_perfmon::{EventSet, FlatProfiler};
@@ -305,11 +305,26 @@ impl Lab {
         self.run_ir(&ir)
     }
 
+    /// Execute a scenario and return the full engine outcome (counters,
+    /// segments, convergence — not just the wall time). The matrix
+    /// artifact and the identical-pair symmetry law read per-group
+    /// counter blocks from here; the memoized outcome is bit-identical
+    /// to a fresh simulation.
+    pub fn run_scenario_outcome(&self, scenario: &Scenario) -> Result<std::sync::Arc<RunOutcome>> {
+        let ir = self.scenario_ir(scenario)?;
+        self.run_ir_outcome(&ir)
+    }
+
     /// Execute an arbitrary [`ScenarioIr`] — including ones carrying
     /// event schedules, which [`Scenario`] cannot express — through the
     /// lab's run cache with the same memoization, fault injection, stage
     /// profiling, and sweep telemetry as [`Lab::run_scenario`].
     pub fn run_ir(&self, ir: &ScenarioIr) -> Result<f64> {
+        Ok(self.run_ir_outcome(ir)?.wall_time_s)
+    }
+
+    /// [`Lab::run_ir`], returning the whole [`RunOutcome`].
+    pub fn run_ir_outcome(&self, ir: &ScenarioIr) -> Result<std::sync::Arc<RunOutcome>> {
         let schedules: Option<&[GroupSchedule]> = ir.schedules.as_deref();
         let (outcome, hit) = match &self.stage_profile {
             Some(shared) => {
@@ -342,7 +357,7 @@ impl Lab {
             self.faults_injected
                 .fetch_add(outcome.faults.len() as u64, Ordering::Relaxed);
         }
-        Ok(outcome.wall_time_s)
+        Ok(outcome)
     }
 
     /// Execute a scenario batch through the cache's batched oracle path
@@ -422,40 +437,21 @@ impl Lab {
     /// Compute the full eight-feature vector for a scenario from baseline
     /// data only (paper Table I). Fails if the scenario's P-state exceeds
     /// the machine's table or an app is unknown.
+    ///
+    /// Since the heterogeneous-mix extension this is a thin lowering of
+    /// [`Lab::mix_featurize`]; the homogeneous result is bit-identical to
+    /// the historical inline sums (conformance-gated by the differential
+    /// sweep and the `mixed-pair-order-invariance` law).
     pub fn featurize(&self, scenario: &Scenario) -> Result<[f64; 8]> {
-        let db = self.baselines();
-        let target = db
-            .get(&scenario.target)
-            .ok_or_else(|| ModelError::UnknownApp(scenario.target.clone()))?;
-        let base_time = target
-            .time_at(scenario.pstate)
-            .ok_or(ModelError::Machine(format!(
-                "no baseline at P-state {}",
-                scenario.pstate
-            )))?;
+        Ok(self.mix_featurize(scenario)?.lower())
+    }
 
-        let mut co_mem = 0.0;
-        let mut co_cm_ca = 0.0;
-        let mut co_ca_ins = 0.0;
-        for (name, count) in scenario.co_groups() {
-            let b = db
-                .get(name)
-                .ok_or_else(|| ModelError::UnknownApp(name.to_string()))?;
-            co_mem += count as f64 * b.memory_intensity;
-            co_cm_ca += count as f64 * b.cm_ca;
-            co_ca_ins += count as f64 * b.ca_ins;
-        }
-
-        let mut out = [0.0; 8];
-        out[Feature::BaseExTime.index()] = base_time;
-        out[Feature::NumCoApp.index()] = scenario.num_co_located() as f64;
-        out[Feature::CoAppMem.index()] = co_mem;
-        out[Feature::TargetMem.index()] = target.memory_intensity;
-        out[Feature::CoAppCmCa.index()] = co_cm_ca;
-        out[Feature::CoAppCaIns.index()] = co_ca_ins;
-        out[Feature::TargetCmCa.index()] = target.cm_ca;
-        out[Feature::TargetCaIns.index()] = target.ca_ins;
-        Ok(out)
+    /// Compute the heterogeneous-mix feature encoding for a scenario: one
+    /// [`crate::mix::CoVector`] per co-runner group instead of pre-summed
+    /// scalars. [`MixFeatures::lower`] projects it onto the paper's
+    /// eight-feature vector.
+    pub fn mix_featurize(&self, scenario: &Scenario) -> Result<MixFeatures> {
+        MixFeatures::from_baselines(self.baselines(), scenario)
     }
 
     /// Run and featurize one scenario.
@@ -654,6 +650,7 @@ impl CheckpointConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::Feature;
     use coloc_machine::presets;
 
     fn small_lab() -> Lab {

@@ -34,9 +34,12 @@ pub mod energy;
 pub mod experiment;
 pub mod features;
 pub mod lab;
+pub mod matrix;
+pub mod mix;
 pub mod persist;
 pub mod plan;
 pub mod predictor;
+pub mod registry;
 pub mod robust;
 pub mod sample;
 pub mod sanitize;
@@ -47,8 +50,14 @@ pub use baseline::{AppBaseline, BaselineDb};
 pub use experiment::{evaluate_model, ModelEvaluation};
 pub use features::{Feature, FeatureSet};
 pub use lab::{Lab, SweepCheckpoint, SweepStats};
+pub use matrix::{CrossMatrix, MatrixSummary};
+pub use mix::{CoVector, MixFeatures, MIX_ENCODING_VERSION};
 pub use plan::TrainingPlan;
 pub use predictor::{ModelKind, Predictor};
+pub use registry::{
+    machine_spec_digest, ModelArtifact, ModelRegistry, ModelSpec, TrainRequest, TrainedModel,
+    MODEL_SCHEMA_VERSION,
+};
 pub use robust::{train_robust, AttemptOutcome, TrainAttempt, TrainPolicy, TrainingReport};
 pub use sample::{samples_to_dataset, Sample};
 pub use sanitize::{sanitize_samples, QuarantineReason, SanitizePolicy, SanitizeReport};

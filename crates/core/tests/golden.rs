@@ -12,7 +12,8 @@
 
 use coloc_model::persist::{load_json, save_json};
 use coloc_model::{
-    AppBaseline, BaselineDb, FeatureSet, ModelKind, Predictor, Sample, Scenario, SweepCheckpoint,
+    AppBaseline, BaselineDb, FeatureSet, ModelKind, ModelRegistry, Predictor, Sample, Scenario,
+    SweepCheckpoint,
 };
 use std::path::PathBuf;
 
@@ -113,6 +114,36 @@ fn baselines_fixture_round_trips_byte_identical() {
     });
     let loaded = check_golden("baselines.json", &db);
     assert_eq!(loaded, db);
+}
+
+#[test]
+fn model_artifact_fixture_round_trips_byte_identical() {
+    // The registry artifact is the one on-disk schema every deployment
+    // path shares (`coloc train` writes it, `coloc predict`/`serve`
+    // read it), so its fixture is the contract for all of them.
+    let registry = ModelRegistry::new();
+    let trained = registry
+        .train_from_samples(&samples(80), ModelKind::Linear, FeatureSet::F, 0, None)
+        .unwrap();
+    let loaded = check_golden("model_artifact.json", &*trained.artifact);
+
+    // Provenance digest survives the round trip bit for bit…
+    assert_eq!(loaded.digest(), trained.artifact.digest());
+    assert_eq!(loaded.machine, trained.artifact.machine);
+    assert_eq!(loaded.data_digest, trained.artifact.data_digest);
+    // …and so do predictions.
+    for s in &samples(80)[..10] {
+        assert_eq!(
+            trained.artifact.predictor.predict(&s.features).to_bits(),
+            loaded.predictor.predict(&s.features).to_bits()
+        );
+    }
+
+    // The fixture must also load through the registry's own gate (the
+    // path serve and the CLI actually take), which checks the schema
+    // version and memoizes by digest.
+    let via_registry = registry.load(fixture_path("model_artifact.json")).unwrap();
+    assert_eq!(via_registry.digest(), trained.artifact.digest());
 }
 
 #[test]

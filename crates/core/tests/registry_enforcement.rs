@@ -1,0 +1,67 @@
+//! The registry is the *only* train/persist/load path for deployment
+//! code. This test greps the client crates' sources (CLI, serve,
+//! placement) for direct `Predictor` training/loading and the robust
+//! ladder — all of which must go through [`coloc_model::ModelRegistry`]
+//! so that every deployed model carries a provenance digest and joins
+//! the shared artifact cache. Core itself (and tests/benches anywhere)
+//! may use the low-level APIs; deployment surfaces may not.
+
+use std::path::{Path, PathBuf};
+
+/// Call shapes that bypass the registry.
+const FORBIDDEN: &[&str] = &["Predictor::train(", "Predictor::load(", "train_robust("];
+
+fn client_src_dirs() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+    ["cli", "serve", "placement"]
+        .iter()
+        .map(|c| root.join(c).join("src"))
+        .collect()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn deployment_crates_never_bypass_the_registry() {
+    let mut sources = Vec::new();
+    for dir in client_src_dirs() {
+        rust_sources(&dir, &mut sources);
+    }
+    assert!(
+        sources.len() >= 3,
+        "expected CLI/serve/placement sources, found {}",
+        sources.len()
+    );
+
+    let mut violations = Vec::new();
+    for path in &sources {
+        let text = std::fs::read_to_string(path).expect("read source");
+        for (lineno, line) in text.lines().enumerate() {
+            for pat in FORBIDDEN {
+                if line.contains(pat) {
+                    violations.push(format!(
+                        "{}:{}: {}",
+                        path.display(),
+                        lineno + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "deployment code must train/load through ModelRegistry, not raw \
+         Predictor APIs:\n{}",
+        violations.join("\n")
+    );
+}

@@ -11,11 +11,19 @@
 //!
 //! The fixture is plain text, one `name = 0x<32 hex>` line per scenario,
 //! so an encoding change reviews as a readable diff.
+//!
+//! The same fixture also pins the [`MixFeatures`] canonical encoding
+//! (`mix-*` lines, appended after the `ScenarioIr` block): the mix digest
+//! addresses per-co-runner feature rows in training checkpoints, so it is
+//! a persistence format under the exact same contract. The fixture is
+//! **append-only** — new encoding axes add lines, existing lines never
+//! change without a schema-version bump.
 
 use coloc_cachesim::StackDistanceDist;
 use coloc_machine::{
     presets, AppPhase, AppProfile, FaultPlan, GroupSchedule, RunOptions, RunnerGroup, ScenarioIr,
 };
+use coloc_model::{CoVector, MixFeatures};
 use std::path::PathBuf;
 
 fn fixture_path() -> PathBuf {
@@ -223,10 +231,48 @@ fn pinned_scenarios() -> Vec<(&'static str, ScenarioIr)> {
     ]
 }
 
-fn render(scenarios: &[(&str, ScenarioIr)]) -> String {
+/// Pinned [`MixFeatures`] rows, one per encoding axis: no co-runners,
+/// a homogeneous group, and a heterogeneous mix whose listing order is
+/// part of the canonical byte stream. Literal values, not
+/// baseline-derived, so the lines pin the *encoding* alone.
+fn pinned_mixes() -> Vec<(&'static str, MixFeatures)> {
+    let target = |co: Vec<CoVector>| MixFeatures {
+        target: "cg".into(),
+        pstate: 2,
+        base_time_s: 123.456,
+        target_mem: 1.8e-2,
+        target_cm_ca: 0.5,
+        target_ca_ins: 0.036,
+        co,
+    };
+    let co = |app: &str, count: usize, mem: f64| CoVector {
+        app: app.into(),
+        count,
+        memory_intensity: mem,
+        cm_ca: 0.25,
+        ca_ins: 0.012,
+    };
+    vec![
+        ("mix-solo", target(vec![])),
+        ("mix-homogeneous", target(vec![co("ep", 3, 1.1e-5)])),
+        (
+            "mix-heterogeneous",
+            target(vec![co("ep", 1, 1.1e-5), co("streamcluster", 2, 2.4e-2)]),
+        ),
+        (
+            "mix-heterogeneous-swapped",
+            target(vec![co("streamcluster", 2, 2.4e-2), co("ep", 1, 1.1e-5)]),
+        ),
+    ]
+}
+
+fn render(scenarios: &[(&str, ScenarioIr)], mixes: &[(&str, MixFeatures)]) -> String {
     let mut out = String::new();
     for (name, ir) in scenarios {
         out.push_str(&format!("{name} = {:#034x}\n", ir.digest()));
+    }
+    for (name, mix) in mixes {
+        out.push_str(&format!("{name} = {:#034x}\n", mix.digest()));
     }
     out
 }
@@ -234,7 +280,7 @@ fn render(scenarios: &[(&str, ScenarioIr)]) -> String {
 #[test]
 fn scenario_digests_match_the_checked_in_fixture() {
     let scenarios = pinned_scenarios();
-    let rendered = render(&scenarios);
+    let rendered = render(&scenarios, &pinned_mixes());
     let path = fixture_path();
     if std::env::var("COLOC_REGEN_FIXTURES").is_ok() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -257,6 +303,29 @@ fn pinned_digests_are_pairwise_distinct() {
         for (nb, b) in &scenarios[i + 1..] {
             assert_ne!(a.digest(), b.digest(), "{na} collides with {nb}");
         }
+    }
+}
+
+#[test]
+fn mix_digests_are_pairwise_distinct_and_order_sensitive() {
+    let mixes = pinned_mixes();
+    for (i, (na, a)) in mixes.iter().enumerate() {
+        for (nb, b) in &mixes[i + 1..] {
+            assert_ne!(a.digest(), b.digest(), "{na} collides with {nb}");
+        }
+    }
+    // The two heterogeneous rows are the same *mix* in different listing
+    // order: the canonical encoding keeps the order (the digest is an
+    // identity, not a set hash), while the lowered feature sums — two
+    // commuting float adds — are bit-identical either way. Both facts
+    // are contracts.
+    let by_name = |n: &str| &mixes.iter().find(|(m, _)| *m == n).unwrap().1;
+    let fwd = by_name("mix-heterogeneous");
+    let rev = by_name("mix-heterogeneous-swapped");
+    assert_ne!(fwd.digest(), rev.digest(), "listing order must be encoded");
+    let (lf, lr) = (fwd.lower(), rev.lower());
+    for i in 0..8 {
+        assert_eq!(lf[i].to_bits(), lr[i].to_bits(), "lowered feature {i}");
     }
 }
 

@@ -13,12 +13,15 @@
 
 use crate::fleet::{key_add, key_co_groups, key_count, ContentsKey, MAX_APPS};
 use crate::Result;
-use coloc_model::{FeatureSet, Lab, ModelKind, Predictor, Scenario, TrainingPlan};
+use coloc_model::{
+    FeatureSet, Lab, ModelArtifact, ModelKind, ModelRegistry, Scenario, TrainRequest, TrainingPlan,
+};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A trained estimator for one machine spec.
 pub struct SpecEstimator {
-    predictor: Predictor,
+    artifact: Arc<ModelArtifact>,
     pstate: usize,
     app_names: Vec<String>,
     /// Raw (un-normalized) solo prediction per app.
@@ -30,44 +33,68 @@ pub struct SpecEstimator {
 }
 
 impl SpecEstimator {
-    /// Train a linear full-feature predictor on `lab`'s machine with a
-    /// small deterministic plan: every suite app as target, the paper's
-    /// four class representatives as co-runners, three occupancy levels.
-    /// The linear fit is closed-form, so training is deterministic and
-    /// cheap; the sharded run cache memoizes the plan's scenarios.
-    pub fn train(lab: &Lab, pstate: usize) -> Result<SpecEstimator> {
-        let app_names: Vec<String> = lab.suite().iter().map(|b| b.name.to_string()).collect();
-        assert!(app_names.len() <= MAX_APPS, "suite exceeds key packing");
+    /// The registry request this estimator trains: a linear full-feature
+    /// model over a small deterministic plan — every suite app as target,
+    /// the paper's four class representatives as co-runners, three
+    /// occupancy levels. Exposed so callers can address the same artifact
+    /// by digest.
+    pub fn request(lab: &Lab, pstate: usize) -> TrainRequest {
         let cores = lab.machine().spec().cores;
         let mut counts = vec![1usize, (cores / 2).max(1), cores - 1];
         counts.dedup();
         counts.retain(|&c| c >= 1);
-        let plan = TrainingPlan {
-            pstates: vec![pstate],
-            targets: app_names.clone(),
-            co_runners: coloc_workloads::training_co_runners()
-                .iter()
-                .map(|b| b.name.to_string())
-                .collect(),
-            counts,
-        };
-        let samples = lab.collect(&plan)?;
-        let predictor = Predictor::train(ModelKind::Linear, FeatureSet::F, &samples, 1)?;
+        TrainRequest {
+            kind: ModelKind::Linear,
+            set: FeatureSet::F,
+            plan: TrainingPlan {
+                pstates: vec![pstate],
+                targets: lab.suite().iter().map(|b| b.name.to_string()).collect(),
+                co_runners: coloc_workloads::training_co_runners()
+                    .iter()
+                    .map(|b| b.name.to_string())
+                    .collect(),
+                counts,
+            },
+            seed: 1,
+            policy: None,
+        }
+    }
+
+    /// Resolve this spec's estimator model through `registry` (memoized:
+    /// a fleet simulation training many sockets on the same spec shares
+    /// one artifact). The linear fit is closed-form, so training is
+    /// deterministic and cheap; the sharded run cache memoizes the plan's
+    /// scenarios.
+    pub fn train_with(registry: &ModelRegistry, lab: &Lab, pstate: usize) -> Result<SpecEstimator> {
+        let app_names: Vec<String> = lab.suite().iter().map(|b| b.name.to_string()).collect();
+        assert!(app_names.len() <= MAX_APPS, "suite exceeds key packing");
+        let artifact = registry.resolve(lab, &Self::request(lab, pstate))?;
         let solo = app_names
             .iter()
             .map(|name| {
                 let f = lab.featurize(&Scenario::solo(name, pstate))?;
-                Ok(predictor.predict_slowdown(&f))
+                Ok(artifact.predictor.predict_slowdown(&f))
             })
             .collect::<Result<Vec<f64>>>()?;
         Ok(SpecEstimator {
-            predictor,
+            artifact,
             pstate,
             app_names,
             solo,
             sd_memo: HashMap::new(),
             cost_memo: HashMap::new(),
         })
+    }
+
+    /// [`SpecEstimator::train_with`] on a throwaway registry, for callers
+    /// that need exactly one estimator.
+    pub fn train(lab: &Lab, pstate: usize) -> Result<SpecEstimator> {
+        Self::train_with(&ModelRegistry::new(), lab, pstate)
+    }
+
+    /// The digest-addressed artifact backing this estimator.
+    pub fn artifact(&self) -> &Arc<ModelArtifact> {
+        &self.artifact
     }
 
     /// Normalized predicted slowdown of `app` co-located with `others`
@@ -86,7 +113,7 @@ impl SpecEstimator {
             pstate: self.pstate,
         };
         let f = lab.featurize(&sc)?;
-        let sd = (self.predictor.predict_slowdown(&f) / self.solo[app as usize]).max(1.0);
+        let sd = (self.artifact.predictor.predict_slowdown(&f) / self.solo[app as usize]).max(1.0);
         self.sd_memo.insert((others, app), sd);
         Ok(sd)
     }

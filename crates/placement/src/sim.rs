@@ -143,9 +143,12 @@ impl PlacementSim {
             };
             group_spec.push(idx);
         }
+        // One registry across the fleet: specs sharing a machine resolve
+        // the same digest-addressed artifact instead of retraining.
+        let registry = coloc_model::ModelRegistry::new();
         let estimators = labs
             .iter()
-            .map(|lab| SpecEstimator::train(lab, cfg.pstate))
+            .map(|lab| SpecEstimator::train_with(&registry, lab, cfg.pstate))
             .collect::<Result<Vec<_>>>()?;
         let oracles = labs
             .iter()

@@ -133,6 +133,20 @@ impl QueryClient {
         }
     }
 
+    /// Ask the server to hot-swap its model artifacts. Returns the new
+    /// model epoch and the default machine's active artifact digest.
+    pub fn reload(&mut self) -> Result<(u64, String), ColocError> {
+        match self.round_trip(r#"{"op":"reload"}"#)? {
+            Reply::Reloaded {
+                model_epoch,
+                model_digest,
+            } => Ok((model_epoch, model_digest)),
+            other => Err(ColocError::Machine(format!(
+                "expected reload ack, got {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ColocError> {
         match self.round_trip(r#"{"op":"shutdown"}"#)? {

@@ -7,6 +7,7 @@
 //!  "mode":"measure","deadline_ms":500,"machine":"e5649"}
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"reload"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -18,6 +19,7 @@
 //! {"id":"q1","err":"timeout","deadline_ms":500}
 //! {"err":"shutting_down"}
 //! {"ok":true,"pong":true}
+//! {"ok":true,"reloaded":true,"model_epoch":3,"model_digest":"…"}
 //! ```
 //!
 //! `time_s` travels through the float-exact JSON writer, so a served
@@ -78,6 +80,10 @@ pub enum Request {
     Ping,
     /// Return the current stats frame; answered inline.
     Stats,
+    /// Hot-swap the model artifacts (same path as SIGHUP): in-flight
+    /// requests finish on the artifact they started with, new requests
+    /// see the reloaded one. Answered inline with the new epoch+digest.
+    Reload,
     /// Ask the server to drain and exit (same path as SIGTERM).
     Shutdown,
 }
@@ -138,6 +144,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match op.as_str() {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "reload" => Ok(Request::Reload),
         "shutdown" => Ok(Request::Shutdown),
         "query" => {
             let target = str_field(&obj, "target")?.ok_or("query needs `target`")?;
@@ -194,6 +201,17 @@ pub fn pong_line() -> String {
     r#"{"ok":true,"pong":true}"#.to_string()
 }
 
+/// Build the `reload` response line: the epoch and active model digest
+/// after the swap.
+pub fn reload_line(model_epoch: u64, model_digest: &str) -> String {
+    let mut m = Map::new();
+    m.insert("ok", Value::Bool(true));
+    m.insert("reloaded", Value::Bool(true));
+    m.insert("model_epoch", Value::UInt(model_epoch));
+    m.insert("model_digest", Value::Str(model_digest.to_string()));
+    serde_json::to_string(&Value::Object(m)).expect("response serialization is total")
+}
+
 /// Build a `bad_request` response line.
 pub fn bad_request_line(detail: &str) -> String {
     let mut m = Map::new();
@@ -248,6 +266,13 @@ pub enum Reply {
     },
     /// Liveness answer.
     Pong,
+    /// A completed hot reload: the post-swap epoch and active digest.
+    Reloaded {
+        /// Monotonic model epoch after the swap.
+        model_epoch: u64,
+        /// Hex digest of the now-active default-machine artifact.
+        model_digest: String,
+    },
     /// A stats frame (`op":"stats"` answer or periodic frame).
     Stats(Box<crate::telemetry::StatsFrame>),
     /// Typed service error.
@@ -270,6 +295,12 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
     };
     if obj.get("pong").is_some() {
         return Ok(Reply::Pong);
+    }
+    if obj.get("reloaded").is_some() {
+        return Ok(Reply::Reloaded {
+            model_epoch: uint_field(&obj, "model_epoch")?.unwrap_or(0),
+            model_digest: str_field(&obj, "model_digest")?.unwrap_or_default(),
+        });
     }
     if obj.get("uptime_s").is_some() {
         let frame = crate::telemetry::StatsFrame::from_value(&Value::Object(obj))
@@ -349,9 +380,27 @@ mod tests {
             Ok(Request::Stats)
         ));
         assert!(matches!(
+            parse_request(r#"{"op":"reload"}"#),
+            Ok(Request::Reload)
+        ));
+        assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#),
             Ok(Request::Shutdown)
         ));
+    }
+
+    #[test]
+    fn reload_line_round_trips() {
+        let line = reload_line(3, "deadbeef");
+        let Reply::Reloaded {
+            model_epoch,
+            model_digest,
+        } = parse_reply(&line).unwrap()
+        else {
+            panic!("expected reloaded, got {line}")
+        };
+        assert_eq!(model_epoch, 3);
+        assert_eq!(model_digest, "deadbeef");
     }
 
     #[test]
@@ -436,7 +485,14 @@ mod tests {
         assert_eq!(parse_reply(&pong_line()).unwrap(), Reply::Pong);
         let counters = crate::telemetry::Counters::default();
         let hist = crate::telemetry::LatencyHistogram::new();
-        let frame = crate::telemetry::StatsFrame::snapshot(0.5, 0, &counters, &hist, (0, 0, 0));
+        let frame = crate::telemetry::StatsFrame::snapshot(
+            0.5,
+            0,
+            &counters,
+            &hist,
+            (0, 0, 0),
+            (0, String::new()),
+        );
         let line = serde_json::to_string(&frame).unwrap();
         assert!(matches!(parse_reply(&line).unwrap(), Reply::Stats(_)));
     }

@@ -26,6 +26,13 @@
 //! `degraded: true`, but O(µs) instead of O(ms) and immune to queue
 //! collapse.
 //!
+//! Model artifacts are hot-swappable: SIGHUP or a `reload` frame
+//! re-resolves every active slot through the [`ModelRegistry`] (the
+//! configured artifact file is re-read; self-trained fallbacks are
+//! re-resolved by digest) and swaps each slot atomically. Requests
+//! in flight keep the `Arc` they grabbed at dispatch, so every answer
+//! comes from exactly one model epoch — no drain, no blend.
+//!
 //! Shutdown (SIGTERM, SIGINT, or a `shutdown` frame) latches the drain:
 //! the listener stops accepting, admission refuses with
 //! `shutting_down`, the dispatcher finishes everything already
@@ -37,13 +44,14 @@ use crate::signals;
 use crate::telemetry::{Counters, LatencyHistogram, StatsFrame};
 use coloc_machine::presets;
 use coloc_model::{
-    train_robust, ColocError, FeatureSet, Lab, ModelKind, Predictor, TrainPolicy, TrainingPlan,
+    ColocError, FeatureSet, Lab, ModelArtifact, ModelKind, ModelRegistry, TrainPolicy,
+    TrainRequest, TrainingPlan,
 };
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Where the server listens.
@@ -82,8 +90,10 @@ pub struct ServeConfig {
     pub stats_interval: Duration,
     /// Suppress periodic frames on stdout (tests, benches).
     pub quiet: bool,
-    /// Pre-trained predictor for the default machine; `None` trains the
-    /// linear fallback at startup.
+    /// Registry model artifact for the default machine (as written by
+    /// `coloc train` / `ModelRegistry::save`); `None` trains the linear
+    /// fallback at startup. Re-read on every hot reload (SIGHUP or the
+    /// `reload` wire verb).
     pub model_path: Option<std::path::PathBuf>,
 }
 
@@ -128,7 +138,18 @@ struct Pending {
 struct Shared {
     cfg: ServeConfig,
     labs: Vec<(&'static str, Lab)>,
-    predictors: Vec<OnceLock<Result<Predictor, String>>>,
+    /// One hot-swappable model slot per lab. `None` until the first
+    /// query (or warm-up) resolves it through the registry; swapped
+    /// atomically by [`Shared::reload`]. Resolution *failures* are
+    /// never stored, so a transient error (missing artifact file,
+    /// truncated write) is retried on the next query instead of
+    /// poisoning the slot for the life of the process.
+    models: Vec<RwLock<Option<Arc<ModelArtifact>>>>,
+    /// The digest-addressed artifact cache backing every slot.
+    registry: ModelRegistry,
+    /// Bumped once per successful [`Shared::reload`]; 0 at startup.
+    /// Reported in every stats frame so clients can observe swaps.
+    model_epoch: AtomicU64,
     queue: AdmissionQueue<Pending>,
     counters: Counters,
     latency: LatencyHistogram,
@@ -153,7 +174,9 @@ impl Shared {
         ];
         let queue = AdmissionQueue::new(cfg.admission_capacity);
         Ok(Shared {
-            predictors: (0..labs.len()).map(|_| OnceLock::new()).collect(),
+            models: (0..labs.len()).map(|_| RwLock::new(None)).collect(),
+            registry: ModelRegistry::new(),
+            model_epoch: AtomicU64::new(0),
             labs,
             queue,
             counters: Counters::default(),
@@ -190,32 +213,84 @@ impl Shared {
         }
     }
 
-    /// The predictor answering `predict` queries and fallback answers
-    /// for `labs[idx]`. Loaded from `model_path` for the default
-    /// machine when configured, else trained once (linear, full feature
-    /// set, robust ladder) and memoized.
-    fn predictor(&self, idx: usize) -> Result<&Predictor, ColocError> {
-        let slot = self.predictors[idx].get_or_init(|| {
-            let (key, lab) = &self.labs[idx];
-            if let Some(path) = &self.cfg.model_path {
-                if machine_index(&self.cfg.default_machine) == Some(idx) {
-                    return Predictor::load(path).map_err(|e| e.to_string());
-                }
+    /// The registry [`TrainRequest`] behind the self-trained fallback
+    /// model for `labs[idx]`: linear kind, full feature set, robust
+    /// ladder — same request every time, so the registry memoizes it by
+    /// digest and re-resolution after a reload is free.
+    fn fallback_request(&self, idx: usize) -> TrainRequest {
+        TrainRequest {
+            kind: ModelKind::Linear,
+            set: FeatureSet::F,
+            plan: Self::fallback_plan(&self.labs[idx].1),
+            seed: self.cfg.seed,
+            policy: Some(TrainPolicy::default()),
+        }
+    }
+
+    /// Resolve the model artifact for `labs[idx]` through the registry:
+    /// load from `model_path` when one is configured and `idx` is the
+    /// default machine, else train the fallback request. Errors are
+    /// returned, never cached — the next call retries from scratch.
+    fn resolve_model(&self, idx: usize) -> Result<Arc<ModelArtifact>, ColocError> {
+        if let Some(path) = &self.cfg.model_path {
+            if machine_index(&self.cfg.default_machine) == Some(idx) {
+                return self.registry.load(path);
             }
-            let samples = lab
-                .collect(&Self::fallback_plan(lab))
-                .map_err(|e| e.to_string())?;
-            train_robust(
-                ModelKind::Linear,
-                FeatureSet::F,
-                &samples,
-                self.cfg.seed,
-                &TrainPolicy::default(),
-            )
-            .map(|(p, _)| p)
-            .map_err(|e| format!("fallback training for {key} failed: {e}"))
-        });
-        slot.as_ref().map_err(|e| ColocError::Ml(e.clone()))
+        }
+        self.registry
+            .resolve(&self.labs[idx].1, &self.fallback_request(idx))
+    }
+
+    /// The model artifact answering `predict` queries and fallback
+    /// answers for `labs[idx]`. Fast path is a read lock on a filled
+    /// slot; on the first call (or after a failed resolution) the slot
+    /// is filled under the write lock, double-checked so concurrent
+    /// first queries resolve once.
+    fn model(&self, idx: usize) -> Result<Arc<ModelArtifact>, ColocError> {
+        if let Some(artifact) = self.models[idx].read().expect("model slot").as_ref() {
+            return Ok(Arc::clone(artifact));
+        }
+        let mut slot = self.models[idx].write().expect("model slot");
+        if let Some(artifact) = slot.as_ref() {
+            return Ok(Arc::clone(artifact));
+        }
+        let artifact = self.resolve_model(idx)?;
+        *slot = Some(Arc::clone(&artifact));
+        Ok(artifact)
+    }
+
+    /// Hot-swap every initialized model slot and bump the epoch — the
+    /// `reload` wire verb and SIGHUP both land here. Each slot is
+    /// re-resolved *before* its write lock is taken, so in-flight
+    /// requests keep answering on the artifact `Arc` they already hold
+    /// and the swap itself is a pointer store: no drain, no blend.
+    /// Uninitialized slots stay lazy. Any failed resolution aborts the
+    /// reload with every slot (and the epoch) untouched.
+    fn reload(&self) -> Result<(u64, String), ColocError> {
+        let mut fresh: Vec<(usize, Arc<ModelArtifact>)> = Vec::new();
+        for idx in 0..self.labs.len() {
+            let initialized = self.models[idx].read().expect("model slot").is_some();
+            if initialized {
+                fresh.push((idx, self.resolve_model(idx)?));
+            }
+        }
+        for (idx, artifact) in fresh {
+            *self.models[idx].write().expect("model slot") = Some(artifact);
+        }
+        let epoch = self.model_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        Ok((epoch, self.active_model_digest()))
+    }
+
+    /// Digest of the default machine's active artifact (hex), or empty
+    /// until its slot is first filled.
+    fn active_model_digest(&self) -> String {
+        let idx = machine_index(&self.cfg.default_machine).unwrap_or(0);
+        self.models[idx]
+            .read()
+            .expect("model slot")
+            .as_ref()
+            .map(|a| a.digest_hex())
+            .unwrap_or_default()
     }
 
     /// Run-cache traffic summed across labs.
@@ -237,6 +312,10 @@ impl Shared {
             &self.counters,
             &self.latency,
             self.cache_traffic(),
+            (
+                self.model_epoch.load(Ordering::Acquire),
+                self.active_model_digest(),
+            ),
         )
     }
 
@@ -263,9 +342,12 @@ impl Shared {
             proto::ok_line(id, time_s, slowdown, source, is_degraded)
         };
         match p.req.mode {
-            QueryMode::Predict => match self.predictor(p.lab_idx) {
+            // The artifact Arc is grabbed once per request: a reload
+            // mid-request swaps the slot, not this request's model, so
+            // every answer comes from exactly one epoch's artifact.
+            QueryMode::Predict => match self.model(p.lab_idx) {
                 Ok(model) => match lab.featurize(sc) {
-                    Ok(features) => reply(model.predict(&features), "predictor", false),
+                    Ok(features) => reply(model.predictor.predict(&features), "predictor", false),
                     Err(e) => proto::err_line(id, &e, 0),
                 },
                 Err(e) => proto::err_line(id, &e, 0),
@@ -285,11 +367,11 @@ impl Shared {
                     reply(t, "cache", true)
                 }
                 // Degraded rung 2: approximate, never the engine.
-                Ok(None) => match self.predictor(p.lab_idx) {
+                Ok(None) => match self.model(p.lab_idx) {
                     Ok(model) => match lab.featurize(sc) {
                         Ok(features) => {
                             Self::bump(&self.counters.degraded_fallback);
-                            reply(model.predict(&features), "fallback", true)
+                            reply(model.predictor.predict(&features), "fallback", true)
                         }
                         Err(e) => proto::err_line(id, &e, 0),
                     },
@@ -460,6 +542,14 @@ fn handle_line(shared: &Shared, line: &str, reply: &SyncSender<String>) {
             let line = serde_json::to_string(&frame).expect("stats frame serializes");
             let _ = reply.try_send(line);
         }
+        Ok(Request::Reload) => match shared.reload() {
+            Ok((epoch, digest)) => {
+                let _ = reply.try_send(proto::reload_line(epoch, &digest));
+            }
+            Err(e) => {
+                let _ = reply.try_send(proto::err_line(None, &e, 0));
+            }
+        },
         Ok(Request::Shutdown) => {
             shared.request_drain();
             let _ = reply.try_send(proto::err_line(None, &ColocError::ShuttingDown, 0));
@@ -552,6 +642,13 @@ impl ServerHandle {
         self.shared.request_drain();
     }
 
+    /// Hot-swap model artifacts, exactly like SIGHUP or the `reload`
+    /// wire verb. Returns the new epoch and the default machine's
+    /// active artifact digest.
+    pub fn reload(&self) -> Result<(u64, String), ColocError> {
+        self.shared.reload()
+    }
+
     /// Snapshot the live stats frame.
     pub fn stats(&self) -> StatsFrame {
         self.shared.frame()
@@ -623,7 +720,7 @@ impl Server {
         // pressure and first-query latency is honest.
         let idx = machine_index(&shared.cfg.default_machine).unwrap_or(0);
         shared.labs[idx].1.baselines();
-        let _ = shared.predictor(idx);
+        let _ = shared.model(idx);
         Ok((listener, shared))
     }
 
@@ -637,6 +734,19 @@ impl Server {
         loop {
             if shared.should_drain() {
                 break;
+            }
+            // SIGHUP latched since the last lap: hot-swap models. A
+            // failed reload (e.g. the artifact file is mid-rewrite) is
+            // logged and the old models keep serving.
+            if signals::take_reload_request() {
+                match shared.reload() {
+                    Ok((epoch, digest)) => {
+                        if !shared.cfg.quiet {
+                            println!("{}", proto::reload_line(epoch, &digest));
+                        }
+                    }
+                    Err(e) => eprintln!("reload failed (keeping current models): {e}"),
+                }
             }
             match listener.accept() {
                 Ok((read_half, write_half)) => {

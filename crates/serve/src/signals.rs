@@ -1,17 +1,21 @@
 //! Minimal Unix signal plumbing, no libc crate.
 //!
-//! The daemon needs exactly one thing from signals: SIGTERM/SIGINT must
+//! The daemon needs exactly two things from signals: SIGTERM/SIGINT must
 //! latch a flag the accept/dispatch loops poll, triggering the graceful
-//! drain. `std` exposes no signal API and new dependencies are off the
-//! table, so this module declares the two C functions it needs
-//! (`signal`, `raise`) directly. The handler body is a single relaxed
-//! atomic store — well inside the async-signal-safe envelope.
+//! drain, and SIGHUP must latch a *reload* request the accept loop
+//! consumes to hot-swap model artifacts. `std` exposes no signal API and
+//! new dependencies are off the table, so this module declares the two C
+//! functions it needs (`signal`, `raise`) directly. Each handler body is
+//! a single relaxed atomic store — well inside the async-signal-safe
+//! envelope.
 //!
 //! On non-Unix targets the module compiles to the flag alone: `install`
 //! is a no-op and drains are triggered programmatically.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+/// `SIGHUP` signal number (the classic "reload your config" signal).
+pub const SIGHUP: i32 = 1;
 /// `SIGINT` signal number (Ctrl-C).
 pub const SIGINT: i32 = 2;
 /// `SIGTERM` signal number (polite kill; what orchestrators send first).
@@ -19,6 +23,10 @@ pub const SIGTERM: i32 = 15;
 
 /// The process-wide drain latch set by the handler.
 static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// The model-reload latch set by the SIGHUP handler, consumed (swapped
+/// back to false) by the accept loop.
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 extern "C" {
@@ -31,12 +39,19 @@ extern "C" fn on_signal(_signum: i32) {
     TERMINATE.store(true, Ordering::Relaxed);
 }
 
-/// Install the drain handler for SIGTERM and SIGINT. Idempotent.
+#[cfg(unix)]
+extern "C" fn on_reload(_signum: i32) {
+    RELOAD.store(true, Ordering::Relaxed);
+}
+
+/// Install the drain handler for SIGTERM/SIGINT and the reload handler
+/// for SIGHUP. Idempotent.
 pub fn install() {
     #[cfg(unix)]
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);
+        signal(SIGHUP, on_reload);
     }
 }
 
@@ -45,9 +60,22 @@ pub fn termination_requested() -> bool {
     TERMINATE.load(Ordering::Relaxed)
 }
 
-/// Reset the latch — test isolation only; a real server never un-drains.
+/// Consume a pending reload request: true exactly once per SIGHUP (or
+/// injected request), so one signal triggers one swap.
+pub fn take_reload_request() -> bool {
+    RELOAD.swap(false, Ordering::Relaxed)
+}
+
+/// Latch a reload request without a signal (non-Unix targets, tests).
+pub fn request_reload() {
+    RELOAD.store(true, Ordering::Relaxed);
+}
+
+/// Reset the latches — test isolation only; a real server never
+/// un-drains.
 pub fn reset() {
     TERMINATE.store(false, Ordering::Relaxed);
+    RELOAD.store(false, Ordering::Relaxed);
 }
 
 /// Deliver a real signal to this process — lets tests exercise the
@@ -76,6 +104,21 @@ mod tests {
         assert!(!termination_requested());
         raise_signal(SIGTERM);
         assert!(termination_requested());
+        reset();
+    }
+
+    #[test]
+    fn sighup_latches_reload_and_is_consumed_once() {
+        install();
+        reset();
+        assert!(!take_reload_request());
+        #[cfg(unix)]
+        raise_signal(SIGHUP);
+        #[cfg(not(unix))]
+        request_reload();
+        assert!(!termination_requested(), "SIGHUP must not drain");
+        assert!(take_reload_request());
+        assert!(!take_reload_request(), "consumed exactly once");
         reset();
     }
 }

@@ -196,17 +196,24 @@ pub struct StatsFrame {
     pub cache_misses: u64,
     /// Run-cache evictions across all labs.
     pub cache_evictions: u64,
+    /// Monotonic model epoch: 0 at startup, +1 per completed hot reload.
+    pub model_epoch: u64,
+    /// Hex digest of the default machine's active model artifact; empty
+    /// until that model is first resolved.
+    pub model_digest: String,
 }
 
 impl StatsFrame {
-    /// Snapshot counters + histogram into a frame. Cache traffic is
-    /// supplied by the caller (summed over the server's labs).
+    /// Snapshot counters + histogram into a frame. Cache traffic and the
+    /// active model identity are supplied by the caller (summed/read over
+    /// the server's labs and model slots).
     pub fn snapshot(
         uptime_s: f64,
         queue_depth: usize,
         counters: &Counters,
         latency: &LatencyHistogram,
         cache: (u64, u64, u64),
+        model: (u64, String),
     ) -> StatsFrame {
         StatsFrame {
             uptime_s,
@@ -230,6 +237,8 @@ impl StatsFrame {
             cache_hits: cache.0,
             cache_misses: cache.1,
             cache_evictions: cache.2,
+            model_epoch: model.0,
+            model_digest: model.1,
         }
     }
 }
@@ -292,13 +301,15 @@ mod tests {
         counters.shed_overload.fetch_add(2, Ordering::Relaxed);
         let h = LatencyHistogram::new();
         h.record_us(1_500);
-        let frame = StatsFrame::snapshot(1.25, 3, &counters, &h, (10, 4, 1));
+        let frame = StatsFrame::snapshot(1.25, 3, &counters, &h, (10, 4, 1), (2, "abc123".into()));
         let json = serde_json::to_string(&frame).unwrap();
         let back: StatsFrame = serde_json::from_str(&json).unwrap();
         assert_eq!(back.admitted, 7);
         assert_eq!(back.shed_overload, 2);
         assert_eq!(back.queue_depth, 3);
         assert_eq!(back.cache_hits, 10);
+        assert_eq!(back.model_epoch, 2);
+        assert_eq!(back.model_digest, "abc123");
         assert_eq!(
             back.latency_p50_ms.to_bits(),
             frame.latency_p50_ms.to_bits()

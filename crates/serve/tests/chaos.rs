@@ -274,3 +274,246 @@ fn draining_server_refuses_new_work_with_typed_error() {
     }
     handle.join();
 }
+
+/// Deterministic synthetic training set for the reload storm: the
+/// `scale` knob bends the target times so two sets fit two *different*
+/// linear models (→ different artifact digests, different predictions).
+fn reload_samples(scale: f64) -> Vec<coloc_model::Sample> {
+    (0..80)
+        .map(|i| coloc_model::Sample {
+            scenario: coloc_model::Scenario::homogeneous("t", "c", i % 5, 0),
+            features: [
+                100.0 + i as f64,
+                (i % 5) as f64,
+                (i % 5) as f64 * 0.01,
+                1e-3,
+                (i % 5) as f64 * 0.3,
+                (i % 5) as f64 * 0.02,
+                0.1,
+                0.02,
+            ],
+            actual_time_s: (100.0 + i as f64) * (1.0 + (i % 5) as f64 * 0.05 * scale),
+        })
+        .collect()
+}
+
+/// The hot-reload contract under a predict storm: overwrite the model
+/// artifact on disk and swap it in (wire `reload` verb, then the SIGHUP
+/// path) while clients hammer the server. Every answer must be
+/// bit-identical to exactly one epoch's model — never a blend, never a
+/// drop — the stats frame's `model_epoch` must be monotonic with the
+/// matching digest, and no request is ever refused as shutting down.
+#[test]
+fn hot_reload_under_storm_swaps_without_a_drain() {
+    use coloc_model::{FeatureSet, Lab, ModelKind, ModelRegistry};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let _guard = serial();
+    signals::reset();
+
+    // Two artifacts with different provenance → different digests and
+    // (measurably) different predictions.
+    let registry = ModelRegistry::new();
+    let a = registry
+        .train_from_samples(
+            &reload_samples(1.0),
+            ModelKind::Linear,
+            FeatureSet::F,
+            0,
+            None,
+        )
+        .unwrap()
+        .artifact;
+    let b = registry
+        .train_from_samples(
+            &reload_samples(3.0),
+            ModelKind::Linear,
+            FeatureSet::F,
+            0,
+            None,
+        )
+        .unwrap()
+        .artifact;
+    assert_ne!(a.digest(), b.digest(), "the two artifacts must differ");
+
+    let dir = std::env::temp_dir().join(format!("coloc-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.json");
+    registry.save(&a, &model_path).unwrap();
+
+    let mut cfg = chaos_config();
+    cfg.admission_capacity = 256;
+    cfg.degrade_watermark = 256;
+    cfg.model_path = Some(model_path.clone());
+    let seed = cfg.seed;
+    let handle = Server::spawn(cfg).unwrap();
+    let addr = handle.local_addr().unwrap().to_string();
+
+    // The server featurizes on its e5649 lab; an identical local lab
+    // gives us the exact bits every answer must equal under model A or
+    // model B. No third value is legal.
+    let lab = Lab::new(
+        coloc_machine::presets::xeon_e5649(),
+        coloc_workloads::standard(),
+        seed,
+    )
+    .unwrap()
+    .with_threads(1);
+    let scenarios: Vec<coloc_model::Scenario> = (0..6)
+        .map(|i| {
+            coloc_model::Scenario::homogeneous(["cg", "canneal", "ep"][i % 3], "ft", 1 + i % 4, 0)
+        })
+        .collect();
+    let expected: Vec<(u64, u64)> = scenarios
+        .iter()
+        .map(|sc| {
+            let f = lab.featurize(sc).unwrap();
+            (
+                a.predictor.predict(&f).to_bits(),
+                b.predictor.predict(&f).to_bits(),
+            )
+        })
+        .collect();
+    assert!(
+        expected.iter().any(|(ea, eb)| ea != eb),
+        "models A and B must disagree somewhere, or the swap is unobservable"
+    );
+
+    // The storm: four clients cycling predict queries, each answer
+    // classified as bit-exact A, bit-exact B, or a failure.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut stormers = Vec::new();
+    for t in 0..4usize {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        let scenarios = scenarios.clone();
+        let expected = expected.clone();
+        stormers.push(std::thread::spawn(move || -> (u64, u64) {
+            let mut client = QueryClient::connect_tcp(&addr).unwrap();
+            let (mut hits_a, mut hits_b) = (0u64, 0u64);
+            let mut i = t; // stagger the per-thread cycle
+            while !stop.load(Ordering::Acquire) {
+                let sc = &scenarios[i % scenarios.len()];
+                let (ea, eb) = expected[i % scenarios.len()];
+                match client.query(sc, QueryMode::Predict, None, None) {
+                    Ok(Reply::Ok { time_s, .. }) => {
+                        let bits = time_s.to_bits();
+                        if bits == ea {
+                            hits_a += 1;
+                        } else if bits == eb {
+                            hits_b += 1;
+                        } else {
+                            panic!(
+                                "blended/foreign answer for {sc:?}: {time_s} is \
+                                 neither model A nor model B"
+                            );
+                        }
+                    }
+                    Ok(other) => panic!("storm query refused mid-reload: {other:?}"),
+                    Err(e) => panic!("storm transport error: {e}"),
+                }
+                i += 1;
+            }
+            (hits_a, hits_b)
+        }));
+    }
+
+    // A stats monitor proves the epoch is monotonic and its digest
+    // always names a real artifact (A before the swap, B after).
+    let monitor = {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        let (hex_a, hex_b) = (a.digest_hex(), b.digest_hex());
+        std::thread::spawn(move || -> u64 {
+            let mut client = QueryClient::connect_tcp(&addr).unwrap();
+            let mut last_epoch = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let s = client.stats().unwrap();
+                assert!(
+                    s.model_epoch >= last_epoch,
+                    "model_epoch went backwards: {} -> {}",
+                    last_epoch,
+                    s.model_epoch
+                );
+                last_epoch = s.model_epoch;
+                let want = if s.model_epoch == 0 { &hex_a } else { &hex_b };
+                assert_eq!(
+                    &s.model_digest, want,
+                    "epoch {} must serve its own digest",
+                    s.model_epoch
+                );
+                assert_eq!(s.rejected_shutdown, 0, "reload must not drain");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            last_epoch
+        })
+    };
+
+    // Let the storm land some model-A answers, then swap: overwrite the
+    // artifact (atomic rename, as `coloc train` writes it) and issue the
+    // wire `reload` verb.
+    std::thread::sleep(Duration::from_millis(300));
+    registry.save(&b, &model_path).unwrap();
+    let mut admin = QueryClient::connect_tcp(&addr).unwrap();
+    let (epoch, digest) = admin.reload().unwrap();
+    assert_eq!(epoch, 1, "first reload bumps the epoch to 1");
+    assert_eq!(digest, b.digest_hex(), "reload ack names the new artifact");
+
+    // From this reply onward the server answers with model B.
+    let f = lab.featurize(&scenarios[0]).unwrap();
+    match admin
+        .query(&scenarios[0], QueryMode::Predict, None, None)
+        .unwrap()
+    {
+        Reply::Ok { time_s, .. } => assert_eq!(
+            time_s.to_bits(),
+            b.predictor.predict(&f).to_bits(),
+            "post-reload answers come from model B, bit for bit"
+        ),
+        other => panic!("expected ok, got {other:?}"),
+    }
+
+    // The SIGHUP path drives the same swap from the accept loop.
+    signals::request_reload();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = admin.stats().unwrap();
+        if s.model_epoch >= 2 {
+            assert_eq!(s.model_digest, b.digest_hex());
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "SIGHUP reload never landed: {s:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    stop.store(true, Ordering::Release);
+    let mut total_a = 0u64;
+    let mut total_b = 0u64;
+    for h in stormers {
+        let (ha, hb) = h.join().expect("storm thread never panics");
+        total_a += ha;
+        total_b += hb;
+    }
+    let last_epoch = monitor.join().expect("monitor thread never panics");
+    assert!(last_epoch >= 2, "monitor saw both reloads");
+    assert!(
+        total_a > 0,
+        "some answers served by model A before the swap"
+    );
+    assert!(total_b > 0, "some answers served by model B after the swap");
+
+    handle.shutdown();
+    let frame = handle.join();
+    assert_eq!(frame.model_epoch, 2);
+    assert_eq!(frame.model_digest, b.digest_hex());
+    // Nothing was dropped or refused across two live swaps under storm.
+    assert_eq!(frame.rejected_shutdown, 0);
+    assert_eq!(frame.dropped_responses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    signals::reset();
+}
